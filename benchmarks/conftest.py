@@ -1,0 +1,39 @@
+"""Benchmark fixtures: one default-scale scenario per session, plus a
+report sink that both prints each regenerated table/figure and archives it
+under ``benchmarks/results/``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval import get_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return get_scenario("default")
+
+
+@pytest.fixture(scope="session")
+def atlas(scenario):
+    return scenario.atlas(0)
+
+
+@pytest.fixture(scope="session")
+def validation(scenario):
+    return scenario.validation_set()
+
+
+@pytest.fixture(scope="session")
+def report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print("\n" + text + "\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return emit

@@ -1,0 +1,131 @@
+"""Figures 6 and 7: latency estimation accuracy and closest-node ranking.
+
+Figure 6: CDF of absolute RTT estimation error for iNano (composed link
+latencies over predicted forward+reverse paths), path composition, and
+Vivaldi. Paper medians: iNano 11ms, Vivaldi 20ms, composition 6ms, with
+the tail order reversed (Vivaldi best in the tail).
+
+Figure 7: per source, |top-10 predicted closest ∩ top-10 actually
+closest| — iNano ≈ path-based, both well above Vivaldi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictor import PredictorConfig
+from repro.eval.accuracy import ranking_overlap
+from repro.eval.reporting import render_table
+from repro.util.stats import Cdf
+
+
+def _collect(scenario, atlas, validation):
+    """Per-technique RTT estimates aligned with ground truth."""
+    vivaldi = scenario.vivaldi()
+    comp = scenario.composition_predictor()
+    estimates = {"inano": {}, "composition": {}, "vivaldi": {}}
+    truth = {}
+    for source in validation.sources:
+        src = source.vantage.prefix_index
+        predictor = source.predictor(atlas, PredictorConfig.inano())
+        for dst in source.validation_targets:
+            true_rtt = scenario.true_rtt_ms(src, dst)
+            if true_rtt is None:
+                continue
+            truth[(src, dst)] = true_rtt
+            fwd = predictor.predict_or_none(src, dst)
+            rev = predictor.predict_or_none(dst, src)
+            if fwd is not None and rev is not None:
+                estimates["inano"][(src, dst)] = fwd.latency_ms + rev.latency_ms
+            cf = comp.predict_or_none(src, dst)
+            cr = comp.predict_or_none(dst, src)
+            if cf is not None and cr is not None:
+                estimates["composition"][(src, dst)] = cf.latency_ms + cr.latency_ms
+            estimates["vivaldi"][(src, dst)] = vivaldi.distance_ms(src, dst)
+    return estimates, truth
+
+
+def test_fig6_latency_error_cdf(benchmark, scenario, atlas, validation, report):
+    estimates, truth = benchmark(_collect, scenario, atlas, validation)
+
+    errors = {}
+    for name, table in estimates.items():
+        errors[name] = [
+            abs(est - truth[key]) for key, est in table.items() if key in truth
+        ]
+    cdfs = {name: Cdf(vals) for name, vals in errors.items() if vals}
+    rows = []
+    for name, cdf in cdfs.items():
+        rows.append(
+            (
+                name,
+                len(cdf),
+                f"{cdf.median:.1f} ms",
+                f"{cdf.quantile(0.9):.1f} ms",
+                f"{cdf.at(20.0):.2f}",
+            )
+        )
+    report(
+        "fig6_latency_accuracy",
+        render_table(
+            "Figure 6 — RTT estimation error "
+            "(paper medians: composition 6ms < iNano 11ms < Vivaldi 20ms)",
+            ["technique", "n", "median error", "p90 error", "P[err<=20ms]"],
+            rows,
+        ),
+    )
+
+    assert cdfs["inano"].median < cdfs["vivaldi"].median, (
+        "iNano must beat coordinates at the median"
+    )
+    # Composition's RTT-difference estimates stay within the same order of
+    # magnitude (the paper has them slightly *better* at the median; with
+    # our much sparser vantage set they carry more splice noise — see
+    # EXPERIMENTS.md).
+    assert cdfs["composition"].median < 4.0 * cdfs["inano"].median
+    # Coverage: iNano answered most pairs.
+    assert len(cdfs["inano"]) > 0.7 * len(truth)
+
+
+def test_fig7_closest_destination_ranking(benchmark, scenario, atlas, validation, report):
+    estimates, truth = _collect(scenario, atlas, validation)
+
+    def compute():
+        overlaps = {"inano": [], "composition": [], "vivaldi": []}
+        for source in validation.sources:
+            src = source.vantage.prefix_index
+            actual = {
+                dst: truth[(src, dst)]
+                for dst in source.validation_targets
+                if (src, dst) in truth
+            }
+            if len(actual) < 10:
+                continue
+            for name in overlaps:
+                est = {
+                    dst: estimates[name].get((src, dst), float("inf"))
+                    for dst in actual
+                }
+                overlaps[name].append(ranking_overlap(est, actual, k=10))
+        return overlaps
+
+    overlaps = benchmark(compute)
+    rows = [
+        (name, f"{np.mean(vals):.2f}", f"{min(vals)} - {max(vals)}")
+        for name, vals in overlaps.items()
+        if vals
+    ]
+    report(
+        "fig7_ranking",
+        render_table(
+            "Figure 7 — |top-10 predicted ∩ top-10 actual| per source "
+            "(paper: iNano ≈ path-based > Vivaldi)",
+            ["technique", "mean overlap (of 10)", "range"],
+            rows,
+        ),
+    )
+
+    assert np.mean(overlaps["inano"]) >= np.mean(overlaps["vivaldi"]), (
+        "iNano's ranking must be at least as good as Vivaldi's"
+    )
+    assert np.mean(overlaps["inano"]) >= 5.0

@@ -1,0 +1,81 @@
+"""Query-engine microbenchmarks (Section 5's local-lookup claim).
+
+iNano's pitch is that lookups are *local*: after a one-time atlas fetch,
+an end host answers path queries from memory. These benches time cold
+(new destination, full backtracking search) and warm (cached destination)
+queries, and the swarm distribution of the atlas itself.
+"""
+
+from __future__ import annotations
+
+from repro.atlas.serialization import decode_atlas, encode_atlas
+from repro.atlas.swarm import SwarmConfig, simulate_swarm
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.util.rng import derive_rng
+
+
+def test_bench_cold_query(benchmark, scenario, atlas):
+    prefixes = scenario.all_prefixes()
+    rng = derive_rng(1, "bench.query.cold")
+
+    def cold_query():
+        predictor = INanoPredictor(atlas, PredictorConfig.inano())
+        src, dst = rng.choice(prefixes, size=2, replace=False)
+        return predictor.predict_or_none(int(src), int(dst))
+
+    benchmark(cold_query)
+
+
+def test_bench_warm_query_batch(benchmark, scenario, atlas):
+    prefixes = scenario.all_prefixes()
+    predictor = INanoPredictor(atlas, PredictorConfig.inano())
+    rng = derive_rng(2, "bench.query.warm")
+    dst = int(prefixes[len(prefixes) // 2])
+    sources = [int(s) for s in rng.choice(prefixes, size=50, replace=False) if s != dst]
+    predictor.predict_or_none(sources[0], dst)  # warm the per-dst cache
+
+    def warm_batch():
+        return predictor.predict_batch([(s, dst) for s in sources])
+
+    results = benchmark(warm_batch)
+    assert sum(r is not None for r in results) > len(sources) * 0.6
+
+
+def test_bench_atlas_decode(benchmark, atlas):
+    payload = encode_atlas(atlas)
+
+    def decode():
+        return decode_atlas(payload)
+
+    decoded = benchmark(decode)
+    assert len(decoded.links) == len(atlas.links)
+
+
+def test_bench_swarm_distribution(benchmark, atlas, report):
+    from repro.eval.reporting import render_table
+
+    payload_size = len(encode_atlas(atlas))
+
+    def swarm():
+        return simulate_swarm(
+            SwarmConfig(n_peers=60, file_bytes=payload_size, seed=3)
+        )
+
+    result = benchmark(swarm)
+    report(
+        "swarm_distribution",
+        render_table(
+            "Atlas swarm distribution (Section 5; seed serves a minority)",
+            ["peers", "rounds", "seed chunk share", "completed"],
+            [
+                (
+                    60,
+                    result.rounds,
+                    f"{result.seed_byte_fraction:.2%}",
+                    result.completed_peers,
+                )
+            ],
+        ),
+    )
+    assert result.completed_peers == 60
+    assert result.seed_byte_fraction < 0.5

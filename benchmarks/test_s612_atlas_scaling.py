@@ -1,0 +1,96 @@
+"""Section 6.1.2: does the atlas stay tractable with more vantage points?
+
+The paper added 845 DIMES end-host agents and measured the *marginal*
+links and 3-tuples they contribute, then extrapolated linearly. We run the
+same experiment: add batches of DIMES-like agents (each probing a random
+sample of prefixes) and report marginal link/tuple counts plus the linear
+extrapolation to all-edge coverage.
+"""
+
+from __future__ import annotations
+
+from repro.atlas.builder import AtlasBuilder, AtlasInputs
+from repro.eval.reporting import render_table
+from repro.measurement.vantage import select_vantage_points
+from repro.util.rng import derive_rng
+
+
+def test_s612_atlas_scaling_with_vantage_points(benchmark, scenario, atlas, report):
+    topo = scenario.topology(0)
+    sim = scenario.simulator(0)
+    base_links = len(atlas.links)
+    base_tuples = len(atlas.three_tuples)
+
+    exclude = {vp.prefix_index for vp in scenario.vantage_points()}
+    dimes = select_vantage_points(
+        topo, 30, kind="dimes", seed=scenario.config.seed, exclude_prefixes=exclude
+    )
+    rng = derive_rng(scenario.config.seed, "s612.targets")
+    all_prefixes = scenario.all_prefixes()
+
+    def build_with_agents(agents):
+        extra_traces = []
+        for vp in agents:
+            targets = rng.choice(all_prefixes, size=20, replace=False)
+            extra_traces += [
+                sim.trace_to_prefix(vp, int(t)) for t in targets if t != vp.prefix_index
+            ]
+        # Rebuild the atlas with the extra agent measurements folded in.
+        cmap = scenario.cluster_map(0).clone()
+        cmap.extend_with_client_traces(extra_traces, scenario.feed(0).prefix_to_as())
+        inputs = AtlasInputs(
+            traceroutes=scenario.traces(0) + extra_traces,
+            cluster_map=cmap,
+            feed=scenario.feed(0),
+            day=0,
+        )
+        return AtlasBuilder(inputs).build()
+
+    def run():
+        results = []
+        for n_agents in (10, 20, 30):
+            grown = build_with_agents(dimes[:n_agents])
+            results.append(
+                (n_agents, len(grown.links), len(grown.three_tuples))
+            )
+        return results
+
+    results = benchmark(run)
+
+    n_edge_prefixes = len(all_prefixes)
+    rows = [("0 (PlanetLab only)", base_links, base_tuples, "-", "-")]
+    for n_agents, links, tuples in results:
+        marg_links = (links - base_links) / n_agents
+        marg_tuples = (tuples - base_tuples) / n_agents
+        extrap_links = base_links + marg_links * n_edge_prefixes
+        rows.append(
+            (
+                str(n_agents),
+                links,
+                tuples,
+                f"{extrap_links:.0f}",
+                f"{(extrap_links / base_links):.1f}x",
+            )
+        )
+    report(
+        "s612_atlas_scaling",
+        render_table(
+            "Section 6.1.2 — atlas growth with DIMES-like agents "
+            "(paper: 8x links, 3x tuples at full edge coverage)",
+            ["agents", "links", "3-tuples", "extrapolated links", "growth"],
+            rows,
+        ),
+    )
+
+    final_links = results[-1][1]
+    final_tuples = results[-1][2]
+    # More agents discover more links/tuples, but sub-linearly: the growth
+    # from the atlas baseline must stay within an order of magnitude.
+    assert final_links >= base_links
+    assert final_tuples >= base_tuples
+    assert final_links < 10 * base_links
+    # Marginal contribution shrinks (sub-linear growth), comparing the
+    # first and last batch.
+    first_marginal = results[0][1] - base_links
+    last_marginal = (results[-1][1] - results[-2][1])
+    assert last_marginal <= max(1, first_marginal) * 1.5

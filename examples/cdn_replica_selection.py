@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CDN replica selection with iNano (the paper's Section 7.1 case study).
+
+A client-based CDN must send each client to one of the replicas holding
+its content. This example pits five selection strategies against each
+other on 30KB ("web object") and 1.5MB ("video chunk") downloads:
+
+  optimal            pick the true best replica (oracle)
+  measured           ping all replicas, pick the lowest measured RTT
+  inano              iNano's predictions: latency for small files,
+                     PFTK(latency, loss) for large files — no probes sent
+  vivaldi            network coordinates (latency only)
+  oasis              geolocation + stale cached probes
+  random             no information
+
+Run:  python examples/cdn_replica_selection.py
+"""
+
+import numpy as np
+
+from repro.apps.cdn import LARGE_FILE_BYTES, SMALL_FILE_BYTES, CdnExperiment
+from repro.eval import get_scenario
+from repro.eval.reporting import render_table
+from repro.util.rng import derive_rng
+
+def main() -> None:
+    scenario = get_scenario("small")
+    prefixes = scenario.all_prefixes()
+    rng = derive_rng(11, "example.cdn")
+
+    clients = [vp.prefix_index for vp in scenario.validation_vps()]
+    replica_pool = [p for p in prefixes if p not in clients]
+    replicas = [int(p) for p in rng.choice(replica_pool, size=24, replace=False)]
+
+    experiment = CdnExperiment(
+        engine=scenario.engine(0), clients=clients, replicas=replicas, seed=5
+    )
+    predictor = scenario.shared_predictor()
+    vivaldi = scenario.vivaldi()
+    oasis = scenario.oasis(clients, replicas)
+    # Vivaldi/OASIS need to know the replica nodes too.
+    for replica in replicas:
+        for client in clients:
+            rtt = scenario.true_rtt_ms(client, replica)
+            if rtt is not None:
+                vivaldi.observe(client, replica, rtt)
+                vivaldi.observe(replica, client, rtt)
+
+    for size, label in ((SMALL_FILE_BYTES, "30KB"), (LARGE_FILE_BYTES, "1.5MB")):
+        strategies = {
+            "measured": experiment.strategy_measured_latency(),
+            "inano": experiment.strategy_inano(predictor, size),
+            "vivaldi": experiment.strategy_vivaldi(vivaldi),
+            "oasis": experiment.strategy_oasis(oasis),
+            "random": experiment.strategy_random(),
+        }
+        result = experiment.run(strategies, size)
+        rows = [("optimal", f"{float(np.median(result.optimal_seconds)):.3f}", "1.00x")]
+        for name in strategies:
+            med = result.median_seconds(name)
+            slow = float(np.median(result.slowdown_vs_optimal(name)))
+            rows.append((name, f"{med:.3f}", f"{slow:.2f}x"))
+        print(render_table(
+            f"{label} downloads ({len(clients)} clients, 5 replicas each)",
+            ["strategy", "median seconds", "median vs optimal"],
+            rows,
+        ))
+        print()
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Routing around failures with iNano path predictions (Section 7.3).
+
+When a destination becomes unreachable, a host can relay its traffic
+through another end host (detour routing). Picking detours whose
+*predicted* paths are maximally disjoint from the broken direct path
+roughly halves residual unreachability versus picking detours at random —
+without sending a single extra probe.
+
+This example injects partial outages near destinations (some sources cut
+off, others fine — the paper's >=10%/>=10% criterion), then compares the
+two detour-ranking strategies as a function of how many detours a source
+is willing to try.
+
+Run:  python examples/detour_routing.py
+"""
+
+from repro.apps.detour import DetourExperiment
+from repro.eval import get_scenario
+from repro.eval.reporting import render_table
+from repro.routing.failures import sample_failures
+from repro.util.rng import derive_rng
+
+def main() -> None:
+    scenario = get_scenario("small")
+    engine = scenario.engine(0)
+    topo = scenario.topology(0)
+    prefixes = scenario.all_prefixes()
+    rng = derive_rng(23, "example.detour")
+
+    hosts = [int(p) for p in rng.choice(prefixes, size=30, replace=False)]
+    events = []
+    for dst in hosts[:12]:
+        sources = [h for h in hosts if h != dst]
+        sampled = sample_failures(topo, engine, dst, sources, seed=dst)
+        if sampled is None:
+            continue
+        scenario_obj, cut_sources, _ = sampled
+        for src in cut_sources[:2]:
+            candidates = [h for h in hosts if h not in (src, dst)]
+            events.append((scenario_obj, src, dst, candidates))
+
+    experiment = DetourExperiment(
+        engine=engine, predictor=scenario.shared_predictor(), max_detours=6
+    )
+    result = experiment.run(events)
+
+    rows = []
+    for n in range(1, 7):
+        rows.append((
+            n,
+            f"{result.unreachable_fraction('inano_disjoint', n):.3f}",
+            f"{result.unreachable_fraction('random', n):.3f}",
+        ))
+    print(render_table(
+        f"Unreachable fraction vs detours tried ({result.n_events} failure events)",
+        ["N detours", "iNano disjoint", "random"],
+        rows,
+    ))
+
+if __name__ == "__main__":
+    main()

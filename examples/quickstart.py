@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up iNano end to end and query it.
+
+This walks the whole life of the system on a synthetic Internet:
+
+1. generate a ground-truth topology,
+2. run the measurement campaign (traceroutes from PlanetLab-like vantage
+   points, alias resolution, PoP clustering, BGP feeds),
+3. build the compact link-level atlas and publish it on the central server,
+4. start a *client* that swarms the atlas down, runs its own daily
+   traceroutes, and serves path queries locally,
+5. query paths/latency/loss between arbitrary prefixes and compare with
+   the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client import AtlasServer, INanoClient
+from repro.eval import get_scenario
+from repro.util.compression import megabytes
+from repro.util.ids import PrefixId
+
+def main() -> None:
+    # Steps 1-3 are packaged as a scenario preset (see repro.eval.scenarios
+    # for the full pipeline spelled out).
+    scenario = get_scenario("small")
+    atlas = scenario.atlas(day=0)
+    print("== atlas built ==")
+    for name, count in atlas.entry_counts().items():
+        print(f"  {name:24s} {count:7d} entries")
+
+    server = AtlasServer()
+    server.publish(atlas)
+    payload = server.full_atlas_bytes()
+    print(f"  encoded atlas: {megabytes(len(payload)):.3f} MB")
+
+    # Step 4: a client at one of the held-out end hosts.
+    source = scenario.validation_set().sources[0]
+    client = INanoClient(
+        server,
+        vantage=source.vantage,
+        measurement_toolkit=scenario.simulator(0),
+        cluster_map=scenario.cluster_map(0),
+    )
+    client.fetch()
+    n = client.measure(n_prefixes=30)
+    print(f"\n== client at {source.vantage.name} "
+          f"(prefix {PrefixId(source.vantage.prefix_index)}) ==")
+    print(f"  issued {n} daily traceroutes; "
+          f"{len(client.from_src_links)} FROM_SRC links")
+
+    # Step 5: queries.
+    engine = scenario.engine(0)
+    print("\n== queries ==")
+    shown = 0
+    for dst in source.validation_targets:
+        info = client.query_or_none(source.vantage.prefix_index, dst)
+        if info is None:
+            continue
+        true_rtt = scenario.true_rtt_ms(source.vantage.prefix_index, dst)
+        true_as = engine.as_path_between(source.vantage.prefix_index, dst)
+        print(f"  -> {PrefixId(dst)}")
+        print(f"     predicted AS path {info.as_path}  (truth {true_as})")
+        print(f"     predicted RTT {info.rtt_ms:7.1f} ms  (truth {true_rtt:7.1f} ms)")
+        print(f"     predicted loss {info.loss_round_trip:6.3f}   "
+              f"MOS {info.mos():.2f}   "
+              f"TCP {info.tcp_throughput_bps() * 8 / 1e6:.2f} Mbit/s")
+        shown += 1
+        if shown >= 5:
+            break
+
+if __name__ == "__main__":
+    main()

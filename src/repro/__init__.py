@@ -1,0 +1,39 @@
+"""iPlane Nano reproduction: compact Internet path prediction for P2P apps.
+
+This package reimplements the full system from *iPlane Nano: Path
+Prediction for Peer-to-Peer Applications* (Madhyastha et al., NSDI 2009)
+over a synthetic-Internet substrate:
+
+* :mod:`repro.topology` — ground-truth Internet generator (AS hierarchy,
+  relationships, PoPs, links, prefixes);
+* :mod:`repro.routing` — policy routing ground truth, day-to-day dynamics,
+  failure injection;
+* :mod:`repro.measurement` — traceroute/ping simulators, alias resolution,
+  PoP clustering, BGP feeds, frontier assignment;
+* :mod:`repro.atlas` — the compact link-level atlas: inference, binary
+  serialization, daily deltas, swarm distribution;
+* :mod:`repro.core` — the paper's contribution: the GRAPH/iNano route
+  predictor plus latency/loss/TCP/MOS models;
+* :mod:`repro.baselines` — iPlane path composition, RouteScope, Vivaldi,
+  OASIS;
+* :mod:`repro.client` — the client library and central server;
+* :mod:`repro.apps` — CDN, VoIP and detour-routing case studies;
+* :mod:`repro.eval` — scenario presets, validation sets, metrics.
+"""
+
+from repro.client import AtlasServer, INanoClient, PathInfo
+from repro.core import INanoPredictor, PredictedPath, PredictorConfig
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtlasServer",
+    "INanoClient",
+    "PathInfo",
+    "INanoPredictor",
+    "PredictedPath",
+    "PredictorConfig",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""The paper's three case-study applications (Section 7).
+
+Each experiment takes the ground-truth engine (to score decisions the way
+the real network would) and the prediction systems under comparison (to
+*make* the decisions). Strategies only ever see what their information
+source would really give them: iNano sees predictions, Vivaldi sees
+coordinates, OASIS sees geolocation + stale probes, "measured" sees true
+RTTs (the paper's upper-bound strategy), and "random" sees nothing.
+"""
+
+from repro.apps.cdn import CdnExperiment, CdnResult
+from repro.apps.voip import VoipExperiment, VoipResult
+from repro.apps.detour import DetourExperiment, DetourResult
+
+__all__ = [
+    "CdnExperiment",
+    "CdnResult",
+    "VoipExperiment",
+    "VoipResult",
+    "DetourExperiment",
+    "DetourResult",
+]

@@ -1,0 +1,167 @@
+"""P2P CDN replica selection (Section 7.1, Figure 9).
+
+Every client is associated with 5 randomly chosen replicas; each strategy
+picks one replica per client using only its own information source; the
+download then happens over the *true* network (RTT and loss from the
+ground-truth engine, fed through the TCP transfer-time model). "Optimal"
+is the per-client minimum over all candidate replicas.
+
+For 30KB files iNano uses latency alone (short TCP transfers are
+latency-dominated [8]); for 1.5MB files it combines latency and loss via
+the PFTK model [37], which is where it beats measured-latency selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.oasis import OasisSelector
+from repro.baselines.vivaldi import VivaldiSystem
+from repro.core.predictor import INanoPredictor
+from repro.core.tcp import download_time_seconds, pftk_throughput_bps
+from repro.routing.forwarding import ForwardingEngine
+from repro.errors import NoRouteError, RoutingError
+from repro.util.rng import derive_rng
+
+SMALL_FILE_BYTES = 30_000
+LARGE_FILE_BYTES = 1_500_000
+
+#: A strategy maps (client_prefix, candidate_replica_prefixes) -> chosen prefix.
+Strategy = Callable[[int, list[int]], int]
+
+
+@dataclass
+class CdnResult:
+    """Per-strategy download times, aligned by client."""
+
+    file_bytes: int
+    #: strategy name -> list of download seconds (one per client)
+    download_seconds: dict[str, list[float]] = field(default_factory=dict)
+    optimal_seconds: list[float] = field(default_factory=list)
+
+    def slowdown_vs_optimal(self, strategy: str) -> list[float]:
+        """Per-client ratio of achieved to optimal download time."""
+        achieved = self.download_seconds[strategy]
+        return [
+            a / o if o > 0 else 1.0
+            for a, o in zip(achieved, self.optimal_seconds)
+        ]
+
+    def median_seconds(self, strategy: str) -> float:
+        return float(np.median(self.download_seconds[strategy]))
+
+
+@dataclass
+class CdnExperiment:
+    """Replica-selection experiment over one ground-truth snapshot."""
+
+    engine: ForwardingEngine
+    clients: list[int]            # client prefix indices
+    replicas: list[int]           # replica prefix indices
+    replicas_per_client: int = 5
+    seed: int = 0
+    _truth_cache: dict[tuple[int, int], tuple[float, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _truth(self, client: int, replica: int) -> tuple[float, float]:
+        """(true RTT seconds, true forward loss) between client and replica."""
+        key = (client, replica)
+        if key not in self._truth_cache:
+            try:
+                e2e = self.engine.end_to_end(replica, client)  # download direction
+                self._truth_cache[key] = (e2e.rtt_ms / 1000.0, e2e.loss_forward)
+            except (NoRouteError, RoutingError):
+                self._truth_cache[key] = (float("inf"), 1.0 - 1e-9)
+        return self._truth_cache[key]
+
+    def candidate_sets(self) -> dict[int, list[int]]:
+        """5 random replicas per client (independent per client, as in 7.1)."""
+        out: dict[int, list[int]] = {}
+        for client in self.clients:
+            rng = derive_rng(self.seed, f"cdn.candidates.{client}")
+            k = min(self.replicas_per_client, len(self.replicas))
+            idx = rng.choice(len(self.replicas), size=k, replace=False)
+            out[client] = [self.replicas[int(i)] for i in idx]
+        return out
+
+    def download_time(self, client: int, replica: int, file_bytes: int) -> float:
+        rtt_s, loss = self._truth(client, replica)
+        if rtt_s == float("inf"):
+            return float("inf")
+        return download_time_seconds(file_bytes, rtt_s, loss)
+
+    def run(
+        self, strategies: dict[str, Strategy], file_bytes: int
+    ) -> CdnResult:
+        """Evaluate every strategy on every client for one file size."""
+        result = CdnResult(file_bytes=file_bytes)
+        candidates = self.candidate_sets()
+        for name in strategies:
+            result.download_seconds[name] = []
+        for client in self.clients:
+            replicas = candidates[client]
+            times = {r: self.download_time(client, r, file_bytes) for r in replicas}
+            result.optimal_seconds.append(min(times.values()))
+            for name, strategy in strategies.items():
+                chosen = strategy(client, list(replicas))
+                result.download_seconds[name].append(times[chosen])
+        return result
+
+    # -- strategy factories -----------------------------------------------------
+
+    def strategy_random(self) -> Strategy:
+        def pick(client: int, replicas: list[int]) -> int:
+            rng = derive_rng(self.seed, f"cdn.random.{client}")
+            return replicas[int(rng.integers(0, len(replicas)))]
+
+        return pick
+
+    def strategy_measured_latency(self) -> Strategy:
+        """The paper's 'measured latencies' strategy (ping each replica)."""
+
+        def pick(client: int, replicas: list[int]) -> int:
+            return min(replicas, key=lambda r: (self._truth(client, r)[0], r))
+
+        return pick
+
+    def strategy_inano(
+        self, predictor: INanoPredictor, file_bytes: int
+    ) -> Strategy:
+        """iNano: latency for small files, PFTK(latency, loss) for large."""
+
+        def pick(client: int, replicas: list[int]) -> int:
+            scored: list[tuple[float, int]] = []
+            for replica in replicas:
+                fwd = predictor.predict_or_none(replica, client)
+                rev = predictor.predict_or_none(client, replica)
+                if fwd is None or rev is None:
+                    scored.append((float("inf"), replica))
+                    continue
+                rtt_s = (fwd.latency_ms + rev.latency_ms) / 1000.0
+                if rtt_s <= 0:
+                    rtt_s = 1e-3
+                if file_bytes <= SMALL_FILE_BYTES:
+                    scored.append((rtt_s, replica))
+                else:
+                    rate = pftk_throughput_bps(rtt_s, min(0.99, fwd.loss))
+                    scored.append((-rate, replica))
+            scored.sort()
+            return scored[0][1]
+
+        return pick
+
+    def strategy_vivaldi(self, vivaldi: VivaldiSystem) -> Strategy:
+        def pick(client: int, replicas: list[int]) -> int:
+            return min(replicas, key=lambda r: (vivaldi.distance_ms(client, r), r))
+
+        return pick
+
+    def strategy_oasis(self, oasis: OasisSelector) -> Strategy:
+        def pick(client: int, replicas: list[int]) -> int:
+            return oasis.select(client, replicas)
+
+        return pick

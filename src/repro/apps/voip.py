@@ -1,0 +1,146 @@
+"""VoIP relay selection (Section 7.2, Figure 10).
+
+NATed callers relay their streams through a third host. The paper's
+strategy: use iNano to shortlist the 10 relays minimizing predicted
+round-trip loss over the relayed path, then pick the one minimizing
+end-to-end latency. Compared against closest-to-source, closest-to-
+destination (both by *measured* latency) and random relays, on the
+ground-truth loss of the chosen relay path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mos import mos_score
+from repro.core.predictor import INanoPredictor
+from repro.errors import NoRouteError, RoutingError
+from repro.routing.forwarding import ForwardingEngine
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class VoipResult:
+    """Per-strategy quality of the chosen relays, aligned by call."""
+
+    #: strategy -> per-call loss rate of the relayed path
+    loss_rates: dict[str, list[float]] = field(default_factory=dict)
+    #: strategy -> per-call one-way latency (ms) of the relayed path
+    latencies_ms: dict[str, list[float]] = field(default_factory=dict)
+    #: strategy -> per-call MOS
+    mos: dict[str, list[float]] = field(default_factory=dict)
+
+    def median_loss(self, strategy: str) -> float:
+        return float(np.median(self.loss_rates[strategy]))
+
+    def mean_mos(self, strategy: str) -> float:
+        return float(np.mean(self.mos[strategy]))
+
+
+@dataclass
+class VoipExperiment:
+    """Relay selection over one ground-truth snapshot."""
+
+    engine: ForwardingEngine
+    hosts: list[int]  # prefix indices of participating end-hosts
+    shortlist_size: int = 10
+    seed: int = 0
+    _truth_cache: dict[tuple[int, int], tuple[float, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _leg_truth(self, a: int, b: int) -> tuple[float, float]:
+        """(one-way latency ms, one-way loss) for the leg a -> b."""
+        key = (a, b)
+        if key not in self._truth_cache:
+            try:
+                path = self.engine.pop_path(a, b)
+                self._truth_cache[key] = (path.latency_ms, path.loss)
+            except (NoRouteError, RoutingError):
+                self._truth_cache[key] = (float("inf"), 1.0 - 1e-9)
+        return self._truth_cache[key]
+
+    def relay_truth(self, src: int, relay: int, dst: int) -> tuple[float, float]:
+        """True (latency ms, loss) of the relayed one-way stream."""
+        l1, p1 = self._leg_truth(src, relay)
+        l2, p2 = self._leg_truth(relay, dst)
+        return (l1 + l2, 1.0 - (1.0 - p1) * (1.0 - p2))
+
+    def sample_calls(self, n_calls: int) -> list[tuple[int, int]]:
+        """Random (src, dst) pairs, as the paper's 1200 emulated calls."""
+        rng = derive_rng(self.seed, "voip.calls")
+        calls = []
+        for _ in range(n_calls):
+            i, j = rng.choice(len(self.hosts), size=2, replace=False)
+            calls.append((self.hosts[int(i)], self.hosts[int(j)]))
+        return calls
+
+    # -- strategies ---------------------------------------------------------------
+
+    def choose_inano(
+        self, predictor: INanoPredictor, src: int, dst: int, relays: list[int]
+    ) -> int:
+        """Shortlist by predicted loss, then minimize predicted latency."""
+        scored: list[tuple[float, float, int]] = []
+        for relay in relays:
+            legs = [
+                predictor.predict_or_none(src, relay),
+                predictor.predict_or_none(relay, dst),
+            ]
+            if any(leg is None for leg in legs):
+                continue
+            loss = 1.0 - (1.0 - legs[0].loss) * (1.0 - legs[1].loss)
+            latency = legs[0].latency_ms + legs[1].latency_ms
+            scored.append((loss, latency, relay))
+        if not scored:
+            rng = derive_rng(self.seed, f"voip.fallback.{src}.{dst}")
+            return relays[int(rng.integers(0, len(relays)))]
+        scored.sort()
+        shortlist = scored[: self.shortlist_size]
+        return min(shortlist, key=lambda t: (t[1], t[2]))[2]
+
+    def choose_closest_to(self, anchor: int, relays: list[int]) -> int:
+        """Measured-latency nearest relay to ``anchor`` (src or dst)."""
+        return min(relays, key=lambda r: (self._leg_truth(anchor, r)[0], r))
+
+    def choose_random(self, src: int, dst: int, relays: list[int]) -> int:
+        rng = derive_rng(self.seed, f"voip.random.{src}.{dst}")
+        return relays[int(rng.integers(0, len(relays)))]
+
+    # -- experiment -----------------------------------------------------------------
+
+    def run(
+        self,
+        predictor: INanoPredictor,
+        n_calls: int = 200,
+        max_relays: int | None = None,
+    ) -> VoipResult:
+        """Emulate calls and compare relay-selection strategies."""
+        result = VoipResult()
+        strategies = ["inano", "closest_src", "closest_dst", "random"]
+        for name in strategies:
+            result.loss_rates[name] = []
+            result.latencies_ms[name] = []
+            result.mos[name] = []
+        for src, dst in self.sample_calls(n_calls):
+            relays = [h for h in self.hosts if h not in (src, dst)]
+            if max_relays is not None and len(relays) > max_relays:
+                rng = derive_rng(self.seed, f"voip.relayset.{src}.{dst}")
+                idx = rng.choice(len(relays), size=max_relays, replace=False)
+                relays = [relays[int(i)] for i in idx]
+            chosen = {
+                "inano": self.choose_inano(predictor, src, dst, relays),
+                "closest_src": self.choose_closest_to(src, relays),
+                "closest_dst": self.choose_closest_to(dst, relays),
+                "random": self.choose_random(src, dst, relays),
+            }
+            for name, relay in chosen.items():
+                latency, loss = self.relay_truth(src, relay, dst)
+                if latency == float("inf"):
+                    latency, loss = 1000.0, 1.0 - 1e-9
+                result.loss_rates[name].append(loss)
+                result.latencies_ms[name].append(latency)
+                result.mos[name].append(mos_score(2 * latency, loss))
+        return result

@@ -1,0 +1,38 @@
+"""The compact link-level atlas: datasets, inference, serialization, deltas.
+
+This is the artifact iNano ships to clients (Table 2 of the paper): an
+annotated inter-cluster link map plus the side tables that let the
+predictor reconstruct routing policy — prefix/AS mappings, AS degrees,
+observed AS 3-tuples, inferred AS preferences, and provider sets. The
+builder consumes only measurement-layer outputs (traceroutes, probes, BGP
+feeds); nothing here reads the ground-truth topology.
+"""
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.builder import AtlasBuilder, AtlasInputs
+from repro.atlas.relationships import InferredRelationships, infer_relationships
+from repro.atlas.serialization import (
+    dataset_payloads,
+    decode_atlas,
+    encode_atlas,
+)
+from repro.atlas.delta import AtlasDelta, apply_delta, compute_delta, encode_delta
+from repro.atlas.swarm import SwarmConfig, simulate_swarm
+
+__all__ = [
+    "Atlas",
+    "LinkRecord",
+    "AtlasBuilder",
+    "AtlasInputs",
+    "InferredRelationships",
+    "infer_relationships",
+    "dataset_payloads",
+    "decode_atlas",
+    "encode_atlas",
+    "AtlasDelta",
+    "apply_delta",
+    "compute_delta",
+    "encode_delta",
+    "SwarmConfig",
+    "simulate_swarm",
+]

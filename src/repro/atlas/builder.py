@@ -1,0 +1,330 @@
+"""Atlas construction from measurement outputs.
+
+The builder is the centralized component of iNano (Section 5, server
+side): it aggregates traceroutes, loss probes, and BGP feed snapshots into
+the compact link-level atlas. It never touches the ground-truth topology;
+probing instruments are injected as callables so the measurement layer
+retains that monopoly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.preferences import PreferenceInference
+from repro.atlas.providers import ProviderInference
+from repro.atlas.relationships import degree_table, infer_relationships
+from repro.atlas.tuples import collapse_prepending, extract_three_tuples
+from repro.measurement.bgp_feed import BgpFeedSnapshot
+from repro.measurement.clustering import ClusterMap
+from repro.measurement.frontier import assign_links_to_vantage_points
+from repro.measurement.linklatency import LinkLatencyEstimator
+from repro.measurement.traceroute import Traceroute
+
+#: Loss estimates below this are treated as lossless and not stored,
+#: mirroring the paper's much smaller loss dataset (47K of 309K links).
+LOSS_STORE_THRESHOLD = 0.005
+
+#: A probe callable: (vp_prefix_index, cluster_path, link_position) -> loss or None.
+LossProber = Callable[[int, tuple[int, ...], int], "float | None"]
+
+
+@dataclass
+class AtlasInputs:
+    """Everything the builder consumes for one day's atlas."""
+
+    traceroutes: list[Traceroute]
+    cluster_map: ClusterMap
+    feed: BgpFeedSnapshot
+    loss_prober: LossProber | None = None
+    day: int = 0
+    frontier_redundancy: int = 2
+    min_latency_samples: int = 1
+    late_exit_min_crossings: int = 4
+    late_exit_mismatch_threshold: float = 0.5
+
+
+@dataclass
+class AtlasBuilder:
+    """Builds an :class:`Atlas` from one day's measurements."""
+
+    inputs: AtlasInputs
+    _cluster_paths: dict[int, list[list[tuple[int, float]]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def build(self) -> Atlas:
+        atlas = Atlas(day=self.inputs.day)
+        cmap = self.inputs.cluster_map
+
+        self._collect_cluster_paths()
+        self._build_links(atlas)
+        as_paths, terminating = self._as_paths()
+        self._build_policy_datasets(atlas, as_paths, terminating)
+        self._build_mappings(atlas)
+        self._build_loss(atlas)
+        self._infer_late_exit(atlas)
+        atlas.cluster_to_as = dict(cmap.cluster_asn)
+        atlas.validate()
+        return atlas
+
+    # -- stage 1: cluster-level path segments --------------------------------
+
+    def _collect_cluster_paths(self) -> None:
+        """Gather gap-split cluster segments per source prefix.
+
+        Splitting at anonymous/unmapped hops keeps fabricated links and AS
+        adjacencies out of the atlas.
+        """
+        cmap = self.inputs.cluster_map
+        for trace in self.inputs.traceroutes:
+            for segment in cmap.cluster_segments_with_rtts(trace):
+                if len(segment) >= 2:
+                    self._cluster_paths.setdefault(trace.src_prefix_index, []).append(
+                        segment
+                    )
+
+    # -- stage 2: links with latencies --------------------------------------
+
+    def _build_links(self, atlas: Atlas) -> None:
+        estimator = LinkLatencyEstimator()
+        for paths in self._cluster_paths.values():
+            for path in paths:
+                estimator.add_traceroute_samples(path)
+        for link, latency in estimator.estimates(
+            min_samples=self.inputs.min_latency_samples
+        ).items():
+            atlas.links[link] = LinkRecord(latency_ms=latency)
+
+    # -- stage 3: AS paths and policy datasets -------------------------------
+
+    def _as_paths(self) -> tuple[list[tuple[int, ...]], list[tuple[tuple[int, ...], int]]]:
+        """AS-level path segments from traceroutes and feeds.
+
+        Traceroute segments are converted independently (no stitching across
+        measurement gaps). The first segment is anchored with the source's
+        origin AS and the last — when the trace reached its destination —
+        with the destination's origin AS. Returns (all segments,
+        [(segment, dst_prefix)] for segments that genuinely terminate).
+        """
+        cmap = self.inputs.cluster_map
+        feed_origin = self.inputs.feed.prefix_to_as()
+        all_paths: list[tuple[int, ...]] = []
+        terminating: list[tuple[tuple[int, ...], int]] = []
+
+        for trace in self.inputs.traceroutes:
+            segments = cmap.cluster_segments_with_rtts(trace)
+            if not segments:
+                continue
+            as_segments: list[list[int]] = []
+            for segment in segments:
+                ases: list[int] = []
+                for cluster, _ in segment:
+                    asn = cmap.cluster_asn.get(cluster)
+                    if asn is not None and (not ases or ases[-1] != asn):
+                        ases.append(asn)
+                as_segments.append(ases)
+            src_as = feed_origin.get(trace.src_prefix_index)
+            if src_as is not None and as_segments[0][:1] != [src_as]:
+                as_segments[0].insert(0, src_as)
+            reached = trace.reached
+            if reached:
+                dst_as = feed_origin.get(trace.dst_prefix_index)
+                if dst_as is not None and (
+                    not as_segments[-1] or as_segments[-1][-1] != dst_as
+                ):
+                    as_segments[-1].append(dst_as)
+            for i, ases in enumerate(as_segments):
+                path = collapse_prepending(tuple(ases))
+                if len(path) < 2:
+                    continue
+                all_paths.append(path)
+                if reached and i == len(as_segments) - 1:
+                    terminating.append((path, trace.dst_prefix_index))
+
+        for (_, prefix_index), path in sorted(self.inputs.feed.paths.items()):
+            clean = collapse_prepending(path)
+            if len(clean) >= 2:
+                all_paths.append(clean)
+                terminating.append((clean, prefix_index))
+        return all_paths, terminating
+
+    def _build_policy_datasets(
+        self,
+        atlas: Atlas,
+        as_paths: list[tuple[int, ...]],
+        terminating: list[tuple[tuple[int, ...], int]],
+    ) -> None:
+        atlas.as_degrees = degree_table(as_paths)
+        atlas.three_tuples = extract_three_tuples(as_paths)
+
+        # Preferences need routes whose destination is known, so only
+        # terminating segments and feed paths vote.
+        prefs = PreferenceInference()
+        for path, _ in terminating:
+            prefs.add_path(path)
+        atlas.preferences = prefs.infer(
+            three_tuples=atlas.three_tuples, degrees=atlas.as_degrees
+        )
+
+        providers = ProviderInference()
+        terminating_set = set()
+        for path, prefix_index in terminating:
+            providers.add_path(path, prefix_index, terminates=True)
+            terminating_set.add(path)
+        for path in as_paths:
+            if path not in terminating_set:
+                providers.add_path(path)
+        atlas.providers = providers.provider_map()
+        atlas.upstreams = providers.upstream_map()
+
+        rels = infer_relationships(as_paths)
+        atlas.relationship_codes = dict(rels.codes)
+
+        feed_origin = self.inputs.feed.prefix_to_as()
+        atlas.prefix_to_as = dict(feed_origin)
+        atlas.prefix_providers = providers.prefix_provider_map(atlas.prefix_to_as)
+
+    # -- stage 4: prefix mappings -------------------------------------------
+
+    def _build_mappings(self, atlas: Atlas) -> None:
+        atlas.prefix_to_cluster = dict(self.inputs.cluster_map.prefix_cluster)
+
+    # -- stage 5: loss annotations -------------------------------------------
+
+    def _build_loss(self, atlas: Atlas) -> None:
+        prober = self.inputs.loss_prober
+        if prober is None:
+            return
+        paths_per_vp: dict[int, list[tuple[int, ...]]] = {}
+        vp_prefixes: dict[int, int] = {}
+        for vp_index, src_prefix in enumerate(sorted(self._cluster_paths)):
+            vp_prefixes[vp_index] = src_prefix
+            paths_per_vp[vp_index] = [
+                tuple(c for c, _ in path) for path in self._cluster_paths[src_prefix]
+            ]
+        assignment = assign_links_to_vantage_points(
+            paths_per_vp, redundancy=self.inputs.frontier_redundancy
+        )
+        for link in sorted(assignment.assignments):
+            if link not in atlas.links:
+                continue
+            estimates = []
+            for vp_index, path, pos in assignment.assignments[link]:
+                est = prober(vp_prefixes[vp_index], path, pos)
+                if est is not None:
+                    estimates.append(est)
+            if not estimates:
+                continue
+            loss = sum(estimates) / len(estimates)
+            if loss >= LOSS_STORE_THRESHOLD:
+                atlas.link_loss[link] = loss
+
+    # -- stage 6: late-exit inference ------------------------------------------
+
+    def _intra_as_distance(
+        self, atlas: Atlas, asn: int, src: int, dst: int, cache: dict
+    ) -> float:
+        """Dijkstra over the atlas's intra-AS cluster links."""
+        key = (asn, src)
+        if key not in cache:
+            dist = {src: 0.0}
+            heap = [(0.0, src)]
+            while heap:
+                d, node = heapq.heappop(heap)
+                if d > dist.get(node, float("inf")):
+                    continue
+                for (a, b), record in atlas.links.items():
+                    if a != node:
+                        continue
+                    if atlas.cluster_to_as.get(b) != asn:
+                        continue
+                    nd = d + record.latency_ms
+                    if nd < dist.get(b, float("inf")):
+                        dist[b] = nd
+                        heapq.heappush(heap, (nd, b))
+            cache[key] = dist
+        return cache[key].get(dst, float("inf"))
+
+    def _infer_late_exit(self, atlas: Atlas) -> None:
+        """Mark AS pairs whose observed exits contradict early-exit routing."""
+        cmap = self.inputs.cluster_map
+        # Interconnect links per AS pair.
+        interconnects: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        for (a, b) in atlas.links:
+            as_a = cmap.cluster_asn.get(a)
+            as_b = cmap.cluster_asn.get(b)
+            if as_a is not None and as_b is not None and as_a != as_b:
+                interconnects.setdefault((as_a, as_b), set()).add((a, b))
+
+        # Observed crossings: (as_pair) -> list of (ingress, egress).
+        crossings: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for paths in self._cluster_paths.values():
+            for path in paths:
+                clusters = [c for c, _ in path]
+                prev_as: int | None = None
+                ingress_cluster: int | None = None
+                for i, cluster in enumerate(clusters):
+                    asn = cmap.cluster_asn.get(cluster)
+                    if asn is None:
+                        prev_as = None
+                        continue
+                    if asn != prev_as:
+                        ingress_cluster = cluster
+                        prev_as = asn
+                    if i + 1 < len(clusters):
+                        next_as = cmap.cluster_asn.get(clusters[i + 1])
+                        if next_as is not None and next_as != asn:
+                            crossings.setdefault((asn, next_as), []).append(
+                                (ingress_cluster if ingress_cluster is not None else cluster, cluster)
+                            )
+
+        cache: dict = {}
+        for pair in sorted(crossings):
+            links = interconnects.get(pair, set())
+            if len(links) < 2:
+                continue
+            events = crossings[pair]
+            if len(events) < self.inputs.late_exit_min_crossings:
+                continue
+            mismatches = 0
+            judged = 0
+            for ingress, egress in events:
+                options = {
+                    e: self._intra_as_distance(atlas, pair[0], ingress, e, cache)
+                    for e, _ in links
+                }
+                finite = {e: d for e, d in options.items() if d < float("inf")}
+                if len(finite) < 2:
+                    continue
+                early_egress = min(sorted(finite), key=lambda e: finite[e])
+                judged += 1
+                if egress != early_egress:
+                    mismatches += 1
+            if (
+                judged >= self.inputs.late_exit_min_crossings
+                and mismatches / judged > self.inputs.late_exit_mismatch_threshold
+            ):
+                atlas.late_exit_pairs.add(frozenset(pair))
+
+
+def build_from_src_links(
+    traceroutes: list[Traceroute], cmap: ClusterMap
+) -> dict[tuple[int, int], LinkRecord]:
+    """Build a FROM_SRC link plane from a client's own traceroutes.
+
+    Used by the client library (Section 5): directed links observed on
+    routes *originating at this end-host*, with the same latency estimator
+    as the main atlas.
+    """
+    estimator = LinkLatencyEstimator()
+    for trace in traceroutes:
+        for segment in cmap.cluster_segments_with_rtts(trace):
+            estimator.add_traceroute_samples(segment)
+    return {
+        link: LinkRecord(latency_ms=latency)
+        for link, latency in estimator.estimates(min_samples=1).items()
+    }

@@ -1,0 +1,200 @@
+"""Daily atlas deltas (Section 6.2.3).
+
+To update from day N to day N+1, iNano ships "the union of the old entries
+not present any more and new entries added" for the churning datasets —
+inter-cluster links, link loss rates, and AS three-tuples. Every other
+dataset is stationary day to day and is refreshed in full only monthly;
+the delta carries them only when they changed *and* the day is a monthly
+refresh boundary.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.serialization import (
+    _encode_latency,
+    _encode_loss,
+    _pack_rows,
+    dataset_payloads,
+)
+from repro.errors import DeltaMismatchError
+
+#: Datasets updated incrementally every day.
+DAILY_DATASETS = ("inter_cluster_links", "link_loss_rates", "as_three_tuples")
+#: Every other dataset refreshes in full on this cadence (days).
+MONTHLY_REFRESH_DAYS = 30
+
+
+@dataclass
+class AtlasDelta:
+    """The difference between two consecutive days' atlases."""
+
+    base_day: int
+    new_day: int
+    links_removed: set[tuple[int, int]] = field(default_factory=set)
+    links_updated: dict[tuple[int, int], LinkRecord] = field(default_factory=dict)
+    loss_removed: set[tuple[int, int]] = field(default_factory=set)
+    loss_updated: dict[tuple[int, int], float] = field(default_factory=dict)
+    tuples_removed: set[tuple[int, int, int]] = field(default_factory=set)
+    tuples_added: set[tuple[int, int, int]] = field(default_factory=set)
+    #: full replacement payloads for monthly-refresh datasets (by name)
+    monthly_refresh: dict[str, object] = field(default_factory=dict)
+
+    def entry_counts(self) -> dict[str, int]:
+        return {
+            "inter_cluster_links": len(self.links_removed) + len(self.links_updated),
+            "link_loss_rates": len(self.loss_removed) + len(self.loss_updated),
+            "as_three_tuples": len(self.tuples_removed) + len(self.tuples_added),
+        }
+
+
+def _monthly_due(new_day: int) -> bool:
+    return new_day % MONTHLY_REFRESH_DAYS == 0
+
+
+def compute_delta(base: Atlas, new: Atlas) -> AtlasDelta:
+    """Diff two atlases into the daily update payload."""
+    delta = AtlasDelta(base_day=base.day, new_day=new.day)
+
+    for link, record in new.links.items():
+        old = base.links.get(link)
+        if old is None or _encode_latency(old.latency_ms) != _encode_latency(record.latency_ms):
+            delta.links_updated[link] = record
+    delta.links_removed = set(base.links) - set(new.links)
+
+    for link, loss in new.link_loss.items():
+        old_loss = base.link_loss.get(link)
+        if old_loss is None or _encode_loss(old_loss) != _encode_loss(loss):
+            delta.loss_updated[link] = loss
+    delta.loss_removed = set(base.link_loss) - set(new.link_loss)
+
+    delta.tuples_added = new.three_tuples - base.three_tuples
+    delta.tuples_removed = base.three_tuples - new.three_tuples
+
+    if _monthly_due(new.day):
+        delta.monthly_refresh = {
+            "prefix_to_cluster": dict(new.prefix_to_cluster),
+            "prefix_to_as": dict(new.prefix_to_as),
+            "cluster_to_as": dict(new.cluster_to_as),
+            "as_degrees": dict(new.as_degrees),
+            "as_preferences": set(new.preferences),
+            "providers": dict(new.providers),
+            "prefix_providers": dict(new.prefix_providers),
+            "upstreams": dict(new.upstreams),
+            "relationship_codes": dict(new.relationship_codes),
+            "late_exit_pairs": set(new.late_exit_pairs),
+        }
+    return delta
+
+
+def apply_delta(base: Atlas, delta: AtlasDelta) -> Atlas:
+    """Apply a daily delta, producing the next day's atlas."""
+    if base.day != delta.base_day:
+        raise DeltaMismatchError(expected_day=delta.base_day, actual_day=base.day)
+    new = Atlas(day=delta.new_day)
+    new.links = {
+        link: record for link, record in base.links.items()
+        if link not in delta.links_removed
+    }
+    new.links.update(delta.links_updated)
+    new.link_loss = {
+        link: loss for link, loss in base.link_loss.items()
+        if link not in delta.loss_removed and link in new.links
+    }
+    new.link_loss.update(
+        {link: loss for link, loss in delta.loss_updated.items() if link in new.links}
+    )
+    new.three_tuples = (base.three_tuples - delta.tuples_removed) | delta.tuples_added
+
+    refresh = delta.monthly_refresh
+    new.prefix_to_cluster = dict(refresh.get("prefix_to_cluster", base.prefix_to_cluster))
+    new.prefix_to_as = dict(refresh.get("prefix_to_as", base.prefix_to_as))
+    new.cluster_to_as = dict(refresh.get("cluster_to_as", base.cluster_to_as))
+    new.as_degrees = dict(refresh.get("as_degrees", base.as_degrees))
+    new.preferences = set(refresh.get("as_preferences", base.preferences))
+    new.providers = dict(refresh.get("providers", base.providers))
+    new.prefix_providers = dict(refresh.get("prefix_providers", base.prefix_providers))
+    new.upstreams = dict(refresh.get("upstreams", base.upstreams))
+    new.relationship_codes = dict(refresh.get("relationship_codes", base.relationship_codes))
+    new.late_exit_pairs = set(refresh.get("late_exit_pairs", base.late_exit_pairs))
+    return new
+
+
+def delta_payloads(delta: AtlasDelta) -> dict[str, bytes]:
+    """Serialize the delta's sections (uncompressed), for size accounting."""
+    payloads: dict[str, bytes] = {}
+    payloads["inter_cluster_links"] = _pack_rows(
+        "<BIIH",
+        [(0, a, b, 0) for (a, b) in sorted(delta.links_removed)]
+        + [
+            (1, a, b, _encode_latency(rec.latency_ms))
+            for (a, b), rec in sorted(delta.links_updated.items())
+        ],
+    )
+    payloads["link_loss_rates"] = _pack_rows(
+        "<BIIH",
+        [(0, a, b, 0) for (a, b) in sorted(delta.loss_removed)]
+        + [
+            (1, a, b, _encode_loss(loss))
+            for (a, b), loss in sorted(delta.loss_updated.items())
+        ],
+    )
+    payloads["as_three_tuples"] = _pack_rows(
+        "<BIII",
+        [(0, *t) for t in sorted(delta.tuples_removed)]
+        + [(1, *t) for t in sorted(delta.tuples_added)],
+    )
+    if delta.monthly_refresh:
+        # Monthly refresh reuses the full-atlas section encodings.
+        stub = Atlas(day=delta.new_day)
+        stub.prefix_to_cluster = delta.monthly_refresh["prefix_to_cluster"]
+        stub.prefix_to_as = delta.monthly_refresh["prefix_to_as"]
+        stub.cluster_to_as = delta.monthly_refresh["cluster_to_as"]
+        stub.as_degrees = delta.monthly_refresh["as_degrees"]
+        stub.preferences = delta.monthly_refresh["as_preferences"]
+        stub.providers = delta.monthly_refresh["providers"]
+        stub.prefix_providers = delta.monthly_refresh["prefix_providers"]
+        stub.upstreams = delta.monthly_refresh["upstreams"]
+        stub.relationship_codes = delta.monthly_refresh["relationship_codes"]
+        stub.late_exit_pairs = delta.monthly_refresh["late_exit_pairs"]
+        full = dataset_payloads(stub)
+        for name in (
+            "prefix_to_cluster",
+            "prefix_to_as",
+            "cluster_to_as",
+            "as_degrees",
+            "as_preferences",
+            "provider_mappings",
+            "relationships",
+            "late_exit_pairs",
+        ):
+            payloads[f"monthly:{name}"] = full[name]
+    return payloads
+
+
+def encode_delta(delta: AtlasDelta, compress_level: int = 6) -> bytes:
+    """Wire encoding of a delta (header + compressed sections)."""
+    out = bytearray(b"INND")
+    out += struct.pack("<II", delta.base_day, delta.new_day)
+    payloads = delta_payloads(delta)
+    out += struct.pack("<B", len(payloads))
+    for name in sorted(payloads):
+        compressed = zlib.compress(payloads[name], compress_level)
+        name_bytes = name.encode("ascii")
+        out += struct.pack("<B", len(name_bytes))
+        out += name_bytes
+        out += struct.pack("<I", len(compressed))
+        out += compressed
+    return bytes(out)
+
+
+def compressed_delta_sizes(delta: AtlasDelta, compress_level: int = 6) -> dict[str, int]:
+    """Per-section compressed sizes of the daily update (Table 2 delta column)."""
+    return {
+        name: len(zlib.compress(payload, compress_level))
+        for name, payload in delta_payloads(delta).items()
+    }

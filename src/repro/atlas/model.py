@@ -1,0 +1,129 @@
+"""Atlas data model.
+
+An :class:`Atlas` holds exactly the datasets Table 2 of the paper lists,
+plus the inferred AS relationships and late-exit pairs the prediction
+graph needs. Cluster ids, prefix indices and ASNs are opaque integers in
+atlas space — the atlas knows nothing about the ground-truth topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AtlasError
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRecord:
+    """An annotated directed inter-cluster link."""
+
+    latency_ms: float
+    loss_rate: float = 0.0
+
+
+@dataclass
+class Atlas:
+    """One day's atlas. All datasets use atlas-space integer identifiers."""
+
+    day: int = 0
+    #: directed (cluster, cluster) -> latency annotation
+    links: dict[tuple[int, int], LinkRecord] = field(default_factory=dict)
+    #: directed links with a measured, non-negligible loss rate
+    link_loss: dict[tuple[int, int], float] = field(default_factory=dict)
+    prefix_to_cluster: dict[int, int] = field(default_factory=dict)
+    prefix_to_as: dict[int, int] = field(default_factory=dict)
+    cluster_to_as: dict[int, int] = field(default_factory=dict)
+    as_degrees: dict[int, int] = field(default_factory=dict)
+    #: observed (AS1, AS2, AS3) export witnesses, commutativity-closed
+    three_tuples: set[tuple[int, int, int]] = field(default_factory=set)
+    #: (AS1, AS2, AS3) meaning AS1 prefers next-hop AS2 over AS3
+    preferences: set[tuple[int, int, int]] = field(default_factory=set)
+    #: origin AS -> ASes observed announcing it (its usable providers)
+    providers: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: per-prefix refinement of the provider sets (Section 4.3.4)
+    prefix_providers: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: AS -> ASes seen immediately upstream of it anywhere in the atlas
+    upstreams: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: AS pairs inferred to run late-exit routing between each other
+    late_exit_pairs: set[frozenset[int]] = field(default_factory=set)
+    #: inferred business relationships, encoded as (a, b) -> code; see
+    #: repro.atlas.relationships for the code values
+    relationship_codes: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    # -- convenience accessors --------------------------------------------
+
+    def asn_of_cluster(self, cluster: int) -> int | None:
+        return self.cluster_to_as.get(cluster)
+
+    def cluster_of_prefix(self, prefix_index: int) -> int | None:
+        return self.prefix_to_cluster.get(prefix_index)
+
+    def loss_of_link(self, link: tuple[int, int]) -> float:
+        """Loss annotation for a link (0.0 when not measured as lossy)."""
+        return self.link_loss.get(link, 0.0)
+
+    def degree_of_as(self, asn: int) -> int:
+        return self.as_degrees.get(asn, 0)
+
+    def has_tuple(self, a: int, b: int, c: int) -> bool:
+        return (a, b, c) in self.three_tuples
+
+    def prefers(self, asn: int, over_this: int, that: int) -> bool:
+        """True iff the atlas says ``asn`` prefers next-hop ``over_this`` to ``that``."""
+        return (asn, over_this, that) in self.preferences
+
+    def providers_for_prefix(self, prefix_index: int) -> frozenset[int] | None:
+        """Provider set guarding entry into the prefix's origin AS.
+
+        Per-prefix data wins; falls back to the origin AS's set; None means
+        the constraint cannot be applied (unknown origin or no data).
+        """
+        specific = self.prefix_providers.get(prefix_index)
+        if specific is not None:
+            return specific
+        origin = self.prefix_to_as.get(prefix_index)
+        if origin is None:
+            return None
+        return self.providers.get(origin)
+
+    def neighbors_of_cluster(self) -> dict[int, list[int]]:
+        """Adjacency over clusters (directed, from the link table)."""
+        adj: dict[int, list[int]] = {}
+        for (a, b) in self.links:
+            adj.setdefault(a, []).append(b)
+        return adj
+
+    def clusters(self) -> set[int]:
+        out = set()
+        for (a, b) in self.links:
+            out.add(a)
+            out.add(b)
+        return out
+
+    def entry_counts(self) -> dict[str, int]:
+        """Dataset cardinalities, for Table 2."""
+        return {
+            "inter_cluster_links": len(self.links),
+            "link_loss_rates": len(self.link_loss),
+            "prefix_to_cluster": len(self.prefix_to_cluster),
+            "prefix_to_as": len(self.prefix_to_as),
+            "cluster_to_as": len(self.cluster_to_as),
+            "as_degrees": len(self.as_degrees),
+            "as_three_tuples": len(self.three_tuples),
+            "as_preferences": len(self.preferences),
+            "provider_mappings": len(self.providers) + len(self.prefix_providers),
+            "relationships": len(self.relationship_codes) // 2,
+            "late_exit_pairs": len(self.late_exit_pairs),
+        }
+
+    def validate(self) -> None:
+        """Cheap internal consistency checks; raises AtlasError."""
+        for link in self.link_loss:
+            if link not in self.links:
+                raise AtlasError(f"loss entry for unknown link {link}")
+        for cluster in set(self.prefix_to_cluster.values()):
+            if cluster not in self.cluster_to_as:
+                raise AtlasError(f"prefix maps to cluster {cluster} with no AS")
+        for (a, b, c) in self.preferences:
+            if a == b or a == c or b == c:
+                raise AtlasError(f"degenerate preference tuple {(a, b, c)}")

@@ -1,0 +1,118 @@
+"""Relationship-agnostic AS preference inference (Section 4.3.3).
+
+For every observed AS route ``r`` to a destination, the algorithm looks at
+the alternative routes "visible in the topology but not taken": at each AS
+along ``r``, a neighbor that demonstrably reaches the same destination in
+the *same total AS-path length* — demonstrably, because some observed path
+to that destination passes through the neighbor with a matching suffix
+length — yields a preference vote ``(AS, chosen_next > alternative_next)``.
+
+A preference is kept only if observed at least ``dominance`` (3×) as often
+as its reverse; wavering pairs (load balancing) are dropped, and only
+preferences valid across sources and destinations are retained, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.tuples import collapse_prepending
+
+
+@dataclass
+class PreferenceInference:
+    """Accumulates observed terminating routes, then infers preferences."""
+
+    dominance: float = 3.0
+    _paths_by_dst: dict[int, list[tuple[int, ...]]] = field(default_factory=dict)
+    _neighbors: dict[int, set[int]] = field(default_factory=dict)
+
+    def add_path(self, raw_path: tuple[int, ...]) -> None:
+        """Record one observed AS path that terminates at ``path[-1]``."""
+        path = collapse_prepending(raw_path)
+        if len(path) < 2:
+            return
+        self._paths_by_dst.setdefault(path[-1], []).append(path)
+        for a, b in zip(path, path[1:]):
+            self._neighbors.setdefault(a, set()).add(b)
+            self._neighbors.setdefault(b, set()).add(a)
+
+    @staticmethod
+    def _suffix_lengths(
+        paths: list[tuple[int, ...]],
+    ) -> dict[int, tuple[int, int | None]]:
+        """Per AS: fewest observed hops to this destination and the next hop
+        taken on that minimal observed route (None when the AS is the
+        destination itself)."""
+        suffix: dict[int, tuple[int, int | None]] = {}
+        for path in paths:
+            n = len(path)
+            for j, asn in enumerate(path):
+                hops = n - 1 - j
+                successor = path[j + 1] if j + 1 < n else None
+                if asn not in suffix or hops < suffix[asn][0]:
+                    suffix[asn] = (hops, successor)
+        return suffix
+
+    def infer(
+        self,
+        three_tuples: set[tuple[int, int, int]] | None = None,
+        degrees: dict[int, int] | None = None,
+        degree_threshold: int = 5,
+    ) -> set[tuple[int, int, int]]:
+        """Return the dominant preference tuples ``(AS1, AS2, AS3)``.
+
+        ``(AS1, AS2, AS3)`` means AS1 prefers a route through AS2 over an
+        equal-length route through AS3. When ``three_tuples`` is given, an
+        alternative only generates a vote if its use would have been
+        export-compliant — i.e. the 3-tuple (AS1, alt, alt's next hop) was
+        observed — so export filtering is not mistaken for preference.
+        """
+        votes: dict[tuple[int, int, int], int] = {}
+        for dst in sorted(self._paths_by_dst):
+            paths = self._paths_by_dst[dst]
+            suffix = self._suffix_lengths(paths)
+            for path in paths:
+                for k in range(len(path) - 1):
+                    asn, chosen = path[k], path[k + 1]
+                    remaining = len(path) - 1 - k
+                    for alt in self._neighbors.get(asn, ()):
+                        if alt == chosen or alt in path[: k + 1]:
+                            continue
+                        entry = suffix.get(alt)
+                        if entry is None:
+                            continue
+                        alt_hops, alt_successor = entry
+                        if alt_hops + 1 != remaining:
+                            continue
+                        # Exportability: for well-observed (high-degree)
+                        # alternatives, require the 3-tuple through the
+                        # alternative to have been seen, mirroring the
+                        # predictor's own tuple check; otherwise the vote
+                        # records export filtering, not preference.
+                        checkable = (
+                            degrees is None
+                            or degrees.get(alt, 0) > degree_threshold
+                        )
+                        if (
+                            three_tuples is not None
+                            and checkable
+                            and alt_successor is not None
+                            and (asn, alt, alt_successor) not in three_tuples
+                        ):
+                            continue  # export artifact, not a choice
+                        key = (asn, chosen, alt)
+                        votes[key] = votes.get(key, 0) + 1
+
+        preferences: set[tuple[int, int, int]] = set()
+        for (asn, b, c), count in votes.items():
+            if b > c:
+                continue  # handle each unordered pair once
+            reverse = votes.get((asn, c, b), 0)
+            if count >= self.dominance * max(1, reverse) and count > reverse:
+                preferences.add((asn, b, c))
+            elif reverse >= self.dominance * max(1, count) and reverse > count:
+                preferences.add((asn, c, b))
+            # else: wavering (likely load balancing) -> drop both
+        return preferences

@@ -1,0 +1,55 @@
+"""Observed AS 3-tuple extraction (Section 4.3.2).
+
+A 3-tuple ``(AS1, AS2, AS3)`` witnesses that AS2 exports AS3's routes to
+AS1 (or vice versa — the paper assumes commutativity and stores both
+orders). Tuples come from traceroute-derived AS paths and BGP feed paths,
+with AS-path prepending discounted (consecutive duplicates collapsed).
+"""
+
+from __future__ import annotations
+
+
+def collapse_prepending(path: tuple[int, ...]) -> tuple[int, ...]:
+    """Remove consecutive duplicate ASes (BGP prepending)."""
+    out: list[int] = []
+    for asn in path:
+        if not out or out[-1] != asn:
+            out.append(asn)
+    return tuple(out)
+
+
+def extract_three_tuples(
+    as_paths: list[tuple[int, ...]],
+) -> set[tuple[int, int, int]]:
+    """All consecutive AS triples, commutativity-closed."""
+    tuples: set[tuple[int, int, int]] = set()
+    for raw in as_paths:
+        path = collapse_prepending(raw)
+        for i in range(len(path) - 2):
+            a, b, c = path[i], path[i + 1], path[i + 2]
+            if a == c:
+                continue
+            tuples.add((a, b, c))
+            tuples.add((c, b, a))
+    return tuples
+
+
+def tuple_check(
+    tuples: set[tuple[int, int, int]],
+    degrees: dict[int, int],
+    a: int,
+    b: int,
+    c: int,
+    degree_threshold: int = 5,
+) -> bool:
+    """The 3-tuple validity check used during route prediction.
+
+    A candidate AS segment ``a -> b -> c`` passes if the middle AS is an
+    edge AS (degree <= threshold, where our visibility is too poor to have
+    seen its export policy) or if the triple was observed.
+    """
+    if a == b or b == c:
+        return True
+    if degrees.get(b, 0) <= degree_threshold:
+        return True
+    return (a, b, c) in tuples

@@ -1,0 +1,26 @@
+"""Comparison systems the paper evaluates against.
+
+* :mod:`repro.baselines.composition` — iPlane's path-composition predictor
+  over an atlas of *paths* (two orders of magnitude larger than iNano's
+  link atlas), plus the "improved path-based" variant that adds iNano's
+  3-tuple and preference checks at splice points (Section 6.3.1).
+* :mod:`repro.baselines.routescope` — RouteScope [32]: shortest valley-free
+  AS paths over the AS graph, one picked at random.
+* :mod:`repro.baselines.vivaldi` — the Vivaldi network coordinate system
+  [13] (latency only, by construction).
+* :mod:`repro.baselines.oasis` — an OASIS-like server-selection service
+  [18] using coarse geographic anycast with cached probes.
+"""
+
+from repro.baselines.composition import PathCompositionPredictor
+from repro.baselines.routescope import RouteScopePredictor
+from repro.baselines.vivaldi import VivaldiSystem, VivaldiConfig
+from repro.baselines.oasis import OasisSelector
+
+__all__ = [
+    "PathCompositionPredictor",
+    "RouteScopePredictor",
+    "VivaldiSystem",
+    "VivaldiConfig",
+    "OasisSelector",
+]

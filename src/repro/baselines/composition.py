@@ -1,0 +1,253 @@
+"""iPlane's path-composition prediction (the "path-based" baseline).
+
+iPlane stores *measured paths* (not links). To predict src -> dst it
+composes two intersecting segments: one out of the source (the source's
+own traceroutes) and one from a vantage point into the destination's
+prefix. Among intersecting pairs, it picks the composition minimizing
+estimated latency (hops to the intersection plus the tail of the
+vantage-point path).
+
+The "improved path-based" variant applies iNano's techniques at the splice
+point (Section 6.3.1): the AS sequence around the intersection must pass
+the 3-tuple check, and AS preferences rank otherwise-equal candidates.
+
+This baseline's dataset is the full set of cluster-level traceroute paths
+— proportional to (vantage points × destinations × path length), which is
+what makes iPlane's atlas gigabytes where iNano's is megabytes; the
+benchmarks report both sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.atlas.model import Atlas
+from repro.atlas.tuples import tuple_check
+from repro.core.predictor import PredictedPath
+from repro.errors import UnknownEndpointError
+
+
+@dataclass
+class _StoredPath:
+    clusters: tuple[int, ...]
+    src_prefix: int
+    dst_prefix: int
+    #: cumulative latency (ms) at each cluster along the path
+    cumulative_ms: tuple[float, ...]
+
+
+@dataclass
+class PathCompositionPredictor:
+    """Predicts routes by splicing measured path segments (iPlane [30])."""
+
+    atlas: Atlas
+    improved: bool = False
+    tuple_degree_threshold: int = 5
+    #: cluster -> AS for client-side clusters absent from the atlas
+    extra_cluster_as: dict[int, int] = field(default_factory=dict)
+    _all_paths: list[_StoredPath] = field(default_factory=list)
+    _paths_from_prefix: dict[int, list[_StoredPath]] = field(default_factory=dict)
+    _paths_to_prefix: dict[int, list[_StoredPath]] = field(default_factory=dict)
+    _cluster_index: dict[int, set[int]] = field(default_factory=dict)
+
+    # -- atlas-of-paths construction ---------------------------------------
+
+    def add_measured_path(
+        self,
+        clusters: list[tuple[int, float]],
+        src_prefix: int,
+        dst_prefix: int,
+        reached: bool,
+    ) -> None:
+        """Add one cluster-level measured path (with per-hop RTTs).
+
+        Latency along the path is approximated from RTT differences, like
+        iPlane does ("just subtracting RTTs measured in traceroutes") —
+        which is why its latency estimates are noisier in the tail
+        (Section 6.3.2).
+        """
+        if len(clusters) < 2:
+            return
+        base_rtt = clusters[0][1]
+        # One-way cumulative latency from RTT differences, forced monotone
+        # (reverse-path shrinkage would otherwise make segments negative).
+        cumulative_list: list[float] = []
+        for _, rtt in clusters:
+            value = max(0.0, (rtt - base_rtt) / 2.0)
+            if cumulative_list:
+                value = max(value, cumulative_list[-1])
+            cumulative_list.append(value)
+        cumulative = tuple(cumulative_list)
+        path = _StoredPath(
+            clusters=tuple(c for c, _ in clusters),
+            src_prefix=src_prefix,
+            dst_prefix=dst_prefix,
+            cumulative_ms=cumulative,
+        )
+        index = len(self._all_paths)
+        self._all_paths.append(path)
+        self._paths_from_prefix.setdefault(src_prefix, []).append(path)
+        if reached:
+            self._paths_to_prefix.setdefault(dst_prefix, []).append(path)
+        for cluster in path.clusters:
+            self._cluster_index.setdefault(cluster, set()).add(index)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_or_none(
+        self, src_prefix_index: int, dst_prefix_index: int
+    ) -> PredictedPath | None:
+        try:
+            return self.predict(src_prefix_index, dst_prefix_index)
+        except UnknownEndpointError:
+            return None
+
+    def _out_candidates(self, src_prefix_index: int) -> list[tuple[_StoredPath, int]]:
+        """Path segments leaving the source: the source's own measured
+        paths, else the suffix (from the source's cluster) of any measured
+        path passing through that cluster — iPlane's 'path out from the
+        source' generalized to arbitrary end-hosts."""
+        own = self._paths_from_prefix.get(src_prefix_index)
+        if own:
+            return [(p, 0) for p in own]
+        src_cluster = self.atlas.cluster_of_prefix(src_prefix_index)
+        if src_cluster is None:
+            return []
+        out: list[tuple[_StoredPath, int]] = []
+        for index in sorted(self._cluster_index.get(src_cluster, ())):
+            path = self._all_paths[index]
+            out.append((path, path.clusters.index(src_cluster)))
+        return out
+
+    def predict(self, src_prefix_index: int, dst_prefix_index: int) -> PredictedPath | None:
+        """Compose a route src -> dst from intersecting measured segments."""
+        out_candidates = self._out_candidates(src_prefix_index)
+        in_paths = self._paths_to_prefix.get(dst_prefix_index, [])
+        if not out_candidates or not in_paths:
+            raise UnknownEndpointError(
+                src_prefix_index if not out_candidates else dst_prefix_index
+            )
+
+        # Consider every intersection point of every (out, in) pair. The
+        # best splice keeps as much as possible of both accurate ends:
+        # primarily it joins the in-path as close to the destination as
+        # possible (short in-path tail after the intersection), then as
+        # close to the source as possible on the out-path, with estimated
+        # latency as the final tie-break.
+        best: tuple[tuple[int, int, float], list[int], float] | None = None
+        for out_path, start in out_candidates:
+            out_positions = {
+                c: i for i, c in enumerate(out_path.clusters) if i >= start
+            }
+            for j, in_path in self._intersections(out_positions, in_paths):
+                i = out_positions[in_path.clusters[j]]
+                clusters = list(out_path.clusters[start : i + 1]) + list(
+                    in_path.clusters[j + 1 :]
+                )
+                latency = max(
+                    0.0,
+                    out_path.cumulative_ms[i]
+                    - out_path.cumulative_ms[start]
+                    + in_path.cumulative_ms[-1]
+                    - in_path.cumulative_ms[j],
+                )
+                if self.improved and not self._splice_valid(out_path, in_path, i, j):
+                    continue
+                score = (len(in_path.clusters) - 1 - j, i - start, latency)
+                if best is None or score < best[0]:
+                    best = (score, clusters, latency)
+        if best is None:
+            return None
+        _, clusters, latency = best
+        return self._to_predicted(
+            clusters, latency, src_prefix_index, dst_prefix_index
+        )
+
+    @staticmethod
+    def _intersections(out_positions, in_paths):
+        for in_path in in_paths:
+            for j, cluster in enumerate(in_path.clusters):
+                if cluster in out_positions:
+                    yield j, in_path
+
+    def asn_of(self, cluster: int) -> int | None:
+        asn = self.atlas.cluster_to_as.get(cluster)
+        if asn is None:
+            asn = self.extra_cluster_as.get(cluster)
+        return asn
+
+    def _splice_valid(
+        self, out_path: _StoredPath, in_path: _StoredPath, i: int, j: int
+    ) -> bool:
+        """Improved variant: 3-tuple check around the intersection point."""
+        as_seq: list[int] = []
+        window = (
+            list(out_path.clusters[max(0, i - 2) : i + 1])
+            + list(in_path.clusters[j + 1 : j + 3])
+        )
+        for cluster in window:
+            asn = self.asn_of(cluster)
+            if asn is not None and (not as_seq or as_seq[-1] != asn):
+                as_seq.append(asn)
+        for a, b, c in zip(as_seq, as_seq[1:], as_seq[2:]):
+            if not tuple_check(
+                self.atlas.three_tuples,
+                self.atlas.as_degrees,
+                a,
+                b,
+                c,
+                self.tuple_degree_threshold,
+            ):
+                return False
+        return True
+
+    def _to_predicted(
+        self,
+        clusters: list[int],
+        latency_ms: float,
+        src_prefix_index: int | None = None,
+        dst_prefix_index: int | None = None,
+    ) -> PredictedPath:
+        as_path: list[int] = []
+        for cluster in clusters:
+            asn = self.asn_of(cluster)
+            if asn is not None and (not as_path or as_path[-1] != asn):
+                as_path.append(asn)
+        # Pad with the endpoints' origin ASes (known from prefix-to-AS):
+        # measured paths often start/stop one hop inside a neighbor AS.
+        if src_prefix_index is not None:
+            src_as = self.atlas.prefix_to_as.get(src_prefix_index)
+            if src_as is not None and (not as_path or as_path[0] != src_as):
+                as_path.insert(0, src_as)
+        if dst_prefix_index is not None:
+            dst_as = self.atlas.prefix_to_as.get(dst_prefix_index)
+            if dst_as is not None and (not as_path or as_path[-1] != dst_as):
+                as_path.append(dst_as)
+        loss = 0.0
+        success = 1.0
+        for a, b in zip(clusters, clusters[1:]):
+            success *= 1.0 - self.atlas.loss_of_link((a, b))
+        loss = 1.0 - success
+        return PredictedPath(
+            clusters=tuple(clusters),
+            as_path=tuple(as_path),
+            latency_ms=latency_ms,
+            loss=loss,
+            as_hops=max(0, len(as_path) - 1),
+            used_from_src=True,
+        )
+
+    # -- size accounting (for the Table 2 / Section 6.1 comparison) -----------
+
+    def serialized_size_bytes(self) -> int:
+        """Raw size of the path atlas (what iPlane would have to ship)."""
+        total = 0
+        row = struct.Struct("<IIH")
+        for path in self._all_paths:
+            total += row.size + 6 * len(path.clusters)
+        return total
+
+    @property
+    def n_paths(self) -> int:
+        return len(self._all_paths)

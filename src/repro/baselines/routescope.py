@@ -1,0 +1,137 @@
+"""RouteScope baseline [32]: AS-path inference from the AS-level graph.
+
+RouteScope computes the set of shortest valley-free AS paths between the
+source AS and the destination AS, using inferred relationships. iNano's
+problem setting needs a single path to estimate performance, so — exactly
+like the paper's evaluation — one member of the shortest set is chosen
+uniformly at random (deterministically seeded per query, so results are
+reproducible).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.atlas.model import Atlas
+from repro.atlas.relationships import REL_CUSTOMER, REL_PEER, REL_PROVIDER, REL_SIBLING
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class RouteScopePredictor:
+    """Shortest valley-free AS-path predictor over the inferred AS graph."""
+
+    atlas: Atlas
+    seed: int = 0
+    max_paths: int = 64
+    _up_neighbors: dict[int, list[int]] = field(default_factory=dict)
+    _down_neighbors: dict[int, list[int]] = field(default_factory=dict)
+    _peer_neighbors: dict[int, list[int]] = field(default_factory=dict)
+    _built: bool = field(default=False)
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        for (a, b), code in self.atlas.relationship_codes.items():
+            if code == REL_CUSTOMER or code == REL_SIBLING:
+                # a is b's customer (or sibling): a may climb to b
+                self._up_neighbors.setdefault(a, []).append(b)
+            if code == REL_PROVIDER or code == REL_SIBLING:
+                self._down_neighbors.setdefault(a, []).append(b)
+            if code == REL_PEER:
+                self._peer_neighbors.setdefault(a, []).append(b)
+        for adj in (self._up_neighbors, self._down_neighbors, self._peer_neighbors):
+            for neighbors in adj.values():
+                neighbors.sort()
+        self._built = True
+
+    def _downhill_distances(self, dst_as: int) -> dict[int, int]:
+        """BFS over provider->customer edges reversed: hops of pure descent."""
+        dist = {dst_as: 0}
+        queue = deque([dst_as])
+        while queue:
+            node = queue.popleft()
+            # x descends to node if node in down_neighbors[x]; reverse = ups
+            for x in self._up_neighbors.get(node, ()):
+                if x not in dist:
+                    dist[x] = dist[node] + 1
+                    queue.append(x)
+        return dist
+
+    def shortest_valley_free_paths(
+        self, src_as: int, dst_as: int
+    ) -> list[tuple[int, ...]]:
+        """All shortest valley-free AS paths src -> dst (up to ``max_paths``).
+
+        A valley-free path climbs (customer->provider), optionally crosses
+        one peer edge, then descends. We search over states
+        (AS, stage) with stage 0 = climbing, 1 = descending.
+        """
+        self._build()
+        if src_as == dst_as:
+            return [(src_as,)]
+        # BFS over the two-stage state graph, collecting parents for paths.
+        start = (src_as, 0)
+        dist: dict[tuple[int, int], int] = {start: 0}
+        parents: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        queue = deque([start])
+        goals: list[tuple[int, int]] = []
+        goal_dist: int | None = None
+        while queue:
+            state = queue.popleft()
+            node, stage = state
+            d = dist[state]
+            if goal_dist is not None and d >= goal_dist:
+                continue
+            moves: list[tuple[int, int]] = []
+            if stage == 0:
+                moves += [(n, 0) for n in self._up_neighbors.get(node, ())]
+                moves += [(n, 1) for n in self._peer_neighbors.get(node, ())]
+            moves += [(n, 1) for n in self._down_neighbors.get(node, ())]
+            for nxt in moves:
+                nd = d + 1
+                if nxt not in dist:
+                    dist[nxt] = nd
+                    parents[nxt] = [state]
+                    queue.append(nxt)
+                    if nxt[0] == dst_as and (goal_dist is None or nd <= goal_dist):
+                        goal_dist = nd
+                        goals.append(nxt)
+                elif dist[nxt] == nd and state not in parents.get(nxt, ()):
+                    parents.setdefault(nxt, []).append(state)
+        goals = [g for g in goals if dist[g] == goal_dist]
+        if not goals:
+            return []
+
+        paths: list[tuple[int, ...]] = []
+
+        def backtrack(state: tuple[int, int], suffix: list[int]) -> None:
+            if len(paths) >= self.max_paths:
+                return
+            suffix = [state[0]] + suffix if not suffix or suffix[0] != state[0] else suffix
+            if state == start:
+                paths.append(tuple(suffix))
+                return
+            for parent in parents.get(state, ()):
+                backtrack(parent, list(suffix))
+
+        for goal in goals:
+            backtrack(goal, [])
+        # De-duplicate (same AS path can arise via different stage states).
+        unique = sorted(set(paths))
+        return unique[: self.max_paths]
+
+    def predict_as_path(
+        self, src_prefix_index: int, dst_prefix_index: int
+    ) -> tuple[int, ...] | None:
+        """One shortest valley-free path, chosen at random as in Section 6.3.1."""
+        src_as = self.atlas.prefix_to_as.get(src_prefix_index)
+        dst_as = self.atlas.prefix_to_as.get(dst_prefix_index)
+        if src_as is None or dst_as is None:
+            return None
+        candidates = self.shortest_valley_free_paths(src_as, dst_as)
+        if not candidates:
+            return None
+        rng = derive_rng(self.seed, f"routescope.{src_prefix_index}.{dst_prefix_index}")
+        return candidates[int(rng.integers(0, len(candidates)))]

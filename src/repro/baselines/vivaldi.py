@@ -1,0 +1,116 @@
+"""Vivaldi network coordinates [13].
+
+The decentralized spring-relaxation algorithm, with the standard
+2-dimensional + height model. Each node keeps a coordinate and a local
+error estimate; on each sample (RTT to a neighbor) it nudges its
+coordinate toward consistency with the measured latency, weighting by the
+relative confidence of the two nodes.
+
+Used as the latency-only baseline in Figures 6, 7 and 9 — by construction
+it predicts symmetric latencies and cannot express loss or paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class VivaldiConfig:
+    """Standard Vivaldi constants (cc = ce = 0.25 in the paper)."""
+
+    dimensions: int = 2
+    cc: float = 0.25
+    ce: float = 0.25
+    initial_error: float = 1.0
+    rounds: int = 60
+    neighbors_per_node: int = 16
+    min_height_ms: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class _Coord:
+    vector: np.ndarray
+    height: float
+    error: float
+
+
+@dataclass
+class VivaldiSystem:
+    """A Vivaldi overlay over a set of node ids with measurable RTTs."""
+
+    config: VivaldiConfig = field(default_factory=VivaldiConfig)
+    _coords: dict[int, _Coord] = field(default_factory=dict)
+
+    def _coord(self, node: int) -> _Coord:
+        if node not in self._coords:
+            rng = derive_rng(self.config.seed, f"vivaldi.init.{node}")
+            self._coords[node] = _Coord(
+                vector=rng.normal(0.0, 1.0, self.config.dimensions),
+                height=self.config.min_height_ms,
+                error=self.config.initial_error,
+            )
+        return self._coords[node]
+
+    def distance_ms(self, a: int, b: int) -> float:
+        """Predicted RTT between two nodes (coordinate distance)."""
+        ca, cb = self._coord(a), self._coord(b)
+        return float(np.linalg.norm(ca.vector - cb.vector)) + ca.height + cb.height
+
+    def observe(self, a: int, b: int, rtt_ms: float) -> None:
+        """Update node ``a``'s coordinate from a measured RTT to ``b``."""
+        if rtt_ms <= 0:
+            return
+        cfg = self.config
+        ca, cb = self._coord(a), self._coord(b)
+        predicted = self.distance_ms(a, b)
+        sample_error = abs(predicted - rtt_ms) / rtt_ms
+        weight = ca.error / max(1e-9, ca.error + cb.error)
+        ca.error = max(
+            0.05, sample_error * cfg.ce * weight + ca.error * (1 - cfg.ce * weight)
+        )
+        delta = cfg.cc * weight
+        direction = ca.vector - cb.vector
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-9:
+            rng = derive_rng(cfg.seed, f"vivaldi.dir.{a}.{b}")
+            direction = rng.normal(0.0, 1.0, cfg.dimensions)
+            norm = float(np.linalg.norm(direction))
+        unit = direction / norm
+        force = rtt_ms - predicted
+        ca.vector = ca.vector + delta * force * unit
+        ca.height = max(cfg.min_height_ms, ca.height + delta * force * 0.5)
+
+    def train(self, nodes: list[int], rtt_fn, rng_label: str = "train") -> None:
+        """Run the standard gossip schedule over ``nodes``.
+
+        ``rtt_fn(a, b)`` returns a measured RTT in ms (or None if the pair
+        is unmeasurable this round). Each node maintains a random neighbor
+        set, as in the deployed system.
+        """
+        cfg = self.config
+        rng = derive_rng(cfg.seed, f"vivaldi.{rng_label}")
+        neighbor_sets: dict[int, list[int]] = {}
+        for node in nodes:
+            others = [n for n in nodes if n != node]
+            k = min(cfg.neighbors_per_node, len(others))
+            idx = rng.choice(len(others), size=k, replace=False)
+            neighbor_sets[node] = [others[int(i)] for i in idx]
+        for _ in range(cfg.rounds):
+            order = rng.permutation(len(nodes))
+            for i in order:
+                node = nodes[int(i)]
+                neighbors = neighbor_sets[node]
+                peer = neighbors[int(rng.integers(0, len(neighbors)))]
+                rtt = rtt_fn(node, peer)
+                if rtt is not None:
+                    self.observe(node, peer, rtt)
+
+    def mean_error(self, nodes: list[int]) -> float:
+        """Average node confidence (diagnostics)."""
+        return float(np.mean([self._coord(n).error for n in nodes]))

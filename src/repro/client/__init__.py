@@ -1,0 +1,22 @@
+"""The iNano client library and central server (Section 5).
+
+`repro.client.server` is the single centralized component: it aggregates
+measurements into atlases, encodes them, computes daily deltas, and seeds
+the swarm. `repro.client.library` is what a P2P application embeds: it
+fetches the atlas (by swarm), augments it with the host's own traceroutes
+(FROM_SRC), serves path queries locally, and applies daily updates.
+"""
+
+from repro.client.server import AtlasServer
+from repro.client.library import INanoClient, ClientConfig
+from repro.client.query import PathInfo
+from repro.client.remote import QueryAgent, RemoteQueryResult
+
+__all__ = [
+    "AtlasServer",
+    "INanoClient",
+    "ClientConfig",
+    "PathInfo",
+    "QueryAgent",
+    "RemoteQueryResult",
+]

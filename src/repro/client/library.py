@@ -1,0 +1,172 @@
+"""The iNano client library (Section 5, client side).
+
+Lifecycle::
+
+    client = INanoClient(server, measurement_toolkit=sim, cluster_map=cmap)
+    client.fetch()                  # swarm-download + decode the atlas
+    client.measure()                # daily traceroutes -> FROM_SRC plane
+    info = client.query(src, dst)   # local path/latency/loss prediction
+    client.apply_daily_update()     # 1MB-ish delta instead of a re-fetch
+
+The measurement toolkit is injected (in production it would run real
+traceroutes; here it is the simulator), and the library uploads its
+measurements back to the central server, as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.builder import build_from_src_links
+from repro.atlas.delta import apply_delta
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.serialization import decode_atlas
+from repro.atlas.swarm import SwarmConfig, simulate_swarm
+from repro.client.query import PathInfo
+from repro.client.server import AtlasServer
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.errors import ClientError, NoPredictedRouteError, UnknownEndpointError
+from repro.measurement.clustering import ClusterMap
+from repro.measurement.traceroute import Traceroute, TracerouteSimulator
+from repro.measurement.vantage import VantagePoint
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class ClientConfig:
+    """Client-side knobs (Section 5 defaults)."""
+
+    #: "a few hundred prefixes, chosen at random" per day
+    daily_measurement_prefixes: int = 200
+    upload_measurements: bool = True
+    use_swarm: bool = True
+    predictor: PredictorConfig = field(default_factory=PredictorConfig.inano)
+    seed: int = 0
+
+
+class INanoClient:
+    """An end-host running the iNano library."""
+
+    def __init__(
+        self,
+        server: AtlasServer,
+        vantage: VantagePoint | None = None,
+        measurement_toolkit: TracerouteSimulator | None = None,
+        cluster_map: ClusterMap | None = None,
+        config: ClientConfig | None = None,
+    ) -> None:
+        self.server = server
+        self.vantage = vantage
+        self.toolkit = measurement_toolkit
+        self.config = config or ClientConfig()
+        self._base_cluster_map = cluster_map
+        self.atlas: Atlas | None = None
+        self.cluster_map: ClusterMap | None = None
+        self.from_src_links: dict[tuple[int, int], LinkRecord] = {}
+        self.own_traces: list[Traceroute] = []
+        self._predictor: INanoPredictor | None = None
+        self.bytes_downloaded = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def fetch(self, day: int | None = None) -> Atlas:
+        """Obtain the atlas (simulated swarm by default) and decode it."""
+        payload = self.server.full_atlas_bytes(day)
+        self.bytes_downloaded += len(payload)
+        if self.config.use_swarm:
+            # Account for swarm dynamics; the seed serves only a fraction.
+            simulate_swarm(SwarmConfig(n_peers=16, file_bytes=len(payload), seed=self.config.seed))
+        self.atlas = decode_atlas(payload)
+        self.cluster_map = (
+            self._base_cluster_map.clone() if self._base_cluster_map else ClusterMap()
+        )
+        self._predictor = None
+        return self.atlas
+
+    def measure(self, n_prefixes: int | None = None) -> int:
+        """Issue the daily client traceroutes and fold them into FROM_SRC.
+
+        Returns the number of traceroutes taken. Requires :meth:`fetch`
+        first (the atlas supplies prefix targets and IP-to-AS mapping).
+        """
+        if self.atlas is None or self.cluster_map is None:
+            raise ClientError("fetch() the atlas before measuring")
+        if self.toolkit is None or self.vantage is None:
+            raise ClientError("no measurement toolkit attached")
+        n = n_prefixes or self.config.daily_measurement_prefixes
+        prefixes = sorted(self.atlas.prefix_to_cluster)
+        prefixes = [p for p in prefixes if p != self.vantage.prefix_index]
+        if not prefixes:
+            raise ClientError("atlas contains no measurable prefixes")
+        rng = derive_rng(self.config.seed, f"client.targets.{self.vantage.host_ip}")
+        k = min(n, len(prefixes))
+        picked = rng.choice(prefixes, size=k, replace=False)
+        traces = [self.toolkit.trace_to_prefix(self.vantage, int(p)) for p in picked]
+        self.own_traces.extend(traces)
+        self.cluster_map.extend_with_client_traces(traces, self.atlas.prefix_to_as)
+        self.from_src_links = build_from_src_links(self.own_traces, self.cluster_map)
+        self._predictor = None
+        if self.config.upload_measurements:
+            self.server.upload_traceroutes(traces)
+        return len(traces)
+
+    def apply_daily_update(self) -> int:
+        """Fetch and apply the next day's delta; returns its wire size."""
+        if self.atlas is None:
+            raise ClientError("fetch() the atlas before updating")
+        delta = self.server.delta_for(self.atlas.day + 1)
+        from repro.atlas.delta import encode_delta
+
+        size = len(encode_delta(delta))
+        self.bytes_downloaded += size
+        self.atlas = apply_delta(self.atlas, delta)
+        self._predictor = None
+        return size
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def predictor(self) -> INanoPredictor:
+        if self.atlas is None:
+            raise ClientError("fetch() the atlas before querying")
+        if self._predictor is None:
+            extra = self.cluster_map.cluster_asn if self.cluster_map else {}
+            self._predictor = INanoPredictor(
+                self.atlas,
+                config=self.config.predictor,
+                from_src_links=self.from_src_links or None,
+                from_src_prefixes=(
+                    {self.vantage.prefix_index} if self.vantage else None
+                ),
+                client_cluster_as=extra,
+            )
+        return self._predictor
+
+    def query(self, src_prefix_index: int, dst_prefix_index: int) -> PathInfo:
+        """Predict both directions between two arbitrary prefixes.
+
+        Raises :class:`UnknownEndpointError` / :class:`NoPredictedRouteError`
+        when prediction is impossible; see :meth:`query_or_none`.
+        """
+        forward = self.predictor.predict(src_prefix_index, dst_prefix_index)
+        reverse = self.predictor.predict(dst_prefix_index, src_prefix_index)
+        return PathInfo(
+            src_prefix_index=src_prefix_index,
+            dst_prefix_index=dst_prefix_index,
+            forward=forward,
+            reverse=reverse,
+        )
+
+    def query_or_none(
+        self, src_prefix_index: int, dst_prefix_index: int
+    ) -> PathInfo | None:
+        try:
+            return self.query(src_prefix_index, dst_prefix_index)
+        except (UnknownEndpointError, NoPredictedRouteError):
+            return None
+
+    def query_batch(
+        self, pairs: list[tuple[int, int]]
+    ) -> list[PathInfo | None]:
+        """Batched query interface (arbitrary batch sizes, Section 5)."""
+        return [self.query_or_none(s, d) for s, d in pairs]

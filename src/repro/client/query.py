@@ -1,0 +1,52 @@
+"""Query results returned by the client library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mos import mos_score
+from repro.core.predictor import PredictedPath
+from repro.core.tcp import download_time_seconds, pftk_throughput_bps
+
+
+@dataclass(frozen=True, slots=True)
+class PathInfo:
+    """Everything iNano predicts about a (src, dst) pair.
+
+    This is the library's query-interface payload: the PoP-level (cluster)
+    forward/reverse paths, the AS path, and the composed performance
+    metrics applications feed into their own models.
+    """
+
+    src_prefix_index: int
+    dst_prefix_index: int
+    forward: PredictedPath
+    reverse: PredictedPath
+
+    @property
+    def rtt_ms(self) -> float:
+        return self.forward.latency_ms + self.reverse.latency_ms
+
+    @property
+    def loss_forward(self) -> float:
+        return self.forward.loss
+
+    @property
+    def loss_round_trip(self) -> float:
+        return 1.0 - (1.0 - self.forward.loss) * (1.0 - self.reverse.loss)
+
+    @property
+    def as_path(self) -> tuple[int, ...]:
+        return self.forward.as_path
+
+    def tcp_throughput_bps(self) -> float:
+        """PFTK estimate for a bulk transfer over this path."""
+        return pftk_throughput_bps(self.rtt_ms / 1000.0, self.loss_forward)
+
+    def download_time_seconds(self, size_bytes: int) -> float:
+        """Predicted transfer time for a file of ``size_bytes``."""
+        return download_time_seconds(size_bytes, self.rtt_ms / 1000.0, self.loss_forward)
+
+    def mos(self) -> float:
+        """Predicted VoIP quality over this path."""
+        return mos_score(self.rtt_ms, self.loss_round_trip)

@@ -1,0 +1,91 @@
+"""Remote queries: one atlas per subnet (the paper's stated future work).
+
+Section 5: "In future work, we plan to support remote queries so that
+only one local host need download the atlas." This module implements that
+delegation model: a :class:`QueryAgent` wraps a fully-fetched
+:class:`~repro.client.library.INanoClient` and serves query requests on
+behalf of *other* hosts in its subnet, like a local DNS resolver. Remote
+callers pay one simulated round trip to the agent instead of holding the
+atlas themselves; the agent answers from its local predictor and keeps
+per-caller accounting so deployments can see who should be promoted to a
+full client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.library import INanoClient
+from repro.client.query import PathInfo
+from repro.errors import ClientError
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteQueryResult:
+    """A remote answer: the payload plus the delegation round-trip cost."""
+
+    info: PathInfo | None
+    agent_rtt_ms: float
+
+
+@dataclass
+class QueryAgent:
+    """Serves path queries to nearby hosts from one locally-held atlas."""
+
+    client: INanoClient
+    #: simulated one-way latency between a caller and the agent (local
+    #: subnet scale); callers pay twice this per query
+    local_hop_ms: float = 0.5
+    max_batch: int = 1024
+    _queries_served: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.client.atlas is None:
+            raise ClientError("agent requires a client that already fetched the atlas")
+
+    @property
+    def queries_served(self) -> dict[int, int]:
+        """Per-caller query counts (caller prefix -> queries)."""
+        return dict(self._queries_served)
+
+    def query_for(
+        self, caller_prefix_index: int, src_prefix_index: int, dst_prefix_index: int
+    ) -> RemoteQueryResult:
+        """Answer one query on behalf of ``caller_prefix_index``."""
+        self._queries_served[caller_prefix_index] = (
+            self._queries_served.get(caller_prefix_index, 0) + 1
+        )
+        info = self.client.query_or_none(src_prefix_index, dst_prefix_index)
+        return RemoteQueryResult(info=info, agent_rtt_ms=2 * self.local_hop_ms)
+
+    def query_batch_for(
+        self,
+        caller_prefix_index: int,
+        pairs: list[tuple[int, int]],
+    ) -> list[RemoteQueryResult]:
+        """Batched remote queries; one round trip amortized over the batch.
+
+        The whole batch costs a single agent round trip (the transport is
+        one request/response), so per-pair delegation cost shrinks with
+        batch size — the reason the paper suggests this deployment mode.
+        """
+        if len(pairs) > self.max_batch:
+            raise ClientError(
+                f"batch of {len(pairs)} exceeds agent limit {self.max_batch}"
+            )
+        self._queries_served[caller_prefix_index] = (
+            self._queries_served.get(caller_prefix_index, 0) + len(pairs)
+        )
+        rtt = 2 * self.local_hop_ms
+        return [
+            RemoteQueryResult(info=self.client.query_or_none(s, d), agent_rtt_ms=rtt)
+            for s, d in pairs
+        ]
+
+    def heavy_callers(self, threshold: int = 1000) -> list[int]:
+        """Callers busy enough that running their own client would pay off."""
+        return sorted(
+            caller
+            for caller, count in self._queries_served.items()
+            if count >= threshold
+        )

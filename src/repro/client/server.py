@@ -1,0 +1,96 @@
+"""The central iNano server.
+
+Holds one encoded atlas per day, computes the daily deltas clients fetch,
+and accepts measurement uploads from client libraries (which the next
+day's atlas build may incorporate). Also reports the bandwidth accounting
+used by the swarm-distribution benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.delta import AtlasDelta, compute_delta, encode_delta
+from repro.atlas.model import Atlas
+from repro.atlas.serialization import encode_atlas
+from repro.errors import AtlasError
+from repro.measurement.traceroute import Traceroute
+
+
+@dataclass
+class AtlasServer:
+    """Central coordinator: publishes atlases, deltas, and seeds the swarm."""
+
+    _atlases: dict[int, Atlas] = field(default_factory=dict)
+    _encoded: dict[int, bytes] = field(default_factory=dict)
+    _deltas: dict[int, AtlasDelta] = field(default_factory=dict)
+    _uploaded_traces: list[Traceroute] = field(default_factory=list)
+    bytes_served: int = 0
+
+    def publish(self, atlas: Atlas) -> None:
+        """Publish a new day's atlas; precomputes the delta from the prior day."""
+        day = atlas.day
+        if day in self._atlases:
+            raise AtlasError(f"atlas for day {day} already published")
+        self._atlases[day] = atlas
+        self._encoded[day] = encode_atlas(atlas)
+        previous = self._atlases.get(day - 1)
+        if previous is not None:
+            self._deltas[day] = compute_delta(previous, atlas)
+
+    def latest_day(self) -> int:
+        if not self._atlases:
+            raise AtlasError("no atlas published yet")
+        return max(self._atlases)
+
+    def full_atlas_bytes(self, day: int | None = None) -> bytes:
+        """Serve a full encoded atlas (seed copy for the swarm)."""
+        day = self.latest_day() if day is None else day
+        try:
+            payload = self._encoded[day]
+        except KeyError:
+            raise AtlasError(f"no atlas for day {day}") from None
+        self.bytes_served += len(payload)
+        return payload
+
+    def delta_for(self, new_day: int) -> AtlasDelta:
+        """The delta that upgrades day ``new_day - 1`` to ``new_day``."""
+        try:
+            delta = self._deltas[new_day]
+        except KeyError:
+            raise AtlasError(f"no delta to day {new_day}") from None
+        self.bytes_served += len(encode_delta(delta))
+        return delta
+
+    def atlas_object(self, day: int | None = None) -> Atlas:
+        """In-process access to the decoded atlas (tests, local clients)."""
+        day = self.latest_day() if day is None else day
+        try:
+            return self._atlases[day]
+        except KeyError:
+            raise AtlasError(f"no atlas for day {day}") from None
+
+    # -- client uploads ------------------------------------------------------
+
+    def upload_traceroutes(self, traces: list[Traceroute]) -> int:
+        """Accept client-contributed measurements (Section 5).
+
+        Returns the number of traces accepted. Deduplicates exact repeats;
+        validation of buggy/malicious uploads is future work in the paper,
+        and here.
+        """
+        existing = {
+            (t.src_ip, t.dst_ip, t.day, len(t.hops)) for t in self._uploaded_traces
+        }
+        accepted = 0
+        for trace in traces:
+            key = (trace.src_ip, trace.dst_ip, trace.day, len(trace.hops))
+            if key not in existing:
+                self._uploaded_traces.append(trace)
+                existing.add(key)
+                accepted += 1
+        return accepted
+
+    @property
+    def uploaded_traceroutes(self) -> list[Traceroute]:
+        return list(self._uploaded_traces)

@@ -1,0 +1,42 @@
+"""iNano's core contribution: route prediction from the compact atlas.
+
+`repro.core.predictor` implements the paper's Section 4 in full: the
+GRAPH algorithm (phased, valley-free, early/late-exit Dijkstra over
+up/down node pairs) and the four corrective components that turn it into
+iNano — the FROM_SRC/TO_DST asymmetry planes (4.3.1), the observed AS
+3-tuple export check (4.3.2), relationship-agnostic AS preferences
+(4.3.3), and per-AS/per-prefix provider constraints (4.3.4). Each
+component is a config flag so Figure 5's ablation ladder falls out
+directly.
+
+`repro.core.latency` / `repro.core.loss` compose link annotations along
+predicted forward and reverse paths into end-to-end estimates;
+`repro.core.tcp` (PFTK) and `repro.core.mos` (E-model) turn those into
+the application-level metrics used by the case studies.
+"""
+
+from repro.core.costs import PathCost
+from repro.core.graph import PredictionGraph
+from repro.core.predictor import (
+    INanoPredictor,
+    PredictedPath,
+    PredictorConfig,
+)
+from repro.core.latency import predict_rtt_ms
+from repro.core.loss import predict_path_loss, predict_round_trip_loss
+from repro.core.tcp import download_time_seconds, pftk_throughput_bps
+from repro.core.mos import mos_score
+
+__all__ = [
+    "PathCost",
+    "PredictionGraph",
+    "INanoPredictor",
+    "PredictedPath",
+    "PredictorConfig",
+    "predict_rtt_ms",
+    "predict_path_loss",
+    "predict_round_trip_loss",
+    "download_time_seconds",
+    "pftk_throughput_bps",
+    "mos_score",
+]

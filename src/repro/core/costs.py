@@ -1,0 +1,63 @@
+"""The GRAPH cost algebra (Section 4.2.1-4.2.2).
+
+A route's cost is the strictly ordered tuple
+``[AS hops, pending late-exit hops, cost to exit the current AS]``:
+
+* **AS hops** dominates — GRAPH prefers the shortest AS path among
+  equally-preferred routes.
+* **pending** counts consecutive late-exit AS transitions whose hop
+  contribution has not yet been folded into the AS-path length; it is
+  added on the next ordinary AS crossing (Section 4.2.2's third
+  component).
+* **exit cost** is intra-AS latency accumulated since the last AS
+  boundary; it resets to zero on an ordinary AS crossing, which is what
+  makes the search early-exit (hot potato) inside each AS.
+
+The ``extend_*`` methods implement the paper's ⊕ operator for each edge
+flavour, in the backtracking direction (from the destination outward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PathCost:
+    """Cost of a partial route in the backtracking search."""
+
+    as_hops: int
+    pending: int
+    exit_cost_ms: float
+
+    @property
+    def effective_hops(self) -> int:
+        """AS hops with pending late-exit crossings counted."""
+        return self.as_hops + self.pending
+
+    def sort_key(self) -> tuple[int, float]:
+        return (self.effective_hops, self.exit_cost_ms)
+
+    # -- ⊕ operator, one method per edge flavour ---------------------------
+
+    def extend_intra(self, latency_ms: float) -> "PathCost":
+        """Intra-AS edge: [h, p, c] ⊕ l = [h, p, c + l]."""
+        return PathCost(self.as_hops, self.pending, self.exit_cost_ms + latency_ms)
+
+    def extend_inter(self) -> "PathCost":
+        """Ordinary AS crossing: hops absorb pending, exit cost resets."""
+        return PathCost(self.as_hops + 1 + self.pending, 0, 0.0)
+
+    def extend_late_exit(self, latency_ms: float) -> "PathCost":
+        """Late-exit crossing: treated as intra, but one more pending hop."""
+        return PathCost(self.as_hops, self.pending + 1, self.exit_cost_ms + latency_ms)
+
+    def __lt__(self, other: "PathCost") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "PathCost") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+
+#: The zero cost (route already at the destination).
+ZERO_COST = PathCost(as_hops=0, pending=0, exit_cost_ms=0.0)

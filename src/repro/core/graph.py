@@ -1,0 +1,234 @@
+"""Prediction graph construction (Sections 4.2.3, 4.3.1).
+
+Nodes are ``(plane, side, cluster)``:
+
+* ``plane``: TO_DST (links from the central atlas) or FROM_SRC (links the
+  querying client observed on its own traceroutes);
+* ``side``: UP/DOWN — the valley-free duplication of Section 4.2.3. Paths
+  may transition UP -> DOWN at most once (via a peer edge or a cluster's
+  own up->down self edge), making every predicted route valley-free by
+  construction.
+
+Edges carry their *forward* semantics. The search backtracks from the
+destination, so the engine iterates a reversed adjacency list built here.
+Edge phases encode local preference (customer=1 < peer=2 < provider=3,
+Section 4.2.4): a route's phase is fixed by the flavour of the first
+forward edge leaving each node, and the search finalizes lower phases
+first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.relationships import (
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    REL_SIBLING,
+)
+
+TO_DST = 0
+FROM_SRC = 1
+UP = 0
+DOWN = 1
+
+#: A node in the prediction graph.
+Node = tuple[int, int, int]  # (plane, side, cluster)
+
+
+class EdgeKind(IntEnum):
+    """Forward-edge flavour, which fixes phase and cost composition."""
+
+    INTRA = 0       # same AS (or unknown-intra): inherit phase, add latency
+    DOWN_EDGE = 1   # provider -> customer: phase 1 (customer route)
+    PEER = 2        # peer crossing UP -> DOWN: phase 2
+    UP_EDGE = 3     # customer -> provider: phase 3 (provider route)
+    LATE_EXIT = 4   # sibling late-exit crossing: inherit phase, pending hop
+    SIBLING = 5     # sibling without late exit: inherit phase, counts a hop
+    SELF_DOWN = 6   # up_i -> down_i: inherit (phase 1, since DOWN is phase 1)
+    PLANE_CROSS = 7 # FROM_SRC -> TO_DST, zero cost
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A forward edge ``src -> dst`` with its annotations."""
+
+    src: Node
+    dst: Node
+    kind: EdgeKind
+    latency_ms: float
+    loss: float
+    src_asn: int
+    dst_asn: int
+
+
+@dataclass
+class PredictionGraph:
+    """Reverse-adjacency prediction graph over one atlas (+ client links)."""
+
+    atlas: Atlas
+    from_src_links: dict[tuple[int, int], LinkRecord] | None = None
+    #: cluster -> AS entries for client-side clusters absent from the atlas
+    extra_cluster_as: dict[int, int] = field(default_factory=dict)
+    #: close the TO_DST plane over adjacencies (GRAPH's Section 4.2
+    #: undirected construction); False keeps only observed directions
+    #: (the Section 4.3.1 directed planes)
+    closed: bool = True
+    #: incoming edges per node, i.e. the backtracking successor lists
+    reverse_adjacency: dict[Node, list[Edge]] = field(default_factory=dict, repr=False)
+    #: outgoing edges per node (for pop-time parent re-evaluation)
+    forward_adjacency: dict[Node, list[Edge]] = field(default_factory=dict, repr=False)
+    _built: bool = field(default=False, repr=False)
+
+    def build(self) -> "PredictionGraph":
+        if self._built:
+            return self
+        # When ``closed``, the TO_DST plane is *adjacency-closed*: an
+        # observed link witnesses the physical adjacency and the up/down
+        # construction (not the probe direction) decides which directed
+        # edges exist — GRAPH's Section 4.2 graph. Without closure only
+        # observed directions exist (Section 4.3.1's directed planes),
+        # which suppresses non-existent routes at the price of coverage.
+        to_dst_links = (
+            self._closed_adjacency(self.atlas.links) if self.closed else self.atlas.links
+        )
+        self._add_link_plane(TO_DST, to_dst_links)
+        clusters_to_dst = {c for (a, b) in self.atlas.links for c in (a, b)}
+        self._add_self_edges(TO_DST, clusters_to_dst)
+        if self.from_src_links:
+            self._add_link_plane(FROM_SRC, self.from_src_links)
+            clusters_from_src = {
+                c for (a, b) in self.from_src_links for c in (a, b)
+            }
+            self._add_self_edges(FROM_SRC, clusters_from_src)
+            self._add_plane_crossings(clusters_from_src & clusters_to_dst)
+        self._built = True
+        return self
+
+    # -- construction helpers ----------------------------------------------
+
+    @staticmethod
+    def _closed_adjacency(
+        links: dict[tuple[int, int], LinkRecord]
+    ) -> dict[tuple[int, int], LinkRecord]:
+        """Add the reverse of every link (same propagation latency)."""
+        closed = dict(links)
+        for (i, j), record in links.items():
+            closed.setdefault((j, i), LinkRecord(latency_ms=record.latency_ms))
+        return closed
+
+    def _emit(self, edge: Edge) -> None:
+        self.reverse_adjacency.setdefault(edge.dst, []).append(edge)
+        self.forward_adjacency.setdefault(edge.src, []).append(edge)
+
+    def _lookup_loss(self, link: tuple[int, int]) -> float:
+        return self.atlas.loss_of_link(link)
+
+    def asn_of(self, cluster: int) -> int | None:
+        asn = self.atlas.cluster_to_as.get(cluster)
+        if asn is None:
+            asn = self.extra_cluster_as.get(cluster)
+        return asn
+
+    def _add_link_plane(
+        self, plane: int, links: dict[tuple[int, int], LinkRecord]
+    ) -> None:
+        rels = self.atlas.relationship_codes
+        late_exit = self.atlas.late_exit_pairs
+        for (ci, cj), record in links.items():
+            as_i = self.asn_of(ci)
+            as_j = self.asn_of(cj)
+            if as_i is None or as_j is None:
+                continue
+            latency = record.latency_ms
+            loss = self._lookup_loss((ci, cj))
+
+            def emit(side_i: int, side_j: int, kind: EdgeKind) -> None:
+                self._emit(
+                    Edge(
+                        src=(plane, side_i, ci),
+                        dst=(plane, side_j, cj),
+                        kind=kind,
+                        latency_ms=latency,
+                        loss=loss,
+                        src_asn=as_i,
+                        dst_asn=as_j,
+                    )
+                )
+
+            if as_i == as_j:
+                emit(UP, UP, EdgeKind.INTRA)
+                emit(DOWN, DOWN, EdgeKind.INTRA)
+                continue
+            rel = rels.get((as_i, as_j))
+            if rel == REL_SIBLING:
+                kind = (
+                    EdgeKind.LATE_EXIT
+                    if frozenset((as_i, as_j)) in late_exit
+                    else EdgeKind.SIBLING
+                )
+                emit(UP, UP, kind)
+                emit(DOWN, DOWN, kind)
+            elif rel == REL_PROVIDER:
+                # i is j's provider: forward i -> j descends.
+                emit(DOWN, DOWN, EdgeKind.DOWN_EDGE)
+            elif rel == REL_CUSTOMER:
+                # i is j's customer: forward i -> j climbs.
+                emit(UP, UP, EdgeKind.UP_EDGE)
+            elif rel == REL_PEER:
+                emit(UP, DOWN, EdgeKind.PEER)
+            else:
+                # Relationship unknown (link seen, AS adjacency never seen in
+                # an AS path): allow both monotone directions, no peer.
+                emit(DOWN, DOWN, EdgeKind.DOWN_EDGE)
+                emit(UP, UP, EdgeKind.UP_EDGE)
+
+    def _add_self_edges(self, plane: int, clusters: set[int]) -> None:
+        for cluster in clusters:
+            asn = self.asn_of(cluster)
+            if asn is None:
+                continue
+            self._emit(
+                Edge(
+                    src=(plane, UP, cluster),
+                    dst=(plane, DOWN, cluster),
+                    kind=EdgeKind.SELF_DOWN,
+                    latency_ms=0.0,
+                    loss=0.0,
+                    src_asn=asn,
+                    dst_asn=asn,
+                )
+            )
+
+    def _add_plane_crossings(self, shared_clusters: set[int]) -> None:
+        for cluster in shared_clusters:
+            asn = self.asn_of(cluster)
+            if asn is None:
+                continue
+            for side in (UP, DOWN):
+                self._emit(
+                    Edge(
+                        src=(FROM_SRC, side, cluster),
+                        dst=(TO_DST, side, cluster),
+                        kind=EdgeKind.PLANE_CROSS,
+                        latency_ms=0.0,
+                        loss=0.0,
+                        src_asn=asn,
+                        dst_asn=asn,
+                    )
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def incoming(self, node: Node) -> list[Edge]:
+        return self.reverse_adjacency.get(node, [])
+
+    def outgoing(self, node: Node) -> list[Edge]:
+        return self.forward_adjacency.get(node, [])
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(edges) for edges in self.reverse_adjacency.values())

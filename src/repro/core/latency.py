@@ -1,0 +1,27 @@
+"""End-to-end latency estimation (Section 6.3.2).
+
+iNano composes its link latency annotations along the *predicted forward
+and reverse* paths to estimate the RTT between two end-hosts. Both
+directions are predicted independently — that is the whole point of the
+FROM_SRC/TO_DST machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictor import INanoPredictor, PredictedPath
+
+
+def compose_rtt_ms(forward: PredictedPath, reverse: PredictedPath) -> float:
+    """RTT estimate from two one-way predicted paths."""
+    return forward.latency_ms + reverse.latency_ms
+
+
+def predict_rtt_ms(
+    predictor: INanoPredictor, src_prefix_index: int, dst_prefix_index: int
+) -> float | None:
+    """Predict the RTT between two prefixes; None if either direction fails."""
+    forward = predictor.predict_or_none(src_prefix_index, dst_prefix_index)
+    reverse = predictor.predict_or_none(dst_prefix_index, src_prefix_index)
+    if forward is None or reverse is None:
+        return None
+    return compose_rtt_ms(forward, reverse)

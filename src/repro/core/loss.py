@@ -1,0 +1,43 @@
+"""End-to-end loss-rate estimation (Section 6.3.2, Figure 8).
+
+Loss rates compose multiplicatively: a path's delivery probability is the
+product of its links' delivery probabilities. iNano stores loss only for
+links measured as lossy; absent links are assumed lossless.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictor import INanoPredictor, PredictedPath
+
+
+def compose_loss(losses: list[float]) -> float:
+    """Combine per-link loss rates into a path loss rate."""
+    success = 1.0
+    for loss in losses:
+        success *= 1.0 - min(1.0, max(0.0, loss))
+    return 1.0 - success
+
+
+def predict_path_loss(
+    predictor: INanoPredictor, src_prefix_index: int, dst_prefix_index: int
+) -> float | None:
+    """One-way (forward) loss estimate between two prefixes."""
+    forward = predictor.predict_or_none(src_prefix_index, dst_prefix_index)
+    if forward is None:
+        return None
+    return forward.loss
+
+
+def predict_round_trip_loss(
+    predictor: INanoPredictor, src_prefix_index: int, dst_prefix_index: int
+) -> float | None:
+    """Round-trip loss estimate (what an ICMP probe campaign observes)."""
+    forward = predictor.predict_or_none(src_prefix_index, dst_prefix_index)
+    reverse = predictor.predict_or_none(dst_prefix_index, src_prefix_index)
+    if forward is None or reverse is None:
+        return None
+    return compose_loss([forward.loss, reverse.loss])
+
+
+def round_trip_loss_of(forward: PredictedPath, reverse: PredictedPath) -> float:
+    return compose_loss([forward.loss, reverse.loss])

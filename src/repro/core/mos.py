@@ -1,0 +1,46 @@
+"""Mean Opinion Score estimation for VoIP (Section 7.2).
+
+Implements the ITU-T E-model simplification of Cole & Rosenbluth: the
+R-factor starts from 94.2 and is degraded by a delay impairment (one-way
+mouth-to-ear delay) and an equipment/loss impairment, then mapped to the
+1..4.5 MOS scale. The paper's Skype case study picks relays by loss first
+and latency second; MOS gives a single combined quality number.
+"""
+
+from __future__ import annotations
+
+import math
+
+R_MAX = 94.2
+#: Jitter-buffer and codec processing added to network delay (ms).
+CODEC_DELAY_MS = 25.0
+
+
+def r_factor(one_way_delay_ms: float, loss_rate: float) -> float:
+    """E-model R factor from one-way delay (ms) and loss rate in [0, 1]."""
+    if one_way_delay_ms < 0:
+        raise ValueError("delay must be non-negative")
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("loss_rate must be in [0, 1]")
+    d = one_way_delay_ms + CODEC_DELAY_MS
+    delay_impairment = 0.024 * d + 0.11 * (d - 177.3) * (1.0 if d > 177.3 else 0.0)
+    loss_impairment = 11.0 + 40.0 * math.log(1.0 + 10.0 * loss_rate)
+    return R_MAX - delay_impairment - loss_impairment
+
+
+def mos_from_r(r: float) -> float:
+    """Map an R factor to MOS (ITU-T G.107 Annex B)."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    return 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6
+
+
+def mos_score(rtt_ms: float, loss_rate: float) -> float:
+    """MOS of a call over a path with the given RTT and loss.
+
+    One-way delay is approximated as RTT/2 (the E-model wants
+    mouth-to-ear delay).
+    """
+    return mos_from_r(r_factor(rtt_ms / 2.0, loss_rate))

@@ -1,0 +1,410 @@
+"""The iNano route predictor (Section 4 in full).
+
+One backtracking Dijkstra per destination computes best routes from *every*
+node to that destination, so batched queries against a common destination
+are nearly free (the per-destination search is cached).
+
+Graph planes follow the paper's ablation structure:
+
+* with ``use_from_src`` off (plain GRAPH), the search runs over the
+  Section 4.2 graph — observed adjacencies closed in both directions with
+  relationship-imposed edge directions;
+* with ``use_from_src`` on, the primary search uses the *directed*
+  TO_DST plane plus the client's directed FROM_SRC plane (Section 4.3.1),
+  which suppresses non-existent routes; if that search cannot reach the
+  source, the engine falls back to the closed graph so arbitrary-pair
+  queries keep their coverage.
+
+The search state per node holds the GRAPH cost tuple plus two pieces of
+path context the corrective checks need:
+
+* ``next_asn`` — the first AS on the node's forward path that differs from
+  the node's own AS (None while still inside the destination AS). The
+  3-tuple check validates ``(AS(v), AS(u), next_asn(u))`` on every AS
+  crossing, and the provider check fires exactly when ``next_asn(u)`` is
+  None (the edge enters the destination prefix's origin AS).
+* ``phase`` — local-preference tier (customer=1 < peer=2 < provider=3),
+  dominating the cost comparison, which realizes Section 4.2.4's phased
+  computation in a single pass.
+
+AS preferences (Section 4.3.3) tie-break candidates with equal
+(phase, AS hops), overriding the intra-AS exit-cost comparison. Because
+plain Dijkstra would finalize a node before an equally-short-but-preferred
+parent pops, every node re-evaluates its finalized out-neighbors at pop
+time and keeps the preferred parent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.tuples import tuple_check
+from repro.core.costs import ZERO_COST, PathCost
+from repro.core.graph import (
+    DOWN,
+    FROM_SRC,
+    TO_DST,
+    UP,
+    Edge,
+    EdgeKind,
+    Node,
+    PredictionGraph,
+)
+from repro.errors import NoPredictedRouteError, UnknownEndpointError
+
+_SEARCH_CACHE_MAX = 256
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Feature flags matching Figure 5's ablation ladder."""
+
+    use_from_src: bool = True       # Section 4.3.1 (asymmetry)
+    use_three_tuples: bool = True   # Section 4.3.2 (export policies)
+    use_preferences: bool = True    # Section 4.3.3 (local preferences)
+    use_providers: bool = True      # Section 4.3.4 (traffic engineering)
+    tuple_degree_threshold: int = 5
+
+    @classmethod
+    def graph_baseline(cls) -> "PredictorConfig":
+        """Plain GRAPH (Section 4.2): no corrective components."""
+        return cls(
+            use_from_src=False,
+            use_three_tuples=False,
+            use_preferences=False,
+            use_providers=False,
+        )
+
+    @classmethod
+    def inano(cls) -> "PredictorConfig":
+        """Full iNano: all components on."""
+        return cls()
+
+    def ablation_name(self) -> str:
+        flags = (
+            self.use_from_src,
+            self.use_three_tuples,
+            self.use_preferences,
+            self.use_providers,
+        )
+        if not any(flags):
+            return "GRAPH"
+        if all(flags):
+            return "iNano"
+        parts = []
+        if self.use_from_src:
+            parts.append("asym")
+        if self.use_three_tuples:
+            parts.append("tuples")
+        if self.use_preferences:
+            parts.append("prefs")
+        if self.use_providers:
+            parts.append("providers")
+        return "GRAPH+" + "+".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedPath:
+    """A predicted one-way route with composed annotations."""
+
+    clusters: tuple[int, ...]
+    as_path: tuple[int, ...]
+    latency_ms: float
+    loss: float
+    as_hops: int
+    used_from_src: bool
+
+    @property
+    def n_cluster_hops(self) -> int:
+        return max(0, len(self.clusters) - 1)
+
+
+@dataclass
+class _NodeState:
+    phase: int
+    cost: PathCost
+    parent_edge: Edge | None
+    next_asn: int | None
+
+    def key(self) -> tuple[int, int]:
+        return (self.phase, self.cost.effective_hops)
+
+
+class INanoPredictor:
+    """Predicts PoP-level routes between arbitrary prefixes from an atlas."""
+
+    def __init__(
+        self,
+        atlas: Atlas,
+        config: PredictorConfig | None = None,
+        from_src_links: dict[tuple[int, int], LinkRecord] | None = None,
+        from_src_prefixes: set[int] | None = None,
+        client_cluster_as: dict[int, int] | None = None,
+    ) -> None:
+        self.atlas = atlas
+        self.config = config or PredictorConfig.inano()
+        extra = dict(client_cluster_as or {})
+        if self.config.use_from_src:
+            self.graph = PredictionGraph(
+                atlas=atlas,
+                from_src_links=from_src_links,
+                extra_cluster_as=extra,
+                closed=False,
+            ).build()
+            self.fallback_graph: PredictionGraph | None = PredictionGraph(
+                atlas=atlas, extra_cluster_as=extra, closed=True
+            ).build()
+        else:
+            self.graph = PredictionGraph(
+                atlas=atlas, extra_cluster_as=extra, closed=True
+            ).build()
+            self.fallback_graph = None
+        #: prefixes whose queries may start in the FROM_SRC plane (the
+        #: client's own); None means any source may use it.
+        self.from_src_prefixes = from_src_prefixes
+        self._search_cache: dict[tuple, dict[Node, _NodeState]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def predict(self, src_prefix_index: int, dst_prefix_index: int) -> PredictedPath:
+        """Predict the forward route ``src -> dst`` between two prefixes.
+
+        Raises :class:`UnknownEndpointError` if either prefix is not in the
+        atlas, :class:`NoPredictedRouteError` if the search fails.
+        """
+        src_cluster = self.atlas.cluster_of_prefix(src_prefix_index)
+        dst_cluster = self.atlas.cluster_of_prefix(dst_prefix_index)
+        if src_cluster is None:
+            raise UnknownEndpointError(src_prefix_index)
+        if dst_cluster is None:
+            raise UnknownEndpointError(dst_prefix_index)
+
+        graphs: list[PredictionGraph] = [self.graph]
+        if self.fallback_graph is not None:
+            graphs.append(self.fallback_graph)
+        for graph in graphs:
+            states = self._search(graph, dst_cluster, dst_prefix_index)
+            for plane, side in self._target_priority(graph, src_prefix_index):
+                node = (plane, side, src_cluster)
+                if node in states:
+                    return self._extract(node, states)
+        raise NoPredictedRouteError(src_prefix_index, dst_prefix_index)
+
+    def predict_or_none(
+        self, src_prefix_index: int, dst_prefix_index: int
+    ) -> PredictedPath | None:
+        try:
+            return self.predict(src_prefix_index, dst_prefix_index)
+        except (UnknownEndpointError, NoPredictedRouteError):
+            return None
+
+    def predict_batch(
+        self, pairs: list[tuple[int, int]]
+    ) -> list[PredictedPath | None]:
+        """Batched queries (the library API serves these locally)."""
+        return [self.predict_or_none(s, d) for s, d in pairs]
+
+    # -- search ---------------------------------------------------------------
+
+    def _target_priority(
+        self, graph: PredictionGraph, src_prefix_index: int
+    ) -> list[tuple[int, int]]:
+        """Planes/sides to try for the source node, in order (Section 4.3.1)."""
+        targets: list[tuple[int, int]] = []
+        if graph.from_src_links and (
+            self.from_src_prefixes is None
+            or src_prefix_index in self.from_src_prefixes
+        ):
+            targets.append((FROM_SRC, UP))
+        targets.append((TO_DST, UP))
+        targets.append((TO_DST, DOWN))
+        return targets
+
+    def _provider_gate(self, dst_prefix_index: int) -> frozenset[int] | None:
+        if not self.config.use_providers:
+            return None
+        return self.atlas.providers_for_prefix(dst_prefix_index)
+
+    def _candidate(
+        self,
+        edge: Edge,
+        su: _NodeState,
+        providers: frozenset[int] | None,
+    ) -> _NodeState | None:
+        """State for reaching ``edge.src`` via ``edge`` then ``su``, or None."""
+        cfg = self.config
+        crossing = edge.src_asn != edge.dst_asn
+        if crossing:
+            if cfg.use_three_tuples and su.next_asn is not None:
+                if not tuple_check(
+                    self.atlas.three_tuples,
+                    self.atlas.as_degrees,
+                    edge.src_asn,
+                    edge.dst_asn,
+                    su.next_asn,
+                    cfg.tuple_degree_threshold,
+                ):
+                    return None
+            if providers is not None and su.next_asn is None:
+                if edge.src_asn not in providers:
+                    return None
+        phase, cost = self._compose(edge, su)
+        if phase is None:
+            return None
+        next_asn = edge.dst_asn if crossing else su.next_asn
+        return _NodeState(phase=phase, cost=cost, parent_edge=edge, next_asn=next_asn)
+
+    def _search(
+        self, graph: PredictionGraph, dst_cluster: int, dst_prefix_index: int
+    ) -> dict[Node, _NodeState]:
+        providers = self._provider_gate(dst_prefix_index)
+        cache_key = (id(graph), dst_cluster, providers)
+        cached = self._search_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        prefers = self.atlas.prefers
+        best: dict[Node, _NodeState] = {}
+        finalized: set[Node] = set()
+        counter = itertools.count()
+        heap: list[tuple[int, int, float, int, Node]] = []
+
+        root: Node = (TO_DST, DOWN, dst_cluster)
+        best[root] = _NodeState(
+            phase=1, cost=ZERO_COST, parent_edge=None, next_asn=None
+        )
+        heapq.heappush(heap, (1, 0, 0.0, next(counter), root))
+
+        while heap:
+            _, _, _, _, u = heapq.heappop(heap)
+            if u in finalized:
+                continue
+            if u != root:
+                # Pop-time re-evaluation: among *finalized* out-neighbors,
+                # keep the best parent under the full comparator (this is
+                # where equal-length AS preferences actually bite).
+                for edge in graph.outgoing(u):
+                    if edge.dst not in finalized:
+                        continue
+                    candidate = self._candidate(edge, best[edge.dst], providers)
+                    if candidate is not None and self._improves(
+                        candidate, best.get(u), edge.src_asn, prefers
+                    ):
+                        best[u] = candidate
+            finalized.add(u)
+            su = best[u]
+            for edge in graph.incoming(u):
+                v = edge.src
+                if v in finalized:
+                    continue
+                candidate = self._candidate(edge, su, providers)
+                if candidate is None:
+                    continue
+                if self._improves(candidate, best.get(v), edge.src_asn, prefers):
+                    best[v] = candidate
+                    cost = candidate.cost
+                    heapq.heappush(
+                        heap,
+                        (
+                            candidate.phase,
+                            cost.effective_hops,
+                            cost.exit_cost_ms,
+                            next(counter),
+                            v,
+                        ),
+                    )
+
+        if len(self._search_cache) >= _SEARCH_CACHE_MAX:
+            self._search_cache.pop(next(iter(self._search_cache)))
+        self._search_cache[cache_key] = best
+        return best
+
+    @staticmethod
+    def _compose(edge: Edge, su: _NodeState) -> tuple[int | None, PathCost | None]:
+        """Phase and cost of reaching ``edge.src`` via ``edge`` then ``su``."""
+        kind = edge.kind
+        if kind is EdgeKind.INTRA:
+            return su.phase, su.cost.extend_intra(edge.latency_ms)
+        if kind in (EdgeKind.SELF_DOWN, EdgeKind.PLANE_CROSS):
+            return su.phase, su.cost.extend_intra(0.0)
+        if kind is EdgeKind.LATE_EXIT:
+            return su.phase, su.cost.extend_late_exit(edge.latency_ms)
+        if kind is EdgeKind.SIBLING:
+            return su.phase, su.cost.extend_inter()
+        if kind is EdgeKind.DOWN_EDGE:
+            return 1, su.cost.extend_inter()
+        if kind is EdgeKind.PEER:
+            return 2, su.cost.extend_inter()
+        if kind is EdgeKind.UP_EDGE:
+            return 3, su.cost.extend_inter()
+        return None, None
+
+    def _improves(
+        self,
+        candidate: _NodeState,
+        incumbent: _NodeState | None,
+        chooser_asn: int,
+        prefers,
+    ) -> bool:
+        if incumbent is None:
+            return True
+        ck, ik = candidate.key(), incumbent.key()
+        if ck != ik:
+            return ck < ik
+        if self.config.use_preferences:
+            cand_next = self._choice_asn(candidate, chooser_asn)
+            inc_next = self._choice_asn(incumbent, chooser_asn)
+            if cand_next is not None and inc_next is not None and cand_next != inc_next:
+                if prefers(chooser_asn, cand_next, inc_next):
+                    return True
+                if prefers(chooser_asn, inc_next, cand_next):
+                    return False
+        return candidate.cost.exit_cost_ms < incumbent.cost.exit_cost_ms
+
+    @staticmethod
+    def _choice_asn(state: _NodeState, chooser_asn: int) -> int | None:
+        """The next-hop AS this state routes through, from the chooser's view."""
+        edge = state.parent_edge
+        if edge is None:
+            return None
+        if edge.dst_asn != chooser_asn:
+            return edge.dst_asn
+        return state.next_asn
+
+    # -- extraction -------------------------------------------------------------
+
+    def _extract(self, start: Node, states: dict[Node, _NodeState]) -> PredictedPath:
+        clusters: list[int] = []
+        as_path: list[int] = []
+        latency = 0.0
+        success = 1.0
+        used_from_src = start[0] == FROM_SRC
+
+        node = start
+        while True:
+            cluster = node[2]
+            if not clusters or clusters[-1] != cluster:
+                clusters.append(cluster)
+            asn = self.graph.asn_of(cluster)
+            if asn is not None and (not as_path or as_path[-1] != asn):
+                as_path.append(asn)
+            state = states[node]
+            edge = state.parent_edge
+            if edge is None:
+                break
+            latency += edge.latency_ms
+            success *= 1.0 - edge.loss
+            node = edge.dst
+
+        final_state = states[start]
+        return PredictedPath(
+            clusters=tuple(clusters),
+            as_path=tuple(as_path),
+            latency_ms=latency,
+            loss=1.0 - success,
+            as_hops=final_state.cost.effective_hops,
+            used_from_src=used_from_src,
+        )

@@ -1,0 +1,100 @@
+"""TCP performance models.
+
+Two models the paper's CDN case study (Section 7.1) relies on:
+
+* the **PFTK** steady-state throughput model [37] — used to rank replicas
+  for large transfers from (RTT, loss) estimates;
+* a **small-transfer latency model** after Cardwell et al. [8] — slow
+  start dominates short transfers, so their completion time is governed by
+  RTT, not bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+DEFAULT_MSS_BYTES = 1460
+INITIAL_WINDOW_SEGMENTS = 2
+#: Retransmission timeout as a multiple of RTT (PFTK's T0; RFC-style floor).
+RTO_RTT_MULTIPLE = 4.0
+MIN_RTO_SECONDS = 0.2
+#: Delivery rate ceiling so p=0 doesn't mean infinite bandwidth (bytes/s).
+ACCESS_RATE_BPS = 10e6 / 8  # 10 Mbit/s access links
+
+
+def pftk_throughput_bps(
+    rtt_seconds: float,
+    loss_rate: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+    delayed_ack_b: int = 1,
+) -> float:
+    """PFTK steady-state TCP throughput in *bytes per second*.
+
+    ``B = MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2))``
+    with the loss-free case capped at the access rate.
+    """
+    if rtt_seconds <= 0:
+        raise ValueError("rtt must be positive")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    if loss_rate == 0.0:
+        return ACCESS_RATE_BPS
+    p = loss_rate
+    b = delayed_ack_b
+    t0 = max(MIN_RTO_SECONDS, RTO_RTT_MULTIPLE * rtt_seconds)
+    denom = rtt_seconds * math.sqrt(2 * b * p / 3) + t0 * min(
+        1.0, 3 * math.sqrt(3 * b * p / 8)
+    ) * p * (1 + 32 * p * p)
+    return min(ACCESS_RATE_BPS, mss_bytes / denom)
+
+
+def slow_start_time_seconds(
+    size_bytes: int,
+    rtt_seconds: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> float:
+    """Completion time of a transfer that stays in slow start (no loss).
+
+    The sender doubles its window each RTT starting from
+    ``INITIAL_WINDOW_SEGMENTS``; we count the rounds needed to cover the
+    file, plus connection setup (one RTT).
+    """
+    segments = max(1, math.ceil(size_bytes / mss_bytes))
+    window = INITIAL_WINDOW_SEGMENTS
+    rounds = 0
+    sent = 0
+    while sent < segments:
+        sent += window
+        window *= 2
+        rounds += 1
+    handshake = 1.0
+    return (handshake + rounds) * rtt_seconds + size_bytes / ACCESS_RATE_BPS
+
+
+def download_time_seconds(
+    size_bytes: int,
+    rtt_seconds: float,
+    loss_rate: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> float:
+    """End-to-end transfer-time model used by the CDN experiment.
+
+    Short transfers are latency-bound (slow start); longer transfers run
+    at PFTK steady-state after an abbreviated slow-start phase. Loss both
+    caps the steady-state rate and, for short transfers, adds expected
+    retransmission stalls.
+    """
+    if size_bytes <= 0:
+        raise ValueError("size_bytes must be positive")
+    base = slow_start_time_seconds(size_bytes, rtt_seconds, mss_bytes)
+    if loss_rate <= 0.0:
+        return base
+    rate = pftk_throughput_bps(rtt_seconds, loss_rate, mss_bytes)
+    steady = 1.5 * rtt_seconds + size_bytes / rate
+    # Expected timeout stalls for the segments sent during slow start.
+    segments = max(1, math.ceil(size_bytes / mss_bytes))
+    t0 = max(MIN_RTO_SECONDS, RTO_RTT_MULTIPLE * rtt_seconds)
+    stall_penalty = min(segments, 40) * loss_rate * t0
+    if size_bytes <= 64 * mss_bytes:
+        return base + stall_penalty
+    return max(steady, base)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. Sub-classes mark the layer a
+failure originated in (topology construction, measurement, atlas handling,
+prediction, or the client library).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or a generator constraint fails."""
+
+
+class RoutingError(ReproError):
+    """Raised when ground-truth route computation fails."""
+
+
+class NoRouteError(RoutingError):
+    """Raised when no policy-compliant route exists between two end points."""
+
+    def __init__(self, src: object, dst: object) -> None:
+        super().__init__(f"no route from {src!r} to {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class MeasurementError(ReproError):
+    """Raised for invalid probe specifications or vantage-point misuse."""
+
+
+class AtlasError(ReproError):
+    """Raised when an atlas dataset is inconsistent or cannot be decoded."""
+
+
+class AtlasFormatError(AtlasError):
+    """Raised when serialized atlas bytes fail validation."""
+
+
+class DeltaMismatchError(AtlasError):
+    """Raised when a daily delta is applied to the wrong base atlas."""
+
+    def __init__(self, expected_day: int, actual_day: int) -> None:
+        super().__init__(
+            f"delta expects base atlas for day {expected_day}, got day {actual_day}"
+        )
+        self.expected_day = expected_day
+        self.actual_day = actual_day
+
+
+class PredictionError(ReproError):
+    """Raised when the prediction engine is queried with invalid input."""
+
+
+class NoPredictedRouteError(PredictionError):
+    """Raised when the prediction search finds no policy-compliant route."""
+
+    def __init__(self, src: object, dst: object) -> None:
+        super().__init__(f"no route predicted from {src!r} to {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class UnknownEndpointError(PredictionError):
+    """Raised when an endpoint IP cannot be mapped to a known prefix."""
+
+    def __init__(self, ip: object) -> None:
+        super().__init__(f"endpoint {ip!r} is not covered by any known prefix")
+        self.ip = ip
+
+
+class ClientError(ReproError):
+    """Raised by the client library for lifecycle misuse (e.g. query before fetch)."""

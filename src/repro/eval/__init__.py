@@ -1,0 +1,34 @@
+"""Evaluation harness: scenario presets, validation sets, metrics, reports.
+
+`repro.eval.scenarios` builds the full pipeline (topology -> routing ->
+measurement -> atlas -> predictors) for named presets and caches the
+result per process, so the benchmark suite pays the construction cost
+once. Everything downstream (Figures 4-11, Tables 1-2) pulls from a
+:class:`Scenario`.
+"""
+
+from repro.eval.scenarios import Scenario, ScenarioConfig, get_scenario
+from repro.eval.validation import ValidationSource, ValidationSet
+from repro.eval.accuracy import (
+    as_path_metrics,
+    latency_errors_ms,
+    loss_errors,
+    ranking_overlap,
+)
+from repro.eval.similarity import path_similarity
+from repro.eval.reporting import render_cdf_rows, render_table
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "get_scenario",
+    "ValidationSource",
+    "ValidationSet",
+    "as_path_metrics",
+    "latency_errors_ms",
+    "loss_errors",
+    "ranking_overlap",
+    "path_similarity",
+    "render_cdf_rows",
+    "render_table",
+]

@@ -1,0 +1,97 @@
+"""Accuracy metrics for Figures 5-8.
+
+All metrics pair a prediction with its ground truth; missing predictions
+(None) count against accuracy exactly as the paper's evaluation counts
+failed predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class AsPathMetrics:
+    """Figure 5's two bars for one technique."""
+
+    n: int
+    exact_matches: int
+    length_matches: int
+    failures: int
+
+    @property
+    def exact_fraction(self) -> float:
+        return self.exact_matches / self.n if self.n else 0.0
+
+    @property
+    def length_fraction(self) -> float:
+        return self.length_matches / self.n if self.n else 0.0
+
+
+def as_path_metrics(
+    predictions: Sequence[tuple[int, ...] | None],
+    truths: Sequence[tuple[int, ...]],
+) -> AsPathMetrics:
+    """Exact-match and length-match fractions over aligned pairs."""
+    if len(predictions) != len(truths):
+        raise ValueError("predictions and truths must align")
+    exact = length = failures = 0
+    for predicted, truth in zip(predictions, truths):
+        if predicted is None:
+            failures += 1
+            continue
+        if predicted == truth:
+            exact += 1
+        if len(predicted) == len(truth):
+            length += 1
+    return AsPathMetrics(
+        n=len(truths), exact_matches=exact, length_matches=length, failures=failures
+    )
+
+
+def latency_errors_ms(
+    predictions: Sequence[float | None], truths: Sequence[float]
+) -> list[float]:
+    """Absolute RTT estimation errors (Figure 6); failures become +inf."""
+    if len(predictions) != len(truths):
+        raise ValueError("predictions and truths must align")
+    return [
+        abs(p - t) if p is not None else float("inf")
+        for p, t in zip(predictions, truths)
+    ]
+
+
+def loss_errors(
+    predictions: Sequence[float | None], truths: Sequence[float]
+) -> list[float]:
+    """Absolute loss-rate estimation errors (Figure 8); failures -> 1.0."""
+    if len(predictions) != len(truths):
+        raise ValueError("predictions and truths must align")
+    return [
+        abs(p - t) if p is not None else 1.0 for p, t in zip(predictions, truths)
+    ]
+
+
+def ranking_overlap(
+    estimated: dict[int, float], actual: dict[int, float], k: int = 10
+) -> int:
+    """|top-k by estimate ∩ top-k by truth| (Figure 7's metric).
+
+    ``estimated``/``actual`` map destination ids to latencies; lower is
+    closer. Destinations missing an estimate rank last.
+    """
+    if not actual:
+        return 0
+    k = min(k, len(actual))
+    actual_top = {
+        d for d, _ in sorted(actual.items(), key=lambda kv: (kv[1], kv[0]))[:k]
+    }
+    def estimate_key(item: tuple[int, float]) -> tuple[float, int]:
+        return (item[1], item[0])
+
+    padded = {d: estimated.get(d, float("inf")) for d in actual}
+    estimated_top = {
+        d for d, _ in sorted(padded.items(), key=estimate_key)[:k]
+    }
+    return len(actual_top & estimated_top)

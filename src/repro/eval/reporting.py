@@ -1,0 +1,56 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Benchmarks print these so ``pytest benchmarks/ --benchmark-only`` output
+reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.util.stats import Cdf
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a title rule."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [title, "=" * len(title), fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in str_rows]
+    return "\n".join(lines)
+
+
+def render_cdf_rows(
+    title: str, series: dict[str, list[float]], points: Sequence[float], unit: str = ""
+) -> str:
+    """Render several CDFs evaluated at common x points, one row per x."""
+    headers = ["x" + (f" ({unit})" if unit else "")] + list(series)
+    cdfs = {name: Cdf(values) for name, values in series.items()}
+    rows = []
+    for x in points:
+        rows.append(
+            [f"{x:g}"] + [f"{cdfs[name].at(x):.2f}" for name in series]
+        )
+    return render_table(title, headers, rows)
+
+
+def render_bars(title: str, values: dict[str, float], width: int = 40) -> str:
+    """Horizontal bar chart for Figure 5-style comparisons."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title, "=" * len(title)]
+    for name, value in values.items():
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{name.ljust(label_width)}  {value:7.3f}  |{bar}")
+    return "\n".join(lines)

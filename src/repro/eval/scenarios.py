@@ -1,0 +1,370 @@
+"""Scenario presets: the full pipeline, built lazily and cached per process.
+
+A :class:`Scenario` wires together everything the experiments need:
+
+    topology (per day) -> routing engines -> vantage points -> traceroute
+    campaign -> alias resolution -> clustering -> BGP feed -> atlas (per
+    day) -> validation set -> predictors / baselines -> applications.
+
+``get_scenario("small")`` (tests) and ``get_scenario("default")``
+(benchmarks) return process-cached instances, so a benchmark session pays
+the construction cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.atlas.builder import AtlasBuilder, AtlasInputs
+from repro.atlas.model import Atlas
+from repro.baselines.composition import PathCompositionPredictor
+from repro.baselines.oasis import OasisSelector
+from repro.baselines.vivaldi import VivaldiConfig, VivaldiSystem
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.errors import NoRouteError, RoutingError
+from repro.eval.validation import ValidationSet, build_validation_set
+from repro.measurement.aliases import resolve_aliases
+from repro.measurement.bgp_feed import BgpFeedSnapshot, collect_bgp_feed
+from repro.measurement.clustering import ClusterMap, build_cluster_map, cluster_pop_map
+from repro.measurement.ping import PingProber
+from repro.measurement.traceroute import Traceroute, TracerouteSimulator
+from repro.measurement.vantage import VantagePoint, probe_targets, select_vantage_points
+from repro.routing.bgp import RouteOracle
+from repro.routing.dynamics import DayConfig, evolve_topology
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.model import Topology
+from repro.util.ids import PrefixId
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Scale knobs for a full experiment pipeline."""
+
+    name: str = "default"
+    seed: int = 7
+    n_tier1: int = 6
+    n_tier2: int = 40
+    n_tier3: int = 160
+    n_atlas_vps: int = 40
+    n_validation_vps: int = 10
+    n_feed_peers: int = 25
+    targets_per_source: int = 40
+    from_src_traces_per_source: int = 40
+    measure_loss: bool = True
+
+    @classmethod
+    def small(cls) -> "ScenarioConfig":
+        """Unit-test scale: builds in a couple of seconds."""
+        return cls(
+            name="small",
+            seed=3,
+            n_tier1=4,
+            n_tier2=14,
+            n_tier3=50,
+            n_atlas_vps=24,
+            n_validation_vps=4,
+            n_feed_peers=20,
+            targets_per_source=20,
+            from_src_traces_per_source=20,
+        )
+
+    @classmethod
+    def default(cls) -> "ScenarioConfig":
+        """Benchmark scale (Section 6's shape at laptop size)."""
+        return cls()
+
+    def topology_config(self) -> TopologyConfig:
+        return TopologyConfig(
+            seed=self.seed,
+            n_tier1=self.n_tier1,
+            n_tier2=self.n_tier2,
+            n_tier3=self.n_tier3,
+        )
+
+
+#: Day-evolution magnitudes tuned so Figure 4's stationarity shape holds:
+#: a majority of PoP paths identical across a day, most similarity >= 0.75,
+#: but with enough routing churn (tie-break swaps, preference/announcement
+#: toggles, interconnect churn, intra-domain cost jitter standing in for
+#: the load balancing we do not model) that daily deltas are non-trivial.
+STATIONARITY_DAY_CONFIG = DayConfig(
+    rank_shuffle_fraction=0.8,
+    deviation_toggle_prob=0.08,
+    latency_jitter_fraction=0.6,
+    latency_jitter_sigma=0.2,
+    interconnect_drop_prob=0.04,
+    interconnect_add_prob=0.08,
+)
+
+
+class Scenario:
+    """Lazily-built experiment pipeline for one :class:`ScenarioConfig`."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self._topologies: dict[int, Topology] = {}
+        self._engines: dict[int, ForwardingEngine] = {}
+        self._traces: dict[int, list[Traceroute]] = {}
+        self._atlases: dict[int, Atlas] = {}
+        self._cluster_maps: dict[int, ClusterMap] = {}
+        self._feeds: dict[int, BgpFeedSnapshot] = {}
+        self._validation: ValidationSet | None = None
+        self._vivaldi: VivaldiSystem | None = None
+        self._oasis: OasisSelector | None = None
+        self._shared_predictors: dict[PredictorConfig, INanoPredictor] = {}
+        self._composition: dict[bool, PathCompositionPredictor] = {}
+        self._rtt_cache: dict[tuple[int, int], float | None] = {}
+
+    # -- ground truth ---------------------------------------------------------
+
+    def topology(self, day: int = 0) -> Topology:
+        if day not in self._topologies:
+            if day == 0:
+                self._topologies[0] = generate_topology(self.config.topology_config())
+            else:
+                self._topologies[day] = evolve_topology(
+                    self.topology(0), day, STATIONARITY_DAY_CONFIG, seed=self.config.seed
+                )
+        return self._topologies[day]
+
+    def engine(self, day: int = 0) -> ForwardingEngine:
+        if day not in self._engines:
+            topo = self.topology(day)
+            self._engines[day] = ForwardingEngine(topo, RouteOracle(topo))
+        return self._engines[day]
+
+    def all_prefixes(self) -> list[int]:
+        return probe_targets(self.topology(0))
+
+    def true_rtt_ms(self, src_prefix: int, dst_prefix: int, day: int = 0) -> float | None:
+        """Ground-truth RTT with caching (day 0 only is cached)."""
+        key = (src_prefix, dst_prefix)
+        if day != 0:
+            return self._uncached_rtt(src_prefix, dst_prefix, day)
+        if key not in self._rtt_cache:
+            self._rtt_cache[key] = self._uncached_rtt(src_prefix, dst_prefix, 0)
+        return self._rtt_cache[key]
+
+    def _uncached_rtt(self, src: int, dst: int, day: int) -> float | None:
+        try:
+            return self.engine(day).end_to_end(src, dst).rtt_ms
+        except (NoRouteError, RoutingError):
+            return None
+
+    # -- measurement ------------------------------------------------------------
+
+    def vantage_points(self) -> list[VantagePoint]:
+        return select_vantage_points(
+            self.topology(0),
+            self.config.n_atlas_vps + self.config.n_validation_vps,
+            kind="planetlab",
+            seed=self.config.seed,
+        )
+
+    def atlas_vps(self) -> list[VantagePoint]:
+        return self.vantage_points()[: self.config.n_atlas_vps]
+
+    def validation_vps(self) -> list[VantagePoint]:
+        return self.vantage_points()[self.config.n_atlas_vps :]
+
+    def simulator(self, day: int = 0) -> TracerouteSimulator:
+        return TracerouteSimulator(
+            self.topology(day),
+            self.engine(day),
+            derive_rng(self.config.seed, f"scenario.traceroute.day{day}"),
+            day=day,
+        )
+
+    def traces(self, day: int = 0) -> list[Traceroute]:
+        if day not in self._traces:
+            sim = self.simulator(day)
+            self._traces[day] = sim.campaign(self.atlas_vps(), self.all_prefixes())
+        return self._traces[day]
+
+    def cluster_map(self, day: int = 0) -> ClusterMap:
+        """Cluster map; day > 0 reuses day 0's clustering (stable ids)."""
+        if 0 not in self._cluster_maps:
+            traces = self.traces(0)
+            topo = self.topology(0)
+            ips = {
+                ip
+                for trace in traces
+                for ip in trace.responsive_ips
+                if topo.has_interface(ip)
+            }
+            aliases = resolve_aliases(topo, ips, seed=self.config.seed)
+            self._cluster_maps[0] = build_cluster_map(
+                topo, aliases, traces, seed=self.config.seed
+            )
+        if day == 0:
+            return self._cluster_maps[0]
+        if day not in self._cluster_maps:
+            # New interfaces appearing on later days get fresh clusters.
+            topo = self.topology(day)
+            traces = self.traces(day)
+            cmap = self._cluster_maps[0].clone()
+            extra_ips = {
+                ip
+                for trace in traces
+                for ip in trace.responsive_ips
+                if topo.has_interface(ip) and ip not in cmap.interface_cluster
+            }
+            aliases = resolve_aliases(topo, extra_ips, seed=self.config.seed + day)
+            new_map = build_cluster_map(topo, aliases, traces, seed=self.config.seed + day)
+            for ip, cluster in new_map.interface_cluster.items():
+                cmap.interface_cluster.setdefault(ip, cluster)
+                cmap.cluster_asn.setdefault(cluster, new_map.cluster_asn[cluster])
+            for prefix, cluster in new_map.prefix_cluster.items():
+                cmap.prefix_cluster.setdefault(prefix, cluster)
+            self._cluster_maps[day] = cmap
+        return self._cluster_maps[day]
+
+    def feed(self, day: int = 0) -> BgpFeedSnapshot:
+        if day not in self._feeds:
+            self._feeds[day] = collect_bgp_feed(
+                self.topology(day),
+                self.engine(day).oracle,
+                n_peers=self.config.n_feed_peers,
+                seed=self.config.seed,
+                day=day,
+            )
+        return self._feeds[day]
+
+    # -- atlas ---------------------------------------------------------------------
+
+    def atlas(self, day: int = 0) -> Atlas:
+        if day not in self._atlases:
+            topo = self.topology(day)
+            cmap = self.cluster_map(day)
+            loss_prober = None
+            if self.config.measure_loss:
+                prober = PingProber(
+                    topo,
+                    self.engine(day),
+                    derive_rng(self.config.seed, f"scenario.loss.day{day}"),
+                )
+                pop_map = cluster_pop_map(topo, cmap)
+
+                def loss_prober(vp_prefix, path, pos, _p=prober, _m=pop_map):
+                    return _p.measure_cluster_link_loss(vp_prefix, path, pos, _m)
+
+            inputs = AtlasInputs(
+                traceroutes=self.traces(day),
+                cluster_map=cmap,
+                feed=self.feed(day),
+                loss_prober=loss_prober,
+                day=day,
+            )
+            self._atlases[day] = AtlasBuilder(inputs).build()
+        return self._atlases[day]
+
+    # -- validation & predictors -------------------------------------------------
+
+    def validation_set(self) -> ValidationSet:
+        if self._validation is None:
+            self._validation = build_validation_set(
+                validation_vps=self.validation_vps(),
+                all_targets=self.all_prefixes(),
+                simulator=self.simulator(0),
+                base_cluster_map=self.cluster_map(0),
+                prefix_to_as=self.feed(0).prefix_to_as(),
+                targets_per_source=self.config.targets_per_source,
+                from_src_traces_per_source=self.config.from_src_traces_per_source,
+                seed=self.config.seed,
+            )
+        return self._validation
+
+    def shared_predictor(self, config: PredictorConfig | None = None) -> INanoPredictor:
+        """Atlas-only predictor (no FROM_SRC), e.g. for the applications."""
+        config = config or PredictorConfig.inano()
+        if config not in self._shared_predictors:
+            self._shared_predictors[config] = INanoPredictor(self.atlas(0), config)
+        return self._shared_predictors[config]
+
+    def composition_predictor(self, improved: bool = False) -> PathCompositionPredictor:
+        """The iPlane path-composition baseline over the same measurements."""
+        if improved not in self._composition:
+            extra: dict[int, int] = {}
+            for source in self.validation_set().sources:
+                if source.cluster_map is not None:
+                    extra.update(source.cluster_map.cluster_asn)
+            predictor = PathCompositionPredictor(
+                self.atlas(0), improved=improved, extra_cluster_as=extra
+            )
+            cmap = self.cluster_map(0)
+            for trace in self.traces(0):
+                for segment in cmap.cluster_segments_with_rtts(trace):
+                    predictor.add_measured_path(
+                        segment, trace.src_prefix_index, trace.dst_prefix_index,
+                        reached=trace.reached,
+                    )
+            for source in self.validation_set().sources:
+                scmap = source.cluster_map or cmap
+                for trace in source.from_src_traces:
+                    for segment in scmap.cluster_segments_with_rtts(trace):
+                        predictor.add_measured_path(
+                            segment, trace.src_prefix_index, trace.dst_prefix_index,
+                            reached=trace.reached,
+                        )
+            self._composition[improved] = predictor
+        return self._composition[improved]
+
+    def vivaldi(self) -> VivaldiSystem:
+        """Vivaldi coordinates trained on the validation hosts + targets."""
+        if self._vivaldi is None:
+            system = VivaldiSystem(VivaldiConfig(seed=self.config.seed))
+            nodes = sorted(
+                {vp.prefix_index for vp in self.validation_vps()}
+                | {
+                    dst
+                    for source in self.validation_set().sources
+                    for dst in source.validation_targets
+                }
+            )
+            rng = derive_rng(self.config.seed, "scenario.vivaldi")
+
+            def rtt_fn(a: int, b: int) -> float | None:
+                rtt = self.true_rtt_ms(a, b)
+                if rtt is None:
+                    return None
+                return rtt * float(1.0 + rng.normal(0, 0.02))
+
+            system.train(nodes, rtt_fn)
+            self._vivaldi = system
+        return self._vivaldi
+
+    def oasis(self, clients: list[int], replicas: list[int]) -> OasisSelector:
+        """OASIS-like selector registered over the given prefix ids."""
+        if self._oasis is None:
+            selector = OasisSelector(seed=self.config.seed)
+            topo = self.topology(0)
+            for prefix_index in sorted(set(clients) | set(replicas)):
+                info = topo.prefixes[PrefixId(prefix_index)]
+                selector.add_node(prefix_index, topo.pops[info.attachment_pop].location)
+            self._oasis = selector
+        return self._oasis
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def get_scenario(name: str = "default", **overrides) -> Scenario:
+    """Process-cached scenario by preset name ("small" or "default").
+
+    ``overrides`` customize the preset (creates a distinct cache entry).
+    """
+    base = {
+        "small": ScenarioConfig.small,
+        "default": ScenarioConfig.default,
+    }.get(name)
+    if base is None:
+        raise ValueError(f"unknown scenario preset {name!r}")
+    config = base()
+    if overrides:
+        config = replace(config, **overrides)
+    key = repr(config)
+    if key not in _SCENARIOS:
+        _SCENARIOS[key] = Scenario(config)
+    return _SCENARIOS[key]

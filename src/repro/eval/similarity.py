@@ -1,0 +1,21 @@
+"""The path similarity metric of Figure 4 ([22, 29]).
+
+Two paths are compared as the ratio of the intersection to the union of
+their cluster (PoP) sets; ordering is ignored. 1.0 means the same set of
+clusters, 0.0 means completely disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def path_similarity(path_a: Iterable[int], path_b: Iterable[int]) -> float:
+    """Jaccard similarity of the node sets of two paths."""
+    set_a, set_b = set(path_a), set(path_b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)

@@ -1,0 +1,105 @@
+"""Validation-set construction (Section 6.3).
+
+The paper holds out 37 of its 197 vantage points as "representative end
+hosts", keeps 100 of each's traceroutes as ground truth, and gives the
+predictor 100 *other* traceroutes from the same host as its FROM_SRC
+plane (the atlas's TO_DST plane comes from the remaining vantage points).
+We reproduce that structure at configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.builder import build_from_src_links
+from repro.atlas.model import Atlas, LinkRecord
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.measurement.clustering import ClusterMap
+from repro.measurement.traceroute import Traceroute, TracerouteSimulator
+from repro.measurement.vantage import VantagePoint
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class ValidationSource:
+    """One held-out end host with its FROM_SRC plane and target list."""
+
+    vantage: VantagePoint
+    validation_targets: list[int]
+    from_src_traces: list[Traceroute] = field(repr=False, default_factory=list)
+    from_src_links: dict[tuple[int, int], LinkRecord] = field(
+        repr=False, default_factory=dict
+    )
+    cluster_map: ClusterMap | None = field(repr=False, default=None)
+    _predictors: dict[PredictorConfig, INanoPredictor] = field(
+        repr=False, default_factory=dict
+    )
+
+    def predictor(self, atlas: Atlas, config: PredictorConfig) -> INanoPredictor:
+        """This source's predictor under ``config`` (cached per config)."""
+        if config not in self._predictors:
+            self._predictors[config] = INanoPredictor(
+                atlas,
+                config=config,
+                from_src_links=self.from_src_links or None,
+                client_cluster_as=(
+                    self.cluster_map.cluster_asn if self.cluster_map else None
+                ),
+            )
+        return self._predictors[config]
+
+
+@dataclass
+class ValidationSet:
+    """All held-out sources plus the shared target universe."""
+
+    sources: list[ValidationSource]
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All (src_prefix, dst_prefix) validation pairs."""
+        return [
+            (source.vantage.prefix_index, dst)
+            for source in self.sources
+            for dst in source.validation_targets
+        ]
+
+
+def build_validation_set(
+    validation_vps: list[VantagePoint],
+    all_targets: list[int],
+    simulator: TracerouteSimulator,
+    base_cluster_map: ClusterMap,
+    prefix_to_as: dict[int, int],
+    targets_per_source: int = 40,
+    from_src_traces_per_source: int = 40,
+    seed: int = 0,
+) -> ValidationSet:
+    """Construct the Section 6.3 validation structure.
+
+    For each held-out vantage point: sample disjoint target sets for
+    validation and for the FROM_SRC plane, issue the FROM_SRC traceroutes,
+    and extend a private copy of the cluster map with the client-observed
+    interfaces.
+    """
+    sources: list[ValidationSource] = []
+    for vp in validation_vps:
+        rng = derive_rng(seed, f"validation.{vp.name}")
+        candidates = [p for p in all_targets if p != vp.prefix_index]
+        need = targets_per_source + from_src_traces_per_source
+        k = min(need, len(candidates))
+        picked = [int(p) for p in rng.choice(candidates, size=k, replace=False)]
+        val_targets = picked[:targets_per_source]
+        fs_targets = picked[targets_per_source:]
+        fs_traces = [simulator.trace_to_prefix(vp, p) for p in fs_targets]
+        cmap = base_cluster_map.clone()
+        cmap.extend_with_client_traces(fs_traces, prefix_to_as)
+        sources.append(
+            ValidationSource(
+                vantage=vp,
+                validation_targets=val_targets,
+                from_src_traces=fs_traces,
+                from_src_links=build_from_src_links(fs_traces, cmap),
+                cluster_map=cmap,
+            )
+        )
+    return ValidationSet(sources=sources)

@@ -1,0 +1,38 @@
+"""Measurement substrate: everything the atlas is allowed to learn from.
+
+This package is the only layer that reads the ground-truth topology, and it
+exposes that truth exclusively through noisy instruments: traceroutes with
+per-hop RTTs (which embed reverse-path asymmetry), loss probes with
+binomial sampling error, alias resolution and PoP clustering with
+controlled error rates, and BGP feed snapshots from a handful of collector
+peers. The atlas builder and predictors consume only these outputs.
+"""
+
+from repro.measurement.vantage import VantagePoint, select_vantage_points
+from repro.measurement.traceroute import (
+    Traceroute,
+    TracerouteHop,
+    TracerouteSimulator,
+)
+from repro.measurement.ping import PingProber
+from repro.measurement.aliases import resolve_aliases
+from repro.measurement.clustering import ClusterMap, build_cluster_map
+from repro.measurement.bgp_feed import BgpFeedSnapshot, collect_bgp_feed
+from repro.measurement.frontier import assign_links_to_vantage_points
+from repro.measurement.linklatency import LinkLatencyEstimator
+
+__all__ = [
+    "VantagePoint",
+    "select_vantage_points",
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteSimulator",
+    "PingProber",
+    "resolve_aliases",
+    "ClusterMap",
+    "build_cluster_map",
+    "BgpFeedSnapshot",
+    "collect_bgp_feed",
+    "assign_links_to_vantage_points",
+    "LinkLatencyEstimator",
+]

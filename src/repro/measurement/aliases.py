@@ -1,0 +1,78 @@
+"""Alias resolution simulation.
+
+Real alias resolution (Ally/Mercator-style, [53]) groups interface IPs that
+belong to the same router. It is imperfect: some aliases are missed
+(splitting a router into several inferred "routers") and, rarely, two
+distinct routers are merged. We reproduce those two error modes with
+controlled probabilities, seeded deterministically per interface so
+resolution is stable across atlas builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.model import Topology
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class AliasResolution:
+    """Result of alias resolution: inferred router id per interface IP."""
+
+    inferred_router: dict[int, int]
+
+    def same_router(self, ip_a: int, ip_b: int) -> bool:
+        ra = self.inferred_router.get(ip_a)
+        rb = self.inferred_router.get(ip_b)
+        return ra is not None and ra == rb
+
+    @property
+    def n_inferred_routers(self) -> int:
+        return len(set(self.inferred_router.values()))
+
+
+def resolve_aliases(
+    topo: Topology,
+    observed_ips: set[int],
+    miss_prob: float = 0.05,
+    false_merge_prob: float = 0.002,
+    seed: int = 0,
+) -> AliasResolution:
+    """Run simulated alias resolution over ``observed_ips``.
+
+    * With probability ``miss_prob`` an interface fails resolution and is
+      assigned a fresh singleton router id.
+    * With probability ``false_merge_prob`` an interface is merged into an
+      unrelated router of the same AS (the classic Ally false positive).
+    """
+    rng = derive_rng(seed, "aliases")
+    inferred: dict[int, int] = {}
+    # Stable ids: true routers keep their ids; singletons get offset ids.
+    singleton_base = 1 << 30
+    next_singleton = singleton_base
+    routers_by_as: dict[int, list[int]] = {}
+    for ip in sorted(observed_ips):
+        if not topo.has_interface(ip):
+            continue
+        iface = topo.interface(ip)
+        asn = topo.pops[iface.pop_id].asn
+        routers_by_as.setdefault(asn, []).append(iface.router_id)
+
+    for ip in sorted(observed_ips):
+        if not topo.has_interface(ip):
+            continue
+        iface = topo.interface(ip)
+        roll = rng.random()
+        if roll < false_merge_prob:
+            asn = topo.pops[iface.pop_id].asn
+            candidates = [r for r in routers_by_as.get(asn, []) if r != iface.router_id]
+            if candidates:
+                inferred[ip] = candidates[int(rng.integers(0, len(candidates)))]
+                continue
+        if roll < false_merge_prob + miss_prob:
+            inferred[ip] = next_singleton
+            next_singleton += 1
+            continue
+        inferred[ip] = iface.router_id
+    return AliasResolution(inferred_router=inferred)

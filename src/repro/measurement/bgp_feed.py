@@ -1,0 +1,87 @@
+"""Simulated BGP route collectors (RouteViews / RIPE RIS stand-in).
+
+A feed snapshot contains, for each (peer AS, prefix), the AS path the peer
+selected. The atlas uses feeds for three things the paper lists: the
+prefix -> origin-AS mapping, additional AS 3-tuples beyond what traceroutes
+observe, and provider sets for origin ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.bgp import RouteOracle
+from repro.topology.model import Topology
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class BgpFeedSnapshot:
+    """AS paths observed at the collectors on one day."""
+
+    peer_asns: list[int]
+    #: (peer_asn, prefix_index) -> AS path from peer to origin, inclusive.
+    paths: dict[tuple[int, int], tuple[int, ...]] = field(default_factory=dict)
+    #: origin AS of infrastructure /24s (router interface space)
+    infra_origins: dict[int, int] = field(default_factory=dict)
+    day: int = 0
+
+    def origin_of_prefix(self, prefix_index: int) -> int | None:
+        """Origin AS as seen in the feed (last AS on any path)."""
+        for peer in self.peer_asns:
+            path = self.paths.get((peer, prefix_index))
+            if path:
+                return path[-1]
+        return None
+
+    def prefix_to_as(self) -> dict[int, int]:
+        """Full prefix -> origin mapping derivable from this snapshot.
+
+        Covers both probed edge prefixes and infrastructure space — the
+        paper's prefix-to-AS table (287K entries) likewise exceeds the set
+        of probed prefixes (140K).
+        """
+        mapping: dict[int, int] = dict(self.infra_origins)
+        for (_, prefix_index), path in self.paths.items():
+            if path and prefix_index not in mapping:
+                mapping[prefix_index] = path[-1]
+        return mapping
+
+    def as_paths(self) -> list[tuple[int, ...]]:
+        return [path for path in self.paths.values() if len(path) >= 2]
+
+
+def collect_bgp_feed(
+    topo: Topology,
+    oracle: RouteOracle,
+    n_peers: int = 20,
+    seed: int = 0,
+    day: int = 0,
+) -> BgpFeedSnapshot:
+    """Snapshot the routes ``n_peers`` collector peers selected.
+
+    Peers are drawn with a bias toward tier-1/tier-2 ASes (real collectors
+    peer with large networks), plus some edge ASes for route diversity.
+    """
+    rng = derive_rng(seed, f"bgp_feed.day{day}")
+    big = sorted(asn for asn, a in topo.ases.items() if a.tier <= 2)
+    small = sorted(asn for asn, a in topo.ases.items() if a.tier == 3)
+    n_big = min(len(big), max(1, int(n_peers * 0.7)))
+    n_small = min(len(small), n_peers - n_big)
+    peers = sorted(
+        int(x) for x in list(rng.choice(big, size=n_big, replace=False))
+        + list(rng.choice(small, size=n_small, replace=False))
+    )
+
+    snapshot = BgpFeedSnapshot(
+        peer_asns=peers, infra_origins=topo.infra_prefix_origins(), day=day
+    )
+    for info in topo.prefixes.values():
+        prefix_index = info.prefix.index
+        table = oracle.table_for_prefix(prefix_index)
+        for peer in peers:
+            if peer == info.origin_asn:
+                snapshot.paths[(peer, prefix_index)] = (peer,)
+            elif table.reaches(peer):
+                snapshot.paths[(peer, prefix_index)] = table.as_path(peer)
+    return snapshot

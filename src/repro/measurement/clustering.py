@@ -1,0 +1,228 @@
+"""Interface -> PoP clustering.
+
+The paper clusters interfaces into PoPs using alias resolution, DNS-name
+location hints, and reverse-path-length similarity. We simulate the *output
+quality* of that pipeline: most interfaces land in their true PoP's
+cluster, a configurable fraction fail the location step and become
+singleton clusters. The resulting :class:`ClusterMap` is the only
+identifier space the atlas and the predictor ever see — cluster ids are
+opaque and merely *correlate* with true PoPs.
+
+Prefix-to-cluster mapping comes from the traceroutes themselves: a prefix
+maps to the cluster of the last responsive infrastructure hop seen on
+traces that reached it (its attachment PoP, when measurement noise allows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.measurement.aliases import AliasResolution
+from repro.measurement.traceroute import Traceroute
+from repro.topology.model import Topology
+from repro.util.rng import derive_rng
+
+#: Cluster ids for interfaces that failed clustering start here.
+SINGLETON_CLUSTER_BASE = 1 << 20
+#: Client-side clusters (never serialized into the shared atlas) start here.
+CLIENT_CLUSTER_BASE = 1 << 34
+
+
+@dataclass
+class ClusterMap:
+    """Opaque cluster ids for interfaces, plus cluster-level metadata."""
+
+    interface_cluster: dict[int, int] = field(default_factory=dict)
+    cluster_asn: dict[int, int] = field(default_factory=dict)
+    prefix_cluster: dict[int, int] = field(default_factory=dict)
+
+    def cluster_of_ip(self, ip: int) -> int | None:
+        return self.interface_cluster.get(ip)
+
+    def asn_of_cluster(self, cluster: int) -> int | None:
+        return self.cluster_asn.get(cluster)
+
+    def cluster_of_prefix(self, prefix_index: int) -> int | None:
+        return self.prefix_cluster.get(prefix_index)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(set(self.interface_cluster.values()))
+
+    def cluster_path(self, trace: Traceroute) -> list[int]:
+        """Map a traceroute to its cluster-level path.
+
+        Anonymous and unclustered hops are skipped; consecutive duplicates
+        (multiple interfaces in one PoP) are collapsed. The destination
+        host hop is excluded — it is an end host, not infrastructure.
+        """
+        clusters: list[int] = []
+        for hop in trace.hops:
+            if hop.ip is None:
+                continue
+            cluster = self.interface_cluster.get(hop.ip)
+            if cluster is None:
+                continue
+            if not clusters or clusters[-1] != cluster:
+                clusters.append(cluster)
+        return clusters
+
+    def clone(self) -> "ClusterMap":
+        """Independent copy (clients extend their own copy, never the atlas's)."""
+        return ClusterMap(
+            interface_cluster=dict(self.interface_cluster),
+            cluster_asn=dict(self.cluster_asn),
+            prefix_cluster=dict(self.prefix_cluster),
+        )
+
+    def extend_with_client_traces(
+        self, traces: list[Traceroute], prefix_to_as: dict[int, int]
+    ) -> int:
+        """Cluster interfaces only the client has seen (Section 5).
+
+        A client's own traceroutes traverse links in the outbound direction
+        and see ingress interfaces the central atlas never probed. Each
+        unknown interface becomes a fresh singleton cluster whose AS comes
+        from the prefix-to-AS table (which covers infrastructure space).
+        Returns the number of new clusters created.
+        """
+        created = 0
+        for trace in traces:
+            for hop in trace.hops:
+                ip = hop.ip
+                if ip is None or ip == trace.dst_ip:
+                    continue
+                if ip in self.interface_cluster:
+                    continue
+                asn = prefix_to_as.get(ip // 256)
+                if asn is None:
+                    continue
+                cluster = CLIENT_CLUSTER_BASE + ip
+                self.interface_cluster[ip] = cluster
+                self.cluster_asn[cluster] = asn
+                created += 1
+        return created
+
+    def cluster_path_with_rtts(self, trace: Traceroute) -> list[tuple[int, float]]:
+        """Cluster path keeping the first measured RTT per cluster."""
+        out: list[tuple[int, float]] = []
+        for hop in trace.hops:
+            if hop.ip is None:
+                continue
+            cluster = self.interface_cluster.get(hop.ip)
+            if cluster is None:
+                continue
+            if not out or out[-1][0] != cluster:
+                out.append((cluster, hop.rtt_ms))
+        return out
+
+    def cluster_segments_with_rtts(
+        self, trace: Traceroute
+    ) -> list[list[tuple[int, float]]]:
+        """Cluster path split at anonymous/unmapped hops.
+
+        A gap means we do not know what sits between the clusters on either
+        side, so stitching across it would fabricate a link (and, worse, an
+        AS adjacency) that may not exist. Consumers that extract links or
+        AS paths should work per segment. The destination host hop ends the
+        final segment without contributing a cluster.
+        """
+        segments: list[list[tuple[int, float]]] = []
+        current: list[tuple[int, float]] = []
+        for hop in trace.hops:
+            if hop.ip is None or hop.ip == trace.dst_ip:
+                if current:
+                    segments.append(current)
+                    current = []
+                continue
+            cluster = self.interface_cluster.get(hop.ip)
+            if cluster is None:
+                if current:
+                    segments.append(current)
+                    current = []
+                continue
+            if not current or current[-1][0] != cluster:
+                current.append((cluster, hop.rtt_ms))
+        if current:
+            segments.append(current)
+        return segments
+
+
+def build_cluster_map(
+    topo: Topology,
+    aliases: AliasResolution,
+    traceroutes: list[Traceroute],
+    clustering_accuracy: float = 0.93,
+    seed: int = 0,
+) -> ClusterMap:
+    """Cluster observed interfaces into PoP-like clusters.
+
+    An interface whose alias resolution succeeded joins its router's PoP
+    cluster with probability ``clustering_accuracy``; otherwise it becomes
+    a singleton. Interfaces that alias resolution already made singleton
+    routers also become singleton clusters (no DNS hints for them either).
+    """
+    rng = derive_rng(seed, "clustering")
+    cmap = ClusterMap()
+    next_singleton = SINGLETON_CLUSTER_BASE
+    # Deterministic per-router decision: all aliases of a router cluster
+    # together (alias resolution already merged them).
+    router_cluster: dict[int, int] = {}
+    for ip in sorted(aliases.inferred_router):
+        inferred_router = aliases.inferred_router[ip]
+        if not topo.has_interface(ip):
+            continue
+        iface = topo.interface(ip)
+        asn = topo.pops[iface.pop_id].asn
+        if inferred_router not in router_cluster:
+            if inferred_router >= (1 << 30) or rng.random() > clustering_accuracy:
+                router_cluster[inferred_router] = next_singleton
+                next_singleton += 1
+            else:
+                router_cluster[inferred_router] = iface.pop_id
+        cluster = router_cluster[inferred_router]
+        cmap.interface_cluster[ip] = cluster
+        cmap.cluster_asn[cluster] = asn
+
+    # Prefix -> cluster from observed traceroutes (last responsive
+    # infrastructure hop on traces that reached the destination).
+    votes: dict[int, dict[int, int]] = {}
+    for trace in traceroutes:
+        if not trace.reached or len(trace.hops) < 2:
+            continue
+        infra_hops = [
+            hop.ip
+            for hop in trace.hops[:-1]
+            if hop.ip is not None and hop.ip in cmap.interface_cluster
+        ]
+        if not infra_hops:
+            continue
+        cluster = cmap.interface_cluster[infra_hops[-1]]
+        votes.setdefault(trace.dst_prefix_index, {})
+        votes[trace.dst_prefix_index][cluster] = (
+            votes[trace.dst_prefix_index].get(cluster, 0) + 1
+        )
+    for prefix_index, counts in votes.items():
+        best = max(sorted(counts), key=lambda c: counts[c])
+        cmap.prefix_cluster[prefix_index] = best
+    return cmap
+
+
+def cluster_pop_map(topo: Topology, cmap: ClusterMap) -> dict[int, int]:
+    """Majority ground-truth PoP per cluster (measurement-layer helper).
+
+    The loss prober needs to turn an atlas-space cluster link back into a
+    concrete PoP link to know what to probe; this inversion lives in the
+    measurement layer, which is allowed to read the topology.
+    """
+    votes: dict[int, dict[int, int]] = {}
+    for ip, cluster in cmap.interface_cluster.items():
+        if not topo.has_interface(ip):
+            continue
+        pop_id = topo.interface(ip).pop_id
+        votes.setdefault(cluster, {})
+        votes[cluster][pop_id] = votes[cluster].get(pop_id, 0) + 1
+    return {
+        cluster: max(sorted(counts), key=lambda p: counts[p])
+        for cluster, counts in votes.items()
+    }

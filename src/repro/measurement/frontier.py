@@ -1,0 +1,71 @@
+"""Frontier-search assignment of link measurements to vantage points.
+
+iPlane partitions the set of atlas links across vantage points so that
+every link's performance is measured by a small number of VPs (with some
+redundancy against noise), and each VP only probes links that appear on
+its own traceroute paths. We reproduce that as a greedy balanced set-cover
+over the observed cluster-level paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LinkAssignment:
+    """Which VP measures which cluster-level link, and over which path."""
+
+    #: link -> list of (vp_index, path, position of the link on that path)
+    assignments: dict[tuple[int, int], list[tuple[int, tuple[int, ...], int]]] = field(
+        default_factory=dict
+    )
+    #: vp_index -> number of links assigned to it
+    load: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.assignments)
+
+    def measurers_of(self, link: tuple[int, int]) -> list[int]:
+        return [vp for vp, _, _ in self.assignments.get(link, [])]
+
+
+def assign_links_to_vantage_points(
+    paths_per_vp: dict[int, list[tuple[int, ...]]],
+    redundancy: int = 2,
+) -> LinkAssignment:
+    """Assign every observed link to up to ``redundancy`` vantage points.
+
+    ``paths_per_vp`` maps a VP index to its observed cluster-level paths.
+    Greedy: process links in a deterministic order; for each link choose
+    the least-loaded VPs that observed it, remembering the concrete path
+    (and hop position) the VP should reuse to probe the link.
+    """
+    if redundancy < 1:
+        raise ValueError("redundancy must be >= 1")
+    # Gather, per link, every (vp, path, position) observation.
+    observations: dict[tuple[int, int], list[tuple[int, tuple[int, ...], int]]] = {}
+    for vp_index in sorted(paths_per_vp):
+        for path in paths_per_vp[vp_index]:
+            for pos in range(len(path) - 1):
+                link = (path[pos], path[pos + 1])
+                observations.setdefault(link, []).append((vp_index, path, pos))
+
+    result = LinkAssignment()
+    result.load = {vp: 0 for vp in paths_per_vp}
+    for link in sorted(observations):
+        obs = observations[link]
+        seen_vps: set[int] = set()
+        # Distinct VPs observing this link, cheapest-loaded first.
+        candidates = []
+        for vp_index, path, pos in obs:
+            if vp_index not in seen_vps:
+                seen_vps.add(vp_index)
+                candidates.append((vp_index, path, pos))
+        candidates.sort(key=lambda c: (result.load[c[0]], c[0]))
+        chosen = candidates[:redundancy]
+        result.assignments[link] = chosen
+        for vp_index, _, _ in chosen:
+            result.load[vp_index] += 1
+    return result

@@ -1,0 +1,94 @@
+"""Link latency inference from traceroute RTT differences.
+
+The naive per-link latency estimate, ``(rtt[k+1] - rtt[k]) / 2``, is biased
+whenever the reverse paths from hop k and hop k+1 differ — the dominant
+error source the paper's companion work [28] addresses by preferring
+measurements taken over *symmetric* traversals. We implement that spirit:
+
+* every traceroute contributes a difference sample per consecutive
+  cluster pair;
+* per link, samples from many (vantage point, destination) contexts are
+  pooled; contexts where the reverse paths agree produce consistent
+  samples, asymmetric contexts produce outliers;
+* the estimator takes the *mode-like* robust center (median of the
+  tightest half of samples, a.k.a. a shorth), which latches onto the
+  consistent symmetric subpopulation when one exists.
+
+Negative differences (reverse-path shrinkage) are kept during aggregation
+and only clipped at the end, so they still help identify the center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Latency floor for any estimated link (ms).
+MIN_LINK_LATENCY_MS = 0.05
+
+
+@dataclass
+class LinkLatencyEstimator:
+    """Accumulates RTT-difference samples and produces per-link estimates."""
+
+    samples: dict[tuple[int, int], list[float]] = field(default_factory=dict)
+
+    def add_traceroute_samples(self, cluster_rtts: list[tuple[int, float]]) -> None:
+        """Add difference samples from one traceroute's cluster path.
+
+        ``cluster_rtts`` is the (cluster, rtt) list produced by
+        :meth:`repro.measurement.clustering.ClusterMap.cluster_path_with_rtts`.
+        """
+        for (c1, r1), (c2, r2) in zip(cluster_rtts, cluster_rtts[1:]):
+            if c1 == c2:
+                continue
+            self.samples.setdefault((c1, c2), []).append((r2 - r1) / 2.0)
+
+    def n_samples(self, link: tuple[int, int]) -> int:
+        return len(self.samples.get(link, []))
+
+    @staticmethod
+    def _shorth(values: np.ndarray) -> float:
+        """Median of the shortest half-interval: robust to asymmetry outliers."""
+        values = np.sort(values)
+        n = values.size
+        if n == 1:
+            return float(values[0])
+        half = max(2, (n + 1) // 2)
+        if half >= n:
+            return float(np.median(values))
+        widths = values[half - 1 :] - values[: n - half + 1]
+        start = int(np.argmin(widths))
+        return float(np.median(values[start : start + half]))
+
+    def estimate(self, link: tuple[int, int]) -> float | None:
+        """Latency estimate for one directed cluster link (ms), or None."""
+        values = self.samples.get(link)
+        if not values:
+            return None
+        center = self._shorth(np.asarray(values, dtype=float))
+        return max(MIN_LINK_LATENCY_MS, center)
+
+    def estimates(self, min_samples: int = 1) -> dict[tuple[int, int], float]:
+        """All link estimates with at least ``min_samples`` samples.
+
+        Estimates for the two directions of a link are reconciled by
+        averaging when both are available (propagation is symmetric; the
+        probing noise is not).
+        """
+        raw: dict[tuple[int, int], float] = {}
+        for link, values in self.samples.items():
+            if len(values) >= min_samples:
+                est = self.estimate(link)
+                if est is not None:
+                    raw[link] = est
+        out: dict[tuple[int, int], float] = {}
+        for (a, b), value in raw.items():
+            back = raw.get((b, a))
+            if back is not None:
+                merged = max(MIN_LINK_LATENCY_MS, (value + back) / 2.0)
+                out[(a, b)] = merged
+            else:
+                out[(a, b)] = value
+        return out

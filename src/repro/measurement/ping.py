@@ -1,0 +1,163 @@
+"""Latency and loss probing.
+
+Loss-rate measurement follows the paper's methodology (Section 6.2.2):
+100 ICMP probes, 2 seconds apart, to a destination; the observed loss rate
+is the fraction of probes without a response. We sample that binomially
+from the ground-truth round-trip loss, so estimates carry exactly the
+n=100 sampling error a real campaign has.
+
+Per-link loss is measured the iPlane way: probe the near and the far
+endpoint of the link over the same route and attribute the extra loss to
+the link (with both endpoint measurements binomially noisy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError, NoRouteError, RoutingError
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology.model import Topology
+from repro.util.ids import PrefixId
+
+
+@dataclass(frozen=True, slots=True)
+class LossMeasurement:
+    """Observed loss toward a destination."""
+
+    src_prefix_index: int
+    dst_prefix_index: int
+    n_probes: int
+    observed_loss: float
+    true_loss: float
+
+
+class PingProber:
+    """Issues RTT and loss probes over one topology snapshot."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        engine: ForwardingEngine,
+        rng: np.random.Generator,
+        n_probes: int = 100,
+    ) -> None:
+        if n_probes <= 0:
+            raise MeasurementError("n_probes must be positive")
+        self.topo = topo
+        self.engine = engine
+        self.rng = rng
+        self.n_probes = n_probes
+
+    def measure_rtt(self, src_prefix_index: int, dst_prefix_index: int) -> float:
+        """Minimum-of-probes RTT estimate in ms (small positive noise only)."""
+        e2e = self.engine.end_to_end(src_prefix_index, dst_prefix_index)
+        # min over several probes approaches true propagation RTT from above
+        extra = float(self.rng.exponential(0.2))
+        return e2e.rtt_ms + extra
+
+    def measure_loss(
+        self, src_prefix_index: int, dst_prefix_index: int, n_probes: int | None = None
+    ) -> LossMeasurement:
+        """Probe a destination and report the observed loss fraction."""
+        n = n_probes or self.n_probes
+        try:
+            e2e = self.engine.end_to_end(src_prefix_index, dst_prefix_index)
+            true_loss = e2e.loss_round_trip
+        except (NoRouteError, RoutingError):
+            true_loss = 1.0
+        lost = int(self.rng.binomial(n, true_loss))
+        return LossMeasurement(
+            src_prefix_index=src_prefix_index,
+            dst_prefix_index=dst_prefix_index,
+            n_probes=n,
+            observed_loss=lost / n,
+            true_loss=true_loss,
+        )
+
+    # -- per-link loss (iPlane-style differencing) -------------------------
+
+    def _upstream_loss(
+        self, src_prefix_index: int, pops: tuple[int, ...], upto: int
+    ) -> float:
+        """Round-trip loss of probes to ``pops[upto]`` along a measured path."""
+        src_info = self.topo.prefixes[PrefixId(src_prefix_index)]
+        success = (1.0 - src_info.access_loss) ** 2
+        for i in range(upto):
+            link = self.topo.links.get((pops[i], pops[i + 1]))
+            if link is not None:  # clustering noise can fabricate hops
+                success *= 1.0 - link.loss_rate
+        # Replies return over the hop's own reverse path; approximate its
+        # loss with the forward loss of that reverse route.
+        try:
+            reverse = self.engine.pop_path_from_pop(pops[upto], src_prefix_index)
+            success *= 1.0 - reverse.loss
+        except (NoRouteError, RoutingError):
+            pass
+        return 1.0 - success
+
+    def measure_link_loss(
+        self,
+        src_prefix_index: int,
+        pops: tuple[int, ...],
+        link_position: int,
+        n_probes: int | None = None,
+    ) -> float | None:
+        """Estimate the loss of ``pops[link_position] -> pops[link_position+1]``.
+
+        Probes the near endpoint and the far endpoint ``n`` times each and
+        differences the observed loss rates. Returns None when the near
+        endpoint lost every probe (no estimate possible).
+        """
+        if not 0 <= link_position < len(pops) - 1:
+            raise MeasurementError("link_position out of range")
+        n = n_probes or self.n_probes
+        p_near = self._upstream_loss(src_prefix_index, pops, link_position)
+        link = self.topo.links[(pops[link_position], pops[link_position + 1])]
+        p_far = 1.0 - (1.0 - p_near) * (1.0 - link.loss_rate)
+        obs_near = int(self.rng.binomial(n, p_near)) / n
+        obs_far = int(self.rng.binomial(n, p_far)) / n
+        if obs_near >= 1.0:
+            return None
+        est = 1.0 - (1.0 - obs_far) / (1.0 - obs_near)
+        return float(min(1.0, max(0.0, est)))
+
+    def measure_cluster_link_loss(
+        self,
+        src_prefix_index: int,
+        cluster_path: tuple[int, ...],
+        link_position: int,
+        cluster_pop: dict[int, int],
+        n_probes: int | None = None,
+    ) -> float | None:
+        """Loss of a *cluster-level* link, via near/far endpoint differencing.
+
+        ``cluster_pop`` maps atlas clusters back to ground-truth PoPs (see
+        :func:`repro.measurement.clustering.cluster_pop_map`). Clusters that
+        don't resolve, or consecutive clusters without a real link between
+        their PoPs (clustering noise), yield None.
+        """
+        pops: list[int] = []
+        for cluster in cluster_path:
+            pop = cluster_pop.get(cluster)
+            if pop is None:
+                return None
+            if not pops or pops[-1] != pop:
+                pops.append(pop)
+        if link_position >= len(cluster_path) - 1:
+            return None
+        near = cluster_pop.get(cluster_path[link_position])
+        far = cluster_pop.get(cluster_path[link_position + 1])
+        if near is None or far is None or near == far:
+            return None
+        try:
+            pos = pops.index(near)
+        except ValueError:
+            return None
+        if pos + 1 >= len(pops) or pops[pos + 1] != far:
+            return None
+        if (pops[pos], pops[pos + 1]) not in self.topo.links:
+            return None
+        return self.measure_link_loss(src_prefix_index, tuple(pops), pos, n_probes)

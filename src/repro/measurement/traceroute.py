@@ -1,0 +1,195 @@
+"""Traceroute simulation.
+
+A traceroute from a vantage host to a destination IP walks the ground-truth
+forward PoP path and reports, per hop, the ingress interface of the PoP and
+a round-trip time. Crucially, each hop's RTT is *forward latency to the hop
+plus the latency of that hop's own reverse path back to the source* — the
+same asymmetry that makes real link-latency inference hard (Section 3,
+[28]) — plus multiplicative and additive measurement noise.
+
+Hops can be anonymous (no response) and probes can be lost on lossy links;
+a traceroute that loses its probe at the destination still reports the
+intermediate hops, exactly like real incomplete traceroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError, NoRouteError, RoutingError
+from repro.measurement.vantage import VantagePoint
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology.model import Topology
+from repro.util.ids import PrefixId, prefix_of_ip
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One hop: interface IP (None if anonymous) and measured RTT in ms."""
+
+    ip: int | None
+    rtt_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class Traceroute:
+    """A completed traceroute measurement."""
+
+    src_ip: int
+    src_prefix_index: int
+    dst_ip: int
+    dst_prefix_index: int
+    hops: tuple[TracerouteHop, ...]
+    reached: bool
+    day: int = 0
+
+    @property
+    def responsive_ips(self) -> list[int]:
+        return [hop.ip for hop in self.hops if hop.ip is not None]
+
+
+@dataclass
+class TracerouteNoise:
+    """Measurement-noise knobs for the simulator."""
+
+    rtt_multiplicative_sigma: float = 0.01
+    rtt_additive_ms: float = 0.15
+    anonymous_hop_prob: float = 0.03
+    probe_giveup_prob: float = 0.005
+
+
+class TracerouteSimulator:
+    """Issues simulated traceroutes over one topology snapshot."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        engine: ForwardingEngine,
+        rng: np.random.Generator,
+        noise: TracerouteNoise | None = None,
+        day: int = 0,
+    ) -> None:
+        self.topo = topo
+        self.engine = engine
+        self.rng = rng
+        self.noise = noise or TracerouteNoise()
+        self.day = day
+        # Reverse-latency cache: (pop, src_prefix) -> one-way latency ms.
+        self._reverse_cache: dict[tuple[int, int], float | None] = {}
+
+    def _reverse_latency(self, pop: int, src_prefix_index: int) -> float | None:
+        key = (pop, src_prefix_index)
+        if key not in self._reverse_cache:
+            try:
+                path = self.engine.pop_path_from_pop(pop, src_prefix_index)
+                self._reverse_cache[key] = path.latency_ms
+            except (NoRouteError, RoutingError):
+                self._reverse_cache[key] = None
+        return self._reverse_cache[key]
+
+    def _noisy_rtt(self, true_rtt: float) -> float:
+        n = self.noise
+        scale = float(np.exp(self.rng.normal(0.0, n.rtt_multiplicative_sigma)))
+        return max(0.05, true_rtt * scale + float(self.rng.exponential(n.rtt_additive_ms)))
+
+    def trace(self, vp: VantagePoint, dst_ip: int) -> Traceroute:
+        """Simulate one traceroute from ``vp`` to ``dst_ip``."""
+        dst_prefix = prefix_of_ip(dst_ip)
+        if dst_prefix not in self.topo.prefixes:
+            raise MeasurementError(f"destination {dst_ip} not in any known prefix")
+        src_info = self.topo.prefixes[PrefixId(vp.prefix_index)]
+        try:
+            path = self.engine.pop_path(vp.prefix_index, dst_prefix.index)
+        except (NoRouteError, RoutingError):
+            return Traceroute(
+                src_ip=vp.host_ip,
+                src_prefix_index=vp.prefix_index,
+                dst_ip=dst_ip,
+                dst_prefix_index=dst_prefix.index,
+                hops=(),
+                reached=False,
+                day=self.day,
+            )
+
+        hops: list[TracerouteHop] = []
+        forward_latency = src_info.access_latency_ms
+        reached = True
+        pops = path.pops
+        for i, pop in enumerate(pops):
+            if i > 0:
+                link = self.topo.links[(pops[i - 1], pop)]
+                forward_latency += link.latency_ms
+                # A very lossy link can swallow all retries for this hop.
+                if self.rng.random() < link.loss_rate**3:
+                    hops.append(TracerouteHop(ip=None, rtt_ms=0.0))
+                    continue
+            if self.rng.random() < self.noise.probe_giveup_prob:
+                reached = False
+                break
+            if self.rng.random() < self.noise.anonymous_hop_prob:
+                hops.append(TracerouteHop(ip=None, rtt_ms=0.0))
+                continue
+            reverse = self._reverse_latency(pop, vp.prefix_index)
+            if reverse is None:
+                hops.append(TracerouteHop(ip=None, rtt_ms=0.0))
+                continue
+            if i == 0:
+                iface_ip = self.topo.loopback_ip(pop)
+            else:
+                iface_ip = self.topo.ingress_interface_ip(pops[i - 1], pop)
+            true_rtt = forward_latency + reverse + src_info.access_latency_ms
+            hops.append(TracerouteHop(ip=iface_ip, rtt_ms=self._noisy_rtt(true_rtt)))
+
+        # Destination host hop (replies from inside the prefix).
+        if reached:
+            dst_info = self.topo.prefixes[dst_prefix]
+            if self.rng.random() < dst_info.access_loss:
+                reached = False
+            else:
+                true_rtt = (
+                    forward_latency
+                    + dst_info.access_latency_ms
+                    + path_reverse_latency(self, dst_prefix.index, vp.prefix_index)
+                    + src_info.access_latency_ms
+                )
+                hops.append(TracerouteHop(ip=dst_ip, rtt_ms=self._noisy_rtt(true_rtt)))
+
+        return Traceroute(
+            src_ip=vp.host_ip,
+            src_prefix_index=vp.prefix_index,
+            dst_ip=dst_ip,
+            dst_prefix_index=dst_prefix.index,
+            hops=tuple(hops),
+            reached=reached,
+            day=self.day,
+        )
+
+    def trace_to_prefix(self, vp: VantagePoint, prefix_index: int) -> Traceroute:
+        """Traceroute to a random-but-deterministic host in ``prefix_index``."""
+        base = PrefixId(prefix_index).base_ip
+        return self.trace(vp, base + 1)
+
+    def campaign(
+        self, vps: list[VantagePoint], prefix_indices: list[int]
+    ) -> list[Traceroute]:
+        """All-pairs campaign: every VP traceroutes every target prefix."""
+        results = []
+        for vp in vps:
+            for prefix_index in prefix_indices:
+                if prefix_index == vp.prefix_index:
+                    continue
+                results.append(self.trace_to_prefix(vp, prefix_index))
+        return results
+
+
+def path_reverse_latency(
+    sim: TracerouteSimulator, dst_prefix_index: int, src_prefix_index: int
+) -> float:
+    """One-way reverse latency from the destination prefix back to the source."""
+    dst_info = sim.topo.prefixes[PrefixId(dst_prefix_index)]
+    reverse = sim._reverse_latency(dst_info.attachment_pop, src_prefix_index)
+    if reverse is None:
+        return 0.0
+    return reverse

@@ -1,0 +1,114 @@
+"""Vantage point selection.
+
+Two populations mirror the paper's measurement platforms: a
+"PlanetLab-like" set of well-connected vantage points used to build the
+TO_DST atlas, and a "DIMES-like" population of ordinary edge hosts used
+for the atlas-scaling study (Section 6.1.2) and for FROM_SRC client
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.topology.model import Topology
+from repro.util.ids import PrefixId, random_ip_in_prefix
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class VantagePoint:
+    """A measurement host: a stable IP inside an edge prefix."""
+
+    name: str
+    host_ip: int
+    prefix_index: int
+    asn: int
+
+
+def select_vantage_points(
+    topo: Topology,
+    count: int,
+    kind: str = "planetlab",
+    seed: int = 0,
+    exclude_prefixes: set[int] | None = None,
+) -> list[VantagePoint]:
+    """Choose ``count`` vantage points spread over distinct ASes.
+
+    ``kind`` labels the population ("planetlab" or "dimes") and seeds an
+    independent stream, so adding DIMES agents never perturbs the PlanetLab
+    set. PlanetLab-like VPs prefer transit/multi-PoP ASes (universities and
+    research networks are well connected); DIMES-like VPs are uniform over
+    edge prefixes.
+    """
+    if count <= 0:
+        raise MeasurementError("vantage point count must be positive")
+    exclude = exclude_prefixes or set()
+    rng = derive_rng(seed, f"vantage.{kind}")
+    candidates = [
+        info for info in topo.prefixes.values() if info.prefix.index not in exclude
+    ]
+    if not candidates:
+        raise MeasurementError("no candidate prefixes for vantage points")
+    if kind == "planetlab":
+        # Weight toward ASes with more PoPs (well-connected institutions).
+        weights = np.array(
+            [len(topo.ases[info.origin_asn].pop_ids) for info in candidates],
+            dtype=float,
+        )
+    else:
+        weights = np.ones(len(candidates))
+    weights /= weights.sum()
+
+    chosen: list[VantagePoint] = []
+    used_ases: set[int] = set()
+    order = rng.choice(len(candidates), size=len(candidates), replace=False, p=weights)
+    # First pass: one VP per AS; second pass fills up if we run out of ASes.
+    for pass_allow_repeat in (False, True):
+        for i in order:
+            if len(chosen) >= count:
+                break
+            info = candidates[int(i)]
+            if not pass_allow_repeat and info.origin_asn in used_ases:
+                continue
+            if any(vp.prefix_index == info.prefix.index for vp in chosen):
+                continue
+            host_ip = random_ip_in_prefix(info.prefix, rng)
+            chosen.append(
+                VantagePoint(
+                    name=f"{kind}-{len(chosen):03d}",
+                    host_ip=host_ip,
+                    prefix_index=info.prefix.index,
+                    asn=info.origin_asn,
+                )
+            )
+            used_ases.add(info.origin_asn)
+        if len(chosen) >= count:
+            break
+    if len(chosen) < count:
+        raise MeasurementError(
+            f"only {len(chosen)} prefixes available for {count} vantage points"
+        )
+    return chosen
+
+
+def probe_targets(
+    topo: Topology,
+    per_vp: int | None = None,
+    seed: int = 0,
+) -> list[int]:
+    """The prefix indices a vantage point probes (all, or a random sample).
+
+    The paper probes one destination in each of 140K prefixes from every
+    PlanetLab node; with our smaller synthetic prefix table we default to
+    probing all prefixes, and DIMES-like agents sample ``per_vp`` of them.
+    """
+    all_prefixes = sorted(info.prefix.index for info in topo.prefixes.values())
+    if per_vp is None or per_vp >= len(all_prefixes):
+        return all_prefixes
+    rng = derive_rng(seed, "vantage.targets")
+    picked = rng.choice(all_prefixes, size=per_vp, replace=False)
+    return sorted(int(p) for p in picked)

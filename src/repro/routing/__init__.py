@@ -1,0 +1,28 @@
+"""Ground-truth routing over the synthetic topology.
+
+`repro.routing.bgp` computes, for every destination AS (and every
+traffic-engineered announcement variant), the AS-level route each AS
+selects, honouring valley-free export, local preference
+(customer < peer < provider, with per-AS deviations), shortest AS path,
+and stable neighbor-rank tie-breaks. `repro.routing.forwarding` expands AS
+paths to PoP-level paths with early-/late-exit intra-domain routing and
+answers end-to-end queries (paths, RTTs, loss). `repro.routing.dynamics`
+evolves a topology day by day; `repro.routing.failures` injects failures
+for the detour experiments.
+"""
+
+from repro.routing.bgp import RouteTable, compute_routes
+from repro.routing.forwarding import ForwardingEngine, PathResult
+from repro.routing.dynamics import DayConfig, evolve_topology
+from repro.routing.failures import FailureScenario, sample_failures
+
+__all__ = [
+    "RouteTable",
+    "compute_routes",
+    "ForwardingEngine",
+    "PathResult",
+    "DayConfig",
+    "evolve_topology",
+    "FailureScenario",
+    "sample_failures",
+]

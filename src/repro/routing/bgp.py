@@ -1,0 +1,241 @@
+"""AS-level route computation (ground truth).
+
+For each *announcement* (a destination AS together with the provider set it
+exports its prefixes through), we simulate BGP route selection to a fixed
+point. Each AS picks its best route by
+
+1. local preference class — customer(0) < peer(1) < provider(2), with
+   per-AS deviations overriding the class for specific neighbors,
+2. AS-path length,
+3. the AS's stable neighbor rank (deterministic tie-break).
+
+Export follows the standard rules: routes learned from customers are
+exported to everyone; routes learned from peers/providers only to
+customers. Siblings exchange all routes (treated as an extension of the
+same organization).
+
+The fixed point is computed with synchronous rounds; with valley-free
+preferences this converges in O(diameter) rounds, and we cap rounds as a
+safety net against (intentionally modelled) preference deviations creating
+slow convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.topology.model import Topology
+from repro.topology.relationships import Relationship
+
+#: Preference classes (lower is better).
+PREF_CUSTOMER = 0
+PREF_PEER = 1
+PREF_PROVIDER = 2
+
+_MAX_ROUNDS = 60
+
+
+def _pref_class(topo: Topology, asn: int, neighbor: int) -> int:
+    """Preference class AS ``asn`` assigns routes learned from ``neighbor``."""
+    override = topo.ases[asn].pref_deviations.get(neighbor)
+    if override is not None:
+        return override
+    rel = topo.relationships.get(asn, neighbor)
+    if rel is Relationship.PROVIDER:  # neighbor is my customer
+        return PREF_CUSTOMER
+    if rel is Relationship.SIBLING:
+        return PREF_CUSTOMER  # same organization: treated like customer routes
+    if rel is Relationship.PEER:
+        return PREF_PEER
+    return PREF_PROVIDER
+
+
+@dataclass(frozen=True, slots=True)
+class _Route:
+    """A candidate route at some AS: preference class, path, learned-from."""
+
+    pref: int
+    path: tuple[int, ...]  # AS path, first element = this AS's next hop ... origin
+    learned_from: int      # neighbor the route was learned from (== path[0])
+    learned_rel: Relationship | None  # relationship toward that neighbor
+
+
+@dataclass
+class RouteTable:
+    """Selected AS routes toward one announcement.
+
+    ``next_hop[asn]`` is the neighbor ``asn`` forwards to; origin ASes map
+    to themselves. ``as_path(asn)`` returns the full path including ``asn``
+    and the origin.
+    """
+
+    origin: int
+    announce_key: frozenset[int] | None
+    next_hop: dict[int, int] = field(default_factory=dict)
+    _paths: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
+
+    def reaches(self, asn: int) -> bool:
+        return asn in self._paths or asn == self.origin
+
+    def as_path(self, asn: int) -> tuple[int, ...]:
+        """AS path from ``asn`` to the origin, inclusive on both ends."""
+        if asn == self.origin:
+            return (asn,)
+        try:
+            return (asn,) + self._paths[asn]
+        except KeyError:
+            raise RoutingError(f"AS {asn} has no route to AS {self.origin}") from None
+
+    def ases_with_routes(self) -> list[int]:
+        return sorted(self._paths)
+
+
+def _export_allowed(
+    topo: Topology, owner: int, route: _Route, to_neighbor: int
+) -> bool:
+    """May ``owner`` export ``route`` to ``to_neighbor``?
+
+    Standard rules, keyed on where the route was learned: own/customer/
+    sibling routes go to everyone; peer/provider routes go only to
+    customers (and siblings).
+    """
+    rel_to = topo.relationships.get(owner, to_neighbor)
+    if rel_to is None:
+        return False
+    if rel_to is Relationship.SIBLING:
+        return True  # same organization sees everything
+    if rel_to is Relationship.PROVIDER:
+        # to_neighbor is owner's customer: export everything
+        return True
+    # Exporting to a peer or provider: only own or customer/sibling routes.
+    if route.learned_rel is None:
+        return True  # origin's own announcement
+    return route.learned_rel in (Relationship.PROVIDER, Relationship.SIBLING)
+
+
+def _origin_export_allowed(
+    topo: Topology,
+    origin: int,
+    to_neighbor: int,
+    announce: frozenset[int] | None,
+) -> bool:
+    """May the origin announce its own prefixes to ``to_neighbor``?
+
+    ``announce`` restricts which *providers* receive the announcement
+    (traffic engineering); customers, peers and siblings always do.
+    """
+    rel = topo.relationships.get(origin, to_neighbor)
+    if rel is None:
+        return False
+    if rel is Relationship.CUSTOMER and announce is not None:
+        return to_neighbor in announce
+    return True
+
+
+def compute_routes(
+    topo: Topology,
+    origin: int,
+    announce: frozenset[int] | None = None,
+) -> RouteTable:
+    """Compute every AS's selected route toward ``origin``.
+
+    ``announce`` optionally restricts the providers through which the
+    origin announces (per-AS or per-prefix traffic engineering). The result
+    is deterministic for a given topology.
+    """
+    if origin not in topo.ases:
+        raise RoutingError(f"unknown origin AS {origin}")
+
+    best: dict[int, _Route] = {}
+    # Seed: origin's neighbors that receive the announcement.
+    frontier: set[int] = set()
+    for neighbor in topo.relationships.neighbors(origin):
+        if not _origin_export_allowed(topo, origin, neighbor, announce):
+            continue
+        route = _Route(
+            pref=_pref_class(topo, neighbor, origin),
+            path=(origin,),
+            learned_from=origin,
+            learned_rel=topo.relationships.get(neighbor, origin),
+        )
+        best[neighbor] = route
+        frontier.add(neighbor)
+
+    rank = {asn: topo.ases[asn].neighbor_rank for asn in topo.ases}
+
+    def better(asn: int, a: _Route, b: _Route | None) -> bool:
+        if b is None:
+            return True
+        ka = (a.pref, len(a.path), rank[asn].get(a.learned_from, 1 << 30))
+        kb = (b.pref, len(b.path), rank[asn].get(b.learned_from, 1 << 30))
+        return ka < kb
+
+    for _ in range(_MAX_ROUNDS):
+        if not frontier:
+            break
+        next_frontier: set[int] = set()
+        # Deterministic iteration order.
+        for owner in sorted(frontier):
+            route = best[owner]
+            for neighbor in topo.relationships.neighbors(owner):
+                if neighbor == origin or neighbor in route.path or neighbor == route.learned_from:
+                    continue
+                if not _export_allowed(topo, owner, route, neighbor):
+                    continue
+                candidate = _Route(
+                    pref=_pref_class(topo, neighbor, owner),
+                    path=(owner,) + route.path,
+                    learned_from=owner,
+                    learned_rel=topo.relationships.get(neighbor, owner),
+                )
+                if better(neighbor, candidate, best.get(neighbor)):
+                    best[neighbor] = candidate
+                    next_frontier.add(neighbor)
+        frontier = next_frontier
+
+    table = RouteTable(origin=origin, announce_key=announce)
+    for asn, route in best.items():
+        table.next_hop[asn] = route.learned_from
+        table._paths[asn] = route.path
+    table.next_hop[origin] = origin
+    return table
+
+
+class RouteOracle:
+    """Caches :func:`compute_routes` results per (origin, announcement).
+
+    The forwarding engine asks for routes toward a *prefix*; this resolves
+    the prefix's effective announcement configuration and memoizes the
+    route table.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._cache: dict[tuple[int, frozenset[int] | None], RouteTable] = {}
+
+    def announcement_for_prefix(self, prefix_index: int) -> tuple[int, frozenset[int] | None]:
+        """Resolve (origin ASN, announce provider set) for a prefix."""
+        from repro.util.ids import PrefixId
+
+        info = self.topo.prefixes.get(PrefixId(prefix_index))
+        if info is None:
+            raise RoutingError(f"unknown prefix index {prefix_index}")
+        as_obj = self.topo.ases[info.origin_asn]
+        announce = as_obj.prefix_announce_overrides.get(
+            prefix_index, as_obj.announce_providers
+        )
+        return info.origin_asn, announce
+
+    def table_for(self, origin: int, announce: frozenset[int] | None) -> RouteTable:
+        key = (origin, announce)
+        if key not in self._cache:
+            self._cache[key] = compute_routes(self.topo, origin, announce)
+        return self._cache[key]
+
+    def table_for_prefix(self, prefix_index: int) -> RouteTable:
+        origin, announce = self.announcement_for_prefix(prefix_index)
+        return self.table_for(origin, announce)
+
+    def invalidate(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,171 @@
+"""Day-to-day evolution of the ground-truth network.
+
+The stationarity experiments (Figure 4, Sections 6.2.x) need a network that
+changes realistically between atlas snapshots: most routes persist, some
+links change latency slightly, the set of lossy links churns, a few
+tie-break preferences flip (moving routes), and occasional inter-AS links
+appear or disappear.
+
+``evolve_topology(base, day)`` returns an independent topology snapshot for
+``day`` (day 0 is the base). Evolution is cumulative and deterministic: day
+``k`` applies ``k`` successive daily steps to the base.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.topology.model import AutonomousSystem, Link, Topology
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class DayConfig:
+    """Magnitudes of the daily change processes.
+
+    Defaults are tuned so that roughly half of PoP-level paths remain
+    identical across a day and ~90% keep similarity >= 0.75, matching the
+    shape of the paper's Figure 4.
+    """
+
+    latency_jitter_fraction: float = 0.15
+    latency_jitter_sigma: float = 0.03
+    loss_toggle_on_prob: float = 0.015
+    loss_toggle_off_prob: float = 0.30
+    loss_resample_prob: float = 0.40
+    loss_rate_range: tuple[float, float] = (0.005, 0.15)
+    rank_shuffle_fraction: float = 0.12
+    deviation_toggle_prob: float = 0.02
+    interconnect_drop_prob: float = 0.01
+    interconnect_add_prob: float = 0.01
+
+
+def _copy_topology(base: Topology) -> Topology:
+    """Structural copy that shares nothing mutable with ``base``."""
+    ases = {
+        asn: AutonomousSystem(
+            asn=a.asn,
+            tier=a.tier,
+            pop_ids=list(a.pop_ids),
+            neighbor_rank=dict(a.neighbor_rank),
+            pref_deviations=dict(a.pref_deviations),
+            announce_providers=a.announce_providers,
+            prefix_announce_overrides=dict(a.prefix_announce_overrides),
+        )
+        for asn, a in base.ases.items()
+    }
+    return Topology(
+        ases=ases,
+        pops=copy.deepcopy(base.pops),
+        links=dict(base.links),
+        prefixes=dict(base.prefixes),
+        relationships=base.relationships,  # business relationships are stable
+        late_exit_pairs=set(base.late_exit_pairs),
+        link_ifaces=dict(base.link_ifaces),
+    )
+
+
+def _step(topo: Topology, rng: np.random.Generator, cfg: DayConfig) -> None:
+    """Apply one day's worth of change to ``topo`` in place."""
+    lo, hi = cfg.loss_rate_range
+
+    def fresh_loss() -> float:
+        return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+    # Latency jitter and loss churn, applied per undirected adjacency so the
+    # two directions stay consistent in latency.
+    for key in sorted(topo.links):
+        src, dst = key
+        if src > dst:
+            continue
+        fwd = topo.links[(src, dst)]
+        rev = topo.links[(dst, src)]
+        latency = fwd.latency_ms
+        if rng.random() < cfg.latency_jitter_fraction:
+            latency = max(0.1, latency * float(np.exp(rng.normal(0, cfg.latency_jitter_sigma))))
+
+        def evolve_loss(current: float) -> float:
+            if current == 0.0:
+                return fresh_loss() if rng.random() < cfg.loss_toggle_on_prob else 0.0
+            if rng.random() < cfg.loss_toggle_off_prob:
+                return 0.0
+            if rng.random() < cfg.loss_resample_prob:
+                return fresh_loss()
+            return current
+
+        topo.links[(src, dst)] = replace(fwd, latency_ms=latency, loss_rate=evolve_loss(fwd.loss_rate))
+        topo.links[(dst, src)] = replace(rev, latency_ms=latency, loss_rate=evolve_loss(rev.loss_rate))
+
+    # Tie-break rank churn: swap two neighbor ranks in a fraction of ASes.
+    for asn in sorted(topo.ases):
+        as_obj = topo.ases[asn]
+        if len(as_obj.neighbor_rank) >= 2 and rng.random() < cfg.rank_shuffle_fraction:
+            a, b = rng.choice(sorted(as_obj.neighbor_rank), size=2, replace=False)
+            a, b = int(a), int(b)
+            as_obj.neighbor_rank[a], as_obj.neighbor_rank[b] = (
+                as_obj.neighbor_rank[b],
+                as_obj.neighbor_rank[a],
+            )
+        # Rarely toggle a preference deviation on or off.
+        if rng.random() < cfg.deviation_toggle_prob:
+            if as_obj.pref_deviations:
+                as_obj.pref_deviations.pop(sorted(as_obj.pref_deviations)[0])
+            else:
+                neighbors = sorted(as_obj.neighbor_rank)
+                if neighbors:
+                    as_obj.pref_deviations[int(rng.choice(neighbors))] = 0
+
+    # Interconnect churn: drop one parallel link of a multi-link adjacency,
+    # or clone an adjacency onto a new closest PoP pair.
+    adjacencies: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for (src, dst) in topo.links:
+        link = topo.links[(src, dst)]
+        if not link.intra_as and src < dst:
+            a = topo.pops[src].asn
+            b = topo.pops[dst].asn
+            adjacencies.setdefault((min(a, b), max(a, b)), []).append((src, dst))
+    for pair in sorted(adjacencies):
+        plinks = adjacencies[pair]
+        if len(plinks) >= 2 and rng.random() < cfg.interconnect_drop_prob:
+            src, dst = plinks[int(rng.integers(0, len(plinks)))]
+            del topo.links[(src, dst)]
+            del topo.links[(dst, src)]
+        elif rng.random() < cfg.interconnect_add_prob:
+            a, b = pair
+            existing = {frozenset(l) for l in plinks}
+            candidates = [
+                (p, q)
+                for p in topo.ases[a].pop_ids
+                for q in topo.ases[b].pop_ids
+                if frozenset((p, q)) not in existing
+            ]
+            if candidates:
+                p, q = candidates[int(rng.integers(0, len(candidates)))]
+                base = topo.links[plinks[0]]
+                latency = max(0.3, base.latency_ms * float(rng.uniform(0.7, 1.5)))
+                topo.links[(p, q)] = Link(p, q, latency, 0.0, False)
+                topo.links[(q, p)] = Link(q, p, latency, 0.0, False)
+
+
+def evolve_topology(
+    base: Topology,
+    day: int,
+    config: DayConfig | None = None,
+    seed: int = 0,
+) -> Topology:
+    """Topology snapshot for ``day`` (cumulative daily evolution of ``base``).
+
+    Day 0 returns a copy of the base. Deterministic in ``(base, day, seed)``.
+    """
+    if day < 0:
+        raise ValueError("day must be non-negative")
+    cfg = config or DayConfig()
+    topo = _copy_topology(base)
+    for d in range(1, day + 1):
+        rng = derive_rng(seed, f"dynamics.day{d}")
+        _step(topo, rng, cfg)
+    topo.reindex()
+    return topo

@@ -1,0 +1,140 @@
+"""Failure injection and reachability under failures (Figure 11 substrate).
+
+The detour experiment needs wide-area outages: events that make a
+destination unreachable from *some* sources while others can still reach
+it (the paper analyzes cases where >=10% of sources are cut off but >=10%
+still get through). We model an outage as a set of failed directed
+PoP-level links — a path works only if it avoids every failed link. This
+mirrors the black-hole behaviour the paper's detour case targets (BGP has
+not healed the path; alternate AS-level routes through detour hosts may
+still work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NoRouteError, RoutingError
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology.model import Topology
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class FailureScenario:
+    """A single outage event: the failed directed links."""
+
+    failed_links: frozenset[tuple[int, int]]
+    description: str = ""
+
+    def path_works(self, links: tuple[tuple[int, int], ...]) -> bool:
+        return not any(link in self.failed_links for link in links)
+
+
+class FailureAwareReachability:
+    """Reachability oracle for one topology snapshot under a failure set."""
+
+    def __init__(self, engine: ForwardingEngine, scenario: FailureScenario) -> None:
+        self.engine = engine
+        self.scenario = scenario
+        self._cache: dict[tuple[int, int], bool] = {}
+
+    def reachable(self, src_prefix: int, dst_prefix: int) -> bool:
+        """True if the ground-truth path (both directions) avoids failures."""
+        key = (src_prefix, dst_prefix)
+        if key not in self._cache:
+            try:
+                fwd = self.engine.pop_path(src_prefix, dst_prefix)
+                rev = self.engine.pop_path(dst_prefix, src_prefix)
+                ok = self.scenario.path_works(fwd.links) and self.scenario.path_works(rev.links)
+            except (NoRouteError, RoutingError):
+                ok = False
+            self._cache[key] = ok
+        return self._cache[key]
+
+    def detour_works(self, src_prefix: int, relay_prefix: int, dst_prefix: int) -> bool:
+        """True if routing src -> relay -> dst avoids all failures."""
+        return self.reachable(src_prefix, relay_prefix) and self.reachable(
+            relay_prefix, dst_prefix
+        )
+
+
+@dataclass
+class _Candidate:
+    scenario: FailureScenario
+    cut_sources: list[int] = field(default_factory=list)
+    ok_sources: list[int] = field(default_factory=list)
+
+
+def sample_failures(
+    topo: Topology,
+    engine: ForwardingEngine,
+    dst_prefix: int,
+    source_prefixes: list[int],
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+    min_cut_fraction: float = 0.10,
+    min_ok_fraction: float = 0.10,
+    max_attempts: int = 60,
+) -> tuple[FailureScenario, list[int], list[int]] | None:
+    """Sample an outage near ``dst_prefix`` that partially cuts the sources.
+
+    Fails a small set of links concentrated around the destination's
+    upstream (where real partial outages live), retrying until between
+    ``min_cut_fraction`` and ``1 - min_ok_fraction`` of sources lose
+    reachability. Returns ``(scenario, cut_sources, ok_sources)`` or None
+    if no qualifying event was found.
+    """
+    rng = rng if rng is not None else derive_rng(seed, f"failures.{dst_prefix}")
+    # Collect the links used by each source's path to the destination.
+    links_per_source: dict[int, set[tuple[int, int]]] = {}
+    for src in source_prefixes:
+        try:
+            fwd = engine.pop_path(src, dst_prefix)
+            rev = engine.pop_path(dst_prefix, src)
+        except (NoRouteError, RoutingError):
+            continue
+        links_per_source[src] = set(fwd.links) | set(rev.links)
+    if len(links_per_source) < 3:
+        return None
+    all_links = sorted({l for links in links_per_source.values() for l in links})
+
+    for _ in range(max_attempts):
+        # Fail 1-4 links, biased toward links shared by several sources
+        # (transit-side failures) but not by all (so somebody survives).
+        n_fail = int(rng.integers(1, 5))
+        usage = {
+            link: sum(link in links for links in links_per_source.values())
+            for link in all_links
+        }
+        n_sources = len(links_per_source)
+        partial = [
+            link for link, count in usage.items() if 0 < count < n_sources
+        ]
+        if not partial:
+            continue
+        weights = np.array([usage[link] for link in partial], dtype=float)
+        weights /= weights.sum()
+        idx = rng.choice(len(partial), size=min(n_fail, len(partial)), replace=False, p=weights)
+        failed = frozenset(partial[int(i)] for i in idx)
+        # Fail both directions of each chosen adjacency.
+        bidirectional = frozenset(
+            link for (a, b) in failed for link in ((a, b), (b, a))
+        )
+        scenario = FailureScenario(
+            failed_links=bidirectional,
+            description=f"outage near prefix {dst_prefix}",
+        )
+        cut = [
+            src for src, links in links_per_source.items()
+            if any(l in bidirectional for l in links)
+        ]
+        ok = [src for src in links_per_source if src not in set(cut)]
+        if (
+            len(cut) >= min_cut_fraction * n_sources
+            and len(ok) >= min_ok_fraction * n_sources
+        ):
+            return scenario, sorted(cut), sorted(ok)
+    return None

@@ -1,0 +1,250 @@
+"""PoP-level path expansion and end-to-end ground-truth queries.
+
+Given the AS-level route (from `repro.routing.bgp`), this module expands it
+to a concrete PoP path: inside each AS, traffic follows latency-shortest
+intra-PoP paths; at each AS boundary the egress link is chosen by
+*early-exit* (minimize cost inside the current AS) or, for late-exit AS
+pairs, by jointly minimizing the hand-off cost with one AS of lookahead.
+
+Forward and reverse paths are computed independently, so routing asymmetry
+arises naturally (different announcement policies, preference deviations
+and hot-potato choices in each direction).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import NoRouteError, RoutingError
+from repro.routing.bgp import RouteOracle
+from repro.topology.model import Topology
+from repro.util.ids import PrefixId
+
+
+@dataclass(frozen=True, slots=True)
+class PathResult:
+    """A PoP-level one-way path with its performance annotations.
+
+    ``latency_ms`` and ``loss`` cover only the PoP-graph links; access-link
+    contributions are added by :class:`EndToEnd`.
+    """
+
+    pops: tuple[int, ...]
+    links: tuple[tuple[int, int], ...]
+    latency_ms: float
+    loss: float
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.links)
+
+
+@dataclass(frozen=True, slots=True)
+class EndToEnd:
+    """Both directions between two prefixes, with composed RTT and loss."""
+
+    forward: PathResult
+    reverse: PathResult
+    rtt_ms: float
+    loss_forward: float
+    loss_round_trip: float
+
+
+class ForwardingEngine:
+    """Answers ground-truth path queries over one topology snapshot."""
+
+    def __init__(self, topo: Topology, oracle: RouteOracle | None = None) -> None:
+        self.topo = topo
+        self.oracle = oracle or RouteOracle(topo)
+        # Per-AS single-source shortest-path caches over intra-AS links:
+        # (asn, src_pop) -> (dist dict, parent dict)
+        self._sssp_cache: dict[tuple[int, int], tuple[dict[int, float], dict[int, int]]] = {}
+
+    # -- intra-AS shortest paths ------------------------------------------
+
+    def _intra_sssp(self, asn: int, src_pop: int) -> tuple[dict[int, float], dict[int, int]]:
+        key = (asn, src_pop)
+        cached = self._sssp_cache.get(key)
+        if cached is not None:
+            return cached
+        dist: dict[int, float] = {src_pop: 0.0}
+        parent: dict[int, int] = {}
+        heap = [(0.0, src_pop)]
+        while heap:
+            d, pop = heapq.heappop(heap)
+            if d > dist.get(pop, float("inf")):
+                continue
+            for neighbor in self.topo.pop_neighbors(pop):
+                link = self.topo.links[(pop, neighbor)]
+                if not link.intra_as:
+                    continue
+                nd = d + link.latency_ms
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    parent[neighbor] = pop
+                    heapq.heappush(heap, (nd, neighbor))
+        self._sssp_cache[key] = (dist, parent)
+        return dist, parent
+
+    def intra_as_distance(self, asn: int, src_pop: int, dst_pop: int) -> float:
+        """Latency of the intra-AS shortest path, inf if disconnected."""
+        dist, _ = self._intra_sssp(asn, src_pop)
+        return dist.get(dst_pop, float("inf"))
+
+    def _intra_as_path(self, asn: int, src_pop: int, dst_pop: int) -> list[int]:
+        dist, parent = self._intra_sssp(asn, src_pop)
+        if dst_pop not in dist:
+            raise RoutingError(
+                f"AS {asn} PoPs {src_pop} and {dst_pop} are intra-disconnected"
+            )
+        path = [dst_pop]
+        while path[-1] != src_pop:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    # -- boundary (exit) selection ----------------------------------------
+
+    def _choose_exit(
+        self,
+        current_as: int,
+        next_as: int,
+        ingress_pop: int,
+        following_as: int | None,
+        final_pop: int | None,
+    ) -> tuple[int, int]:
+        """Pick the (egress_pop, remote_pop) link from current_as to next_as.
+
+        Early exit minimizes the intra-AS distance to the egress. Late exit
+        additionally counts the link latency and the remote side's onward
+        cost (to the next boundary, or to the destination PoP in the final
+        AS), modelling two siblings jointly optimizing transit latency.
+        """
+        candidates = self.topo.interconnections(current_as, next_as)
+        if not candidates:
+            raise RoutingError(f"no interconnection from AS {current_as} to {next_as}")
+        late = self.topo.uses_late_exit(current_as, next_as)
+
+        def onward_cost(remote_pop: int) -> float:
+            if following_as is None:
+                if final_pop is None:
+                    return 0.0
+                return self.intra_as_distance(next_as, remote_pop, final_pop)
+            next_links = self.topo.interconnections(next_as, following_as)
+            if not next_links:
+                return 0.0
+            return min(
+                self.intra_as_distance(next_as, remote_pop, egress2)
+                for egress2, _ in next_links
+            )
+
+        def early_key(link: tuple[int, int]) -> tuple[float, int, int]:
+            egress, remote = link
+            return (self.intra_as_distance(current_as, ingress_pop, egress), egress, remote)
+
+        def late_key(link: tuple[int, int]) -> tuple[float, int, int]:
+            egress, remote = link
+            total = (
+                self.intra_as_distance(current_as, ingress_pop, egress)
+                + self.topo.links[(egress, remote)].latency_ms
+                + onward_cost(remote)
+            )
+            return (total, egress, remote)
+
+        best = min(candidates, key=late_key if late else early_key)
+        if self.intra_as_distance(current_as, ingress_pop, best[0]) == float("inf"):
+            raise RoutingError(
+                f"ingress PoP {ingress_pop} cannot reach egress in AS {current_as}"
+            )
+        return best
+
+    # -- path expansion ----------------------------------------------------
+
+    def pop_path_from_pop(self, src_pop: int, prefix_index: int) -> PathResult:
+        """Ground-truth PoP path from ``src_pop`` to the prefix's attachment PoP."""
+        src_asn = self.topo.pops[src_pop].asn
+        table = self.oracle.table_for_prefix(prefix_index)
+        info = self.topo.prefixes[PrefixId(prefix_index)]
+        dst_pop = info.attachment_pop
+        if src_asn == info.origin_asn:
+            as_path: tuple[int, ...] = (src_asn,)
+        else:
+            if not table.reaches(src_asn):
+                raise NoRouteError(src_pop, prefix_index)
+            as_path = table.as_path(src_asn)
+
+        pops: list[int] = [src_pop]
+        current = src_pop
+        for i, asn in enumerate(as_path[:-1]):
+            next_as = as_path[i + 1]
+            following = as_path[i + 2] if i + 2 < len(as_path) else None
+            final = dst_pop if i + 1 == len(as_path) - 1 else None
+            egress, remote = self._choose_exit(asn, next_as, current, following, final)
+            segment = self._intra_as_path(asn, current, egress)
+            pops.extend(segment[1:])
+            pops.append(remote)
+            current = remote
+        last_as = as_path[-1]
+        segment = self._intra_as_path(last_as, current, dst_pop)
+        pops.extend(segment[1:])
+        return self._annotate(tuple(pops))
+
+    def _annotate(self, pops: tuple[int, ...]) -> PathResult:
+        links: list[tuple[int, int]] = []
+        latency = 0.0
+        success = 1.0
+        for a, c in zip(pops, pops[1:]):
+            link = self.topo.links[(a, c)]
+            links.append((a, c))
+            latency += link.latency_ms
+            success *= 1.0 - link.loss_rate
+        return PathResult(
+            pops=pops, links=tuple(links), latency_ms=latency, loss=1.0 - success
+        )
+
+    def pop_path(self, src_prefix_index: int, dst_prefix_index: int) -> PathResult:
+        """PoP path between the attachment PoPs of two prefixes."""
+        src_info = self.topo.prefixes[PrefixId(src_prefix_index)]
+        return self.pop_path_from_pop(src_info.attachment_pop, dst_prefix_index)
+
+    def as_path_between(self, src_prefix_index: int, dst_prefix_index: int) -> tuple[int, ...]:
+        """AS-level ground-truth path between two prefixes (deduplicated)."""
+        path = self.pop_path(src_prefix_index, dst_prefix_index)
+        as_seq: list[int] = []
+        for pop in path.pops:
+            asn = self.topo.pops[pop].asn
+            if not as_seq or as_seq[-1] != asn:
+                as_seq.append(asn)
+        return tuple(as_seq)
+
+    def end_to_end(self, src_prefix_index: int, dst_prefix_index: int) -> EndToEnd:
+        """Both directions between two prefixes, with access links included."""
+        src_info = self.topo.prefixes[PrefixId(src_prefix_index)]
+        dst_info = self.topo.prefixes[PrefixId(dst_prefix_index)]
+        forward = self.pop_path(src_prefix_index, dst_prefix_index)
+        reverse = self.pop_path(dst_prefix_index, src_prefix_index)
+        access_lat = src_info.access_latency_ms + dst_info.access_latency_ms
+        rtt = forward.latency_ms + reverse.latency_ms + 2 * access_lat
+        access_success = (1 - src_info.access_loss) * (1 - dst_info.access_loss)
+        fwd_loss = 1 - (1 - forward.loss) * access_success
+        rt_loss = 1 - (1 - forward.loss) * (1 - reverse.loss) * access_success**2
+        return EndToEnd(
+            forward=forward,
+            reverse=reverse,
+            rtt_ms=rtt,
+            loss_forward=fwd_loss,
+            loss_round_trip=rt_loss,
+        )
+
+    def rtt_ms(self, src_prefix_index: int, dst_prefix_index: int) -> float:
+        return self.end_to_end(src_prefix_index, dst_prefix_index).rtt_ms
+
+    def reachable(self, src_prefix_index: int, dst_prefix_index: int) -> bool:
+        """True if a policy-compliant route exists in both directions."""
+        try:
+            self.pop_path(src_prefix_index, dst_prefix_index)
+            self.pop_path(dst_prefix_index, src_prefix_index)
+        except (NoRouteError, RoutingError):
+            return False
+        return True

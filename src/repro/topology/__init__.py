@@ -1,0 +1,39 @@
+"""Synthetic Internet topology substrate.
+
+The paper measures the real Internet from PlanetLab; offline, we generate a
+structurally faithful stand-in: a tiered AS graph with
+customer/provider/peer/sibling relationships, PoPs placed in a geometric
+plane, routers and numbered interfaces inside each PoP, inter- and
+intra-domain links annotated with propagation latency and loss, and edge
+prefixes originated by ASes.
+
+The ground truth generated here is *hidden* from the predictor; only the
+measurement layer (`repro.measurement`) may read it, and the atlas/predictor
+see nothing but simulated traceroutes, probes and BGP feed snapshots.
+"""
+
+from repro.topology.relationships import Relationship, RelationshipMap
+from repro.topology.model import (
+    AutonomousSystem,
+    Interface,
+    Link,
+    Pop,
+    PrefixInfo,
+    Router,
+    Topology,
+)
+from repro.topology.generator import TopologyConfig, generate_topology
+
+__all__ = [
+    "Relationship",
+    "RelationshipMap",
+    "AutonomousSystem",
+    "Interface",
+    "Link",
+    "Pop",
+    "PrefixInfo",
+    "Router",
+    "Topology",
+    "TopologyConfig",
+    "generate_topology",
+]

@@ -1,0 +1,439 @@
+"""Synthetic Internet generator.
+
+Produces a tiered AS topology with the structural features the paper's
+prediction problem depends on:
+
+* a clique of tier-1 ASes peering with each other,
+* multi-homed transit (tier-2) ASes with selective peering,
+* stub (tier-3) ASes, some multi-homed,
+* sibling AS pairs running late-exit routing between themselves,
+* per-AS stable neighbor preference ranks (learnable by Section 4.3.3),
+* local-preference deviations from customer<peer<provider (Section 4.3's
+  "incorrect local preferences" error source),
+* traffic-engineered prefix announcements where an AS's provider set is a
+  proper subset of its upstream neighbors (Section 4.3.4),
+* PoPs embedded in a geometric plane so propagation latency, early-exit and
+  late-exit are all meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.model import (
+    AutonomousSystem,
+    Link,
+    Pop,
+    PrefixInfo,
+    Router,
+    Topology,
+)
+from repro.topology.relationships import Relationship, RelationshipMap
+from repro.util.ids import PREFIX_SIZE, PrefixId
+from repro.util.rng import derive_rng
+
+#: Interface IPs are allocated from this base upward, far above any edge
+#: prefix the generator allocates, so the two address blocks never collide.
+INFRASTRUCTURE_IP_BASE = 0x80000000  # 128.0.0.0
+#: Edge prefixes start here (prefix index), i.e. at 0.0.4.0/24.
+EDGE_PREFIX_BASE_INDEX = 4
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs for the synthetic Internet. Defaults give a mid-size network."""
+
+    seed: int = 0
+    n_tier1: int = 8
+    n_tier2: int = 60
+    n_tier3: int = 240
+    # provider multi-homing: probability distribution over 1, 2, 3 providers
+    multihoming_probs: tuple[float, float, float] = (0.35, 0.45, 0.20)
+    tier2_peering_prob: float = 0.20
+    tier3_peering_prob: float = 0.012
+    n_sibling_pairs: int = 6
+    pops_tier1: tuple[int, int] = (6, 12)
+    pops_tier2: tuple[int, int] = (2, 6)
+    pops_tier3: tuple[int, int] = (1, 2)
+    routers_per_pop: tuple[int, int] = (1, 3)
+    # geometry: unit square; latency = distance * latency_scale + jitter
+    latency_scale_ms: float = 55.0
+    min_link_latency_ms: float = 0.3
+    region_spread: float = 0.08
+    interconnects_tier1: int = 3
+    interconnects_default: int = 1
+    extra_interconnect_prob: float = 0.35
+    # loss model
+    lossy_link_fraction: float = 0.08
+    lossy_access_fraction: float = 0.12
+    loss_rate_range: tuple[float, float] = (0.005, 0.15)
+    # prefixes per AS by tier
+    prefixes_tier1: tuple[int, int] = (2, 5)
+    prefixes_tier2: tuple[int, int] = (2, 8)
+    prefixes_tier3: tuple[int, int] = (1, 5)
+    access_latency_range_ms: tuple[float, float] = (0.3, 3.0)
+    # routing-behaviour realism: fractions of ASes departing from textbook
+    # customer<peer<provider routing. These are deliberately substantial —
+    # the paper attributes most of GRAPH's 31%-accuracy failures to exactly
+    # these behaviours (Section 4.3), so the synthetic Internet must
+    # exhibit them at a rate that separates GRAPH from full iNano.
+    pref_deviation_fraction: float = 0.20
+    traffic_engineering_fraction: float = 0.40
+    per_prefix_te_fraction: float = 0.3
+
+    def validate(self) -> None:
+        if self.n_tier1 < 2:
+            raise TopologyError("need at least 2 tier-1 ASes")
+        if abs(sum(self.multihoming_probs) - 1.0) > 1e-9:
+            raise TopologyError("multihoming_probs must sum to 1")
+        if self.n_sibling_pairs * 2 > self.n_tier2:
+            raise TopologyError("too many sibling pairs for tier-2 population")
+
+
+@dataclass
+class _Builder:
+    """Mutable state threaded through the generation passes."""
+
+    config: TopologyConfig
+    rng: np.random.Generator
+    ases: dict[int, AutonomousSystem] = field(default_factory=dict)
+    pops: dict[int, Pop] = field(default_factory=dict)
+    links: dict[tuple[int, int], Link] = field(default_factory=dict)
+    prefixes: dict[PrefixId, PrefixInfo] = field(default_factory=dict)
+    relationships: RelationshipMap = field(default_factory=RelationshipMap)
+    late_exit_pairs: set[frozenset[int]] = field(default_factory=set)
+    link_ifaces: dict[tuple[int, int], int] = field(default_factory=dict)
+    regions: dict[int, tuple[float, float]] = field(default_factory=dict)
+    next_pop_id: int = 0
+    next_router_id: int = 0
+    next_iface_ip: int = INFRASTRUCTURE_IP_BASE
+    next_prefix_index: int = EDGE_PREFIX_BASE_INDEX
+
+
+def generate_topology(config: TopologyConfig | None = None) -> Topology:
+    """Generate a full ground-truth topology from ``config``.
+
+    Deterministic for a given ``config.seed``.
+    """
+    config = config or TopologyConfig()
+    config.validate()
+    b = _Builder(config=config, rng=derive_rng(config.seed, "topology"))
+    _create_ases(b)
+    _create_relationships(b)
+    _create_pops(b)
+    _create_intra_as_links(b)
+    _create_inter_as_links(b)
+    _create_routers_and_interfaces(b)
+    _allocate_prefixes(b)
+    _assign_behaviour(b)
+    topo = Topology(
+        ases=b.ases,
+        pops=b.pops,
+        links=b.links,
+        prefixes=b.prefixes,
+        relationships=b.relationships,
+        late_exit_pairs=b.late_exit_pairs,
+        link_ifaces=b.link_ifaces,
+    )
+    topo.validate()
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# generation passes
+
+
+def _create_ases(b: _Builder) -> None:
+    cfg = b.config
+    asn = 1
+    for tier, count in ((1, cfg.n_tier1), (2, cfg.n_tier2), (3, cfg.n_tier3)):
+        for _ in range(count):
+            b.ases[asn] = AutonomousSystem(asn=asn, tier=tier)
+            asn += 1
+
+
+def _tier_asns(b: _Builder, tier: int) -> list[int]:
+    return [a.asn for a in b.ases.values() if a.tier == tier]
+
+
+def _create_relationships(b: _Builder) -> None:
+    cfg, rng = b.config, b.rng
+    tier1 = _tier_asns(b, 1)
+    tier2 = _tier_asns(b, 2)
+    tier3 = _tier_asns(b, 3)
+
+    # Tier-1 clique: all pairs peer.
+    for a, c in itertools.combinations(tier1, 2):
+        b.relationships.set(a, c, Relationship.PEER)
+
+    def pick_providers(candidates: list[int]) -> list[int]:
+        k = 1 + int(rng.choice(3, p=list(cfg.multihoming_probs)))
+        k = min(k, len(candidates))
+        return list(rng.choice(candidates, size=k, replace=False))
+
+    # Tier-2: providers from tier-1 (and occasionally an earlier tier-2).
+    for asn in tier2:
+        candidates = list(tier1)
+        earlier = [x for x in tier2 if x < asn]
+        if earlier and rng.random() < 0.3:
+            candidates = candidates + list(rng.choice(earlier, size=1))
+        for provider in pick_providers(candidates):
+            if not b.relationships.are_adjacent(provider, asn):
+                b.relationships.set(provider, asn, Relationship.PROVIDER)
+
+    # Tier-2 selective peering.
+    for a, c in itertools.combinations(tier2, 2):
+        if b.relationships.are_adjacent(a, c):
+            continue
+        if rng.random() < cfg.tier2_peering_prob:
+            b.relationships.set(a, c, Relationship.PEER)
+
+    # Sibling pairs among tier-2 (same organization; late-exit).
+    unpaired = [a for a in tier2 if not b.relationships.siblings_of(a)]
+    rng.shuffle(unpaired)
+    for i in range(cfg.n_sibling_pairs):
+        a, c = unpaired[2 * i], unpaired[2 * i + 1]
+        if b.relationships.are_adjacent(a, c):
+            continue
+        b.relationships.set(a, c, Relationship.SIBLING)
+        b.late_exit_pairs.add(frozenset((a, c)))
+
+    # Tier-3 stubs: providers mostly from tier-2, sometimes tier-1.
+    for asn in tier3:
+        pool = tier2 if rng.random() < 0.85 else tier1
+        for provider in pick_providers(pool):
+            if not b.relationships.are_adjacent(provider, asn):
+                b.relationships.set(provider, asn, Relationship.PROVIDER)
+
+    # Sparse tier-3 regional peering.
+    n_pairs = int(cfg.tier3_peering_prob * len(tier3) * len(tier3) / 2)
+    for _ in range(n_pairs):
+        a, c = rng.choice(tier3, size=2, replace=False)
+        if not b.relationships.are_adjacent(int(a), int(c)):
+            b.relationships.set(int(a), int(c), Relationship.PEER)
+
+
+def _create_pops(b: _Builder) -> None:
+    cfg, rng = b.config, b.rng
+    for as_obj in b.ases.values():
+        center = (float(rng.random()), float(rng.random()))
+        b.regions[as_obj.asn] = center
+        lo, hi = {
+            1: cfg.pops_tier1,
+            2: cfg.pops_tier2,
+            3: cfg.pops_tier3,
+        }[as_obj.tier]
+        n_pops = int(rng.integers(lo, hi + 1))
+        for _ in range(n_pops):
+            if as_obj.tier == 1:
+                # Tier-1 backbones span the whole plane.
+                loc = (float(rng.random()), float(rng.random()))
+            else:
+                loc = (
+                    float(np.clip(center[0] + rng.normal(0, cfg.region_spread), 0, 1)),
+                    float(np.clip(center[1] + rng.normal(0, cfg.region_spread), 0, 1)),
+                )
+            pop = Pop(pop_id=b.next_pop_id, asn=as_obj.asn, location=loc)
+            b.pops[pop.pop_id] = pop
+            as_obj.pop_ids.append(pop.pop_id)
+            b.next_pop_id += 1
+
+
+def _distance(b: _Builder, p: int, q: int) -> float:
+    (x1, y1), (x2, y2) = b.pops[p].location, b.pops[q].location
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def _link_latency(b: _Builder, p: int, q: int) -> float:
+    cfg = b.config
+    jitter = float(b.rng.uniform(0.0, 0.5))
+    return max(
+        cfg.min_link_latency_ms,
+        _distance(b, p, q) * cfg.latency_scale_ms + jitter,
+    )
+
+
+def _draw_loss(b: _Builder, lossy_prob: float) -> float:
+    cfg = b.config
+    if b.rng.random() >= lossy_prob:
+        return 0.0
+    lo, hi = cfg.loss_rate_range
+    # Log-uniform: most lossy links mildly lossy, a few very lossy.
+    return float(np.exp(b.rng.uniform(np.log(lo), np.log(hi))))
+
+
+def _add_link_pair(b: _Builder, p: int, q: int, intra: bool) -> None:
+    if p == q or (p, q) in b.links:
+        return
+    latency = _link_latency(b, p, q)
+    lossy_prob = b.config.lossy_link_fraction * (0.5 if intra else 1.0)
+    b.links[(p, q)] = Link(p, q, latency, _draw_loss(b, lossy_prob), intra)
+    b.links[(q, p)] = Link(q, p, latency, _draw_loss(b, lossy_prob), intra)
+
+
+def _create_intra_as_links(b: _Builder) -> None:
+    """Connect each AS's PoPs: geometric MST plus a few chords."""
+    for as_obj in b.ases.values():
+        pids = as_obj.pop_ids
+        if len(pids) == 1:
+            continue
+        # Prim's MST over geometric distance.
+        in_tree = {pids[0]}
+        remaining = set(pids[1:])
+        while remaining:
+            best = min(
+                ((p, q) for p in in_tree for q in remaining),
+                key=lambda pq: _distance(b, *pq),
+            )
+            _add_link_pair(b, best[0], best[1], intra=True)
+            in_tree.add(best[1])
+            remaining.discard(best[1])
+        # Chords for redundancy (ring-like closure for larger ASes).
+        if len(pids) >= 4:
+            n_chords = max(1, len(pids) // 3)
+            for _ in range(n_chords):
+                p, q = b.rng.choice(pids, size=2, replace=False)
+                _add_link_pair(b, int(p), int(q), intra=True)
+
+
+def _create_inter_as_links(b: _Builder) -> None:
+    """Pick interconnection PoP pairs for each AS adjacency (closest-first)."""
+    cfg = b.config
+    for a, c, rel in b.relationships.edges():
+        pops_a, pops_c = b.ases[a].pop_ids, b.ases[c].pop_ids
+        pairs = sorted(
+            ((p, q) for p in pops_a for q in pops_c),
+            key=lambda pq: _distance(b, *pq),
+        )
+        both_tier1 = b.ases[a].tier == 1 and b.ases[c].tier == 1
+        n = cfg.interconnects_tier1 if both_tier1 else cfg.interconnects_default
+        if rel is Relationship.SIBLING:
+            n = max(n, 2)  # siblings interconnect richly (late-exit needs choice)
+        if b.rng.random() < cfg.extra_interconnect_prob:
+            n += 1
+        used_pops_a: set[int] = set()
+        added = 0
+        for p, q in pairs:
+            if added >= n:
+                break
+            if p in used_pops_a and len(pops_a) > added:
+                continue  # spread interconnects across distinct PoPs
+            _add_link_pair(b, p, q, intra=False)
+            used_pops_a.add(p)
+            added += 1
+        if added == 0:  # degenerate geometry fallback
+            p, q = pairs[0]
+            _add_link_pair(b, p, q, intra=False)
+
+
+def _create_routers_and_interfaces(b: _Builder) -> None:
+    """Create routers per PoP and one interface per incident link direction.
+
+    Interfaces model what traceroute sees: the ingress interface of the
+    router terminating each link. Every PoP also gets one loopback-style
+    interface so destinations inside infrastructure are addressable.
+    """
+    cfg = b.config
+    incident: dict[int, list[tuple[int, int]]] = {pid: [] for pid in b.pops}
+    for (src, dst) in b.links:
+        incident[dst].append((src, dst))  # interface lives at link's far end
+
+    # Interface IPs are allocated from a per-AS /16-style block so every
+    # infrastructure /24 belongs to exactly one AS — route collectors can
+    # then announce an origin for infrastructure space, which is how real
+    # systems map router interfaces to ASes.
+    next_ip_in_as: dict[int, int] = {}
+
+    def alloc_ip(asn: int) -> int:
+        offset = next_ip_in_as.get(asn, 0)
+        next_ip_in_as[asn] = offset + 1
+        if offset >= 0xFFFF:
+            raise TopologyError(f"AS {asn} exhausted its interface block")
+        return INFRASTRUCTURE_IP_BASE + (asn << 16) + offset
+
+    b.link_ifaces = {}
+    for pop in b.pops.values():
+        n_routers = int(b.rng.integers(cfg.routers_per_pop[0], cfg.routers_per_pop[1] + 1))
+        routers = []
+        for _ in range(n_routers):
+            router = Router(router_id=b.next_router_id, pop_id=pop.pop_id)
+            b.next_router_id += 1
+            routers.append(router)
+            pop.routers.append(router)
+        # Loopback interface on the first router.
+        routers[0].add_interface(alloc_ip(pop.asn))
+        # One ingress interface per incident link, spread over routers.
+        for idx, directed_link in enumerate(sorted(incident[pop.pop_id])):
+            router = routers[idx % n_routers]
+            iface = router.add_interface(alloc_ip(pop.asn))
+            b.link_ifaces[directed_link] = iface.ip
+
+
+def _allocate_prefixes(b: _Builder) -> None:
+    cfg = b.config
+    for as_obj in b.ases.values():
+        lo, hi = {
+            1: cfg.prefixes_tier1,
+            2: cfg.prefixes_tier2,
+            3: cfg.prefixes_tier3,
+        }[as_obj.tier]
+        n_prefixes = int(b.rng.integers(lo, hi + 1))
+        for _ in range(n_prefixes):
+            prefix = PrefixId(b.next_prefix_index)
+            b.next_prefix_index += 1
+            pop_id = int(b.rng.choice(as_obj.pop_ids))
+            access_lat = float(b.rng.uniform(*cfg.access_latency_range_ms))
+            access_loss = _draw_loss(b, cfg.lossy_access_fraction)
+            b.prefixes[prefix] = PrefixInfo(
+                prefix=prefix,
+                origin_asn=as_obj.asn,
+                attachment_pop=pop_id,
+                access_latency_ms=access_lat,
+                access_loss=access_loss,
+            )
+    if b.next_prefix_index * PREFIX_SIZE >= INFRASTRUCTURE_IP_BASE:
+        raise TopologyError("edge prefix space collided with infrastructure IPs")
+
+
+def _assign_behaviour(b: _Builder) -> None:
+    """Attach routing-behaviour knobs to each AS."""
+    cfg, rng = b.config, b.rng
+    for as_obj in b.ases.values():
+        neighbors = b.relationships.neighbors(as_obj.asn)
+        order = list(neighbors)
+        rng.shuffle(order)
+        as_obj.neighbor_rank = {asn: rank for rank, asn in enumerate(order)}
+
+        # Local-preference deviations: promote a random non-customer
+        # neighbor to top preference (class 0), modelling regional or
+        # performance-driven departures from customer<peer<provider.
+        non_customers = [
+            n for n in neighbors
+            if b.relationships.get(as_obj.asn, n)
+            in (Relationship.CUSTOMER, Relationship.PEER)
+        ]
+        if non_customers and rng.random() < cfg.pref_deviation_fraction:
+            favored = int(rng.choice(non_customers))
+            as_obj.pref_deviations[favored] = 0
+
+        # Traffic engineering: announce own prefixes through a proper
+        # subset of providers (Section 4.3.4's provider-vs-upstream gap).
+        providers = b.relationships.providers_of(as_obj.asn)
+        if len(providers) >= 2 and rng.random() < cfg.traffic_engineering_fraction:
+            k = int(rng.integers(1, len(providers)))
+            subset = frozenset(int(x) for x in rng.choice(providers, size=k, replace=False))
+            as_obj.announce_providers = subset
+            # Some of those ASes additionally engineer per-prefix.
+            if rng.random() < cfg.per_prefix_te_fraction:
+                own = [p for p in b.prefixes.values() if p.origin_asn == as_obj.asn]
+                if len(own) >= 2:
+                    victim = own[int(rng.integers(0, len(own)))]
+                    other = frozenset(
+                        {int(rng.choice([x for x in providers]))}
+                    )
+                    as_obj.prefix_announce_overrides[victim.prefix.index] = other

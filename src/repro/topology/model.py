@@ -1,0 +1,260 @@
+"""Core topology data model: ASes, PoPs, routers, interfaces, links, prefixes.
+
+Identifiers
+-----------
+* ASes are integers (``asn``), allocated densely from 1.
+* PoPs are integers (``pop_id``), globally unique across ASes.
+* Routers are integers (``router_id``), globally unique.
+* Interfaces are 32-bit IP integers drawn from a reserved infrastructure
+  block, distinct from the edge-prefix block that hosts live in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.relationships import Relationship, RelationshipMap
+from repro.util.ids import PrefixId
+
+
+@dataclass(frozen=True, slots=True)
+class Interface:
+    """A numbered router interface."""
+
+    ip: int
+    router_id: int
+    pop_id: int
+
+
+@dataclass
+class Router:
+    """A router inside a PoP, owning one or more interfaces."""
+
+    router_id: int
+    pop_id: int
+    interfaces: list[Interface] = field(default_factory=list)
+
+    def add_interface(self, ip: int) -> Interface:
+        iface = Interface(ip=ip, router_id=self.router_id, pop_id=self.pop_id)
+        self.interfaces.append(iface)
+        return iface
+
+
+@dataclass
+class Pop:
+    """A Point of Presence: co-located routers of one AS at one location."""
+
+    pop_id: int
+    asn: int
+    location: tuple[float, float]
+    routers: list[Router] = field(default_factory=list)
+
+    @property
+    def interfaces(self) -> list[Interface]:
+        return [iface for router in self.routers for iface in router.interfaces]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed PoP-level adjacency with performance annotations.
+
+    Links are stored once per direction; ``latency_ms`` is propagation-only
+    (symmetric in practice, but the two directions may carry different loss
+    rates). ``intra_as`` marks links whose endpoints share an AS.
+    """
+
+    src_pop: int
+    dst_pop: int
+    latency_ms: float
+    loss_rate: float
+    intra_as: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixInfo:
+    """An edge /24: who originates it, where it attaches, and its access link.
+
+    ``access_latency_ms``/``access_loss`` describe the last-mile hop between
+    the attachment PoP and hosts in the prefix; probes to hosts traverse it.
+    """
+
+    prefix: PrefixId
+    origin_asn: int
+    attachment_pop: int
+    access_latency_ms: float = 1.0
+    access_loss: float = 0.0
+
+
+@dataclass
+class AutonomousSystem:
+    """An AS: tier, its PoPs, and routing-behaviour knobs.
+
+    ``neighbor_rank`` is a strict preference order over neighbor ASes used
+    to break ties among equally-preferred routes; it is *stable*, which is
+    what makes the paper's AS-preference inference (Section 4.3.3) learnable.
+    ``pref_deviations`` maps a neighbor ASN to an overridden preference
+    class (0=best), modelling the "incorrect local preferences" the paper
+    blames for part of GRAPH's error. ``announce_providers`` restricts which
+    providers this AS announces *its own prefixes* through (the Section
+    4.3.4 traffic-engineering case); ``None`` means all providers.
+    """
+
+    asn: int
+    tier: int
+    pop_ids: list[int] = field(default_factory=list)
+    neighbor_rank: dict[int, int] = field(default_factory=dict)
+    pref_deviations: dict[int, int] = field(default_factory=dict)
+    announce_providers: frozenset[int] | None = None
+    prefix_announce_overrides: dict[int, frozenset[int]] = field(default_factory=dict)
+
+
+@dataclass
+class Topology:
+    """The complete ground-truth Internet, with lookup indices."""
+
+    ases: dict[int, AutonomousSystem]
+    pops: dict[int, Pop]
+    links: dict[tuple[int, int], Link]
+    prefixes: dict[PrefixId, PrefixInfo]
+    relationships: RelationshipMap
+    late_exit_pairs: set[frozenset[int]] = field(default_factory=set)
+    #: Directed link (src_pop, dst_pop) -> ingress interface IP at dst_pop.
+    #: Links created after generation (day churn) fall back to the PoP's
+    #: loopback interface, mimicking routers reusing an existing address.
+    link_ifaces: dict[tuple[int, int], int] = field(default_factory=dict)
+    _iface_index: dict[int, Interface] = field(default_factory=dict, repr=False)
+    _pop_neighbors: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _as_adjacency_links: dict[tuple[int, int], list[tuple[int, int]]] = field(
+        default_factory=dict, repr=False
+    )
+    _prefixes_by_as: dict[int, list[PrefixInfo]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild derived lookup tables after mutation (e.g. day evolution)."""
+        self._iface_index = {}
+        for pop in self.pops.values():
+            for iface in pop.interfaces:
+                if iface.ip in self._iface_index:
+                    raise TopologyError(f"duplicate interface IP {iface.ip}")
+                self._iface_index[iface.ip] = iface
+        self._pop_neighbors = {pop_id: [] for pop_id in self.pops}
+        self._as_adjacency_links = {}
+        for (src, dst) in self.links:
+            self._pop_neighbors[src].append(dst)
+            a = self.pops[src].asn
+            b = self.pops[dst].asn
+            if a != b:
+                self._as_adjacency_links.setdefault((a, b), []).append((src, dst))
+        for neighbors in self._pop_neighbors.values():
+            neighbors.sort()
+        self._prefixes_by_as = {}
+        for info in self.prefixes.values():
+            self._prefixes_by_as.setdefault(info.origin_asn, []).append(info)
+
+    # -- lookups ---------------------------------------------------------
+
+    def interface(self, ip: int) -> Interface:
+        try:
+            return self._iface_index[ip]
+        except KeyError:
+            raise TopologyError(f"unknown interface IP {ip}") from None
+
+    def has_interface(self, ip: int) -> bool:
+        return ip in self._iface_index
+
+    def pop_of_interface(self, ip: int) -> Pop:
+        return self.pops[self.interface(ip).pop_id]
+
+    def loopback_ip(self, pop_id: int) -> int:
+        """The PoP's loopback-style interface (first interface created)."""
+        pop = self.pops[pop_id]
+        return pop.routers[0].interfaces[0].ip
+
+    def ingress_interface_ip(self, src_pop: int, dst_pop: int) -> int:
+        """Interface a traceroute sees when entering ``dst_pop`` from ``src_pop``."""
+        return self.link_ifaces.get((src_pop, dst_pop), self.loopback_ip(dst_pop))
+
+    def infra_prefix_origins(self) -> dict[int, int]:
+        """Origin AS of every /24 that contains router interfaces.
+
+        Mirrors what BGP collectors see for infrastructure address space.
+        """
+        from repro.util.ids import PREFIX_SIZE
+
+        origins: dict[int, int] = {}
+        for pop in self.pops.values():
+            for iface in pop.interfaces:
+                origins[iface.ip // PREFIX_SIZE] = pop.asn
+        return origins
+
+    def asn_of_pop(self, pop_id: int) -> int:
+        return self.pops[pop_id].asn
+
+    def pop_neighbors(self, pop_id: int) -> list[int]:
+        return self._pop_neighbors.get(pop_id, [])
+
+    def link(self, src_pop: int, dst_pop: int) -> Link:
+        try:
+            return self.links[(src_pop, dst_pop)]
+        except KeyError:
+            raise TopologyError(f"no link {src_pop}->{dst_pop}") from None
+
+    def interconnections(self, a: int, b: int) -> list[tuple[int, int]]:
+        """PoP-level links from AS ``a`` to AS ``b``."""
+        return self._as_adjacency_links.get((a, b), [])
+
+    def prefixes_of_as(self, asn: int) -> list[PrefixInfo]:
+        return self._prefixes_by_as.get(asn, [])
+
+    def uses_late_exit(self, a: int, b: int) -> bool:
+        """True if ASes ``a`` and ``b`` jointly run late-exit routing."""
+        return frozenset((a, b)) in self.late_exit_pairs
+
+    # -- statistics ------------------------------------------------------
+
+    @property
+    def n_ases(self) -> int:
+        return len(self.ases)
+
+    @property
+    def n_pops(self) -> int:
+        return len(self.pops)
+
+    @property
+    def n_links(self) -> int:
+        """Number of undirected PoP-level adjacencies."""
+        return sum(1 for (s, d) in self.links if s < d)
+
+    def as_degree(self, asn: int) -> int:
+        return len(self.relationships.neighbors(asn))
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises TopologyError on violation."""
+        for (src, dst), link in self.links.items():
+            if (dst, src) not in self.links:
+                raise TopologyError(f"link {src}->{dst} missing reverse direction")
+            if link.latency_ms <= 0:
+                raise TopologyError(f"non-positive latency on {src}->{dst}")
+            if not 0.0 <= link.loss_rate < 1.0:
+                raise TopologyError(f"loss rate out of range on {src}->{dst}")
+            same_as = self.pops[src].asn == self.pops[dst].asn
+            if link.intra_as != same_as:
+                raise TopologyError(f"intra_as flag wrong on {src}->{dst}")
+        for asn, as_obj in self.ases.items():
+            if not as_obj.pop_ids:
+                raise TopologyError(f"AS {asn} has no PoPs")
+            for pop_id in as_obj.pop_ids:
+                if self.pops[pop_id].asn != asn:
+                    raise TopologyError(f"PoP {pop_id} not owned by AS {asn}")
+        for info in self.prefixes.values():
+            if self.pops[info.attachment_pop].asn != info.origin_asn:
+                raise TopologyError(
+                    f"prefix {info.prefix} attached outside its origin AS"
+                )
+        for a, b, rel in self.relationships.edges():
+            if rel is Relationship.SIBLING and not self.interconnections(a, b):
+                raise TopologyError(f"sibling ASes {a},{b} share no link")

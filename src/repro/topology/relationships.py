@@ -1,0 +1,128 @@
+"""Ground-truth business relationships between ASes.
+
+Relationships drive both route export (valley-free) and local preference
+(customer < peer < provider). Sibling ASes (same organization, e.g. the
+Bell South pair the paper cites) additionally use *late-exit* routing
+between each other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+
+class Relationship(enum.Enum):
+    """Relationship of AS ``a`` towards AS ``b`` for ``rel(a, b)``."""
+
+    PROVIDER = "provider"  # a is b's provider (a sells transit to b)
+    CUSTOMER = "customer"  # a is b's customer
+    PEER = "peer"          # settlement-free peers
+    SIBLING = "sibling"    # same organization
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        return self
+
+
+@dataclass
+class RelationshipMap:
+    """Directed relationship table over AS pairs.
+
+    Stores ``rel(a, b)``: the role *a plays towards b*. Always kept
+    symmetric-consistent (``rel(b, a) == rel(a, b).inverse()``).
+    """
+
+    _table: dict[tuple[int, int], Relationship] = field(default_factory=dict)
+
+    def set(self, a: int, b: int, rel: Relationship) -> None:
+        """Record that ``a`` is ``rel`` of ``b`` (and the inverse view)."""
+        if a == b:
+            raise TopologyError(f"self-relationship for AS {a}")
+        existing = self._table.get((a, b))
+        if existing is not None and existing is not rel:
+            raise TopologyError(
+                f"conflicting relationship for AS pair ({a}, {b}): "
+                f"{existing.value} vs {rel.value}"
+            )
+        self._table[(a, b)] = rel
+        self._table[(b, a)] = rel.inverse()
+
+    def get(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``a`` towards ``b``, or None if not adjacent."""
+        return self._table.get((a, b))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return (a, b) in self._table
+
+    def neighbors(self, a: int) -> list[int]:
+        """All ASes adjacent to ``a``."""
+        return sorted({b for (x, b) in self._table if x == a})
+
+    def customers_of(self, a: int) -> list[int]:
+        """ASes that buy transit from ``a``."""
+        return sorted(
+            b for (x, b), rel in self._table.items()
+            if x == a and rel is Relationship.PROVIDER
+        )
+
+    def providers_of(self, a: int) -> list[int]:
+        """ASes that ``a`` buys transit from."""
+        return sorted(
+            b for (x, b), rel in self._table.items()
+            if x == a and rel is Relationship.CUSTOMER
+        )
+
+    def peers_of(self, a: int) -> list[int]:
+        return sorted(
+            b for (x, b), rel in self._table.items()
+            if x == a and rel is Relationship.PEER
+        )
+
+    def siblings_of(self, a: int) -> list[int]:
+        return sorted(
+            b for (x, b), rel in self._table.items()
+            if x == a and rel is Relationship.SIBLING
+        )
+
+    def edges(self) -> list[tuple[int, int, Relationship]]:
+        """Each adjacency once, as ``(a, b, rel(a, b))`` with ``a < b``."""
+        return sorted(
+            (a, b, rel) for (a, b), rel in self._table.items() if a < b
+        )
+
+    def __len__(self) -> int:
+        return len(self._table) // 2
+
+    def is_valley_free(self, as_path: list[int]) -> bool:
+        """Check the valley-free property of an AS-level path.
+
+        A path may climb customer->provider / sibling edges, cross at most
+        one peer edge, and then descend provider->customer / sibling edges.
+        Unknown adjacencies make the path invalid.
+        """
+        # state 0: climbing, state 1: after peak (peer crossed or descending)
+        state = 0
+        peer_used = False
+        for a, b in zip(as_path, as_path[1:]):
+            rel = self.get(a, b)
+            if rel is None:
+                return False
+            if rel is Relationship.SIBLING:
+                continue
+            if rel is Relationship.CUSTOMER:  # a -> its provider: climbing
+                if state == 1:
+                    return False
+            elif rel is Relationship.PEER:
+                if state == 1 or peer_used:
+                    return False
+                peer_used = True
+                state = 1
+            else:  # PROVIDER: a -> its customer: descending
+                state = 1
+        return True

@@ -1,0 +1,41 @@
+"""Shared utilities: deterministic RNG streams, IP/prefix codecs, statistics.
+
+These helpers are deliberately dependency-light; everything above this layer
+(topology, measurement, atlas, core) builds on them.
+"""
+
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.ids import (
+    PrefixId,
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    prefix_of_ip,
+    random_ip_in_prefix,
+)
+from repro.util.stats import (
+    Cdf,
+    fraction_at_most,
+    median,
+    percentile,
+    summarize,
+)
+from repro.util.compression import compressed_size, compression_report
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "PrefixId",
+    "format_ip",
+    "ip_in_prefix",
+    "parse_ip",
+    "prefix_of_ip",
+    "random_ip_in_prefix",
+    "Cdf",
+    "fraction_at_most",
+    "median",
+    "percentile",
+    "summarize",
+    "compressed_size",
+    "compression_report",
+]

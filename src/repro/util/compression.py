@@ -1,0 +1,58 @@
+"""Compressed-size accounting for atlas datasets.
+
+Table 2 of the paper reports each atlas dataset's *compressed* on-disk size.
+We reproduce that accounting by serializing each dataset to its binary wire
+format and measuring ``zlib``-compressed bytes (the paper used gzip; both
+are DEFLATE, so relative sizes are preserved).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Mapping
+
+
+def compressed_size(payload: bytes, level: int = 6) -> int:
+    """Size in bytes of ``payload`` after DEFLATE compression."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise TypeError("payload must be bytes")
+    return len(zlib.compress(bytes(payload), level))
+
+
+def compression_ratio(payload: bytes, level: int = 6) -> float:
+    """Compressed/raw size ratio; 1.0 for empty payloads."""
+    if len(payload) == 0:
+        return 1.0
+    return compressed_size(payload, level) / len(payload)
+
+
+def compression_report(datasets: Mapping[str, bytes]) -> dict[str, dict[str, float]]:
+    """Per-dataset raw size, compressed size, and ratio.
+
+    ``datasets`` maps dataset name to its serialized bytes. The returned
+    mapping adds a ``"total"`` row, mirroring Table 2's bottom line.
+    """
+    report: dict[str, dict[str, float]] = {}
+    total_raw = 0
+    total_compressed = 0
+    for name, payload in datasets.items():
+        raw = len(payload)
+        comp = compressed_size(payload)
+        total_raw += raw
+        total_compressed += comp
+        report[name] = {
+            "raw_bytes": raw,
+            "compressed_bytes": comp,
+            "ratio": comp / raw if raw else 1.0,
+        }
+    report["total"] = {
+        "raw_bytes": total_raw,
+        "compressed_bytes": total_compressed,
+        "ratio": total_compressed / total_raw if total_raw else 1.0,
+    }
+    return report
+
+
+def megabytes(n_bytes: float) -> float:
+    """Bytes -> MB (10^6, as used in the paper's '7MB' figures)."""
+    return n_bytes / 1_000_000.0

@@ -1,0 +1,89 @@
+"""IPv4 address and prefix arithmetic.
+
+The simulator allocates synthetic IPv4 space: every prefix is a ``/24``
+carved out of ``10.0.0.0/8``-style integer space, identified by a
+:class:`PrefixId`. Working in integers keeps hot paths fast; dotted-quad
+formatting exists only for display and parsing of user input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+#: Number of host addresses in each simulated prefix (a /24).
+PREFIX_SIZE = 256
+PREFIX_BITS = 24
+_MAX_IP = 2**32 - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad ``text`` into a 32-bit integer.
+
+    Raises :class:`ValueError` for malformed input.
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(ip: int) -> str:
+    """Format integer ``ip`` as a dotted quad."""
+    if not 0 <= ip <= _MAX_IP:
+        raise ValueError(f"IP integer out of range: {ip}")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixId:
+    """A simulated /24 prefix, identified by its index in allocation order.
+
+    ``base_ip`` is the first address in the prefix; all 256 addresses
+    ``base_ip .. base_ip+255`` belong to it.
+    """
+
+    index: int
+
+    @property
+    def base_ip(self) -> int:
+        base = self.index * PREFIX_SIZE
+        if base > _MAX_IP:
+            raise TopologyError(f"prefix index {self.index} exceeds IPv4 space")
+        return base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{format_ip(self.base_ip)}/{PREFIX_BITS}"
+
+
+def prefix_of_ip(ip: int) -> PrefixId:
+    """Return the /24 prefix containing ``ip``."""
+    if not 0 <= ip <= _MAX_IP:
+        raise ValueError(f"IP integer out of range: {ip}")
+    return PrefixId(ip // PREFIX_SIZE)
+
+
+def ip_in_prefix(ip: int, prefix: PrefixId) -> bool:
+    """True if ``ip`` falls inside ``prefix``."""
+    return ip // PREFIX_SIZE == prefix.index
+
+
+def random_ip_in_prefix(prefix: PrefixId, rng: np.random.Generator) -> int:
+    """Draw a uniform host address from ``prefix``.
+
+    Avoids the network (``.0``) and broadcast (``.255``) addresses, matching
+    the convention the traceroute simulator uses for probe targets.
+    """
+    offset = int(rng.integers(1, PREFIX_SIZE - 1))
+    return prefix.base_ip + offset

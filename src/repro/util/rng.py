@@ -1,0 +1,71 @@
+"""Deterministic random-stream management.
+
+Every stochastic component in the simulator (topology generation, traceroute
+noise, loss sampling, day-to-day route churn, ...) draws from its own named
+stream derived from a single experiment seed. This keeps experiments
+reproducible while ensuring that, e.g., enabling extra loss probes does not
+perturb the topology that gets generated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _stable_hash(label: str) -> int:
+    """Map a label to a stable 64-bit integer (Python's hash() is salted)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(seed: int, label: str) -> np.random.Generator:
+    """Return a generator for the stream named ``label`` under ``seed``.
+
+    The same ``(seed, label)`` pair always yields an identical stream,
+    independent of any other streams that were created.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed, _stable_hash(label)]))
+
+
+class SeedSequenceFactory:
+    """Factory handing out independent named random streams.
+
+    Example::
+
+        seeds = SeedSequenceFactory(42)
+        topo_rng = seeds.rng("topology")
+        probe_rng = seeds.rng("measurement.loss")
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed
+        self._issued: dict[str, np.random.Generator] = {}
+
+    def rng(self, label: str) -> np.random.Generator:
+        """Return the generator for ``label``, creating it on first use.
+
+        Repeated calls with the same label return the *same* generator
+        object, so sequential draws continue the stream rather than
+        restarting it.
+        """
+        if label not in self._issued:
+            self._issued[label] = derive_rng(self.seed, label)
+        return self._issued[label]
+
+    def fresh(self, label: str) -> np.random.Generator:
+        """Return a brand-new generator for ``label``, restarting its stream."""
+        rng = derive_rng(self.seed, label)
+        self._issued[label] = rng
+        return rng
+
+    def child(self, label: str) -> "SeedSequenceFactory":
+        """Derive a nested factory, e.g. one per simulated day."""
+        return SeedSequenceFactory(_stable_hash(f"{self.seed}:{label}") % (2**31))
+
+    def issued_labels(self) -> list[str]:
+        """Labels of all streams created so far (for debugging/tests)."""
+        return sorted(self._issued)

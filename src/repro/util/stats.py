@@ -1,0 +1,125 @@
+"""Small statistics helpers shared by the evaluation harness and benchmarks.
+
+The paper reports results almost exclusively as CDFs ("median error of
+11ms", "80% of paths within 10% loss error"); :class:`Cdf` provides the
+operations those plots need, in text form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of ``values``; raises ValueError on empty input."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(arr))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q out of range: {q}")
+    return float(np.percentile(arr, q))
+
+
+def fraction_at_most(values: Iterable[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= ``threshold`` (CDF evaluated at a point)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("fraction_at_most of empty sequence")
+    return float(np.mean(arr <= threshold))
+
+
+@dataclass
+class Cdf:
+    """An empirical CDF over a sample of floats."""
+
+    samples: Sequence[float]
+    _sorted: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(list(self.samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("Cdf requires at least one sample")
+        self._sorted = np.sort(arr)
+
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    def at(self, x: float) -> float:
+        """P[X <= x]."""
+        return float(np.searchsorted(self._sorted, x, side="right") / len(self))
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF: smallest x with P[X <= x] >= p."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"quantile p out of range: {p}")
+        idx = min(len(self) - 1, max(0, int(np.ceil(p * len(self))) - 1))
+        return float(self._sorted[idx])
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self, max_points: int = 50) -> list[tuple[float, float]]:
+        """(x, P[X<=x]) pairs suitable for a text plot or export."""
+        n = len(self)
+        step = max(1, n // max_points)
+        pts = [
+            (float(self._sorted[i]), (i + 1) / n) for i in range(0, n, step)
+        ]
+        if pts[-1][1] != 1.0:
+            pts.append((float(self._sorted[-1]), 1.0))
+        return pts
+
+    def render(self, label: str, unit: str = "", width: int = 48) -> str:
+        """ASCII rendering of the CDF, one row per decile."""
+        lines = [f"CDF: {label} (n={len(self)})"]
+        for decile in range(1, 11):
+            p = decile / 10
+            x = self.quantile(p)
+            bar = "#" * int(p * width)
+            lines.append(f"  p{decile*10:<3} {x:>10.3f}{unit}  |{bar}")
+        return "\n".join(lines)
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Return a dict of the summary stats used across the benchmarks."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return {
+        "n": float(arr.size),
+        "mean": float(np.mean(arr)),
+        "median": float(np.median(arr)),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }
+
+
+def histogram_bins(values: Iterable[float], bin_width: float, lo: float, hi: float) -> list[tuple[float, float]]:
+    """Histogram of ``values`` with fixed-width bins over [lo, hi].
+
+    Returns (bin_left_edge, fraction) pairs; used for Figure 4's similarity
+    histogram with 0.05-wide bins.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("histogram of empty sequence")
+    if bin_width <= 0 or hi <= lo:
+        raise ValueError("invalid histogram bounds")
+    nbins = int(round((hi - lo) / bin_width))
+    counts, edges = np.histogram(arr, bins=nbins, range=(lo, hi))
+    total = arr.size
+    return [(float(edges[i]), counts[i] / total) for i in range(nbins)]

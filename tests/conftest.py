@@ -1,0 +1,49 @@
+"""Shared fixtures: one small scenario per test session.
+
+The "small" scenario (tiny synthetic Internet, 14 atlas vantage points)
+builds in about a second and is shared across all tests that need a
+realistic pipeline; tests that mutate state must clone what they touch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import get_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return get_scenario("small")
+
+
+@pytest.fixture(scope="session")
+def topo(scenario):
+    return scenario.topology(0)
+
+
+@pytest.fixture(scope="session")
+def engine(scenario):
+    return scenario.engine(0)
+
+
+@pytest.fixture(scope="session")
+def atlas(scenario):
+    return scenario.atlas(0)
+
+
+@pytest.fixture(scope="session")
+def cluster_map(scenario):
+    return scenario.cluster_map(0)
+
+
+@pytest.fixture(scope="session")
+def validation(scenario):
+    return scenario.validation_set()
+
+
+import sys
+from pathlib import Path
+
+# Make tests/helpers.py importable as `helpers` regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,135 @@
+"""Tests for the three case-study applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cdn import LARGE_FILE_BYTES, SMALL_FILE_BYTES, CdnExperiment
+from repro.apps.detour import DetourExperiment
+from repro.apps.voip import VoipExperiment
+from repro.routing.failures import sample_failures
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def hosts(scenario):
+    prefixes = scenario.all_prefixes()
+    rng = derive_rng(13, "test.apps.hosts")
+    return [int(p) for p in rng.choice(prefixes, size=24, replace=False)]
+
+
+class TestCdn:
+    @pytest.fixture(scope="class")
+    def experiment(self, scenario, hosts):
+        clients = hosts[:8]
+        replicas = hosts[8:]
+        return CdnExperiment(
+            engine=scenario.engine(0), clients=clients, replicas=replicas, seed=2
+        )
+
+    def test_optimal_lower_bounds_everything(self, experiment, scenario):
+        strategies = {
+            "measured": experiment.strategy_measured_latency(),
+            "random": experiment.strategy_random(),
+            "inano": experiment.strategy_inano(
+                scenario.shared_predictor(), SMALL_FILE_BYTES
+            ),
+        }
+        result = experiment.run(strategies, SMALL_FILE_BYTES)
+        for name in strategies:
+            for achieved, optimal in zip(
+                result.download_seconds[name], result.optimal_seconds
+            ):
+                assert achieved >= optimal - 1e-12
+
+    def test_measured_latency_optimal_for_small_files_without_loss(
+        self, experiment
+    ):
+        """With latency-dominated small transfers, measured-RTT selection
+        is near-optimal in the median."""
+        strategies = {"measured": experiment.strategy_measured_latency()}
+        result = experiment.run(strategies, SMALL_FILE_BYTES)
+        slowdowns = result.slowdown_vs_optimal("measured")
+        assert float(np.median(slowdowns)) < 1.5
+
+    def test_candidate_sets_deterministic(self, experiment):
+        assert experiment.candidate_sets() == experiment.candidate_sets()
+
+    def test_inano_beats_random_large_files(self, experiment, scenario):
+        strategies = {
+            "inano": experiment.strategy_inano(
+                scenario.shared_predictor(), LARGE_FILE_BYTES
+            ),
+            "random": experiment.strategy_random(),
+        }
+        result = experiment.run(strategies, LARGE_FILE_BYTES)
+        assert result.median_seconds("inano") <= result.median_seconds("random") * 1.25
+
+    def test_result_alignment(self, experiment):
+        strategies = {"random": experiment.strategy_random()}
+        result = experiment.run(strategies, SMALL_FILE_BYTES)
+        assert len(result.download_seconds["random"]) == len(result.optimal_seconds)
+
+
+class TestVoip:
+    @pytest.fixture(scope="class")
+    def result(self, scenario, hosts):
+        experiment = VoipExperiment(engine=scenario.engine(0), hosts=hosts, seed=3)
+        return experiment.run(scenario.shared_predictor(), n_calls=40, max_relays=15)
+
+    def test_all_strategies_scored(self, result):
+        for name in ("inano", "closest_src", "closest_dst", "random"):
+            assert len(result.loss_rates[name]) == 40
+            assert len(result.mos[name]) == 40
+
+    def test_inano_no_worse_than_random_loss(self, result):
+        assert result.median_loss("inano") <= result.median_loss("random") + 1e-9
+
+    def test_loss_in_range(self, result):
+        for losses in result.loss_rates.values():
+            assert all(0.0 <= l <= 1.0 for l in losses)
+
+    def test_mos_in_range(self, result):
+        for scores in result.mos.values():
+            assert all(1.0 <= m <= 4.5 for m in scores)
+
+
+class TestDetour:
+    @pytest.fixture(scope="class")
+    def events(self, scenario, hosts):
+        engine = scenario.engine(0)
+        topo = scenario.topology(0)
+        collected = []
+        for dst in hosts[:10]:
+            sources = [h for h in hosts if h != dst]
+            sampled = sample_failures(topo, engine, dst, sources, seed=dst)
+            if sampled is None:
+                continue
+            scenario_obj, cut, _ = sampled
+            for src in cut[:2]:
+                candidates = [h for h in hosts if h not in (src, dst)]
+                collected.append((scenario_obj, src, dst, candidates))
+        if len(collected) < 4:
+            pytest.skip("too few failure events sampled on this topology")
+        return collected
+
+    def test_unreachability_monotone_in_detours(self, scenario, events):
+        experiment = DetourExperiment(
+            engine=scenario.engine(0),
+            predictor=scenario.shared_predictor(),
+            max_detours=5,
+        )
+        result = experiment.run(events)
+        assert result.n_events == len(events)
+        for strategy in ("inano_disjoint", "random"):
+            fractions = [
+                result.unreachable_fraction(strategy, n) for n in range(1, 6)
+            ]
+            assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_ranking_is_permutation(self, scenario, events):
+        experiment = DetourExperiment(
+            engine=scenario.engine(0), predictor=scenario.shared_predictor()
+        )
+        _, src, dst, candidates = events[0]
+        ranked = experiment.rank_detours(src, dst, candidates)
+        assert sorted(ranked) == sorted(candidates)

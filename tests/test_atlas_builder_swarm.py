@@ -1,0 +1,102 @@
+"""Tests for the atlas builder pipeline and the swarm simulator."""
+
+import pytest
+
+from repro.atlas.builder import LOSS_STORE_THRESHOLD
+from repro.atlas.swarm import SwarmConfig, SwarmResult, simulate_swarm
+
+
+class TestBuiltAtlas:
+    def test_core_datasets_populated(self, atlas):
+        counts = atlas.entry_counts()
+        assert counts["inter_cluster_links"] > 100
+        assert counts["prefix_to_cluster"] > 50
+        assert counts["prefix_to_as"] >= counts["prefix_to_cluster"]
+        assert counts["as_three_tuples"] > 100
+        assert counts["as_degrees"] > 20
+        assert counts["provider_mappings"] > 10
+        assert counts["relationships"] > 20
+
+    def test_validates(self, atlas):
+        atlas.validate()
+
+    def test_loss_entries_above_threshold(self, atlas):
+        assert atlas.link_loss, "expected measured lossy links"
+        for link, loss in atlas.link_loss.items():
+            assert loss >= LOSS_STORE_THRESHOLD
+            assert link in atlas.links
+
+    def test_link_latencies_reasonable(self, atlas, topo):
+        """Estimated latencies track true link latencies for real links."""
+        import numpy as np
+
+        errors = []
+        for (a, b), record in atlas.links.items():
+            if (a, b) in topo.links:  # cluster ids == pop ids when clean
+                errors.append(abs(record.latency_ms - topo.links[(a, b)].latency_ms))
+        assert len(errors) > 50
+        assert float(np.median(errors)) < 2.0
+
+    def test_loss_estimates_track_truth(self, atlas, topo):
+        import numpy as np
+
+        errors = []
+        for (a, b), loss in atlas.link_loss.items():
+            if (a, b) in topo.links:
+                errors.append(abs(loss - topo.links[(a, b)].loss_rate))
+        if not errors:
+            pytest.skip("no measured losses on clean clusters")
+        assert float(np.median(errors)) < 0.05
+
+    def test_three_tuples_commutative(self, atlas):
+        for (a, b, c) in atlas.three_tuples:
+            assert (c, b, a) in atlas.three_tuples
+
+    def test_preferences_reference_real_ases(self, atlas):
+        ases = set(atlas.as_degrees)
+        for (a, b, c) in atlas.preferences:
+            assert a in ases and b in ases and c in ases
+
+    def test_provider_sets_subset_of_upstreams(self, atlas):
+        for asn, providers in atlas.providers.items():
+            upstream = atlas.upstreams.get(asn, frozenset())
+            assert providers <= upstream
+
+    def test_prefix_providers_refine(self, atlas):
+        for prefix_index, providers in atlas.prefix_providers.items():
+            origin = atlas.prefix_to_as.get(prefix_index)
+            assert origin is not None
+            as_level = atlas.providers.get(origin)
+            assert as_level is None or providers != as_level
+
+
+class TestSwarm:
+    def test_completes(self):
+        result = simulate_swarm(SwarmConfig(n_peers=20, file_bytes=500_000, seed=1))
+        assert result.completed_peers == 20
+        assert result.rounds < 500
+
+    def test_seed_serves_minority(self):
+        result = simulate_swarm(SwarmConfig(n_peers=40, file_bytes=1_000_000, seed=2))
+        assert result.seed_byte_fraction < 0.5
+        assert result.chunks_from_peers > result.chunks_from_seed
+
+    def test_total_chunks_conserved(self):
+        cfg = SwarmConfig(n_peers=10, file_bytes=300_000, seed=3)
+        result = simulate_swarm(cfg)
+        expected = result.n_chunks * cfg.n_peers
+        assert result.chunks_from_seed + result.chunks_from_peers == expected
+
+    def test_deterministic(self):
+        cfg = SwarmConfig(n_peers=12, file_bytes=200_000, seed=4)
+        r1, r2 = simulate_swarm(cfg), simulate_swarm(cfg)
+        assert r1.rounds == r2.rounds
+        assert r1.chunks_from_seed == r2.chunks_from_seed
+
+    def test_single_chunk_file(self):
+        result = simulate_swarm(SwarmConfig(n_peers=5, file_bytes=10, seed=5))
+        assert result.n_chunks == 1
+        assert result.completed_peers == 5
+
+    def test_empty_result_fraction(self):
+        assert SwarmResult(0, 0, 0, 0, 0).seed_byte_fraction == 0.0

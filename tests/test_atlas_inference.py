@@ -1,0 +1,175 @@
+"""Tests for the atlas inference modules on hand-crafted inputs."""
+
+import pytest
+
+from repro.atlas.preferences import PreferenceInference
+from repro.atlas.providers import ProviderInference
+from repro.atlas.relationships import (
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    REL_SIBLING,
+    degree_table,
+    infer_relationships,
+)
+from repro.atlas.tuples import collapse_prepending, extract_three_tuples, tuple_check
+
+
+class TestTuples:
+    def test_collapse_prepending(self):
+        assert collapse_prepending((1, 1, 2, 2, 2, 3)) == (1, 2, 3)
+        assert collapse_prepending(()) == ()
+
+    def test_extraction_and_commutativity(self):
+        tuples = extract_three_tuples([(1, 2, 3, 4)])
+        assert (1, 2, 3) in tuples and (3, 2, 1) in tuples
+        assert (2, 3, 4) in tuples and (4, 3, 2) in tuples
+
+    def test_prepending_discounted(self):
+        tuples = extract_three_tuples([(1, 2, 2, 3)])
+        assert (1, 2, 3) in tuples
+
+    def test_degenerate_triples_skipped(self):
+        tuples = extract_three_tuples([(1, 2, 1)])
+        assert not tuples
+
+    def test_tuple_check_low_degree_passes(self):
+        assert tuple_check(set(), {2: 3}, 1, 2, 3, degree_threshold=5)
+
+    def test_tuple_check_high_degree_requires_witness(self):
+        degrees = {2: 10}
+        assert not tuple_check(set(), degrees, 1, 2, 3)
+        assert tuple_check({(1, 2, 3)}, degrees, 1, 2, 3)
+
+    def test_tuple_check_intra_as_trivially_true(self):
+        assert tuple_check(set(), {2: 10}, 2, 2, 3)
+
+
+class TestRelationshipInference:
+    def test_degree_table(self):
+        degrees = degree_table([(1, 2, 3), (2, 4)])
+        assert degrees == {1: 1, 2: 3, 3: 1, 4: 1}
+
+    def test_simple_hierarchy(self):
+        # 5 is everyone's transit hub: paths climb into 5 and descend.
+        paths = [
+            (1, 5, 2),
+            (2, 5, 1),
+            (3, 5, 4),
+            (4, 5, 3),
+            (1, 5, 3),
+            (1, 5, 4),
+            (2, 5, 4),
+            (3, 5, 1),
+        ]
+        rels = infer_relationships(paths)
+        for leaf in (1, 2, 3, 4):
+            assert rels.get(leaf, 5) == REL_CUSTOMER
+            assert rels.is_provider_of(5, leaf)
+
+    def test_sibling_detection(self):
+        # Votes in both directions with comparable counts -> sibling.
+        paths = [(1, 2, 9)] * 3 + [(9, 1, 2)] * 0 + [(2, 1, 8)] * 3 + [(8, 9, 1)] * 0
+        # Give both 1->2 and 2->1 uphill votes by putting a high-degree
+        # peak beyond them in each direction.
+        paths += [(1, 2, 9), (2, 1, 9)]
+        degrees_booster = [(9, 7), (9, 6), (9, 5), (9, 4), (9, 3)]
+        paths += degrees_booster
+        rels = infer_relationships(paths, sibling_ratio=3.0)
+        assert rels.get(1, 2) == REL_SIBLING
+
+    def test_inverse_consistency(self):
+        paths = [(1, 5, 2), (2, 5, 1), (3, 5, 1)]
+        rels = infer_relationships(paths)
+        for (a, b), code in rels.codes.items():
+            inverse = rels.codes[(b, a)]
+            if code == REL_CUSTOMER:
+                assert inverse == REL_PROVIDER
+            elif code == REL_PROVIDER:
+                assert inverse == REL_CUSTOMER
+            else:
+                assert inverse == code
+
+    def test_peer_relabel(self):
+        # Two comparable-degree ASes seen adjacent only at path peaks.
+        paths = [
+            (1, 10, 20, 2),
+            (3, 10, 20, 4),
+            (1, 10, 5),
+            (2, 20, 6),
+            (3, 10, 7),
+            (4, 20, 8),
+        ]
+        rels = infer_relationships(paths)
+        assert rels.get(10, 20) == REL_PEER
+
+
+class TestPreferenceInference:
+    def test_dominant_preference_found(self):
+        inference = PreferenceInference(dominance=3.0)
+        # AS 1 reaches dst 9 via 2 (always), although 3 also reaches 9 in
+        # the same number of hops (witnessed by another source's path).
+        for _ in range(6):
+            inference.add_path((1, 2, 9))
+        inference.add_path((7, 3, 9))  # proves 3 -> 9 in one hop
+        inference.add_path((1, 3, 8))  # proves 1 - 3 adjacency
+        prefs = inference.infer()
+        assert (1, 2, 3) in prefs
+
+    def test_wavering_dropped(self):
+        inference = PreferenceInference(dominance=3.0)
+        for _ in range(4):
+            inference.add_path((1, 2, 9))
+            inference.add_path((1, 3, 9))
+        prefs = inference.infer()
+        assert (1, 2, 3) not in prefs and (1, 3, 2) not in prefs
+
+    def test_different_length_not_voted(self):
+        inference = PreferenceInference()
+        for _ in range(6):
+            inference.add_path((1, 2, 9))
+        inference.add_path((7, 3, 5, 9))  # 3 reaches 9 in 2 hops, not 1
+        inference.add_path((1, 3, 8))
+        prefs = inference.infer()
+        assert (1, 2, 3) not in prefs
+
+    def test_exportability_filter(self):
+        inference = PreferenceInference()
+        for _ in range(6):
+            inference.add_path((1, 2, 9))
+        inference.add_path((7, 3, 9))
+        inference.add_path((1, 3, 8))
+        # AS 3 has high degree but tuple (1, 3, 9) was never observed:
+        # the alternative is an export artifact, so no preference vote.
+        degrees = {3: 10, 1: 2, 2: 2, 9: 2}
+        prefs = inference.infer(three_tuples={(9, 9, 9)}, degrees=degrees)
+        assert (1, 2, 3) not in prefs
+
+
+class TestProviderInference:
+    def test_provider_vs_upstream_split(self):
+        inference = ProviderInference()
+        # 2 carries transit from 1 toward 9 (not terminating at 2).
+        inference.add_path((1, 2, 9), dst_prefix_index=900, terminates=True)
+        # A path terminating at 2 itself arrives via 3 only.
+        inference.add_path((4, 3, 2), dst_prefix_index=200, terminates=True)
+        providers = inference.provider_map()
+        upstreams = inference.upstream_map()
+        assert providers[2] == frozenset({3})
+        assert upstreams[2] == frozenset({1, 3})
+        assert inference.restrictive_ases() == [2]
+
+    def test_prefix_refinement_only_when_different(self):
+        inference = ProviderInference()
+        inference.add_path((1, 3, 5), dst_prefix_index=500, terminates=True)
+        inference.add_path((2, 4, 5), dst_prefix_index=501, terminates=True)
+        prefix_map = inference.prefix_provider_map({500: 5, 501: 5})
+        # AS-level providers of 5 are {3, 4}; each prefix saw only one.
+        assert prefix_map[500] == frozenset({3})
+        assert prefix_map[501] == frozenset({4})
+
+    def test_non_terminating_no_provider_vote(self):
+        inference = ProviderInference()
+        inference.add_path((1, 2, 3))
+        assert inference.provider_map() == {}
+        assert inference.upstream_map()[3] == frozenset({2})

@@ -1,0 +1,170 @@
+"""Round-trip and delta tests for atlas serialization."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.delta import (
+    MONTHLY_REFRESH_DAYS,
+    apply_delta,
+    compute_delta,
+    compressed_delta_sizes,
+    encode_delta,
+)
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.serialization import (
+    compressed_section_sizes,
+    dataset_payloads,
+    decode_atlas,
+    encode_atlas,
+)
+from repro.errors import AtlasFormatError, DeltaMismatchError
+
+
+def make_atlas(day=0, n_links=30, seed=1) -> Atlas:
+    atlas = Atlas(day=day)
+    for i in range(n_links):
+        a, b = i + 1, ((i + seed) % n_links) + n_links + 2
+        atlas.links[(a, b)] = LinkRecord(latency_ms=1.0 + (i % 17) * 0.35)
+        if i % 5 == 0:
+            atlas.link_loss[(a, b)] = 0.01 + (i % 3) * 0.004
+        atlas.cluster_to_as[a] = 100 + i % 7
+        atlas.cluster_to_as[b] = 200 + i % 5
+        atlas.prefix_to_cluster[1000 + i] = a
+        atlas.prefix_to_as[1000 + i] = 100 + i % 7
+        atlas.as_degrees[100 + i % 7] = 3 + i % 4
+        atlas.three_tuples.add((100 + i % 7, 200 + i % 5, 300))
+        if i % 4 == 0:
+            atlas.preferences.add((100 + i % 7, 200 + i % 5, 201 + i % 4))
+        atlas.providers[100 + i % 7] = frozenset({200 + i % 5})
+        atlas.upstreams[100 + i % 7] = frozenset({200 + i % 5, 300})
+        atlas.relationship_codes[(100 + i % 7, 200 + i % 5)] = 0
+        atlas.relationship_codes[(200 + i % 5, 100 + i % 7)] = 1
+    atlas.late_exit_pairs.add(frozenset({100, 200}))
+    return atlas
+
+
+def atlases_equal(a: Atlas, b: Atlas) -> bool:
+    return (
+        a.day == b.day
+        and set(a.links) == set(b.links)
+        and all(
+            abs(a.links[k].latency_ms - b.links[k].latency_ms) <= 0.05
+            for k in a.links
+        )
+        and set(a.link_loss) == set(b.link_loss)
+        and a.prefix_to_cluster == b.prefix_to_cluster
+        and a.prefix_to_as == b.prefix_to_as
+        and a.cluster_to_as == b.cluster_to_as
+        and a.as_degrees == b.as_degrees
+        and a.three_tuples == b.three_tuples
+        and a.preferences == b.preferences
+        and a.providers == b.providers
+        and a.upstreams == b.upstreams
+        and a.relationship_codes == b.relationship_codes
+        and a.late_exit_pairs == b.late_exit_pairs
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        atlas = make_atlas()
+        decoded = decode_atlas(encode_atlas(atlas))
+        assert atlases_equal(atlas, decoded)
+
+    def test_roundtrip_scenario_atlas(self, atlas):
+        decoded = decode_atlas(encode_atlas(atlas))
+        assert set(decoded.links) == set(atlas.links)
+        assert decoded.three_tuples == atlas.three_tuples
+        assert decoded.preferences == atlas.preferences
+        assert decoded.prefix_providers == atlas.prefix_providers
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(AtlasFormatError):
+            decode_atlas(b"XXXX" + b"\x00" * 32)
+
+    def test_truncation_detected(self):
+        payload = encode_atlas(make_atlas())
+        with pytest.raises(Exception):
+            decode_atlas(payload[: len(payload) // 2])
+
+    def test_section_sizes_cover_all_datasets(self):
+        sizes = compressed_section_sizes(make_atlas())
+        payloads = dataset_payloads(make_atlas())
+        assert set(sizes) == set(payloads)
+        assert all(size >= 0 for size in sizes.values())
+
+    def test_compression_effective(self, atlas):
+        payloads = dataset_payloads(atlas)
+        sizes = compressed_section_sizes(atlas)
+        raw_total = sum(len(p) for p in payloads.values())
+        comp_total = sum(sizes.values())
+        assert comp_total < raw_total
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=9))
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_roundtrip_property(self, n_links, seed):
+        atlas = make_atlas(n_links=n_links, seed=seed)
+        assert atlases_equal(atlas, decode_atlas(encode_atlas(atlas)))
+
+
+class TestDelta:
+    def test_identity_delta_is_empty(self):
+        a = make_atlas(day=0)
+        b = make_atlas(day=1)
+        delta = compute_delta(a, b)
+        counts = delta.entry_counts()
+        assert counts["inter_cluster_links"] == 0
+        assert counts["as_three_tuples"] == 0
+
+    def test_apply_reconstructs(self):
+        base = make_atlas(day=0)
+        new = make_atlas(day=1)
+        # Mutate the new day.
+        victim = next(iter(new.links))
+        del new.links[victim]
+        new.link_loss.pop(victim, None)
+        new.links[(90001, 90002)] = LinkRecord(latency_ms=4.0)
+        new.cluster_to_as[90001] = 100
+        new.cluster_to_as[90002] = 200
+        new.three_tuples.add((1, 2, 3))
+        delta = compute_delta(base, new)
+        rebuilt = apply_delta(base, delta)
+        assert set(rebuilt.links) == set(new.links)
+        assert rebuilt.three_tuples == new.three_tuples
+        assert set(rebuilt.link_loss) == set(new.link_loss)
+
+    def test_day_mismatch_rejected(self):
+        base = make_atlas(day=0)
+        new = make_atlas(day=1)
+        delta = compute_delta(base, new)
+        wrong_base = make_atlas(day=5)
+        with pytest.raises(DeltaMismatchError):
+            apply_delta(wrong_base, delta)
+
+    def test_monthly_refresh_carried(self):
+        base = make_atlas(day=MONTHLY_REFRESH_DAYS - 1)
+        new = make_atlas(day=MONTHLY_REFRESH_DAYS)
+        new.preferences.add((7, 8, 9))
+        delta = compute_delta(base, new)
+        assert delta.monthly_refresh
+        rebuilt = apply_delta(base, delta)
+        assert (7, 8, 9) in rebuilt.preferences
+
+    def test_non_monthly_keeps_base_side_tables(self):
+        base = make_atlas(day=3)
+        new = make_atlas(day=4)
+        new.preferences.add((7, 8, 9))  # changes, but not shipped daily
+        delta = compute_delta(base, new)
+        rebuilt = apply_delta(base, delta)
+        assert (7, 8, 9) not in rebuilt.preferences
+
+    def test_delta_encoding_smaller_than_full(self, scenario):
+        base = scenario.atlas(0)
+        new = scenario.atlas(1)
+        delta = compute_delta(base, new)
+        from repro.atlas.serialization import encode_atlas as enc
+
+        assert len(encode_delta(delta)) < len(enc(new))
+        sizes = compressed_delta_sizes(delta)
+        assert sizes["inter_cluster_links"] >= 0

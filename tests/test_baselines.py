@@ -1,0 +1,194 @@
+"""Tests for the comparison systems (composition, RouteScope, Vivaldi, OASIS)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.composition import PathCompositionPredictor
+from repro.baselines.oasis import OasisSelector
+from repro.baselines.routescope import RouteScopePredictor
+from repro.baselines.vivaldi import VivaldiConfig, VivaldiSystem
+from repro.errors import UnknownEndpointError
+
+from helpers import cluster_of, prefix_of, toy_atlas
+
+
+class TestComposition:
+    def _predictor(self, improved=False):
+        atlas = toy_atlas()
+        predictor = PathCompositionPredictor(atlas, improved=improved)
+        # Measured path from AS3's prefix through 1, 2, into 4's prefix.
+        predictor.add_measured_path(
+            [(cluster_of(3), 2.0), (cluster_of(1), 22.0), (cluster_of(2), 42.0),
+             (cluster_of(4), 62.0)],
+            src_prefix=prefix_of(3),
+            dst_prefix=prefix_of(4),
+            reached=True,
+        )
+        # Vantage path from AS1 down to AS5 via 3.
+        predictor.add_measured_path(
+            [(cluster_of(1), 2.0), (cluster_of(3), 22.0), (cluster_of(5), 42.0)],
+            src_prefix=prefix_of(1),
+            dst_prefix=prefix_of(5),
+            reached=True,
+        )
+        return predictor
+
+    def test_direct_path_reused(self):
+        pred = self._predictor()
+        path = pred.predict(prefix_of(3), prefix_of(4))
+        assert path.as_path == (3, 1, 2, 4)
+
+    def test_composition_at_intersection(self):
+        # 3 -> 5: own path reaches cluster 1; vantage path 1 -> 3 -> 5
+        # intersects at cluster 1 (and at 3).
+        pred = self._predictor()
+        path = pred.predict(prefix_of(3), prefix_of(5))
+        assert path.as_path[0] == 3
+        assert path.as_path[-1] == 5
+
+    def test_unknown_endpoint(self):
+        pred = self._predictor()
+        with pytest.raises(UnknownEndpointError):
+            pred.predict(prefix_of(3), 999_999)
+
+    def test_passthrough_source_segments(self):
+        # Predicting from AS1 (no own paths) uses the suffix of the stored
+        # path that passes through cluster_of(1).
+        pred = self._predictor()
+        path = pred.predict(prefix_of(1), prefix_of(5))
+        assert path.as_path == (1, 3, 5)
+
+    def test_size_accounting_grows(self):
+        pred = self._predictor()
+        before = pred.serialized_size_bytes()
+        pred.add_measured_path(
+            [(cluster_of(2), 1.0), (cluster_of(4), 21.0)],
+            src_prefix=prefix_of(2),
+            dst_prefix=prefix_of(4),
+            reached=True,
+        )
+        assert pred.serialized_size_bytes() > before
+        assert pred.n_paths == 3
+
+    def test_improved_variant_checks_tuples(self):
+        # Every splice for 3 -> 4 crosses AS1/AS2; with high degrees and no
+        # observed 3-tuples, the improved variant must reject them all.
+        pred = self._predictor(improved=True)
+        pred.atlas.as_degrees[1] = 10
+        pred.atlas.as_degrees[2] = 10
+        pred.atlas.three_tuples.clear()
+        assert pred.predict_or_none(prefix_of(3), prefix_of(4)) is None
+        # The plain variant still answers.
+        plain = self._predictor(improved=False)
+        assert plain.predict_or_none(prefix_of(3), prefix_of(4)) is not None
+
+
+class TestRouteScope:
+    def test_shortest_valley_free(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas)
+        paths = rs.shortest_valley_free_paths(3, 4)
+        assert paths == [(3, 1, 2, 4)]
+
+    def test_no_valley(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas)
+        # 3 -> 5 -> 4 would be a valley; the only valley-free 3 -> 4 route
+        # goes over the peers. For 3 -> 5 the direct descent is fine.
+        assert rs.shortest_valley_free_paths(3, 5) == [(3, 5)]
+
+    def test_predict_maps_prefixes(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas)
+        path = rs.predict_as_path(prefix_of(3), prefix_of(4))
+        assert path == (3, 1, 2, 4)
+
+    def test_same_as(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas)
+        assert rs.shortest_valley_free_paths(3, 3) == [(3,)]
+
+    def test_unknown_prefix_none(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas)
+        assert rs.predict_as_path(999_999, prefix_of(4)) is None
+
+    def test_deterministic_choice(self):
+        atlas = toy_atlas()
+        rs = RouteScopePredictor(atlas, seed=4)
+        p1 = rs.predict_as_path(prefix_of(3), prefix_of(4))
+        p2 = rs.predict_as_path(prefix_of(3), prefix_of(4))
+        assert p1 == p2
+
+
+class TestVivaldi:
+    def test_converges_on_euclidean_metric(self):
+        """On a genuinely embeddable metric, Vivaldi should get close."""
+        rng = np.random.default_rng(1)
+        points = {i: rng.uniform(0, 100, size=2) for i in range(24)}
+
+        def rtt(a, b):
+            return float(np.linalg.norm(points[a] - points[b])) + 2.0
+
+        system = VivaldiSystem(VivaldiConfig(rounds=150, seed=1))
+        nodes = sorted(points)
+        system.train(nodes, rtt)
+        errors = []
+        for a in nodes:
+            for b in nodes:
+                if a < b:
+                    errors.append(abs(system.distance_ms(a, b) - rtt(a, b)) / rtt(a, b))
+        assert float(np.median(errors)) < 0.35
+
+    def test_symmetric_estimates(self):
+        system = VivaldiSystem()
+        system.observe(1, 2, 50.0)
+        assert system.distance_ms(1, 2) == pytest.approx(system.distance_ms(2, 1))
+
+    def test_ignores_nonpositive_rtt(self):
+        system = VivaldiSystem()
+        before = system.distance_ms(1, 2)
+        system.observe(1, 2, 0.0)
+        assert system.distance_ms(1, 2) == before
+
+    def test_error_tracking(self):
+        system = VivaldiSystem()
+        nodes = [1, 2, 3]
+        system.train(nodes, lambda a, b: 10.0)
+        assert 0 < system.mean_error(nodes) <= 1.0
+
+
+class TestOasis:
+    def test_geo_ranking(self):
+        oasis = OasisSelector(geolocation_error=0.0, seed=1)
+        oasis.add_node(0, (0.0, 0.0))
+        oasis.add_node(1, (0.1, 0.0))
+        oasis.add_node(2, (0.9, 0.0))
+        assert oasis.rank(0, [1, 2]) == [1, 2]
+        assert oasis.select(0, [2, 1]) == 1
+
+    def test_cached_probe_overrides_geo(self):
+        oasis = OasisSelector(geolocation_error=0.0, probe_staleness_ms=0.0, seed=1)
+        oasis.add_node(0, (0.0, 0.0))
+        oasis.add_node(1, (0.1, 0.0))
+        oasis.add_node(2, (0.9, 0.0))
+        oasis.record_probe(0, 2, 1.0)  # cached probe says 2 is very close
+        assert oasis.select(0, [1, 2]) == 2
+
+    def test_unregistered_raises(self):
+        oasis = OasisSelector()
+        with pytest.raises(KeyError):
+            oasis.estimated_rtt_ms(1, 2)
+
+    def test_empty_replicas(self):
+        oasis = OasisSelector()
+        with pytest.raises(ValueError):
+            oasis.select(1, [])
+
+    def test_geo_estimate_scales_with_distance(self):
+        oasis = OasisSelector(geolocation_error=0.0, latency_scale_ms=50.0)
+        oasis.add_node(0, (0.0, 0.0))
+        oasis.add_node(1, (1.0, 0.0))
+        assert oasis.estimated_rtt_ms(0, 1) == pytest.approx(100.0)

@@ -1,0 +1,126 @@
+"""Tests for the client library and central server lifecycle."""
+
+import pytest
+
+from repro.client import AtlasServer, ClientConfig, INanoClient
+from repro.errors import AtlasError, ClientError
+
+
+@pytest.fixture()
+def server(scenario):
+    server = AtlasServer()
+    server.publish(scenario.atlas(0))
+    return server
+
+
+@pytest.fixture()
+def client(scenario, server):
+    source = scenario.validation_set().sources[0]
+    return INanoClient(
+        server,
+        vantage=source.vantage,
+        measurement_toolkit=scenario.simulator(0),
+        cluster_map=scenario.cluster_map(0),
+        config=ClientConfig(use_swarm=False),
+    )
+
+
+class TestServer:
+    def test_publish_and_fetch(self, server, scenario):
+        payload = server.full_atlas_bytes()
+        assert payload[:4] == b"INNA"
+        assert server.bytes_served == len(payload)
+
+    def test_double_publish_rejected(self, server, scenario):
+        with pytest.raises(AtlasError):
+            server.publish(scenario.atlas(0))
+
+    def test_missing_day_rejected(self, server):
+        with pytest.raises(AtlasError):
+            server.full_atlas_bytes(99)
+        with pytest.raises(AtlasError):
+            server.delta_for(99)
+
+    def test_empty_server(self):
+        with pytest.raises(AtlasError):
+            AtlasServer().latest_day()
+
+    def test_delta_available_after_second_day(self, server, scenario):
+        server.publish(scenario.atlas(1))
+        delta = server.delta_for(1)
+        assert delta.base_day == 0 and delta.new_day == 1
+
+    def test_upload_deduplicates(self, server, scenario):
+        traces = scenario.traces(0)[:5]
+        assert server.upload_traceroutes(traces) == 5
+        assert server.upload_traceroutes(traces) == 0
+        assert len(server.uploaded_traceroutes) == 5
+
+
+class TestClientLifecycle:
+    def test_query_before_fetch_fails(self, client):
+        with pytest.raises(ClientError):
+            client.query(1, 2)
+        with pytest.raises(ClientError):
+            client.measure()
+
+    def test_fetch_decodes(self, client, scenario):
+        atlas = client.fetch()
+        assert atlas.entry_counts() == scenario.atlas(0).entry_counts()
+        assert client.bytes_downloaded > 0
+
+    def test_measure_builds_from_src(self, client, server):
+        client.fetch()
+        n = client.measure(n_prefixes=15)
+        assert n == 15
+        assert client.from_src_links
+        # Measurements were uploaded to the server.
+        assert len(server.uploaded_traceroutes) == 15
+
+    def test_query_round(self, client, scenario):
+        client.fetch()
+        client.measure(n_prefixes=10)
+        source = scenario.validation_set().sources[0]
+        answered = 0
+        for dst in source.validation_targets:
+            info = client.query_or_none(source.vantage.prefix_index, dst)
+            if info is None:
+                continue
+            answered += 1
+            assert info.rtt_ms > 0
+            assert 0.0 <= info.loss_round_trip <= 1.0
+            assert info.as_path[0] == source.vantage.asn
+            assert 1.0 <= info.mos() <= 4.5
+            assert info.tcp_throughput_bps() > 0
+            assert info.download_time_seconds(30_000) > 0
+        assert answered >= len(source.validation_targets) * 0.5
+
+    def test_batch_query(self, client, scenario):
+        client.fetch()
+        source = scenario.validation_set().sources[0]
+        pairs = [
+            (source.vantage.prefix_index, dst)
+            for dst in source.validation_targets[:5]
+        ]
+        results = client.query_batch(pairs)
+        assert len(results) == 5
+
+    def test_daily_update(self, client, server, scenario):
+        server.publish(scenario.atlas(1))
+        client.fetch(day=0)
+        size = client.apply_daily_update()
+        assert size > 0
+        assert client.atlas.day == 1
+        # Updated atlas matches the directly-published day-1 atlas.
+        assert set(client.atlas.links) == set(scenario.atlas(1).links)
+        assert client.atlas.three_tuples == scenario.atlas(1).three_tuples
+
+    def test_update_before_fetch_fails(self, client):
+        with pytest.raises(ClientError):
+            client.apply_daily_update()
+
+    def test_measure_without_toolkit(self, server, scenario):
+        bare = INanoClient(server, config=ClientConfig(use_swarm=False))
+        bare.fetch()
+        with pytest.raises(ClientError):
+            bare.measure()

@@ -1,0 +1,77 @@
+"""Unit tests for the PathInfo query payload and latency/loss composition."""
+
+import pytest
+
+from repro.client.query import PathInfo
+from repro.core.latency import compose_rtt_ms, predict_rtt_ms
+from repro.core.loss import compose_loss, predict_path_loss, predict_round_trip_loss
+from repro.core.predictor import INanoPredictor, PredictedPath, PredictorConfig
+
+from helpers import prefix_of, toy_atlas
+
+
+def _path(latency, loss, ases=(1, 2)):
+    return PredictedPath(
+        clusters=tuple(a * 10 for a in ases),
+        as_path=tuple(ases),
+        latency_ms=latency,
+        loss=loss,
+        as_hops=len(ases) - 1,
+        used_from_src=False,
+    )
+
+
+class TestPathInfo:
+    def test_rtt_is_sum_of_directions(self):
+        info = PathInfo(1, 2, forward=_path(30.0, 0.0), reverse=_path(50.0, 0.0))
+        assert info.rtt_ms == 80.0
+
+    def test_loss_composition(self):
+        info = PathInfo(1, 2, forward=_path(10, 0.1), reverse=_path(10, 0.2))
+        assert info.loss_forward == pytest.approx(0.1)
+        assert info.loss_round_trip == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_as_path_is_forward(self):
+        info = PathInfo(1, 2, forward=_path(10, 0, (1, 3, 5)), reverse=_path(10, 0))
+        assert info.as_path == (1, 3, 5)
+
+    def test_application_metrics_consistent(self):
+        clean = PathInfo(1, 2, forward=_path(20, 0.0), reverse=_path(20, 0.0))
+        lossy = PathInfo(1, 2, forward=_path(20, 0.05), reverse=_path(20, 0.05))
+        assert clean.tcp_throughput_bps() > lossy.tcp_throughput_bps()
+        assert clean.mos() > lossy.mos()
+        assert clean.download_time_seconds(30_000) <= lossy.download_time_seconds(30_000)
+
+
+class TestCompositionHelpers:
+    def test_compose_rtt(self):
+        assert compose_rtt_ms(_path(10, 0), _path(15, 0)) == 25.0
+
+    def test_compose_loss_bounds(self):
+        assert compose_loss([]) == 0.0
+        assert compose_loss([0.5, 0.5]) == pytest.approx(0.75)
+        assert compose_loss([1.5]) == 1.0  # clipped
+        assert compose_loss([-0.1]) == 0.0
+
+    def test_predict_helpers_on_toy_atlas(self):
+        atlas = toy_atlas()
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        rtt = predict_rtt_ms(predictor, prefix_of(3), prefix_of(4))
+        assert rtt == pytest.approx(60.0)  # 3 hops * 10ms each way
+        assert predict_path_loss(predictor, prefix_of(3), prefix_of(4)) == 0.0
+        assert predict_round_trip_loss(predictor, prefix_of(3), prefix_of(4)) == 0.0
+
+    def test_predict_helpers_none_on_unknown(self):
+        atlas = toy_atlas()
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        assert predict_rtt_ms(predictor, 999_999, prefix_of(4)) is None
+        assert predict_path_loss(predictor, 999_999, prefix_of(4)) is None
+        assert predict_round_trip_loss(predictor, 999_999, prefix_of(4)) is None
+
+    def test_loss_annotations_flow_into_predictions(self):
+        atlas = toy_atlas()
+        # Mark the 3->5 link lossy; the predicted 3->5 path must carry it.
+        atlas.link_loss[(30, 50)] = 0.07
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        loss = predict_path_loss(predictor, prefix_of(3), prefix_of(5))
+        assert loss == pytest.approx(0.07)

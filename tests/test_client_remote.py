@@ -1,0 +1,67 @@
+"""Tests for the remote-query agent (the paper's future-work delegation)."""
+
+import pytest
+
+from repro.client import AtlasServer, ClientConfig, INanoClient
+from repro.client.remote import QueryAgent
+from repro.errors import ClientError
+
+
+@pytest.fixture()
+def agent(scenario):
+    server = AtlasServer()
+    server.publish(scenario.atlas(0))
+    client = INanoClient(server, config=ClientConfig(use_swarm=False))
+    client.fetch()
+    return QueryAgent(client=client, local_hop_ms=0.5)
+
+
+class TestQueryAgent:
+    def test_requires_fetched_client(self, scenario):
+        server = AtlasServer()
+        server.publish(scenario.atlas(0))
+        bare = INanoClient(server, config=ClientConfig(use_swarm=False))
+        with pytest.raises(ClientError):
+            QueryAgent(client=bare)
+
+    def test_answers_match_local_client(self, agent, scenario, validation):
+        source = validation.sources[0]
+        src = source.vantage.prefix_index
+        for dst in source.validation_targets[:8]:
+            remote = agent.query_for(caller_prefix_index=src,
+                                     src_prefix_index=src, dst_prefix_index=dst)
+            local = agent.client.query_or_none(src, dst)
+            if local is None:
+                assert remote.info is None
+            else:
+                assert remote.info.as_path == local.as_path
+            assert remote.agent_rtt_ms == 1.0
+
+    def test_accounting(self, agent, scenario):
+        prefixes = scenario.all_prefixes()
+        agent.query_for(7, prefixes[0], prefixes[1])
+        agent.query_for(7, prefixes[0], prefixes[2])
+        agent.query_for(8, prefixes[0], prefixes[3])
+        assert agent.queries_served == {7: 2, 8: 1}
+
+    def test_batch_single_round_trip(self, agent, scenario):
+        prefixes = scenario.all_prefixes()
+        pairs = [(prefixes[0], prefixes[i]) for i in range(1, 6)]
+        results = agent.query_batch_for(9, pairs)
+        assert len(results) == 5
+        assert all(r.agent_rtt_ms == 1.0 for r in results)
+        assert agent.queries_served[9] == 5
+
+    def test_batch_limit(self, agent, scenario):
+        prefixes = scenario.all_prefixes()
+        agent.max_batch = 2
+        with pytest.raises(ClientError):
+            agent.query_batch_for(1, [(prefixes[0], prefixes[1])] * 3)
+
+    def test_heavy_callers(self, agent, scenario):
+        prefixes = scenario.all_prefixes()
+        for _ in range(5):
+            agent.query_for(42, prefixes[0], prefixes[1])
+        agent.query_for(43, prefixes[0], prefixes[1])
+        assert agent.heavy_callers(threshold=5) == [42]
+        assert agent.heavy_callers(threshold=6) == []

@@ -1,0 +1,128 @@
+"""Tests for the cost algebra and the TCP/MOS performance models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import ZERO_COST, PathCost
+from repro.core.mos import mos_from_r, mos_score, r_factor
+from repro.core.tcp import (
+    ACCESS_RATE_BPS,
+    download_time_seconds,
+    pftk_throughput_bps,
+    slow_start_time_seconds,
+)
+
+latencies = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+class TestPathCost:
+    def test_zero(self):
+        assert ZERO_COST.effective_hops == 0
+        assert ZERO_COST.exit_cost_ms == 0.0
+
+    def test_intra_accumulates_exit_cost(self):
+        cost = ZERO_COST.extend_intra(5.0).extend_intra(3.0)
+        assert cost.as_hops == 0
+        assert cost.exit_cost_ms == 8.0
+
+    def test_inter_resets_exit_cost(self):
+        cost = ZERO_COST.extend_intra(5.0).extend_inter()
+        assert cost.as_hops == 1
+        assert cost.exit_cost_ms == 0.0
+
+    def test_late_exit_pending(self):
+        cost = ZERO_COST.extend_late_exit(4.0)
+        assert cost.as_hops == 0
+        assert cost.pending == 1
+        assert cost.effective_hops == 1
+        # Crossing an ordinary boundary folds pending into hops.
+        folded = cost.extend_inter()
+        assert folded.as_hops == 2
+        assert folded.pending == 0
+
+    def test_ordering_hops_dominate(self):
+        short_far = PathCost(1, 0, 100.0)
+        long_near = PathCost(2, 0, 0.0)
+        assert short_far < long_near
+
+    def test_ordering_pending_counts(self):
+        assert PathCost(1, 1, 0.0).sort_key() == PathCost(2, 0, 0.0).sort_key()
+
+    @given(latencies, latencies)
+    def test_intra_monotone(self, a, b):
+        cost = ZERO_COST.extend_intra(a)
+        assert cost.extend_intra(b) >= cost
+
+
+class TestPftk:
+    def test_zero_loss_is_access_rate(self):
+        assert pftk_throughput_bps(0.1, 0.0) == ACCESS_RATE_BPS
+
+    def test_throughput_decreases_with_loss(self):
+        rates = [pftk_throughput_bps(0.1, p) for p in (0.001, 0.01, 0.05, 0.2)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_throughput_decreases_with_rtt(self):
+        assert pftk_throughput_bps(0.05, 0.01) > pftk_throughput_bps(0.2, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pftk_throughput_bps(0.0, 0.01)
+        with pytest.raises(ValueError):
+            pftk_throughput_bps(0.1, 1.0)
+
+    def test_known_magnitude(self):
+        # Classic sanity point: 100ms RTT, 1% loss -> on the order of
+        # 100-200 KB/s for 1460-byte segments.
+        rate = pftk_throughput_bps(0.1, 0.01)
+        assert 5e4 < rate < 5e5
+
+
+class TestDownloadTime:
+    def test_small_file_latency_bound(self):
+        fast = download_time_seconds(30_000, 0.02, 0.0)
+        slow = download_time_seconds(30_000, 0.3, 0.0)
+        assert slow > fast
+        # Transfer time scales ~linearly with RTT for small files.
+        assert slow / fast > 5
+
+    def test_loss_hurts(self):
+        clean = download_time_seconds(1_500_000, 0.1, 0.0)
+        lossy = download_time_seconds(1_500_000, 0.1, 0.05)
+        assert lossy > clean
+
+    def test_slow_start_rounds(self):
+        # 2 -> 4 -> 8 segments: 3KB file needs 2 rounds at MSS=1460.
+        t = slow_start_time_seconds(3_000, 1.0)
+        assert t == pytest.approx(3.0, abs=0.1)  # handshake + 2 rounds
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            download_time_seconds(0, 0.1, 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=0.5), st.floats(min_value=0.0, max_value=0.3))
+    def test_positive(self, rtt, loss):
+        assert download_time_seconds(30_000, rtt, loss) > 0
+
+
+class TestMos:
+    def test_perfect_call(self):
+        assert mos_score(20.0, 0.0) > 4.0
+
+    def test_loss_degrades(self):
+        assert mos_score(50.0, 0.10) < mos_score(50.0, 0.0)
+
+    def test_delay_degrades_beyond_threshold(self):
+        assert mos_score(800.0, 0.0) < mos_score(100.0, 0.0)
+
+    def test_bounds(self):
+        assert 1.0 <= mos_score(2000.0, 0.9) <= 4.5
+        assert mos_from_r(-10) == 1.0
+        assert mos_from_r(150) == 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            r_factor(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            r_factor(10.0, 1.5)

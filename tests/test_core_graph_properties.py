@@ -1,0 +1,164 @@
+"""Property-based tests of the prediction graph and predicted routes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.relationships import REL_CUSTOMER, REL_PEER, REL_PROVIDER
+from repro.core.graph import DOWN, TO_DST, UP, EdgeKind, PredictionGraph
+from repro.core.predictor import INanoPredictor, PredictorConfig
+
+
+def random_hierarchy_atlas(draw) -> Atlas:
+    """A random 2-tier hierarchy: providers 1..P, customers P+1..P+C.
+
+    Every customer attaches to >=1 provider; providers peer pairwise with
+    draw-controlled density. Cluster id = 10*asn, prefix = 100*asn.
+    """
+    n_providers = draw(st.integers(min_value=2, max_value=4))
+    n_customers = draw(st.integers(min_value=2, max_value=6))
+    atlas = Atlas()
+    providers = list(range(1, n_providers + 1))
+    customers = list(range(n_providers + 1, n_providers + n_customers + 1))
+
+    def add_link(a: int, b: int, code: int) -> None:
+        atlas.links[(a * 10, b * 10)] = LinkRecord(latency_ms=5.0)
+        atlas.links[(b * 10, a * 10)] = LinkRecord(latency_ms=5.0)
+        atlas.relationship_codes[(a, b)] = code
+        inverse = {REL_PROVIDER: REL_CUSTOMER, REL_CUSTOMER: REL_PROVIDER,
+                   REL_PEER: REL_PEER}[code]
+        atlas.relationship_codes[(b, a)] = inverse
+
+    for i, a in enumerate(providers):
+        for b in providers[i + 1 :]:
+            if draw(st.booleans()):
+                add_link(a, b, REL_PEER)
+    for customer in customers:
+        homes = draw(
+            st.lists(
+                st.sampled_from(providers), min_size=1, max_size=len(providers),
+                unique=True,
+            )
+        )
+        for provider in homes:
+            add_link(provider, customer, REL_PROVIDER)
+    for asn in providers + customers:
+        atlas.cluster_to_as[asn * 10] = asn
+        atlas.prefix_to_cluster[asn * 100] = asn * 10
+        atlas.prefix_to_as[asn * 100] = asn
+        atlas.as_degrees[asn] = 3
+    return atlas
+
+
+@st.composite
+def hierarchy_atlases(draw):
+    return random_hierarchy_atlas(draw)
+
+
+class TestPredictedRouteInvariants:
+    @given(hierarchy_atlases())
+    @settings(max_examples=40, deadline=None)
+    def test_routes_are_valley_free(self, atlas):
+        """Any predicted route must be valley-free w.r.t. the inferred
+        relationships (the up/down construction's guarantee)."""
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        ases = sorted(atlas.as_degrees)
+        for src in ases[:3]:
+            for dst in ases[-3:]:
+                if src == dst:
+                    continue
+                path = predictor.predict_or_none(src * 100, dst * 100)
+                if path is None:
+                    continue
+                # Valley-free: once we descend (provider->customer) or
+                # cross a peer edge, we never climb again.
+                descended = False
+                peers_crossed = 0
+                for a, b in zip(path.as_path, path.as_path[1:]):
+                    code = atlas.relationship_codes.get((a, b))
+                    if code == REL_CUSTOMER:  # a climbs to its provider b
+                        assert not descended, path.as_path
+                    elif code == REL_PEER:
+                        peers_crossed += 1
+                        descended = True
+                    elif code == REL_PROVIDER:
+                        descended = True
+                assert peers_crossed <= 1, path.as_path
+
+    @given(hierarchy_atlases())
+    @settings(max_examples=40, deadline=None)
+    def test_routes_walk_atlas_links(self, atlas):
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        ases = sorted(atlas.as_degrees)
+        for src in ases[:2]:
+            for dst in ases[-2:]:
+                if src == dst:
+                    continue
+                path = predictor.predict_or_none(src * 100, dst * 100)
+                if path is None:
+                    continue
+                for a, b in zip(path.clusters, path.clusters[1:]):
+                    assert (a, b) in atlas.links or (b, a) in atlas.links
+
+    @given(hierarchy_atlases())
+    @settings(max_examples=40, deadline=None)
+    def test_route_endpoints_correct(self, atlas):
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        ases = sorted(atlas.as_degrees)
+        src, dst = ases[0], ases[-1]
+        if src == dst:
+            return
+        path = predictor.predict_or_none(src * 100, dst * 100)
+        if path is None:
+            return
+        assert path.clusters[0] == src * 10
+        assert path.clusters[-1] == dst * 10
+        assert path.as_path[0] == src
+        assert path.as_path[-1] == dst
+
+    @given(hierarchy_atlases())
+    @settings(max_examples=25, deadline=None)
+    def test_latency_consistent_with_clusters(self, atlas):
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        ases = sorted(atlas.as_degrees)
+        src, dst = ases[0], ases[-1]
+        path = predictor.predict_or_none(src * 100, dst * 100)
+        if path is None:
+            return
+        assert path.latency_ms == pytest.approx(5.0 * (len(path.clusters) - 1))
+
+
+class TestGraphEdgeSemantics:
+    def test_peer_edges_cross_up_to_down_only(self):
+        atlas = Atlas()
+        atlas.links[(10, 20)] = LinkRecord(latency_ms=1.0)
+        atlas.links[(20, 10)] = LinkRecord(latency_ms=1.0)
+        atlas.relationship_codes[(1, 2)] = REL_PEER
+        atlas.relationship_codes[(2, 1)] = REL_PEER
+        atlas.cluster_to_as = {10: 1, 20: 2}
+        graph = PredictionGraph(atlas=atlas, closed=True).build()
+        peer_edges = [
+            e
+            for edges in graph.reverse_adjacency.values()
+            for e in edges
+            if e.kind is EdgeKind.PEER
+        ]
+        assert peer_edges
+        for edge in peer_edges:
+            assert edge.src[1] == UP and edge.dst[1] == DOWN
+
+    def test_unknown_relationship_gets_both_monotone_edges(self):
+        atlas = Atlas()
+        atlas.links[(10, 20)] = LinkRecord(latency_ms=1.0)
+        atlas.cluster_to_as = {10: 1, 20: 2}
+        graph = PredictionGraph(atlas=atlas, closed=True).build()
+        kinds = {
+            e.kind
+            for edges in graph.reverse_adjacency.values()
+            for e in edges
+            if e.src_asn != e.dst_asn
+        }
+        assert EdgeKind.DOWN_EDGE in kinds
+        assert EdgeKind.UP_EDGE in kinds
+        assert EdgeKind.PEER not in kinds

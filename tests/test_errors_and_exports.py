@@ -1,0 +1,79 @@
+"""Tests for the exception hierarchy and the package's public surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_no_route_error_payload(self):
+        err = errors.NoRouteError(1, 2)
+        assert err.src == 1 and err.dst == 2
+        assert "1" in str(err) and "2" in str(err)
+
+    def test_unknown_endpoint_payload(self):
+        err = errors.UnknownEndpointError(42)
+        assert err.ip == 42
+
+    def test_delta_mismatch_payload(self):
+        err = errors.DeltaMismatchError(expected_day=3, actual_day=5)
+        assert err.expected_day == 3 and err.actual_day == 5
+
+    def test_no_predicted_route_payload(self):
+        err = errors.NoPredictedRouteError("a", "b")
+        assert err.src == "a" and err.dst == "b"
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AtlasFormatError("bad bytes")
+        with pytest.raises(errors.PredictionError):
+            raise errors.UnknownEndpointError(7)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.apps as apps
+        import repro.atlas as atlas
+        import repro.baselines as baselines
+        import repro.client as client
+        import repro.core as core
+        import repro.eval as eval_pkg
+        import repro.measurement as measurement
+        import repro.routing as routing
+        import repro.topology as topology
+        import repro.util as util
+
+        for module in (
+            apps, atlas, baselines, client, core, eval_pkg,
+            measurement, routing, topology, util,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_predictor_config_names(self):
+        from repro import PredictorConfig
+
+        assert PredictorConfig.graph_baseline().ablation_name() == "GRAPH"
+        assert PredictorConfig.inano().ablation_name() == "iNano"
+        partial = PredictorConfig(
+            use_from_src=True,
+            use_three_tuples=True,
+            use_preferences=False,
+            use_providers=False,
+        )
+        assert partial.ablation_name() == "GRAPH+asym+tuples"

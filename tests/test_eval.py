@@ -1,0 +1,135 @@
+"""Tests for the evaluation harness (metrics, validation, reporting)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.accuracy import (
+    as_path_metrics,
+    latency_errors_ms,
+    loss_errors,
+    ranking_overlap,
+)
+from repro.eval.reporting import render_bars, render_cdf_rows, render_table
+from repro.eval.scenarios import get_scenario
+from repro.eval.similarity import path_similarity
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert path_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert path_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert path_similarity([1, 2, 3], [2, 3, 4]) == 0.5
+
+    def test_empty(self):
+        assert path_similarity([], []) == 1.0
+
+    @given(st.lists(st.integers(0, 50)), st.lists(st.integers(0, 50)))
+    def test_symmetric_and_bounded(self, a, b):
+        s = path_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == path_similarity(b, a)
+
+
+class TestAccuracyMetrics:
+    def test_as_path_metrics(self):
+        metrics = as_path_metrics(
+            [(1, 2), (1, 3), None],
+            [(1, 2), (1, 2), (1, 2)],
+        )
+        assert metrics.exact_matches == 1
+        assert metrics.length_matches == 2
+        assert metrics.failures == 1
+        assert metrics.exact_fraction == pytest.approx(1 / 3)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            as_path_metrics([None], [(1,), (2,)])
+        with pytest.raises(ValueError):
+            latency_errors_ms([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            loss_errors([], [0.1])
+
+    def test_latency_errors(self):
+        errs = latency_errors_ms([10.0, None], [12.0, 5.0])
+        assert errs[0] == pytest.approx(2.0)
+        assert errs[1] == float("inf")
+
+    def test_loss_errors(self):
+        errs = loss_errors([0.1, None], [0.15, 0.2])
+        assert errs[0] == pytest.approx(0.05)
+        assert errs[1] == 1.0
+
+    def test_ranking_overlap_perfect(self):
+        actual = {i: float(i) for i in range(20)}
+        assert ranking_overlap(actual, actual, k=10) == 10
+
+    def test_ranking_overlap_partial(self):
+        actual = {i: float(i) for i in range(20)}
+        estimated = {i: float(-i) for i in range(20)}  # inverted ranking
+        assert ranking_overlap(estimated, actual, k=10) == 0
+
+    def test_ranking_overlap_missing_estimates(self):
+        actual = {1: 1.0, 2: 2.0, 3: 3.0}
+        assert ranking_overlap({}, actual, k=2) <= 2
+
+    def test_ranking_empty_actual(self):
+        assert ranking_overlap({1: 1.0}, {}, k=10) == 0
+
+
+class TestReporting:
+    def test_table_contains_cells(self):
+        text = render_table("T", ["a", "b"], [[1, 2], ["x", "y"]])
+        assert "T" in text and "x" in text and "2" in text
+
+    def test_cdf_rows(self):
+        text = render_cdf_rows(
+            "C", {"s1": [1.0, 2.0, 3.0], "s2": [2.0, 2.0, 2.0]}, [1.5, 2.5]
+        )
+        assert "s1" in text and "1.5" in text
+
+    def test_bars(self):
+        text = render_bars("B", {"x": 0.5, "y": 1.0})
+        assert "#" in text and "x" in text
+
+    def test_bars_empty(self):
+        assert render_bars("B", {}) == "B"
+
+
+class TestScenario:
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            get_scenario("galactic")
+
+    def test_cached_instances(self):
+        assert get_scenario("small") is get_scenario("small")
+
+    def test_override_creates_new(self):
+        assert get_scenario("small") is not get_scenario("small", seed=99)
+
+    def test_validation_structure(self, scenario, validation):
+        assert len(validation.sources) == scenario.config.n_validation_vps
+        atlas_prefixes = {vp.prefix_index for vp in scenario.atlas_vps()}
+        for source in validation.sources:
+            # Held-out sources are not atlas vantage points.
+            assert source.vantage.prefix_index not in atlas_prefixes
+            # Validation targets and FROM_SRC targets are disjoint.
+            fs_targets = {t.dst_prefix_index for t in source.from_src_traces}
+            assert not fs_targets & set(source.validation_targets)
+            assert source.from_src_links
+
+    def test_pairs_enumeration(self, validation):
+        pairs = validation.pairs()
+        assert len(pairs) == sum(
+            len(s.validation_targets) for s in validation.sources
+        )
+
+    def test_true_rtt_cached(self, scenario):
+        prefixes = scenario.all_prefixes()
+        r1 = scenario.true_rtt_ms(prefixes[0], prefixes[-1])
+        r2 = scenario.true_rtt_ms(prefixes[0], prefixes[-1])
+        assert r1 == r2

@@ -1,0 +1,156 @@
+"""Tests for alias resolution, PoP clustering, and client extension."""
+
+import pytest
+
+from repro.measurement.aliases import resolve_aliases
+from repro.measurement.clustering import (
+    CLIENT_CLUSTER_BASE,
+    SINGLETON_CLUSTER_BASE,
+    build_cluster_map,
+    cluster_pop_map,
+)
+from repro.measurement.traceroute import TracerouteSimulator
+from repro.measurement.vantage import select_vantage_points
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topo = generate_topology(TopologyConfig(seed=61, n_tier1=4, n_tier2=12, n_tier3=30))
+    engine = ForwardingEngine(topo)
+    vps = select_vantage_points(topo, 8, seed=1)
+    sim = TracerouteSimulator(topo, engine, derive_rng(1, "test.cl"))
+    targets = sorted(p.index for p in topo.prefixes)
+    traces = sim.campaign(vps, targets)
+    ips = {ip for t in traces for ip in t.responsive_ips if topo.has_interface(ip)}
+    return topo, engine, vps, sim, traces, ips
+
+
+class TestAliases:
+    def test_perfect_resolution(self, setup):
+        topo, _, _, _, _, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        for ip in ips:
+            assert res.inferred_router[ip] == topo.interface(ip).router_id
+
+    def test_misses_create_singletons(self, setup):
+        topo, _, _, _, _, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=1.0, false_merge_prob=0.0)
+        routers = [res.inferred_router[ip] for ip in ips]
+        assert len(set(routers)) == len(routers)  # all distinct singletons
+        assert all(r >= (1 << 30) for r in routers)
+
+    def test_same_router_accessor(self, setup):
+        topo, _, _, _, _, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        by_router = {}
+        for ip in ips:
+            by_router.setdefault(topo.interface(ip).router_id, []).append(ip)
+        multi = [v for v in by_router.values() if len(v) >= 2]
+        if multi:
+            a, b = multi[0][:2]
+            assert res.same_router(a, b)
+
+    def test_deterministic(self, setup):
+        topo, _, _, _, _, ips = setup
+        r1 = resolve_aliases(topo, ips, seed=9)
+        r2 = resolve_aliases(topo, ips, seed=9)
+        assert r1.inferred_router == r2.inferred_router
+
+
+class TestClusterMap:
+    def test_perfect_clustering_matches_pops(self, setup):
+        topo, _, _, _, traces, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        cmap = build_cluster_map(topo, res, traces, clustering_accuracy=1.0)
+        for ip in ips:
+            assert cmap.interface_cluster[ip] == topo.interface(ip).pop_id
+            assert cmap.cluster_asn[cmap.interface_cluster[ip]] == (
+                topo.pops[topo.interface(ip).pop_id].asn
+            )
+
+    def test_noisy_clustering_creates_singletons(self, setup):
+        topo, _, _, _, traces, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        cmap = build_cluster_map(topo, res, traces, clustering_accuracy=0.5)
+        singletons = [
+            c for c in set(cmap.interface_cluster.values())
+            if c >= SINGLETON_CLUSTER_BASE
+        ]
+        assert singletons
+
+    def test_prefix_clusters_point_at_attachments(self, setup):
+        topo, _, _, _, traces, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        cmap = build_cluster_map(topo, res, traces, clustering_accuracy=1.0)
+        correct = total = 0
+        for prefix_index, cluster in cmap.prefix_cluster.items():
+            from repro.util.ids import PrefixId
+
+            total += 1
+            if cluster == topo.prefixes[PrefixId(prefix_index)].attachment_pop:
+                correct += 1
+        assert total > 0
+        assert correct / total > 0.9
+
+    def test_segments_split_at_anonymous_hops(self, setup):
+        topo, _, vps, sim, traces, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        cmap = build_cluster_map(topo, res, traces, clustering_accuracy=1.0)
+        found_split = False
+        for trace in traces:
+            has_anon = any(
+                h.ip is None for h in trace.hops[:-1] if True
+            )
+            segments = cmap.cluster_segments_with_rtts(trace)
+            joined = [c for seg in segments for c, _ in seg]
+            whole = [c for c, _ in cmap.cluster_path_with_rtts(trace)]
+            if has_anon and len(segments) > 1:
+                found_split = True
+                # Segments never fabricate adjacencies the whole path lacks.
+                for seg in segments:
+                    seg_clusters = [c for c, _ in seg]
+                    for a, b in zip(seg_clusters, seg_clusters[1:]):
+                        i = whole.index(a)
+                        assert whole[i + 1] == b
+        assert found_split
+
+    def test_clone_isolation(self, setup):
+        topo, _, _, _, traces, ips = setup
+        res = resolve_aliases(topo, ips)
+        cmap = build_cluster_map(topo, res, traces)
+        clone = cmap.clone()
+        clone.interface_cluster[999999] = 1
+        assert 999999 not in cmap.interface_cluster
+
+    def test_client_extension(self, setup):
+        topo, engine, vps, _, traces, ips = setup
+        res = resolve_aliases(topo, ips)
+        cmap = build_cluster_map(topo, res, traces)
+        sim = TracerouteSimulator(topo, engine, derive_rng(7, "client"))
+        # Client at an arbitrary prefix traceroutes outward.
+        client_vp = select_vantage_points(topo, 12, kind="dimes", seed=5)[-1]
+        client_traces = [
+            sim.trace_to_prefix(client_vp, t)
+            for t in sorted(p.index for p in topo.prefixes)[:20]
+            if t != client_vp.prefix_index
+        ]
+        clone = cmap.clone()
+        prefix_to_as = topo.infra_prefix_origins()
+        created = clone.extend_with_client_traces(client_traces, prefix_to_as)
+        assert created > 0
+        for ip, cluster in clone.interface_cluster.items():
+            if cluster >= CLIENT_CLUSTER_BASE:
+                assert clone.cluster_asn[cluster] == topo.pops[
+                    topo.interface(ip).pop_id
+                ].asn
+
+    def test_cluster_pop_map_majority(self, setup):
+        topo, _, _, _, traces, ips = setup
+        res = resolve_aliases(topo, ips, miss_prob=0.0, false_merge_prob=0.0)
+        cmap = build_cluster_map(topo, res, traces, clustering_accuracy=1.0)
+        pop_map = cluster_pop_map(topo, cmap)
+        for cluster, pop in pop_map.items():
+            assert cluster == pop  # perfect clustering: cluster id is pop id

@@ -1,0 +1,126 @@
+"""Tests for BGP feeds, frontier assignment, and link-latency inference."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.bgp_feed import collect_bgp_feed
+from repro.measurement.frontier import assign_links_to_vantage_points
+from repro.measurement.linklatency import LinkLatencyEstimator
+from repro.routing.bgp import RouteOracle
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.ids import PrefixId
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=71, n_tier1=4, n_tier2=12, n_tier3=30))
+
+
+class TestBgpFeed:
+    def test_origins_correct(self, topo):
+        feed = collect_bgp_feed(topo, RouteOracle(topo), n_peers=8, seed=1)
+        mapping = feed.prefix_to_as()
+        for info in topo.prefixes.values():
+            got = mapping.get(info.prefix.index)
+            assert got == info.origin_asn
+
+    def test_infra_origins_included(self, topo):
+        feed = collect_bgp_feed(topo, RouteOracle(topo), n_peers=8, seed=1)
+        mapping = feed.prefix_to_as()
+        infra = topo.infra_prefix_origins()
+        assert infra  # non-empty
+        for prefix_index, asn in infra.items():
+            assert mapping[prefix_index] == asn
+
+    def test_paths_terminate_at_origin(self, topo):
+        feed = collect_bgp_feed(topo, RouteOracle(topo), n_peers=8, seed=1)
+        for (peer, prefix_index), path in feed.paths.items():
+            assert path[0] == peer
+            assert path[-1] == topo.prefixes[PrefixId(prefix_index)].origin_asn
+
+    def test_origin_of_prefix(self, topo):
+        feed = collect_bgp_feed(topo, RouteOracle(topo), n_peers=8, seed=1)
+        some_prefix = next(iter(topo.prefixes.values()))
+        assert feed.origin_of_prefix(some_prefix.prefix.index) == some_prefix.origin_asn
+
+
+class TestFrontier:
+    def test_redundancy_respected(self):
+        paths = {
+            0: [(1, 2, 3), (1, 2, 4)],
+            1: [(5, 2, 3)],
+            2: [(1, 2, 3, 6)],
+        }
+        assignment = assign_links_to_vantage_points(paths, redundancy=2)
+        for link, entries in assignment.assignments.items():
+            vps = [vp for vp, _, _ in entries]
+            assert len(vps) == len(set(vps))
+            assert 1 <= len(vps) <= 2
+
+    def test_all_links_covered(self):
+        paths = {0: [(1, 2), (2, 3)], 1: [(3, 4)]}
+        assignment = assign_links_to_vantage_points(paths, redundancy=1)
+        assert set(assignment.assignments) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_assignment_uses_observing_vp(self):
+        paths = {0: [(1, 2)], 1: [(3, 4)]}
+        assignment = assign_links_to_vantage_points(paths, redundancy=2)
+        assert assignment.measurers_of((1, 2)) == [0]
+        assert assignment.measurers_of((3, 4)) == [1]
+
+    def test_load_balancing(self):
+        # Two VPs see identical paths; redundancy 1 should spread links.
+        shared = [(1, 2, 3, 4, 5)]
+        assignment = assign_links_to_vantage_points(
+            {0: shared, 1: shared}, redundancy=1
+        )
+        loads = assignment.load
+        assert abs(loads[0] - loads[1]) <= 1
+
+    def test_rejects_bad_redundancy(self):
+        with pytest.raises(ValueError):
+            assign_links_to_vantage_points({}, redundancy=0)
+
+
+class TestLinkLatency:
+    def test_recovers_clean_samples(self):
+        est = LinkLatencyEstimator()
+        # Symmetric context: rtt grows by exactly 2*latency per hop.
+        for _ in range(5):
+            est.add_traceroute_samples([(1, 10.0), (2, 30.0), (3, 70.0)])
+        assert est.estimate((1, 2)) == pytest.approx(10.0)
+        assert est.estimate((2, 3)) == pytest.approx(20.0)
+
+    def test_shorth_rejects_asymmetric_outliers(self):
+        est = LinkLatencyEstimator()
+        # Six consistent samples at 10ms, three wild asymmetric ones.
+        for _ in range(6):
+            est.add_traceroute_samples([(1, 0.0), (2, 20.0)])
+        for bias in (80.0, -40.0, 120.0):
+            est.add_traceroute_samples([(1, 0.0), (2, 20.0 + bias)])
+        assert est.estimate((1, 2)) == pytest.approx(10.0, abs=1.0)
+
+    def test_direction_reconciliation(self):
+        est = LinkLatencyEstimator()
+        est.add_traceroute_samples([(1, 0.0), (2, 18.0)])
+        est.add_traceroute_samples([(2, 0.0), (1, 22.0)])
+        estimates = est.estimates()
+        assert estimates[(1, 2)] == pytest.approx(10.0)
+        assert estimates[(2, 1)] == pytest.approx(10.0)
+
+    def test_min_samples_filter(self):
+        est = LinkLatencyEstimator()
+        est.add_traceroute_samples([(1, 0.0), (2, 20.0)])
+        assert (1, 2) in est.estimates(min_samples=1)
+        assert (1, 2) not in est.estimates(min_samples=2)
+
+    def test_negative_samples_clipped(self):
+        est = LinkLatencyEstimator()
+        est.add_traceroute_samples([(1, 50.0), (2, 10.0)])  # reverse shrinks
+        assert est.estimate((1, 2)) >= 0.05
+
+    def test_no_samples_none(self):
+        est = LinkLatencyEstimator()
+        assert est.estimate((9, 9)) is None
+        assert est.n_samples((9, 9)) == 0

@@ -1,0 +1,147 @@
+"""Tests for the traceroute and ping simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.ping import PingProber
+from repro.measurement.traceroute import TracerouteNoise, TracerouteSimulator
+from repro.measurement.vantage import select_vantage_points
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.ids import PrefixId
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=51, n_tier1=4, n_tier2=12, n_tier3=30))
+
+
+@pytest.fixture(scope="module")
+def engine(topo):
+    return ForwardingEngine(topo)
+
+
+@pytest.fixture(scope="module")
+def vp(topo):
+    return select_vantage_points(topo, 3, seed=2)[0]
+
+
+def make_sim(topo, engine, seed=1, **noise):
+    return TracerouteSimulator(
+        topo, engine, derive_rng(seed, "test.tr"), noise=TracerouteNoise(**noise)
+    )
+
+
+class TestTraceroute:
+    def test_hops_follow_ground_truth(self, topo, engine, vp):
+        sim = make_sim(topo, engine, anonymous_hop_prob=0.0, probe_giveup_prob=0.0)
+        targets = sorted(p.index for p in topo.prefixes)[:20]
+        for target in targets:
+            if target == vp.prefix_index:
+                continue
+            trace = sim.trace_to_prefix(vp, target)
+            if not trace.reached:
+                continue
+            true_path = engine.pop_path(vp.prefix_index, target)
+            hop_pops = [
+                topo.interface(h.ip).pop_id
+                for h in trace.hops[:-1]
+                if h.ip is not None and topo.has_interface(h.ip)
+            ]
+            assert hop_pops == list(true_path.pops)
+
+    def test_rtts_include_reverse_path(self, topo, engine, vp):
+        """Hop RTT must be at least twice neither forward nor... i.e. the
+        RTT embeds a genuine reverse component, so it exceeds the one-way
+        forward latency."""
+        sim = make_sim(topo, engine, anonymous_hop_prob=0.0, probe_giveup_prob=0.0)
+        target = sorted(p.index for p in topo.prefixes)[-1]
+        trace = sim.trace_to_prefix(vp, target)
+        true_path = engine.pop_path(vp.prefix_index, target)
+        forward = 0.0
+        hops = [h for h in trace.hops[:-1] if h.ip is not None]
+        for i, hop in enumerate(hops):
+            if i > 0:
+                forward += topo.links[(true_path.pops[i - 1], true_path.pops[i])].latency_ms
+            assert hop.rtt_ms > forward * 0.99
+
+    def test_anonymous_hops_appear(self, topo, engine, vp):
+        sim = make_sim(topo, engine, anonymous_hop_prob=0.5)
+        targets = sorted(p.index for p in topo.prefixes)[:30]
+        traces = [sim.trace_to_prefix(vp, t) for t in targets if t != vp.prefix_index]
+        anon = sum(1 for t in traces for h in t.hops if h.ip is None)
+        total = sum(len(t.hops) for t in traces)
+        assert anon / max(1, total) > 0.2
+
+    def test_unknown_destination_rejected(self, topo, engine, vp):
+        sim = make_sim(topo, engine)
+        with pytest.raises(MeasurementError):
+            sim.trace(vp, 10)  # address inside an unallocated prefix
+
+    def test_campaign_covers_targets(self, topo, engine):
+        vps = select_vantage_points(topo, 3, seed=2)
+        sim = make_sim(topo, engine)
+        targets = sorted(p.index for p in topo.prefixes)[:10]
+        traces = sim.campaign(vps, targets)
+        assert len(traces) == sum(
+            1 for vp in vps for t in targets if t != vp.prefix_index
+        )
+        assert {t.src_ip for t in traces} == {vp.host_ip for vp in vps}
+
+
+class TestPing:
+    def test_loss_measurement_statistics(self, topo, engine):
+        prefixes = sorted(p.index for p in topo.prefixes)
+        prober = PingProber(topo, engine, derive_rng(1, "test.ping"), n_probes=100)
+        measurement = prober.measure_loss(prefixes[0], prefixes[-1])
+        assert 0.0 <= measurement.observed_loss <= 1.0
+        assert abs(measurement.observed_loss - measurement.true_loss) < 0.2
+
+    def test_loss_measurement_unbiased(self, topo, engine):
+        """Mean of many measurements approaches the true loss."""
+        prefixes = sorted(p.index for p in topo.prefixes)
+        lossy_pair = None
+        for dst in prefixes[1:40]:
+            e2e = engine.end_to_end(prefixes[0], dst)
+            if 0.01 < e2e.loss_round_trip < 0.5:
+                lossy_pair = (prefixes[0], dst, e2e.loss_round_trip)
+                break
+        if lossy_pair is None:
+            pytest.skip("no suitably lossy pair in this topology")
+        src, dst, true_loss = lossy_pair
+        prober = PingProber(topo, engine, derive_rng(2, "test.ping2"))
+        samples = [prober.measure_loss(src, dst).observed_loss for _ in range(50)]
+        assert abs(float(np.mean(samples)) - true_loss) < 0.05
+
+    def test_rtt_measurement_close_to_truth(self, topo, engine):
+        prefixes = sorted(p.index for p in topo.prefixes)
+        prober = PingProber(topo, engine, derive_rng(3, "test.ping3"))
+        rtt = prober.measure_rtt(prefixes[0], prefixes[-1])
+        truth = engine.end_to_end(prefixes[0], prefixes[-1]).rtt_ms
+        assert truth <= rtt <= truth + 5.0
+
+    def test_n_probes_validated(self, topo, engine):
+        with pytest.raises(MeasurementError):
+            PingProber(topo, engine, derive_rng(1, "x"), n_probes=0)
+
+    def test_link_loss_differencing(self, topo, engine):
+        """The near/far differencing estimator recovers a link's loss."""
+        prefixes = sorted(p.index for p in topo.prefixes)
+        prober = PingProber(topo, engine, derive_rng(4, "test.ping4"))
+        # Find a pair whose path crosses a lossy link.
+        for dst in prefixes[1:60]:
+            path = engine.pop_path(prefixes[0], dst)
+            for pos, (a, b) in enumerate(path.links):
+                if topo.links[(a, b)].loss_rate > 0.02:
+                    ests = [
+                        prober.measure_link_loss(prefixes[0], path.pops, pos)
+                        for _ in range(40)
+                    ]
+                    ests = [e for e in ests if e is not None]
+                    assert ests
+                    err = abs(float(np.mean(ests)) - topo.links[(a, b)].loss_rate)
+                    assert err < 0.05
+                    return
+        pytest.skip("no lossy link on sampled paths")

@@ -1,0 +1,74 @@
+"""Tests for vantage-point selection and probe-target sampling."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.vantage import probe_targets, select_vantage_points
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.ids import PrefixId, ip_in_prefix
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=81, n_tier1=4, n_tier2=12, n_tier3=40))
+
+
+class TestSelection:
+    def test_count_and_uniqueness(self, topo):
+        vps = select_vantage_points(topo, 12, seed=1)
+        assert len(vps) == 12
+        assert len({vp.prefix_index for vp in vps}) == 12
+
+    def test_spread_over_ases(self, topo):
+        vps = select_vantage_points(topo, 12, seed=1)
+        assert len({vp.asn for vp in vps}) >= 10
+
+    def test_host_ip_inside_prefix(self, topo):
+        for vp in select_vantage_points(topo, 8, seed=2):
+            assert ip_in_prefix(vp.host_ip, PrefixId(vp.prefix_index))
+            assert topo.prefixes[PrefixId(vp.prefix_index)].origin_asn == vp.asn
+
+    def test_deterministic(self, topo):
+        a = select_vantage_points(topo, 10, seed=3)
+        b = select_vantage_points(topo, 10, seed=3)
+        assert [vp.host_ip for vp in a] == [vp.host_ip for vp in b]
+
+    def test_kinds_are_independent(self, topo):
+        pl = select_vantage_points(topo, 10, kind="planetlab", seed=3)
+        dimes = select_vantage_points(topo, 10, kind="dimes", seed=3)
+        assert {vp.prefix_index for vp in pl} != {vp.prefix_index for vp in dimes}
+
+    def test_exclusion_respected(self, topo):
+        first = select_vantage_points(topo, 5, seed=4)
+        excluded = {vp.prefix_index for vp in first}
+        second = select_vantage_points(topo, 5, seed=4, exclude_prefixes=excluded)
+        assert not excluded & {vp.prefix_index for vp in second}
+
+    def test_zero_count_rejected(self, topo):
+        with pytest.raises(MeasurementError):
+            select_vantage_points(topo, 0)
+
+    def test_too_many_rejected(self, topo):
+        with pytest.raises(MeasurementError):
+            select_vantage_points(topo, len(topo.prefixes) + 1)
+
+    def test_names_unique(self, topo):
+        vps = select_vantage_points(topo, 6, seed=5)
+        assert len({vp.name for vp in vps}) == 6
+
+
+class TestProbeTargets:
+    def test_all_prefixes_by_default(self, topo):
+        targets = probe_targets(topo)
+        assert targets == sorted(p.index for p in topo.prefixes)
+
+    def test_sampling(self, topo):
+        targets = probe_targets(topo, per_vp=10, seed=1)
+        assert len(targets) == 10
+        assert targets == sorted(targets)
+        universe = {p.index for p in topo.prefixes}
+        assert set(targets) <= universe
+
+    def test_sample_larger_than_universe(self, topo):
+        targets = probe_targets(topo, per_vp=10**6)
+        assert len(targets) == len(topo.prefixes)

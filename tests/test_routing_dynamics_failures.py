@@ -1,0 +1,119 @@
+"""Tests for day-to-day evolution and failure injection."""
+
+import pytest
+
+from repro.routing import ForwardingEngine, evolve_topology
+from repro.routing.dynamics import DayConfig
+from repro.routing.failures import (
+    FailureAwareReachability,
+    FailureScenario,
+    sample_failures,
+)
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=41, n_tier1=4, n_tier2=12, n_tier3=40))
+
+
+class TestDynamics:
+    def test_day_zero_is_copy(self, topo):
+        day0 = evolve_topology(topo, 0)
+        assert sorted(day0.links) == sorted(topo.links)
+        assert day0 is not topo
+        # Mutating the copy must not affect the base.
+        key = next(iter(day0.ases))
+        day0.ases[key].neighbor_rank.clear()
+        assert topo.ases[key].neighbor_rank
+
+    def test_deterministic(self, topo):
+        d1 = evolve_topology(topo, 2, seed=5)
+        d2 = evolve_topology(topo, 2, seed=5)
+        assert sorted(d1.links) == sorted(d2.links)
+        l1 = {k: (v.latency_ms, v.loss_rate) for k, v in d1.links.items()}
+        l2 = {k: (v.latency_ms, v.loss_rate) for k, v in d2.links.items()}
+        assert l1 == l2
+
+    def test_cumulative_evolution(self, topo):
+        """Day 2 differs from day 1 (evolution keeps going)."""
+        d1 = evolve_topology(topo, 1, seed=5)
+        d2 = evolve_topology(topo, 2, seed=5)
+        c1 = {k: v.loss_rate for k, v in d1.links.items()}
+        c2 = {k: v.loss_rate for k, v in d2.links.items()}
+        assert c1 != c2
+
+    def test_negative_day_rejected(self, topo):
+        with pytest.raises(ValueError):
+            evolve_topology(topo, -1)
+
+    def test_evolved_topology_still_valid(self, topo):
+        day3 = evolve_topology(topo, 3)
+        day3.validate()
+
+    def test_evolved_topology_still_routes(self, topo):
+        day1 = evolve_topology(topo, 1)
+        engine = ForwardingEngine(day1)
+        prefixes = sorted(p.index for p in day1.prefixes)
+        ok = sum(engine.reachable(prefixes[i], prefixes[-1 - i]) for i in range(10))
+        assert ok >= 8
+
+    def test_churn_is_bounded(self, topo):
+        """Most links survive a day (the Figure 4 premise)."""
+        day1 = evolve_topology(topo, 1)
+        surviving = set(topo.links) & set(day1.links)
+        assert len(surviving) >= 0.95 * len(topo.links)
+
+
+class TestFailures:
+    def test_scenario_path_check(self):
+        scenario = FailureScenario(failed_links=frozenset({(1, 2)}))
+        assert scenario.path_works(((0, 1), (3, 4)))
+        assert not scenario.path_works(((0, 1), (1, 2)))
+
+    def test_reachability_oracle(self, topo):
+        engine = ForwardingEngine(topo)
+        prefixes = sorted(p.index for p in topo.prefixes)
+        src, dst = prefixes[0], prefixes[-1]
+        direct = engine.pop_path(src, dst)
+        # Failing a link on the direct path must break reachability.
+        broken = FailureScenario(
+            failed_links=frozenset(
+                {direct.links[0], (direct.links[0][1], direct.links[0][0])}
+            )
+        )
+        oracle = FailureAwareReachability(engine, broken)
+        assert not oracle.reachable(src, dst)
+        # Nothing failed: reachable.
+        clean = FailureAwareReachability(engine, FailureScenario(frozenset()))
+        assert clean.reachable(src, dst)
+
+    def test_sample_failures_criteria(self, topo):
+        engine = ForwardingEngine(topo)
+        prefixes = sorted(p.index for p in topo.prefixes)
+        rng = derive_rng(3, "test.failures")
+        sources = [int(p) for p in rng.choice(prefixes[:-1], size=25, replace=False)]
+        found = 0
+        for dst in prefixes[-6:]:
+            result = sample_failures(topo, engine, dst, sources, seed=dst)
+            if result is None:
+                continue
+            scenario, cut, ok = result
+            found += 1
+            n = len(cut) + len(ok)
+            assert len(cut) >= 0.10 * n
+            assert len(ok) >= 0.10 * n
+            oracle = FailureAwareReachability(engine, scenario)
+            for src in cut[:5]:
+                assert not oracle.reachable(src, dst)
+        assert found >= 1
+
+    def test_detour_works_semantics(self, topo):
+        engine = ForwardingEngine(topo)
+        prefixes = sorted(p.index for p in topo.prefixes)
+        src, relay, dst = prefixes[0], prefixes[5], prefixes[-1]
+        oracle = FailureAwareReachability(engine, FailureScenario(frozenset()))
+        assert oracle.detour_works(src, relay, dst) == (
+            oracle.reachable(src, relay) and oracle.reachable(relay, dst)
+        )

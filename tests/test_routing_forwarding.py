@@ -1,0 +1,133 @@
+"""Tests for PoP-level path expansion and end-to-end queries."""
+
+import pytest
+
+from repro.routing.forwarding import ForwardingEngine
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(seed=31, n_tier1=4, n_tier2=12, n_tier3=40))
+
+
+@pytest.fixture(scope="module")
+def engine(topo):
+    return ForwardingEngine(topo)
+
+
+@pytest.fixture(scope="module")
+def prefix_pairs(topo):
+    prefixes = sorted(p.index for p in topo.prefixes)
+    rng = derive_rng(1, "test.pairs")
+    pairs = []
+    for _ in range(60):
+        i, j = rng.choice(len(prefixes), size=2, replace=False)
+        pairs.append((prefixes[int(i)], prefixes[int(j)]))
+    return pairs
+
+
+class TestPopPaths:
+    def test_paths_walk_real_links(self, topo, engine, prefix_pairs):
+        for src, dst in prefix_pairs:
+            path = engine.pop_path(src, dst)
+            for a, b in zip(path.pops, path.pops[1:]):
+                assert (a, b) in topo.links
+
+    def test_path_endpoints(self, topo, engine, prefix_pairs):
+        from repro.util.ids import PrefixId
+
+        for src, dst in prefix_pairs[:20]:
+            path = engine.pop_path(src, dst)
+            assert path.pops[0] == topo.prefixes[PrefixId(src)].attachment_pop
+            assert path.pops[-1] == topo.prefixes[PrefixId(dst)].attachment_pop
+
+    def test_latency_is_sum_of_links(self, topo, engine, prefix_pairs):
+        for src, dst in prefix_pairs[:20]:
+            path = engine.pop_path(src, dst)
+            expected = sum(
+                topo.links[(a, b)].latency_ms for a, b in zip(path.pops, path.pops[1:])
+            )
+            assert abs(path.latency_ms - expected) < 1e-9
+
+    def test_as_sequence_matches_route_table(self, topo, engine, prefix_pairs):
+        """The PoP path's AS sequence must equal the BGP-selected AS path."""
+        from repro.util.ids import PrefixId
+
+        for src, dst in prefix_pairs[:30]:
+            pop_as_path = engine.as_path_between(src, dst)
+            src_info = topo.prefixes[PrefixId(src)]
+            table = engine.oracle.table_for_prefix(dst)
+            if src_info.origin_asn == topo.prefixes[PrefixId(dst)].origin_asn:
+                continue
+            expected = table.as_path(src_info.origin_asn)
+            assert pop_as_path == expected
+
+    def test_asymmetry_exists(self, engine, prefix_pairs):
+        asym = 0
+        for src, dst in prefix_pairs:
+            e2e = engine.end_to_end(src, dst)
+            if tuple(reversed(e2e.forward.pops)) != e2e.reverse.pops:
+                asym += 1
+        assert asym > 0, "expected at least some asymmetric routes"
+
+    def test_loss_composition_bounds(self, engine, prefix_pairs):
+        for src, dst in prefix_pairs[:20]:
+            e2e = engine.end_to_end(src, dst)
+            assert 0.0 <= e2e.loss_forward <= 1.0
+            assert e2e.loss_round_trip >= e2e.loss_forward - 1e-12
+
+    def test_rtt_positive_and_consistent(self, engine, prefix_pairs):
+        for src, dst in prefix_pairs[:20]:
+            e2e = engine.end_to_end(src, dst)
+            assert e2e.rtt_ms > 0
+            assert e2e.rtt_ms >= e2e.forward.latency_ms + e2e.reverse.latency_ms
+
+    def test_reachability(self, engine, prefix_pairs):
+        reachable = sum(engine.reachable(s, d) for s, d in prefix_pairs)
+        assert reachable >= 0.9 * len(prefix_pairs)
+
+
+class TestEarlyExit:
+    def test_early_exit_minimizes_local_cost(self, topo, engine, prefix_pairs):
+        """At non-late-exit boundaries, the chosen egress minimizes the
+        intra-AS distance from the ingress among available interconnects."""
+        checked = 0
+        for src, dst in prefix_pairs:
+            path = engine.pop_path(src, dst)
+            pops = path.pops
+            ingress = {}
+            for i, pop in enumerate(pops):
+                asn = topo.pops[pop].asn
+                if i == 0 or topo.pops[pops[i - 1]].asn != asn:
+                    ingress[asn] = pop
+                if i + 1 < len(pops):
+                    next_as = topo.pops[pops[i + 1]].asn
+                    if next_as != asn and not topo.uses_late_exit(asn, next_as):
+                        options = topo.interconnections(asn, next_as)
+                        if len(options) < 2:
+                            continue
+                        chosen_cost = engine.intra_as_distance(
+                            asn, ingress[asn], pop
+                        )
+                        best = min(
+                            engine.intra_as_distance(asn, ingress[asn], egress)
+                            for egress, _ in options
+                        )
+                        assert chosen_cost <= best + 1e-9
+                        checked += 1
+        assert checked > 0
+
+
+class TestIntraAs:
+    def test_intra_distance_zero_to_self(self, topo, engine):
+        pop = next(iter(topo.pops))
+        asn = topo.pops[pop].asn
+        assert engine.intra_as_distance(asn, pop, pop) == 0.0
+
+    def test_intra_path_endpoints(self, topo, engine):
+        as_obj = max(topo.ases.values(), key=lambda a: len(a.pop_ids))
+        pops = as_obj.pop_ids
+        path = engine._intra_as_path(as_obj.asn, pops[0], pops[-1])
+        assert path[0] == pops[0] and path[-1] == pops[-1]

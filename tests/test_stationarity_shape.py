@@ -1,0 +1,64 @@
+"""Fast shape checks for the stationarity machinery (Figure 4 substrate).
+
+The full-size stationarity experiments live in the benchmarks; these
+tests pin down the *calibration contract* on the small scenario: a day of
+evolution keeps most paths intact while changing some, and the similarity
+metric distributes the way Figure 4 needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoRouteError, RoutingError
+from repro.eval.similarity import path_similarity
+
+
+@pytest.fixture(scope="module")
+def day_pair_paths(scenario):
+    engine0 = scenario.engine(0)
+    engine1 = scenario.engine(1)
+    vps = scenario.atlas_vps()[:10]
+    targets = scenario.all_prefixes()[::6]
+    day0, day1 = {}, {}
+    for vp in vps:
+        for dst in targets:
+            if dst == vp.prefix_index:
+                continue
+            key = (vp.prefix_index, dst)
+            try:
+                day0[key] = engine0.pop_path(*key).pops
+                day1[key] = engine1.pop_path(*key).pops
+            except (NoRouteError, RoutingError):
+                continue
+    return day0, day1
+
+
+class TestDayToDayShape:
+    def test_population_size(self, day_pair_paths):
+        day0, day1 = day_pair_paths
+        common = set(day0) & set(day1)
+        assert len(common) > 100
+
+    def test_majority_stationary(self, day_pair_paths):
+        day0, day1 = day_pair_paths
+        sims = [
+            path_similarity(day0[k], day1[k]) for k in set(day0) & set(day1)
+        ]
+        arr = np.asarray(sims)
+        assert float(np.mean(arr == 1.0)) >= 0.3, "too much churn for Figure 4"
+        assert float(np.mean(arr >= 0.75)) >= 0.6
+
+    def test_some_churn_exists(self, day_pair_paths):
+        day0, day1 = day_pair_paths
+        sims = [
+            path_similarity(day0[k], day1[k]) for k in set(day0) & set(day1)
+        ]
+        arr = np.asarray(sims)
+        assert float(np.mean(arr < 1.0)) >= 0.02, (
+            "a day must change some routes, or the delta experiments are vacuous"
+        )
+
+    def test_similarity_never_negative(self, day_pair_paths):
+        day0, day1 = day_pair_paths
+        for key in set(day0) & set(day1):
+            assert 0.0 <= path_similarity(day0[key], day1[key]) <= 1.0

@@ -1,0 +1,106 @@
+"""Tests for the synthetic Internet generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import TopologyConfig, generate_topology
+from repro.topology.generator import INFRASTRUCTURE_IP_BASE
+from repro.topology.relationships import Relationship
+
+
+@pytest.fixture(scope="module")
+def small_topo():
+    return generate_topology(
+        TopologyConfig(seed=11, n_tier1=4, n_tier2=12, n_tier3=40, n_sibling_pairs=2)
+    )
+
+
+class TestStructure:
+    def test_validates(self, small_topo):
+        small_topo.validate()  # raises on inconsistency
+
+    def test_counts(self, small_topo):
+        assert small_topo.n_ases == 56
+        assert small_topo.n_pops >= 56
+        assert len(small_topo.prefixes) >= 56
+
+    def test_tier1_clique(self, small_topo):
+        tier1 = [a.asn for a in small_topo.ases.values() if a.tier == 1]
+        for a in tier1:
+            for b in tier1:
+                if a != b:
+                    rel = small_topo.relationships.get(a, b)
+                    assert rel in (Relationship.PEER,)
+
+    def test_every_as_connected_upward(self, small_topo):
+        """Every non-tier-1 AS has at least one provider or sibling."""
+        for as_obj in small_topo.ases.values():
+            if as_obj.tier == 1:
+                continue
+            providers = small_topo.relationships.providers_of(as_obj.asn)
+            siblings = small_topo.relationships.siblings_of(as_obj.asn)
+            assert providers or siblings
+
+    def test_sibling_pairs_are_late_exit(self, small_topo):
+        assert len(small_topo.late_exit_pairs) >= 1
+        for pair in small_topo.late_exit_pairs:
+            a, b = tuple(pair)
+            assert small_topo.relationships.get(a, b) is Relationship.SIBLING
+
+    def test_interfaces_in_per_as_blocks(self, small_topo):
+        for pop in small_topo.pops.values():
+            for iface in pop.interfaces:
+                block_asn = (iface.ip - INFRASTRUCTURE_IP_BASE) >> 16
+                assert block_asn == pop.asn
+
+    def test_link_ifaces_point_at_link_targets(self, small_topo):
+        for (src, dst), ip in small_topo.link_ifaces.items():
+            assert small_topo.interface(ip).pop_id == dst
+            assert (src, dst) in small_topo.links
+
+    def test_prefix_attachment_in_origin_as(self, small_topo):
+        for info in small_topo.prefixes.values():
+            assert small_topo.pops[info.attachment_pop].asn == info.origin_asn
+
+    def test_traffic_engineering_subset(self, small_topo):
+        seen_te = False
+        for as_obj in small_topo.ases.values():
+            if as_obj.announce_providers is not None:
+                providers = set(small_topo.relationships.providers_of(as_obj.asn))
+                assert as_obj.announce_providers < providers or (
+                    as_obj.announce_providers <= providers
+                )
+                assert len(as_obj.announce_providers) >= 1
+                seen_te = True
+        assert seen_te
+
+
+class TestDeterminismAndConfig:
+    def test_deterministic(self):
+        cfg = TopologyConfig(seed=3, n_tier1=3, n_tier2=12, n_tier3=20)
+        t1 = generate_topology(cfg)
+        t2 = generate_topology(cfg)
+        assert sorted(t1.links) == sorted(t2.links)
+        assert {p.index for p in t1.prefixes} == {p.index for p in t2.prefixes}
+
+    def test_seed_changes_topology(self):
+        t1 = generate_topology(TopologyConfig(seed=1, n_tier1=3, n_tier2=12, n_tier3=20))
+        t2 = generate_topology(TopologyConfig(seed=2, n_tier1=3, n_tier2=12, n_tier3=20))
+        assert sorted(t1.links) != sorted(t2.links)
+
+    def test_config_validation(self):
+        with pytest.raises(TopologyError):
+            generate_topology(TopologyConfig(n_tier1=1))
+        with pytest.raises(TopologyError):
+            generate_topology(TopologyConfig(multihoming_probs=(0.5, 0.5, 0.5)))
+        with pytest.raises(TopologyError):
+            generate_topology(TopologyConfig(n_tier2=4, n_sibling_pairs=10))
+
+    def test_loss_rates_in_range(self, small_topo):
+        lossy = [l for l in small_topo.links.values() if l.loss_rate > 0]
+        assert lossy, "expected some lossy links"
+        for link in lossy:
+            assert 0.0 < link.loss_rate < 1.0
+
+    def test_latencies_positive(self, small_topo):
+        assert all(l.latency_ms > 0 for l in small_topo.links.values())

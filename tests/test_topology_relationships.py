@@ -1,0 +1,86 @@
+"""Unit tests for the relationship map and valley-free checking."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.relationships import Relationship, RelationshipMap
+
+
+@pytest.fixture
+def rels():
+    m = RelationshipMap()
+    # 1 and 2 are tier-1 peers; 1 provides to 3, 2 provides to 4,
+    # 3 and 4 both provide to 5; 3 and 4 are siblings.
+    m.set(1, 2, Relationship.PEER)
+    m.set(1, 3, Relationship.PROVIDER)
+    m.set(2, 4, Relationship.PROVIDER)
+    m.set(3, 5, Relationship.PROVIDER)
+    m.set(4, 5, Relationship.PROVIDER)
+    m.set(3, 4, Relationship.SIBLING)
+    return m
+
+
+class TestBasics:
+    def test_inverse_view(self, rels):
+        assert rels.get(3, 1) is Relationship.CUSTOMER
+        assert rels.get(1, 3) is Relationship.PROVIDER
+        assert rels.get(2, 1) is Relationship.PEER
+        assert rels.get(4, 3) is Relationship.SIBLING
+
+    def test_self_relationship_rejected(self):
+        m = RelationshipMap()
+        with pytest.raises(TopologyError):
+            m.set(1, 1, Relationship.PEER)
+
+    def test_conflict_rejected(self, rels):
+        with pytest.raises(TopologyError):
+            rels.set(1, 2, Relationship.PROVIDER)
+
+    def test_idempotent_set(self, rels):
+        rels.set(1, 2, Relationship.PEER)  # same value is fine
+        assert rels.get(1, 2) is Relationship.PEER
+
+    def test_accessors(self, rels):
+        assert rels.customers_of(1) == [3]
+        assert rels.providers_of(5) == [3, 4]
+        assert rels.peers_of(1) == [2]
+        assert rels.siblings_of(3) == [4]
+        assert rels.neighbors(3) == [1, 4, 5]
+        assert len(rels) == 6
+
+    def test_edges_listed_once(self, rels):
+        edges = rels.edges()
+        assert len(edges) == 6
+        assert all(a < b for a, b, _ in edges)
+
+
+class TestValleyFree:
+    def test_customer_route(self, rels):
+        assert rels.is_valley_free([5, 3, 1])  # pure climb
+        assert rels.is_valley_free([1, 3, 5])  # pure descent
+
+    def test_peak_with_peer(self, rels):
+        assert rels.is_valley_free([5, 3, 1, 2, 4])  # climb, peer, descend
+
+    def test_valley_rejected(self, rels):
+        # Descend into 5 then climb out again: a valley.
+        assert not rels.is_valley_free([3, 5, 4])
+
+    def test_double_peer_rejected(self, rels):
+        rels.set(3, 2, Relationship.PEER)
+        assert not rels.is_valley_free([1, 2, 3])  # peer then peer? path 1-2 peer, 2-3 peer
+        assert not rels.is_valley_free([5, 3, 2, 1])  # peer at 3-2, then peer 2-1
+
+    def test_sibling_transparent(self, rels):
+        assert rels.is_valley_free([5, 3, 4, 2])  # climb, sibling hop, climb
+
+    def test_unknown_adjacency(self, rels):
+        assert not rels.is_valley_free([1, 99])
+
+    def test_single_as(self, rels):
+        assert rels.is_valley_free([1])
+
+    def test_inverse_enum(self):
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+        assert Relationship.SIBLING.inverse() is Relationship.SIBLING

@@ -1,0 +1,74 @@
+"""Unit tests for IP/prefix arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ids import (
+    PREFIX_SIZE,
+    PrefixId,
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    prefix_of_ip,
+    random_ip_in_prefix,
+)
+from repro.util.rng import derive_rng
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ip("0.0.0.0") == 0
+        assert parse_ip("0.0.1.0") == 256
+        assert parse_ip("255.255.255.255") == 2**32 - 1
+        assert parse_ip("10.1.2.3") == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_format_known(self):
+        assert format_ip(0) == "0.0.0.0"
+        assert format_ip(2**32 - 1) == "255.255.255.255"
+        assert format_ip(256) == "0.0.1.0"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "a.b.c.d", "256.0.0.1", "-1.0.0.0"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(-1)
+        with pytest.raises(ValueError):
+            format_ip(2**32)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, ip):
+        assert parse_ip(format_ip(ip)) == ip
+
+
+class TestPrefixes:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_prefix_contains_its_ips(self, ip):
+        prefix = prefix_of_ip(ip)
+        assert ip_in_prefix(ip, prefix)
+        assert prefix.base_ip <= ip < prefix.base_ip + PREFIX_SIZE
+
+    def test_prefix_base(self):
+        assert PrefixId(0).base_ip == 0
+        assert PrefixId(7).base_ip == 7 * PREFIX_SIZE
+
+    def test_prefix_of_ip_bounds(self):
+        with pytest.raises(ValueError):
+            prefix_of_ip(-5)
+
+    def test_random_ip_avoids_network_and_broadcast(self):
+        rng = derive_rng(1, "test.randip")
+        prefix = PrefixId(42)
+        for _ in range(200):
+            ip = random_ip_in_prefix(prefix, rng)
+            assert ip_in_prefix(ip, prefix)
+            assert ip != prefix.base_ip
+            assert ip != prefix.base_ip + PREFIX_SIZE - 1
+
+    def test_str_form(self):
+        assert str(PrefixId(1)) == "0.0.1.0/24"

@@ -1,0 +1,81 @@
+"""Unit tests for deterministic RNG streams and compression accounting."""
+
+import numpy as np
+import pytest
+
+from repro.util.compression import (
+    compressed_size,
+    compression_ratio,
+    compression_report,
+    megabytes,
+)
+from repro.util.rng import SeedSequenceFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_same_label_same_stream(self):
+        a = derive_rng(5, "x").random(8)
+        b = derive_rng(5, "x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = derive_rng(5, "x").random(8)
+        b = derive_rng(5, "y").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(5, "x").random(8)
+        b = derive_rng(6, "x").random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestFactory:
+    def test_rng_continues_stream(self):
+        factory = SeedSequenceFactory(1)
+        first = factory.rng("a").random(4)
+        second = factory.rng("a").random(4)
+        assert not np.array_equal(first, second)  # continued, not restarted
+
+    def test_fresh_restarts(self):
+        factory = SeedSequenceFactory(1)
+        first = factory.rng("a").random(4)
+        restarted = factory.fresh("a").random(4)
+        assert np.array_equal(first, restarted)
+
+    def test_child_independent(self):
+        factory = SeedSequenceFactory(1)
+        c1 = factory.child("day1").rng("x").random(4)
+        c2 = factory.child("day2").rng("x").random(4)
+        assert not np.array_equal(c1, c2)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("abc")
+
+    def test_issued_labels(self):
+        factory = SeedSequenceFactory(1)
+        factory.rng("b")
+        factory.rng("a")
+        assert factory.issued_labels() == ["a", "b"]
+
+
+class TestCompression:
+    def test_compressed_smaller_for_redundant(self):
+        payload = b"abc" * 1000
+        assert compressed_size(payload) < len(payload)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            compressed_size("not bytes")
+
+    def test_ratio_empty(self):
+        assert compression_ratio(b"") == 1.0
+
+    def test_report_totals(self):
+        report = compression_report({"a": b"x" * 100, "b": b"y" * 50})
+        assert report["total"]["raw_bytes"] == 150
+        assert report["a"]["raw_bytes"] == 100
+        assert 0 < report["total"]["ratio"] <= 1.5
+
+    def test_megabytes(self):
+        assert megabytes(7_000_000) == 7.0

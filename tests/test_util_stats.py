@@ -1,0 +1,103 @@
+"""Unit tests for CDF/statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Cdf,
+    fraction_at_most,
+    histogram_bins,
+    median,
+    percentile,
+    summarize,
+)
+
+floats = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestScalars:
+    def test_median(self):
+        assert median([1, 2, 3]) == 2
+        assert median([1.0, 3.0]) == 2.0
+
+    def test_median_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_most([1], 0) == 0.0
+
+
+class TestCdf:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_at_and_quantile(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(10) == 1.0
+        assert cdf.quantile(0.5) == 2.0
+        assert cdf.quantile(1.0) == 4.0
+
+    def test_quantile_bounds(self):
+        cdf = Cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    @given(floats)
+    def test_cdf_monotone(self, values):
+        cdf = Cdf(values)
+        xs = sorted(values)
+        probs = [cdf.at(x) for x in xs]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+        assert cdf.at(max(values)) == 1.0
+
+    @given(floats)
+    def test_median_consistency(self, values):
+        cdf = Cdf(values)
+        assert cdf.at(cdf.median) >= 0.5
+
+    def test_points_cover_range(self):
+        cdf = Cdf(list(range(100)))
+        pts = cdf.points(max_points=10)
+        assert pts[-1][1] == 1.0
+        assert all(0 < p <= 1 for _, p in pts)
+
+    def test_render_contains_label(self):
+        text = Cdf([1.0, 2.0]).render("latency", unit="ms")
+        assert "latency" in text
+        assert "p50" in text
+
+
+class TestAggregates:
+    def test_summarize_keys(self):
+        result = summarize([1.0, 2.0, 3.0])
+        assert result["n"] == 3
+        assert result["median"] == 2.0
+        assert result["min"] == 1.0 and result["max"] == 3.0
+
+    def test_histogram_fractions_sum_to_one(self):
+        bins = histogram_bins([0.1, 0.2, 0.9, 0.95], 0.05, 0.0, 1.0)
+        assert abs(sum(frac for _, frac in bins) - 1.0) < 1e-9
+        assert len(bins) == 20
+
+    def test_histogram_validates(self):
+        with pytest.raises(ValueError):
+            histogram_bins([], 0.05, 0, 1)
+        with pytest.raises(ValueError):
+            histogram_bins([1.0], 0.0, 0, 1)
