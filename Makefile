@@ -1,0 +1,20 @@
+# Developer entry points. `make verify` is the tier-1 gate every PR must
+# keep green; `make bench-smoke` times the query engine (GC off for stable
+# numbers) and appends the run to BENCH_query.json.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: verify bench-smoke bench equivalence
+
+verify:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \
+		--benchmark-disable-gc --benchmark-min-rounds=5 --benchmark-warmup=off
+
+bench:
+	BENCH_RECORD=1 $(PYTEST) benchmarks -q --benchmark-disable-gc
+
+equivalence:
+	$(PYTEST) tests/test_compiled_equivalence.py -q

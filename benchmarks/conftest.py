@@ -1,9 +1,14 @@
 """Benchmark fixtures: one default-scale scenario per session, plus a
 report sink that both prints each regenerated table/figure and archives it
-under ``benchmarks/results/``."""
+under ``benchmarks/results/``, and a query-perf recorder that appends
+cold/warm/decode timings to ``BENCH_query.json`` at the repo root so
+successive PRs accumulate a comparable trajectory."""
 
 from __future__ import annotations
 
+import json
+import os
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -11,6 +16,8 @@ import pytest
 from repro.eval import get_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_QUERY_JSON = Path(__file__).parent.parent / "BENCH_query.json"
+_BENCH_HISTORY_MAX = 40
 
 
 @pytest.fixture(scope="session")
@@ -37,3 +44,53 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return emit
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Collect query-benchmark stats; on session teardown, append one run
+    entry to ``BENCH_query.json`` (bounded history, oldest dropped).
+
+    Recording is opt-in via ``BENCH_RECORD=1`` (set by the Makefile bench
+    targets, which also disable GC) so plain ``make verify`` runs don't
+    pollute the trajectory with non-comparable timings.
+    """
+    enabled = os.environ.get("BENCH_RECORD") == "1"
+    timings: dict[str, dict] = {}
+
+    def record(name: str, benchmark, **extra) -> None:
+        stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+        if stats is None:  # --benchmark-disable et al.
+            return
+        entry = {
+            "mean_s": stats.mean,
+            "median_s": stats.median,
+            "min_s": stats.min,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        }
+        entry.update(extra)
+        timings[name] = entry
+
+    yield record
+
+    if not (enabled and timings):
+        return
+    payload: dict = {"schema": 1, "runs": []}
+    if BENCH_QUERY_JSON.exists():
+        try:
+            loaded = json.loads(BENCH_QUERY_JSON.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                payload = loaded
+        except (OSError, ValueError):
+            pass
+    payload["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "timings": timings,
+        }
+    )
+    payload["runs"] = payload["runs"][-_BENCH_HISTORY_MAX:]
+    BENCH_QUERY_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -14,7 +14,7 @@ from repro.core.predictor import INanoPredictor, PredictorConfig
 from repro.util.rng import derive_rng
 
 
-def test_bench_cold_query(benchmark, scenario, atlas):
+def test_bench_cold_query(benchmark, scenario, atlas, bench_record):
     prefixes = scenario.all_prefixes()
     rng = derive_rng(1, "bench.query.cold")
 
@@ -24,9 +24,14 @@ def test_bench_cold_query(benchmark, scenario, atlas):
         return predictor.predict_or_none(int(src), int(dst))
 
     benchmark(cold_query)
+    bench_record(
+        "cold_query",
+        benchmark,
+        engine=INanoPredictor(atlas, PredictorConfig.inano()).engine,
+    )
 
 
-def test_bench_warm_query_batch(benchmark, scenario, atlas):
+def test_bench_warm_query_batch(benchmark, scenario, atlas, bench_record):
     prefixes = scenario.all_prefixes()
     predictor = INanoPredictor(atlas, PredictorConfig.inano())
     rng = derive_rng(2, "bench.query.warm")
@@ -39,9 +44,12 @@ def test_bench_warm_query_batch(benchmark, scenario, atlas):
 
     results = benchmark(warm_batch)
     assert sum(r is not None for r in results) > len(sources) * 0.6
+    bench_record(
+        "warm_query_batch", benchmark, engine=predictor.engine, batch=len(sources)
+    )
 
 
-def test_bench_atlas_decode(benchmark, atlas):
+def test_bench_atlas_decode(benchmark, atlas, bench_record):
     payload = encode_atlas(atlas)
 
     def decode():
@@ -49,6 +57,7 @@ def test_bench_atlas_decode(benchmark, atlas):
 
     decoded = benchmark(decode)
     assert len(decoded.links) == len(atlas.links)
+    bench_record("atlas_decode", benchmark)
 
 
 def test_bench_swarm_distribution(benchmark, atlas, report):

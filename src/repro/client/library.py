@@ -168,5 +168,22 @@ class INanoClient:
     def query_batch(
         self, pairs: list[tuple[int, int]]
     ) -> list[PathInfo | None]:
-        """Batched query interface (arbitrary batch sizes, Section 5)."""
-        return [self.query_or_none(s, d) for s, d in pairs]
+        """Batched query interface (arbitrary batch sizes, Section 5).
+
+        Both directions go through the predictor's destination-grouped
+        batch path, so pairs sharing an endpoint reuse one backtracking
+        search instead of raising/catching per pair.
+        """
+        predictor = self.predictor
+        forward = predictor.predict_batch(list(pairs))
+        # Only pairs with a forward path need the reverse direction (a
+        # missing forward already makes the result None).
+        reverse = iter(
+            predictor.predict_batch(
+                [(d, s) for (s, d), fwd in zip(pairs, forward) if fwd is not None]
+            )
+        )
+        return [
+            None if fwd is None else PathInfo.combine(s, d, fwd, next(reverse))
+            for (s, d), fwd in zip(pairs, forward)
+        ]

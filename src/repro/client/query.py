@@ -23,6 +23,28 @@ class PathInfo:
     forward: PredictedPath
     reverse: PredictedPath
 
+    @classmethod
+    def combine(
+        cls,
+        src_prefix_index: int,
+        dst_prefix_index: int,
+        forward: PredictedPath | None,
+        reverse: PredictedPath | None,
+    ) -> "PathInfo | None":
+        """Pair the two one-way predictions, or None if either is missing.
+
+        The batched query path resolves forward and reverse directions in
+        bulk and zips them back together here.
+        """
+        if forward is None or reverse is None:
+            return None
+        return cls(
+            src_prefix_index=src_prefix_index,
+            dst_prefix_index=dst_prefix_index,
+            forward=forward,
+            reverse=reverse,
+        )
+
     @property
     def rtt_ms(self) -> float:
         return self.forward.latency_ms + self.reverse.latency_ms

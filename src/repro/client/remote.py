@@ -77,10 +77,8 @@ class QueryAgent:
             self._queries_served.get(caller_prefix_index, 0) + len(pairs)
         )
         rtt = 2 * self.local_hop_ms
-        return [
-            RemoteQueryResult(info=self.client.query_or_none(s, d), agent_rtt_ms=rtt)
-            for s, d in pairs
-        ]
+        infos = self.client.query_batch(list(pairs))
+        return [RemoteQueryResult(info=info, agent_rtt_ms=rtt) for info in infos]
 
     def heavy_callers(self, threshold: int = 1000) -> list[int]:
         """Callers busy enough that running their own client would pay off."""

@@ -15,6 +15,7 @@ predicted forward and reverse paths into end-to-end estimates;
 the application-level metrics used by the case studies.
 """
 
+from repro.core.compiled import CompiledGraph
 from repro.core.costs import PathCost
 from repro.core.graph import PredictionGraph
 from repro.core.predictor import (
@@ -28,6 +29,7 @@ from repro.core.tcp import download_time_seconds, pftk_throughput_bps
 from repro.core.mos import mos_score
 
 __all__ = [
+    "CompiledGraph",
     "PathCost",
     "PredictionGraph",
     "INanoPredictor",

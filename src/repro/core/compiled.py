@@ -1,0 +1,353 @@
+"""Flat CSR lowering of the prediction graph (the compiled query core).
+
+The object-level :class:`~repro.core.graph.PredictionGraph` is the
+reference representation: nodes are ``(plane, side, cluster)`` tuples and
+edges are frozen dataclasses, which is convenient to inspect but costly
+to traverse — a cold query allocates tens of thousands of objects and
+chases a dict per hop. :class:`CompiledGraph` lowers the same graph to a
+struct-of-arrays form the predictor's array-native Dijkstra runs over:
+
+* **Node interning.** Every distinct node is assigned a dense ``int`` id
+  in first-appearance (emission) order. Per-node arrays ``node_plane``,
+  ``node_side``, ``node_cluster`` and ``node_asn`` replace tuple fields;
+  ``node_id(plane, side, cluster)`` resolves a tuple to its id via a
+  packed-integer dict (``cluster << 2 | plane << 1 | side``).
+
+* **Edge arrays.** Edges keep their global emission order as their ids.
+  Parallel arrays hold ``e_src``/``e_dst`` (node ids), ``e_kind``,
+  ``e_lat``/``e_loss``, and the precomputed per-edge ASN endpoints
+  ``e_src_asn``/``e_dst_asn``. Two derived arrays pre-resolve the cost
+  algebra so the search never touches :class:`EdgeKind` at pop time:
+  ``e_op`` (0 = intra-like: inherit phase, exit cost accumulates;
+  1 = late-exit: one pending hop, exit cost accumulates; 2 = sibling
+  crossing: inherit phase, ordinary hop; 3 = inter-AS with a fixed
+  phase) and ``e_phase`` (the phase for op 3: customer=1, peer=2,
+  provider=3).
+
+* **CSR adjacency.** ``rev_off``/``rev_lst`` index incoming edges per
+  node (the backtracking successor lists) and ``fwd_off``/``fwd_lst``
+  outgoing edges (for pop-time parent re-evaluation). Both are built by
+  a stable counting sort over the emission order, so a node's incoming
+  list enumerates exactly the edges — in exactly the order — that the
+  object graph's ``reverse_adjacency`` would. That ordering is
+  load-bearing: the search breaks exact cost ties by heap insertion
+  order, and preserving it makes the compiled engine's output
+  bit-for-bit identical to the legacy dict-based search.
+
+Two builders produce a :class:`CompiledGraph`:
+
+* :meth:`CompiledGraph.from_prediction_graph` lowers an already-built
+  object graph by replaying its ``edge_log`` — the canonical lowering.
+* :meth:`CompiledGraph.from_atlas` compiles straight from the atlas,
+  skipping Edge/tuple object creation entirely (the predictor's fast
+  path for cold queries). It mirrors ``PredictionGraph.build()`` step
+  for step and shares its per-link classifier
+  (:func:`~repro.core.graph.link_edge_specs`); the equivalence suite
+  asserts the two builders produce identical arrays.
+
+ASNs and cluster ids must be non-negative: the search encodes "no next
+AS yet" as ``-1`` in its state arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.core.graph import (
+    DOWN,
+    FROM_SRC,
+    TO_DST,
+    UP,
+    EdgeKind,
+    PredictionGraph,
+    link_edge_specs,
+)
+
+#: edge-op codes (see module docstring)
+OP_INTRA = 0
+OP_LATE_EXIT = 1
+OP_SIBLING = 2
+OP_INTER = 3
+
+_KIND_TO_OP = {
+    EdgeKind.INTRA: OP_INTRA,
+    EdgeKind.SELF_DOWN: OP_INTRA,
+    EdgeKind.PLANE_CROSS: OP_INTRA,
+    EdgeKind.LATE_EXIT: OP_LATE_EXIT,
+    EdgeKind.SIBLING: OP_SIBLING,
+    EdgeKind.DOWN_EDGE: OP_INTER,
+    EdgeKind.PEER: OP_INTER,
+    EdgeKind.UP_EDGE: OP_INTER,
+}
+
+_KIND_TO_PHASE = {
+    EdgeKind.DOWN_EDGE: 1,
+    EdgeKind.PEER: 2,
+    EdgeKind.UP_EDGE: 3,
+}
+
+
+@dataclass
+class CompiledGraph:
+    """CSR form of a prediction graph; see the module docstring."""
+
+    atlas: Atlas
+    extra_cluster_as: dict[int, int]
+    has_from_src: bool
+
+    # node arrays (indexed by dense node id)
+    node_plane: list[int] = field(default_factory=list, repr=False)
+    node_side: list[int] = field(default_factory=list, repr=False)
+    node_cluster: list[int] = field(default_factory=list, repr=False)
+    node_asn: list[int] = field(default_factory=list, repr=False)
+
+    # edge arrays (indexed by emission-order edge id)
+    e_src: list[int] = field(default_factory=list, repr=False)
+    e_dst: list[int] = field(default_factory=list, repr=False)
+    e_kind: list[int] = field(default_factory=list, repr=False)
+    e_lat: list[float] = field(default_factory=list, repr=False)
+    e_loss: list[float] = field(default_factory=list, repr=False)
+    e_src_asn: list[int] = field(default_factory=list, repr=False)
+    e_dst_asn: list[int] = field(default_factory=list, repr=False)
+    e_op: list[int] = field(default_factory=list, repr=False)
+    e_phase: list[int] = field(default_factory=list, repr=False)
+
+    # CSR offsets + edge-id lists
+    rev_off: list[int] = field(default_factory=list, repr=False)
+    rev_lst: list[int] = field(default_factory=list, repr=False)
+    fwd_off: list[int] = field(default_factory=list, repr=False)
+    fwd_lst: list[int] = field(default_factory=list, repr=False)
+
+    #: packed (cluster << 2 | plane << 1 | side) -> dense node id
+    _id_of: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_cluster)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.e_src)
+
+    def node_id(self, plane: int, side: int, cluster: int) -> int | None:
+        """Dense id of ``(plane, side, cluster)``, or None if absent."""
+        return self._id_of.get((cluster << 2) | (plane << 1) | side)
+
+    def asn_of(self, cluster: int) -> int | None:
+        asn = self.atlas.cluster_to_as.get(cluster)
+        if asn is None:
+            asn = self.extra_cluster_as.get(cluster)
+        return asn
+
+    def arrays(self) -> dict[str, list]:
+        """All array fields, for builder-identity assertions in tests."""
+        return {
+            "node_plane": self.node_plane,
+            "node_side": self.node_side,
+            "node_cluster": self.node_cluster,
+            "node_asn": self.node_asn,
+            "e_src": self.e_src,
+            "e_dst": self.e_dst,
+            "e_kind": self.e_kind,
+            "e_lat": self.e_lat,
+            "e_loss": self.e_loss,
+            "e_src_asn": self.e_src_asn,
+            "e_dst_asn": self.e_dst_asn,
+            "e_op": self.e_op,
+            "e_phase": self.e_phase,
+            "rev_off": self.rev_off,
+            "rev_lst": self.rev_lst,
+            "fwd_off": self.fwd_off,
+            "fwd_lst": self.fwd_lst,
+        }
+
+    # -- builders ----------------------------------------------------------
+
+    @classmethod
+    def from_prediction_graph(cls, graph: PredictionGraph) -> "CompiledGraph":
+        """Lower a built object graph by replaying its emission log."""
+        out = cls(
+            atlas=graph.atlas,
+            extra_cluster_as=graph.extra_cluster_as,
+            has_from_src=graph.has_from_src,
+        )
+        intern = out._intern
+        for edge in graph.edge_log:
+            sp, ss, sc = edge.src
+            dp, ds, dc = edge.dst
+            out._append_edge(
+                intern(sp, ss, sc, edge.src_asn),
+                intern(dp, ds, dc, edge.dst_asn),
+                edge.kind,
+                edge.latency_ms,
+                edge.loss,
+                edge.src_asn,
+                edge.dst_asn,
+            )
+        out._index()
+        return out
+
+    @classmethod
+    def from_atlas(
+        cls,
+        atlas: Atlas,
+        from_src_links: dict[tuple[int, int], LinkRecord] | None = None,
+        extra_cluster_as: dict[int, int] | None = None,
+        closed: bool = True,
+    ) -> "CompiledGraph":
+        """Compile straight from the atlas, without building the object
+        graph. Mirrors ``PredictionGraph.build()`` exactly — same link
+        iteration order, same per-link edge specs, same self-edge and
+        plane-crossing sets — so the arrays match the canonical lowering.
+        """
+        out = cls(
+            atlas=atlas,
+            extra_cluster_as=extra_cluster_as or {},
+            has_from_src=bool(from_src_links),
+        )
+        links = atlas.links
+        to_dst_links = (
+            PredictionGraph._closed_adjacency(links) if closed else links
+        )
+        out._compile_link_plane(TO_DST, to_dst_links)
+        clusters_to_dst = {c for (a, b) in links for c in (a, b)}
+        out._compile_self_edges(TO_DST, clusters_to_dst)
+        if from_src_links:
+            out._compile_link_plane(FROM_SRC, from_src_links)
+            clusters_from_src = {
+                c for (a, b) in from_src_links for c in (a, b)
+            }
+            out._compile_self_edges(FROM_SRC, clusters_from_src)
+            out._compile_plane_crossings(clusters_from_src & clusters_to_dst)
+        out._index()
+        return out
+
+    # -- construction internals --------------------------------------------
+
+    def _intern(self, plane: int, side: int, cluster: int, asn: int) -> int:
+        key = (cluster << 2) | (plane << 1) | side
+        nid = self._id_of.get(key)
+        if nid is None:
+            nid = len(self.node_cluster)
+            self._id_of[key] = nid
+            self.node_plane.append(plane)
+            self.node_side.append(side)
+            self.node_cluster.append(cluster)
+            self.node_asn.append(asn)
+        return nid
+
+    def _append_edge(
+        self,
+        src_id: int,
+        dst_id: int,
+        kind: EdgeKind,
+        latency_ms: float,
+        loss: float,
+        src_asn: int,
+        dst_asn: int,
+    ) -> None:
+        self.e_src.append(src_id)
+        self.e_dst.append(dst_id)
+        self.e_kind.append(int(kind))
+        self.e_lat.append(latency_ms)
+        self.e_loss.append(loss)
+        self.e_src_asn.append(src_asn)
+        self.e_dst_asn.append(dst_asn)
+        self.e_op.append(_KIND_TO_OP[kind])
+        self.e_phase.append(_KIND_TO_PHASE.get(kind, 0))
+
+    def _compile_link_plane(
+        self, plane: int, links: dict[tuple[int, int], LinkRecord]
+    ) -> None:
+        atlas = self.atlas
+        c2a = atlas.cluster_to_as
+        extra = self.extra_cluster_as
+        rels = atlas.relationship_codes
+        late_exit = atlas.late_exit_pairs
+        loss_map = atlas.link_loss
+        intern = self._intern
+        for link, record in links.items():
+            ci, cj = link
+            as_i = c2a.get(ci)
+            if as_i is None:
+                as_i = extra.get(ci)
+                if as_i is None:
+                    continue
+            as_j = c2a.get(cj)
+            if as_j is None:
+                as_j = extra.get(cj)
+                if as_j is None:
+                    continue
+            latency = record.latency_ms
+            loss = loss_map.get(link, 0.0)
+            same_as = as_i == as_j
+            specs = link_edge_specs(
+                same_as,
+                None if same_as else rels.get((as_i, as_j)),
+                not same_as and frozenset((as_i, as_j)) in late_exit,
+            )
+            for side_i, side_j, kind in specs:
+                self._append_edge(
+                    intern(plane, side_i, ci, as_i),
+                    intern(plane, side_j, cj, as_j),
+                    kind,
+                    latency,
+                    loss,
+                    as_i,
+                    as_j,
+                )
+
+    def _compile_self_edges(self, plane: int, clusters: set[int]) -> None:
+        for cluster in clusters:
+            asn = self.asn_of(cluster)
+            if asn is None:
+                continue
+            self._append_edge(
+                self._intern(plane, UP, cluster, asn),
+                self._intern(plane, DOWN, cluster, asn),
+                EdgeKind.SELF_DOWN,
+                0.0,
+                0.0,
+                asn,
+                asn,
+            )
+
+    def _compile_plane_crossings(self, shared_clusters: set[int]) -> None:
+        for cluster in shared_clusters:
+            asn = self.asn_of(cluster)
+            if asn is None:
+                continue
+            for side in (UP, DOWN):
+                self._append_edge(
+                    self._intern(FROM_SRC, side, cluster, asn),
+                    self._intern(TO_DST, side, cluster, asn),
+                    EdgeKind.PLANE_CROSS,
+                    0.0,
+                    0.0,
+                    asn,
+                    asn,
+                )
+
+    def _index(self) -> None:
+        """Build both CSR indexes with a stable counting sort, so each
+        node's edge list preserves global emission order."""
+        n = len(self.node_cluster)
+        self.rev_off, self.rev_lst = _csr(n, self.e_dst)
+        self.fwd_off, self.fwd_lst = _csr(n, self.e_src)
+
+
+def _csr(n_nodes: int, bucket_of: list[int]) -> tuple[list[int], list[int]]:
+    counts = [0] * (n_nodes + 1)
+    for b in bucket_of:
+        counts[b + 1] += 1
+    for i in range(1, n_nodes + 1):
+        counts[i] += counts[i - 1]
+    pos = counts[:-1]
+    lst = [0] * len(bucket_of)
+    for ei, b in enumerate(bucket_of):
+        lst[pos[b]] = ei
+        pos[b] += 1
+    return counts, lst

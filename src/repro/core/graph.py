@@ -65,6 +65,45 @@ class Edge:
     dst_asn: int
 
 
+#: Directed-link edge specs, shared by the object graph builder and the
+#: compiled CSR builder (repro.core.compiled) so both emit byte-identical
+#: edge sequences for a link.
+_INTRA_SPECS = ((UP, UP, EdgeKind.INTRA), (DOWN, DOWN, EdgeKind.INTRA))
+_UNKNOWN_SPECS = (
+    (DOWN, DOWN, EdgeKind.DOWN_EDGE),
+    (UP, UP, EdgeKind.UP_EDGE),
+)
+
+
+def link_edge_specs(
+    same_as: bool, rel: int | None, is_late_exit: bool
+) -> tuple[tuple[int, int, EdgeKind], ...]:
+    """``(side_i, side_j, kind)`` triples for a directed link ``ci -> cj``.
+
+    ``same_as`` marks an intra-AS link; otherwise ``rel`` is the inferred
+    relationship code (or None when unknown) and ``is_late_exit`` whether
+    the AS pair runs late-exit routing. The returned order is part of the
+    engine's tie-breaking contract: the search breaks exact cost ties by
+    heap insertion order, which follows emission order.
+    """
+    if same_as:
+        return _INTRA_SPECS
+    if rel == REL_SIBLING:
+        kind = EdgeKind.LATE_EXIT if is_late_exit else EdgeKind.SIBLING
+        return ((UP, UP, kind), (DOWN, DOWN, kind))
+    if rel == REL_PROVIDER:
+        # i is j's provider: forward i -> j descends.
+        return ((DOWN, DOWN, EdgeKind.DOWN_EDGE),)
+    if rel == REL_CUSTOMER:
+        # i is j's customer: forward i -> j climbs.
+        return ((UP, UP, EdgeKind.UP_EDGE),)
+    if rel == REL_PEER:
+        return ((UP, DOWN, EdgeKind.PEER),)
+    # Relationship unknown (link seen, AS adjacency never seen in an AS
+    # path): allow both monotone directions, no peer.
+    return _UNKNOWN_SPECS
+
+
 @dataclass
 class PredictionGraph:
     """Reverse-adjacency prediction graph over one atlas (+ client links)."""
@@ -81,6 +120,9 @@ class PredictionGraph:
     reverse_adjacency: dict[Node, list[Edge]] = field(default_factory=dict, repr=False)
     #: outgoing edges per node (for pop-time parent re-evaluation)
     forward_adjacency: dict[Node, list[Edge]] = field(default_factory=dict, repr=False)
+    #: every edge in emission order — the canonical edge numbering the
+    #: compiled CSR lowering (repro.core.compiled) preserves
+    edge_log: list[Edge] = field(default_factory=list, repr=False)
     _built: bool = field(default=False, repr=False)
 
     def build(self) -> "PredictionGraph":
@@ -121,6 +163,7 @@ class PredictionGraph:
         return closed
 
     def _emit(self, edge: Edge) -> None:
+        self.edge_log.append(edge)
         self.reverse_adjacency.setdefault(edge.dst, []).append(edge)
         self.forward_adjacency.setdefault(edge.src, []).append(edge)
 
@@ -145,8 +188,13 @@ class PredictionGraph:
                 continue
             latency = record.latency_ms
             loss = self._lookup_loss((ci, cj))
-
-            def emit(side_i: int, side_j: int, kind: EdgeKind) -> None:
+            same_as = as_i == as_j
+            specs = link_edge_specs(
+                same_as,
+                None if same_as else rels.get((as_i, as_j)),
+                not same_as and frozenset((as_i, as_j)) in late_exit,
+            )
+            for side_i, side_j, kind in specs:
                 self._emit(
                     Edge(
                         src=(plane, side_i, ci),
@@ -158,33 +206,6 @@ class PredictionGraph:
                         dst_asn=as_j,
                     )
                 )
-
-            if as_i == as_j:
-                emit(UP, UP, EdgeKind.INTRA)
-                emit(DOWN, DOWN, EdgeKind.INTRA)
-                continue
-            rel = rels.get((as_i, as_j))
-            if rel == REL_SIBLING:
-                kind = (
-                    EdgeKind.LATE_EXIT
-                    if frozenset((as_i, as_j)) in late_exit
-                    else EdgeKind.SIBLING
-                )
-                emit(UP, UP, kind)
-                emit(DOWN, DOWN, kind)
-            elif rel == REL_PROVIDER:
-                # i is j's provider: forward i -> j descends.
-                emit(DOWN, DOWN, EdgeKind.DOWN_EDGE)
-            elif rel == REL_CUSTOMER:
-                # i is j's customer: forward i -> j climbs.
-                emit(UP, UP, EdgeKind.UP_EDGE)
-            elif rel == REL_PEER:
-                emit(UP, DOWN, EdgeKind.PEER)
-            else:
-                # Relationship unknown (link seen, AS adjacency never seen in
-                # an AS path): allow both monotone directions, no peer.
-                emit(DOWN, DOWN, EdgeKind.DOWN_EDGE)
-                emit(UP, UP, EdgeKind.UP_EDGE)
 
     def _add_self_edges(self, plane: int, clusters: set[int]) -> None:
         for cluster in clusters:
@@ -222,6 +243,11 @@ class PredictionGraph:
                 )
 
     # -- queries -------------------------------------------------------------
+
+    @property
+    def has_from_src(self) -> bool:
+        """True when the graph includes a client FROM_SRC plane."""
+        return bool(self.from_src_links)
 
     def incoming(self, node: Node) -> list[Edge]:
         return self.reverse_adjacency.get(node, [])

@@ -2,7 +2,7 @@
 
 One backtracking Dijkstra per destination computes best routes from *every*
 node to that destination, so batched queries against a common destination
-are nearly free (the per-destination search is cached).
+are nearly free (the per-destination search is cached, LRU).
 
 Graph planes follow the paper's ablation structure:
 
@@ -12,8 +12,8 @@ Graph planes follow the paper's ablation structure:
 * with ``use_from_src`` on, the primary search uses the *directed*
   TO_DST plane plus the client's directed FROM_SRC plane (Section 4.3.1),
   which suppresses non-existent routes; if that search cannot reach the
-  source, the engine falls back to the closed graph so arbitrary-pair
-  queries keep their coverage.
+  source, the engine falls back to the closed graph (built lazily, on
+  first need) so arbitrary-pair queries keep their coverage.
 
 The search state per node holds the GRAPH cost tuple plus two pieces of
 path context the corrective checks need:
@@ -32,16 +32,41 @@ AS preferences (Section 4.3.3) tie-break candidates with equal
 plain Dijkstra would finalize a node before an equally-short-but-preferred
 parent pops, every node re-evaluates its finalized out-neighbors at pop
 time and keeps the preferred parent.
+
+Two interchangeable engines implement the search:
+
+* ``engine="compiled"`` (the default) runs over the flat CSR arrays of
+  :class:`repro.core.compiled.CompiledGraph`: dense int node ids,
+  preallocated per-node state arrays (phase / effective hops / exit cost
+  / parent edge / next ASN, with ``-1`` as the "no next AS" sentinel),
+  and integer heap entries. Only the *effective* hop count is tracked —
+  the (as_hops, pending) split of :class:`~repro.core.costs.PathCost`
+  is a homomorphism onto it under every ⊕ flavour, so nothing else of
+  the cost tuple is observable.
+* ``engine="legacy"`` is the original dict-of-dataclass search, kept as
+  the executable specification; the equivalence suite asserts both
+  engines return identical :class:`PredictedPath`s under every ablation.
+
+Both engines share graph construction semantics (and therefore the
+emission-order tie-breaking contract), the per-destination LRU search
+cache, and the destination-grouped :meth:`INanoPredictor.predict_batch`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.tuples import tuple_check
+from repro.core.compiled import (
+    OP_INTRA,
+    OP_LATE_EXIT,
+    OP_SIBLING,
+    CompiledGraph,
+)
 from repro.core.costs import ZERO_COST, PathCost
 from repro.core.graph import (
     DOWN,
@@ -133,6 +158,32 @@ class _NodeState:
         return (self.phase, self.cost.effective_hops)
 
 
+#: per-search cap on memoized extracted paths (bounds worst-case memory
+#: at _SEARCH_CACHE_MAX * _PATH_MEMO_MAX small objects)
+_PATH_MEMO_MAX = 4096
+
+
+@dataclass
+class _CompiledStates:
+    """Per-destination search result of the compiled engine.
+
+    ``root_id`` is None when the destination node is absent from the
+    graph entirely (then only the trivial src==dst query can answer).
+    ``phase[v] == 0`` marks an unreached node. ``paths`` memoizes
+    extracted :class:`PredictedPath`s by start node id — extraction is a
+    pure function of the finished search, so repeated queries against a
+    cached destination skip the parent-chain walk entirely.
+    """
+
+    root_id: int | None
+    phase: list[int]
+    eff: list[int]
+    exitc: list[float]
+    parent: list[int]
+    nxt: list[int]
+    paths: dict[int, PredictedPath]
+
+
 class INanoPredictor:
     """Predicts PoP-level routes between arbitrary prefixes from an atlas."""
 
@@ -143,29 +194,64 @@ class INanoPredictor:
         from_src_links: dict[tuple[int, int], LinkRecord] | None = None,
         from_src_prefixes: set[int] | None = None,
         client_cluster_as: dict[int, int] | None = None,
+        engine: str = "compiled",
     ) -> None:
+        if engine not in ("compiled", "legacy"):
+            raise ValueError(f"unknown predictor engine {engine!r}")
         self.atlas = atlas
         self.config = config or PredictorConfig.inano()
-        extra = dict(client_cluster_as or {})
+        self.engine = engine
+        self._extra_cluster_as = dict(client_cluster_as or {})
         if self.config.use_from_src:
-            self.graph = PredictionGraph(
-                atlas=atlas,
-                from_src_links=from_src_links,
-                extra_cluster_as=extra,
-                closed=False,
-            ).build()
-            self.fallback_graph: PredictionGraph | None = PredictionGraph(
-                atlas=atlas, extra_cluster_as=extra, closed=True
-            ).build()
+            self.graph = self._build_graph(from_src_links, closed=False)
         else:
-            self.graph = PredictionGraph(
-                atlas=atlas, extra_cluster_as=extra, closed=True
-            ).build()
-            self.fallback_graph = None
+            self.graph = self._build_graph(None, closed=True)
+        #: the closed fallback graph, built lazily via :attr:`fallback_graph`
+        self._fallback_graph: PredictionGraph | CompiledGraph | None = None
         #: prefixes whose queries may start in the FROM_SRC plane (the
         #: client's own); None means any source may use it.
         self.from_src_prefixes = from_src_prefixes
-        self._search_cache: dict[tuple, dict[Node, _NodeState]] = {}
+        #: per-(graph, destination, providers) search results, true LRU:
+        #: hits refresh recency, eviction drops the least recently used.
+        self._search_cache: OrderedDict = OrderedDict()
+        self._cache_max = _SEARCH_CACHE_MAX
+
+    def _build_graph(
+        self,
+        from_src_links: dict[tuple[int, int], LinkRecord] | None,
+        closed: bool,
+    ) -> PredictionGraph | CompiledGraph:
+        if self.engine == "legacy":
+            return PredictionGraph(
+                atlas=self.atlas,
+                from_src_links=from_src_links,
+                extra_cluster_as=self._extra_cluster_as,
+                closed=closed,
+            ).build()
+        return CompiledGraph.from_atlas(
+            self.atlas,
+            from_src_links=from_src_links,
+            extra_cluster_as=self._extra_cluster_as,
+            closed=closed,
+        )
+
+    @property
+    def fallback_graph(self) -> PredictionGraph | CompiledGraph | None:
+        """The closed (Section 4.2) graph backing arbitrary-pair coverage.
+
+        Only exists when ``use_from_src`` is on; built on first access so
+        queries the directed planes can answer never pay for it.
+        """
+        if not self.config.use_from_src:
+            return None
+        if self._fallback_graph is None:
+            self._fallback_graph = self._build_graph(None, closed=True)
+        return self._fallback_graph
+
+    def _query_graphs(self):
+        yield self.graph
+        if self.config.use_from_src:
+            yield self.fallback_graph
 
     # -- public API ----------------------------------------------------------
 
@@ -182,15 +268,13 @@ class INanoPredictor:
         if dst_cluster is None:
             raise UnknownEndpointError(dst_prefix_index)
 
-        graphs: list[PredictionGraph] = [self.graph]
-        if self.fallback_graph is not None:
-            graphs.append(self.fallback_graph)
-        for graph in graphs:
+        for graph in self._query_graphs():
             states = self._search(graph, dst_cluster, dst_prefix_index)
-            for plane, side in self._target_priority(graph, src_prefix_index):
-                node = (plane, side, src_cluster)
-                if node in states:
-                    return self._extract(node, states)
+            path = self._lookup(
+                graph, states, src_prefix_index, src_cluster, dst_cluster
+            )
+            if path is not None:
+                return path
         raise NoPredictedRouteError(src_prefix_index, dst_prefix_index)
 
     def predict_or_none(
@@ -204,17 +288,55 @@ class INanoPredictor:
     def predict_batch(
         self, pairs: list[tuple[int, int]]
     ) -> list[PredictedPath | None]:
-        """Batched queries (the library API serves these locally)."""
-        return [self.predict_or_none(s, d) for s, d in pairs]
+        """Batched queries (the library API serves these locally).
+
+        Pairs are grouped by destination so every pair sharing a
+        destination reuses one backtracking search, endpoints are
+        resolved once, and no per-pair exceptions are raised. Results
+        align with ``pairs`` and match per-pair :meth:`predict_or_none`.
+        """
+        out: list[PredictedPath | None] = [None] * len(pairs)
+        groups: dict[int, list[int]] = {}
+        for i, (_, dst) in enumerate(pairs):
+            groups.setdefault(dst, []).append(i)
+        cluster_of = self.atlas.cluster_of_prefix
+        for dst, idxs in groups.items():
+            dst_cluster = cluster_of(dst)
+            if dst_cluster is None:
+                continue
+            pending = []
+            for i in idxs:
+                src = pairs[i][0]
+                src_cluster = cluster_of(src)
+                if src_cluster is not None:
+                    pending.append((i, src, src_cluster))
+            if not pending:
+                continue
+            for graph in self._query_graphs():
+                states = self._search(graph, dst_cluster, dst)
+                still = []
+                for item in pending:
+                    i, src, src_cluster = item
+                    path = self._lookup(graph, states, src, src_cluster, dst_cluster)
+                    if path is not None:
+                        out[i] = path
+                    else:
+                        still.append(item)
+                pending = still
+                if not pending:
+                    # Don't resume _query_graphs: that would build the
+                    # lazy fallback graph with nothing left to resolve.
+                    break
+        return out
 
     # -- search ---------------------------------------------------------------
 
     def _target_priority(
-        self, graph: PredictionGraph, src_prefix_index: int
+        self, graph: PredictionGraph | CompiledGraph, src_prefix_index: int
     ) -> list[tuple[int, int]]:
         """Planes/sides to try for the source node, in order (Section 4.3.1)."""
         targets: list[tuple[int, int]] = []
-        if graph.from_src_links and (
+        if graph.has_from_src and (
             self.from_src_prefixes is None
             or src_prefix_index in self.from_src_prefixes
         ):
@@ -227,6 +349,83 @@ class INanoPredictor:
         if not self.config.use_providers:
             return None
         return self.atlas.providers_for_prefix(dst_prefix_index)
+
+    def _search(
+        self,
+        graph: PredictionGraph | CompiledGraph,
+        dst_cluster: int,
+        dst_prefix_index: int,
+    ):
+        providers = self._provider_gate(dst_prefix_index)
+        cache_key = (id(graph), dst_cluster, providers)
+        cache = self._search_cache
+        cached = cache.get(cache_key)
+        if cached is not None:
+            cache.move_to_end(cache_key)
+            return cached
+        if self.engine == "legacy":
+            states = self._search_legacy(graph, dst_cluster, providers)
+        else:
+            states = self._search_compiled(graph, dst_cluster, providers)
+        if len(cache) >= self._cache_max:
+            cache.popitem(last=False)
+        cache[cache_key] = states
+        return states
+
+    def _lookup(
+        self,
+        graph: PredictionGraph | CompiledGraph,
+        states,
+        src_prefix_index: int,
+        src_cluster: int,
+        dst_cluster: int,
+    ) -> PredictedPath | None:
+        """Resolve one source against a finished search, or None."""
+        if self.engine == "legacy":
+            for plane, side in self._target_priority(graph, src_prefix_index):
+                node = (plane, side, src_cluster)
+                if node in states:
+                    return self._extract(graph, node, states)
+            return None
+        if states.root_id is None:
+            # Destination node absent from the graph: only the trivial
+            # src==dst query has an answer (mirroring the legacy
+            # root-only states dict, whose sole entry is (TO_DST, DOWN)).
+            if src_cluster == dst_cluster:
+                return self._trivial_path(graph, dst_cluster)
+            return None
+        # Inlined _target_priority over packed node keys: FROM_SRC/UP
+        # when permitted, then TO_DST/UP, then TO_DST/DOWN.
+        nid_of = graph._id_of.get
+        phase = states.phase
+        key = src_cluster << 2
+        if graph.has_from_src and (
+            self.from_src_prefixes is None
+            or src_prefix_index in self.from_src_prefixes
+        ):
+            nid = nid_of(key | (FROM_SRC << 1) | UP)
+            if nid is not None and phase[nid]:
+                return self._memoized_extract(graph, states, nid)
+        nid = nid_of(key | (TO_DST << 1) | UP)
+        if nid is not None and phase[nid]:
+            return self._memoized_extract(graph, states, nid)
+        nid = nid_of(key | (TO_DST << 1) | DOWN)
+        if nid is not None and phase[nid]:
+            return self._memoized_extract(graph, states, nid)
+        return None
+
+    def _memoized_extract(
+        self, graph: CompiledGraph, states: _CompiledStates, nid: int
+    ) -> PredictedPath:
+        memo = states.paths
+        path = memo.get(nid)
+        if path is None:
+            path = self._extract_compiled(graph, states, nid)
+            if len(memo) < _PATH_MEMO_MAX:
+                memo[nid] = path
+        return path
+
+    # -- legacy engine (the executable specification) -------------------------
 
     def _candidate(
         self,
@@ -257,15 +456,12 @@ class INanoPredictor:
         next_asn = edge.dst_asn if crossing else su.next_asn
         return _NodeState(phase=phase, cost=cost, parent_edge=edge, next_asn=next_asn)
 
-    def _search(
-        self, graph: PredictionGraph, dst_cluster: int, dst_prefix_index: int
+    def _search_legacy(
+        self,
+        graph: PredictionGraph,
+        dst_cluster: int,
+        providers: frozenset[int] | None,
     ) -> dict[Node, _NodeState]:
-        providers = self._provider_gate(dst_prefix_index)
-        cache_key = (id(graph), dst_cluster, providers)
-        cached = self._search_cache.get(cache_key)
-        if cached is not None:
-            return cached
-
         prefers = self.atlas.prefers
         best: dict[Node, _NodeState] = {}
         finalized: set[Node] = set()
@@ -316,10 +512,6 @@ class INanoPredictor:
                             v,
                         ),
                     )
-
-        if len(self._search_cache) >= _SEARCH_CACHE_MAX:
-            self._search_cache.pop(next(iter(self._search_cache)))
-        self._search_cache[cache_key] = best
         return best
 
     @staticmethod
@@ -374,9 +566,214 @@ class INanoPredictor:
             return edge.dst_asn
         return state.next_asn
 
+    # -- compiled engine -------------------------------------------------------
+
+    def _search_compiled(
+        self,
+        cg: CompiledGraph,
+        dst_cluster: int,
+        providers: frozenset[int] | None,
+    ) -> _CompiledStates:
+        """Array-native backtracking Dijkstra over the CSR core.
+
+        Semantically identical to :meth:`_search_legacy` — same candidate
+        checks, same comparator, same tie-breaking (heap counters advance
+        in the same order because CSR edge lists preserve emission order).
+        The ``(as_hops, pending)`` split collapses to effective hops,
+        which is the only component the comparator and the public
+        ``as_hops`` ever observe.
+        """
+        root = cg.node_id(TO_DST, DOWN, dst_cluster)
+        if root is None:
+            return _CompiledStates(None, [], [], [], [], [], {})
+        cfg = self.config
+        use_tuples = cfg.use_three_tuples
+        use_prefs = cfg.use_preferences
+        thresh = cfg.tuple_degree_threshold
+        tuples = self.atlas.three_tuples
+        dget = self.atlas.as_degrees.get
+        prefs = self.atlas.preferences
+        e_src = cg.e_src
+        e_dst = cg.e_dst
+        e_lat = cg.e_lat
+        e_sa = cg.e_src_asn
+        e_da = cg.e_dst_asn
+        e_op = cg.e_op
+        e_ph = cg.e_phase
+        rev_off = cg.rev_off
+        rev_lst = cg.rev_lst
+        fwd_off = cg.fwd_off
+        fwd_lst = cg.fwd_lst
+        n = cg.n_nodes
+        phase = [0] * n
+        eff = [0] * n
+        exitc = [0.0] * n
+        parent = [-1] * n
+        nxt = [-1] * n
+        finalized = bytearray(n)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        phase[root] = 1
+        heap: list[tuple[int, int, float, int, int]] = [(1, 0, 0.0, 0, root)]
+        count = 1
+
+        while heap:
+            u = heappop(heap)[4]
+            if finalized[u]:
+                continue
+            if u != root:
+                # Pop-time re-evaluation over finalized out-neighbors.
+                for ei in fwd_lst[fwd_off[u]:fwd_off[u + 1]]:
+                    w = e_dst[ei]
+                    if not finalized[w]:
+                        continue
+                    a = e_sa[ei]
+                    b = e_da[ei]
+                    sn = nxt[w]
+                    if a != b:
+                        if (
+                            use_tuples
+                            and sn != -1
+                            and b != sn
+                            and dget(b, 0) > thresh
+                            and (a, b, sn) not in tuples
+                        ):
+                            continue
+                        if providers is not None and sn == -1 and a not in providers:
+                            continue
+                        nn = b
+                    else:
+                        nn = sn
+                    op = e_op[ei]
+                    if op == OP_INTRA:
+                        np_ = phase[w]
+                        ne = eff[w]
+                        nx = exitc[w] + e_lat[ei]
+                    elif op == OP_LATE_EXIT:
+                        np_ = phase[w]
+                        ne = eff[w] + 1
+                        nx = exitc[w] + e_lat[ei]
+                    elif op == OP_SIBLING:
+                        np_ = phase[w]
+                        ne = eff[w] + 1
+                        nx = 0.0
+                    else:
+                        np_ = e_ph[ei]
+                        ne = eff[w] + 1
+                        nx = 0.0
+                    ip = phase[u]
+                    ie = eff[u]
+                    if np_ != ip or ne != ie:
+                        if np_ > ip or (np_ == ip and ne > ie):
+                            continue
+                    else:
+                        if use_prefs:
+                            cc = b if b != a else nn
+                            pi = parent[u]
+                            if pi >= 0:
+                                pd = e_da[pi]
+                                ic = pd if pd != a else nxt[u]
+                            else:
+                                ic = -1
+                            if cc != -1 and ic != -1 and cc != ic:
+                                if (a, cc, ic) in prefs:
+                                    pass
+                                elif (a, ic, cc) in prefs:
+                                    continue
+                                elif nx >= exitc[u]:
+                                    continue
+                            elif nx >= exitc[u]:
+                                continue
+                        elif nx >= exitc[u]:
+                            continue
+                    phase[u] = np_
+                    eff[u] = ne
+                    exitc[u] = nx
+                    parent[u] = ei
+                    nxt[u] = nn
+            finalized[u] = 1
+            sp = phase[u]
+            se = eff[u]
+            sx = exitc[u]
+            sn = nxt[u]
+            for ei in rev_lst[rev_off[u]:rev_off[u + 1]]:
+                v = e_src[ei]
+                if finalized[v]:
+                    continue
+                a = e_sa[ei]
+                b = e_da[ei]
+                if a != b:
+                    if (
+                        use_tuples
+                        and sn != -1
+                        and b != sn
+                        and dget(b, 0) > thresh
+                        and (a, b, sn) not in tuples
+                    ):
+                        continue
+                    if providers is not None and sn == -1 and a not in providers:
+                        continue
+                    nn = b
+                else:
+                    nn = sn
+                op = e_op[ei]
+                if op == OP_INTRA:
+                    np_ = sp
+                    ne = se
+                    nx = sx + e_lat[ei]
+                elif op == OP_LATE_EXIT:
+                    np_ = sp
+                    ne = se + 1
+                    nx = sx + e_lat[ei]
+                elif op == OP_SIBLING:
+                    np_ = sp
+                    ne = se + 1
+                    nx = 0.0
+                else:
+                    np_ = e_ph[ei]
+                    ne = se + 1
+                    nx = 0.0
+                ip = phase[v]
+                if ip:
+                    ie = eff[v]
+                    if np_ != ip or ne != ie:
+                        if np_ > ip or (np_ == ip and ne > ie):
+                            continue
+                    else:
+                        if use_prefs:
+                            cc = b if b != a else nn
+                            pi = parent[v]
+                            if pi >= 0:
+                                pd = e_da[pi]
+                                ic = pd if pd != a else nxt[v]
+                            else:
+                                ic = -1
+                            if cc != -1 and ic != -1 and cc != ic:
+                                if (a, cc, ic) in prefs:
+                                    pass
+                                elif (a, ic, cc) in prefs:
+                                    continue
+                                elif nx >= exitc[v]:
+                                    continue
+                            elif nx >= exitc[v]:
+                                continue
+                        elif nx >= exitc[v]:
+                            continue
+                phase[v] = np_
+                eff[v] = ne
+                exitc[v] = nx
+                parent[v] = ei
+                nxt[v] = nn
+                heappush(heap, (np_, ne, nx, count, v))
+                count += 1
+
+        return _CompiledStates(root, phase, eff, exitc, parent, nxt, {})
+
     # -- extraction -------------------------------------------------------------
 
-    def _extract(self, start: Node, states: dict[Node, _NodeState]) -> PredictedPath:
+    def _extract(
+        self, graph: PredictionGraph, start: Node, states: dict[Node, _NodeState]
+    ) -> PredictedPath:
         clusters: list[int] = []
         as_path: list[int] = []
         latency = 0.0
@@ -388,7 +785,7 @@ class INanoPredictor:
             cluster = node[2]
             if not clusters or clusters[-1] != cluster:
                 clusters.append(cluster)
-            asn = self.graph.asn_of(cluster)
+            asn = graph.asn_of(cluster)
             if asn is not None and (not as_path or as_path[-1] != asn):
                 as_path.append(asn)
             state = states[node]
@@ -407,4 +804,55 @@ class INanoPredictor:
             loss=1.0 - success,
             as_hops=final_state.cost.effective_hops,
             used_from_src=used_from_src,
+        )
+
+    def _extract_compiled(
+        self, cg: CompiledGraph, states: _CompiledStates, start: int
+    ) -> PredictedPath:
+        clusters: list[int] = []
+        as_path: list[int] = []
+        latency = 0.0
+        success = 1.0
+        node_cluster = cg.node_cluster
+        node_asn = cg.node_asn
+        e_dst = cg.e_dst
+        e_lat = cg.e_lat
+        e_loss = cg.e_loss
+        parent = states.parent
+        used_from_src = cg.node_plane[start] == FROM_SRC
+
+        u = start
+        while True:
+            cluster = node_cluster[u]
+            if not clusters or clusters[-1] != cluster:
+                clusters.append(cluster)
+            asn = node_asn[u]
+            if not as_path or as_path[-1] != asn:
+                as_path.append(asn)
+            ei = parent[u]
+            if ei < 0:
+                break
+            latency += e_lat[ei]
+            success *= 1.0 - e_loss[ei]
+            u = e_dst[ei]
+
+        return PredictedPath(
+            clusters=tuple(clusters),
+            as_path=tuple(as_path),
+            latency_ms=latency,
+            loss=1.0 - success,
+            as_hops=states.eff[start],
+            used_from_src=used_from_src,
+        )
+
+    @staticmethod
+    def _trivial_path(cg: CompiledGraph, dst_cluster: int) -> PredictedPath:
+        asn = cg.asn_of(dst_cluster)
+        return PredictedPath(
+            clusters=(dst_cluster,),
+            as_path=(asn,) if asn is not None else (),
+            latency_ms=0.0,
+            loss=0.0,
+            as_hops=0,
+            used_from_src=False,
         )
