@@ -1,15 +1,19 @@
 # Developer entry points. `make verify` is the tier-1 gate every PR must
 # keep green; `make bench-smoke` times the query engine (GC off for stable
-# numbers) and appends the run to BENCH_query.json.
+# numbers, appends to BENCH_query.json) and the update path (bench-update,
+# appends cold-recompile vs in-place-patch timings to BENCH_update.json).
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: verify bench-smoke bench equivalence
+.PHONY: verify bench-smoke bench bench-update equivalence
 
 verify:
 	$(PYTEST) -x -q
 
-bench-smoke:
+bench-update:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_update_performance.py -q
+
+bench-smoke: bench-update
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \
 		--benchmark-disable-gc --benchmark-min-rounds=5 --benchmark-warmup=off
 
@@ -17,4 +21,4 @@ bench:
 	BENCH_RECORD=1 $(PYTEST) benchmarks -q --benchmark-disable-gc
 
 equivalence:
-	$(PYTEST) tests/test_compiled_equivalence.py -q
+	$(PYTEST) tests/test_compiled_equivalence.py tests/test_runtime_delta_chain.py -q

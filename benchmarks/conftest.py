@@ -17,7 +17,28 @@ from repro.eval import get_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_QUERY_JSON = Path(__file__).parent.parent / "BENCH_query.json"
+BENCH_UPDATE_JSON = Path(__file__).parent.parent / "BENCH_update.json"
 _BENCH_HISTORY_MAX = 40
+
+
+def append_bench_run(path: Path, timings: dict) -> None:
+    """Append one run entry to a trajectory JSON (bounded history)."""
+    payload: dict = {"schema": 1, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                payload = loaded
+        except (OSError, ValueError):
+            pass
+    payload["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "timings": timings,
+        }
+    )
+    payload["runs"] = payload["runs"][-_BENCH_HISTORY_MAX:]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -46,22 +67,37 @@ def report():
     return emit
 
 
-@pytest.fixture(scope="session")
-def bench_record():
-    """Collect query-benchmark stats; on session teardown, append one run
-    entry to ``BENCH_query.json`` (bounded history, oldest dropped).
-
-    Recording is opt-in via ``BENCH_RECORD=1`` (set by the Makefile bench
-    targets, which also disable GC) so plain ``make verify`` runs don't
-    pollute the trajectory with non-comparable timings.
+def _trajectory_recorder(path: Path, make_entry):
+    """Shared recorder plumbing: collect named entries, flush one run to
+    ``path`` on teardown. Recording is opt-in via ``BENCH_RECORD=1``
+    (set by the Makefile bench targets, which also disable GC) so plain
+    ``make verify`` runs don't pollute the trajectories with
+    non-comparable timings.
     """
     enabled = os.environ.get("BENCH_RECORD") == "1"
     timings: dict[str, dict] = {}
 
-    def record(name: str, benchmark, **extra) -> None:
+    def record(name: str, *args, **kwargs) -> None:
+        entry = make_entry(*args, **kwargs)
+        if entry is not None:
+            timings[name] = entry
+
+    def flush() -> None:
+        if enabled and timings:
+            append_bench_run(path, timings)
+
+    return record, flush
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Collect query-benchmark (pytest-benchmark) stats; appends one run
+    entry to ``BENCH_query.json`` on session teardown."""
+
+    def make_entry(benchmark, **extra):
         stats = getattr(getattr(benchmark, "stats", None), "stats", None)
         if stats is None:  # --benchmark-disable et al.
-            return
+            return None
         entry = {
             "mean_s": stats.mean,
             "median_s": stats.median,
@@ -70,27 +106,19 @@ def bench_record():
             "rounds": stats.rounds,
         }
         entry.update(extra)
-        timings[name] = entry
+        return entry
 
+    record, flush = _trajectory_recorder(BENCH_QUERY_JSON, make_entry)
     yield record
+    flush()
 
-    if not (enabled and timings):
-        return
-    payload: dict = {"schema": 1, "runs": []}
-    if BENCH_QUERY_JSON.exists():
-        try:
-            loaded = json.loads(BENCH_QUERY_JSON.read_text())
-            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
-                payload = loaded
-        except (OSError, ValueError):
-            pass
-    payload["runs"].append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "timings": timings,
-        }
+
+@pytest.fixture(scope="session")
+def bench_record_update():
+    """Collect update-benchmark stats (plain dicts, manual timing);
+    appends one run entry to ``BENCH_update.json`` on session teardown."""
+    record, flush = _trajectory_recorder(
+        BENCH_UPDATE_JSON, lambda **stats: stats
     )
-    payload["runs"] = payload["runs"][-_BENCH_HISTORY_MAX:]
-    BENCH_QUERY_JSON.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    yield record
+    flush()

@@ -16,6 +16,9 @@ over a synthetic-Internet substrate:
   predictor plus latency/loss/TCP/MOS models;
 * :mod:`repro.baselines` — iPlane path composition, RouteScope, Vivaldi,
   OASIS;
+* :mod:`repro.runtime` — the shared atlas runtime: versioned compiled
+  cores patched in place by daily deltas, plus the predictor pool the
+  server, remote agents and co-located clients resolve through;
 * :mod:`repro.client` — the client library and central server;
 * :mod:`repro.apps` — CDN, VoIP and detour-routing case studies;
 * :mod:`repro.eval` — scenario presets, validation sets, metrics.
@@ -24,13 +27,16 @@ over a synthetic-Internet substrate:
 from repro.client import AtlasServer, INanoClient, PathInfo
 from repro.core import INanoPredictor, PredictedPath, PredictorConfig
 from repro.errors import ReproError
+from repro.runtime import AtlasRuntime, PredictorPool
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AtlasServer",
+    "AtlasRuntime",
     "INanoClient",
     "PathInfo",
+    "PredictorPool",
     "INanoPredictor",
     "PredictedPath",
     "PredictorConfig",

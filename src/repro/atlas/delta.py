@@ -91,6 +91,50 @@ def compute_delta(base: Atlas, new: Atlas) -> AtlasDelta:
     return delta
 
 
+def apply_delta_inplace(base: Atlas, delta: AtlasDelta) -> Atlas:
+    """Apply a daily delta by mutating ``base`` into the next day's atlas.
+
+    Semantically identical to :func:`apply_delta`, including the
+    resulting ``links`` dict ordering (survivors keep their positions,
+    genuinely new links append in delta order) — which matters because
+    the compiled query core's emission order follows that dict order.
+    Mutating in place means every long-lived reference to the atlas
+    (the runtime's compiled graphs, pooled predictors) observes the new
+    day without rewiring; returns ``base`` for convenience.
+    """
+    if base.day != delta.base_day:
+        raise DeltaMismatchError(expected_day=delta.base_day, actual_day=base.day)
+    links = base.links
+    for link in delta.links_removed:
+        links.pop(link, None)
+    links.update(delta.links_updated)
+    loss = base.link_loss
+    for link in delta.loss_removed:
+        loss.pop(link, None)
+    for link in [l for l in loss if l not in links]:
+        del loss[link]
+    loss.update(
+        {link: rate for link, rate in delta.loss_updated.items() if link in links}
+    )
+    base.three_tuples -= delta.tuples_removed
+    base.three_tuples |= delta.tuples_added
+
+    refresh = delta.monthly_refresh
+    if refresh:
+        base.prefix_to_cluster = dict(refresh["prefix_to_cluster"])
+        base.prefix_to_as = dict(refresh["prefix_to_as"])
+        base.cluster_to_as = dict(refresh["cluster_to_as"])
+        base.as_degrees = dict(refresh["as_degrees"])
+        base.preferences = set(refresh["as_preferences"])
+        base.providers = dict(refresh["providers"])
+        base.prefix_providers = dict(refresh["prefix_providers"])
+        base.upstreams = dict(refresh["upstreams"])
+        base.relationship_codes = dict(refresh["relationship_codes"])
+        base.late_exit_pairs = set(refresh["late_exit_pairs"])
+    base.day = delta.new_day
+    return base
+
+
 def apply_delta(base: Atlas, delta: AtlasDelta) -> Atlas:
     """Apply a daily delta, producing the next day's atlas."""
     if base.day != delta.base_day:

@@ -5,6 +5,10 @@ measurements into atlases, encodes them, computes daily deltas, and seeds
 the swarm. `repro.client.library` is what a P2P application embeds: it
 fetches the atlas (by swarm), augments it with the host's own traceroutes
 (FROM_SRC), serves path queries locally, and applies daily updates.
+Both resolve their compiled query state through `repro.runtime`: one
+shared `AtlasRuntime` per atlas lineage, patched in place by daily
+deltas, with predictors pooled across server, remote-agent and
+co-located client consumers.
 """
 
 from repro.client.server import AtlasServer

@@ -11,14 +11,25 @@ Lifecycle::
 The measurement toolkit is injected (in production it would run real
 traceroutes; here it is the simulator), and the library uploads its
 measurements back to the central server, as the paper describes.
+
+Compiled state lives in an :class:`~repro.runtime.runtime.AtlasRuntime`:
+``fetch()`` builds one over the decoded atlas (or attaches to a shared
+runtime for co-located deployments, so N clients on a node share one
+compiled graph and search cache), ``apply_daily_update()`` patches the
+compiled arrays in place instead of triggering a recompile, and the
+predictor is resolved through the runtime's
+:class:`~repro.runtime.pool.PredictorPool` — clients without their own
+FROM_SRC measurements share a single pooled predictor; a measuring
+client gets a dedicated entry whose primary graph is its FROM_SRC plane
+merged incrementally onto the shared base.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.atlas.builder import build_from_src_links
-from repro.atlas.delta import apply_delta
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.serialization import decode_atlas
 from repro.atlas.swarm import SwarmConfig, simulate_swarm
@@ -29,7 +40,11 @@ from repro.errors import ClientError, NoPredictedRouteError, UnknownEndpointErro
 from repro.measurement.clustering import ClusterMap
 from repro.measurement.traceroute import Traceroute, TracerouteSimulator
 from repro.measurement.vantage import VantagePoint
+from repro.runtime import AtlasRuntime
 from repro.util.rng import derive_rng
+
+#: process-unique client tokens, keying merged views and pool entries
+_CLIENT_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -54,34 +69,61 @@ class INanoClient:
         measurement_toolkit: TracerouteSimulator | None = None,
         cluster_map: ClusterMap | None = None,
         config: ClientConfig | None = None,
+        shared_runtime: AtlasRuntime | None = None,
     ) -> None:
         self.server = server
         self.vantage = vantage
         self.toolkit = measurement_toolkit
         self.config = config or ClientConfig()
         self._base_cluster_map = cluster_map
-        self.atlas: Atlas | None = None
+        #: a co-located runtime to attach to instead of downloading —
+        #: the paper's one-atlas-per-node deployment
+        self._shared_runtime = shared_runtime
+        self.runtime: AtlasRuntime | None = None
         self.cluster_map: ClusterMap | None = None
         self.from_src_links: dict[tuple[int, int], LinkRecord] = {}
         self.own_traces: list[Traceroute] = []
-        self._predictor: INanoPredictor | None = None
+        self._pool_token = next(_CLIENT_TOKENS)
+        self._from_src_rev = 0
         self.bytes_downloaded = 0
+
+    @property
+    def atlas(self) -> Atlas | None:
+        """The current atlas (owned by the runtime; mutates on updates)."""
+        return self.runtime.atlas if self.runtime is not None else None
 
     # -- lifecycle -------------------------------------------------------------
 
     def fetch(self, day: int | None = None) -> Atlas:
-        """Obtain the atlas (simulated swarm by default) and decode it."""
-        payload = self.server.full_atlas_bytes(day)
-        self.bytes_downloaded += len(payload)
-        if self.config.use_swarm:
-            # Account for swarm dynamics; the seed serves only a fraction.
-            simulate_swarm(SwarmConfig(n_peers=16, file_bytes=len(payload), seed=self.config.seed))
-        self.atlas = decode_atlas(payload)
+        """Obtain the atlas and build (or attach to) its runtime.
+
+        With a ``shared_runtime`` the client attaches to the node's
+        already-fetched compiled core — no download, no swarm, no
+        private compile. Otherwise the payload is fetched (simulated
+        swarm by default), decoded, and owned by a fresh runtime.
+        """
+        if self._shared_runtime is not None:
+            if day is not None and day != self._shared_runtime.atlas.day:
+                raise ClientError(
+                    f"shared runtime holds day {self._shared_runtime.atlas.day}, "
+                    f"cannot attach at day {day}"
+                )
+            self.runtime = self._shared_runtime
+        else:
+            payload = self.server.full_atlas_bytes(day)
+            self.bytes_downloaded += len(payload)
+            if self.config.use_swarm:
+                # Account for swarm dynamics; the seed serves only a fraction.
+                simulate_swarm(
+                    SwarmConfig(
+                        n_peers=16, file_bytes=len(payload), seed=self.config.seed
+                    )
+                )
+            self.runtime = AtlasRuntime(decode_atlas(payload))
         self.cluster_map = (
             self._base_cluster_map.clone() if self._base_cluster_map else ClusterMap()
         )
-        self._predictor = None
-        return self.atlas
+        return self.runtime.atlas
 
     def measure(self, n_prefixes: int | None = None) -> int:
         """Issue the daily client traceroutes and fold them into FROM_SRC.
@@ -89,12 +131,13 @@ class INanoClient:
         Returns the number of traceroutes taken. Requires :meth:`fetch`
         first (the atlas supplies prefix targets and IP-to-AS mapping).
         """
-        if self.atlas is None or self.cluster_map is None:
+        if self.runtime is None or self.cluster_map is None:
             raise ClientError("fetch() the atlas before measuring")
         if self.toolkit is None or self.vantage is None:
             raise ClientError("no measurement toolkit attached")
+        atlas = self.runtime.atlas
         n = n_prefixes or self.config.daily_measurement_prefixes
-        prefixes = sorted(self.atlas.prefix_to_cluster)
+        prefixes = sorted(atlas.prefix_to_cluster)
         prefixes = [p for p in prefixes if p != self.vantage.prefix_index]
         if not prefixes:
             raise ClientError("atlas contains no measurable prefixes")
@@ -103,44 +146,49 @@ class INanoClient:
         picked = rng.choice(prefixes, size=k, replace=False)
         traces = [self.toolkit.trace_to_prefix(self.vantage, int(p)) for p in picked]
         self.own_traces.extend(traces)
-        self.cluster_map.extend_with_client_traces(traces, self.atlas.prefix_to_as)
+        self.cluster_map.extend_with_client_traces(traces, atlas.prefix_to_as)
         self.from_src_links = build_from_src_links(self.own_traces, self.cluster_map)
-        self._predictor = None
+        # The pool re-merges this client's FROM_SRC view on next access.
+        self._from_src_rev += 1
         if self.config.upload_measurements:
             self.server.upload_traceroutes(traces)
         return len(traces)
 
     def apply_daily_update(self) -> int:
-        """Fetch and apply the next day's delta; returns its wire size."""
-        if self.atlas is None:
+        """Fetch and apply the next day's delta; returns its wire size.
+
+        The runtime patches its compiled arrays in place — no recompile,
+        and the next query pays only the (version-keyed) cold-search
+        cost for its destination.
+        """
+        if self.runtime is None:
             raise ClientError("fetch() the atlas before updating")
-        delta = self.server.delta_for(self.atlas.day + 1)
+        delta = self.server.delta_for(self.runtime.atlas.day + 1)
         from repro.atlas.delta import encode_delta
 
         size = len(encode_delta(delta))
         self.bytes_downloaded += size
-        self.atlas = apply_delta(self.atlas, delta)
-        self._predictor = None
+        self.runtime.apply_delta(delta)
         return size
 
     # -- queries -----------------------------------------------------------------
 
     @property
     def predictor(self) -> INanoPredictor:
-        if self.atlas is None:
+        if self.runtime is None:
             raise ClientError("fetch() the atlas before querying")
-        if self._predictor is None:
-            extra = self.cluster_map.cluster_asn if self.cluster_map else {}
-            self._predictor = INanoPredictor(
-                self.atlas,
-                config=self.config.predictor,
-                from_src_links=self.from_src_links or None,
-                from_src_prefixes=(
-                    {self.vantage.prefix_index} if self.vantage else None
-                ),
-                client_cluster_as=extra,
-            )
-        return self._predictor
+        extra = self.cluster_map.cluster_asn if self.cluster_map else {}
+        has_from_src = bool(self.from_src_links)
+        return self.runtime.pool.predictor(
+            self.config.predictor,
+            client_key=self._pool_token if has_from_src else None,
+            from_src_links=self.from_src_links or None,
+            from_src_prefixes=(
+                {self.vantage.prefix_index} if self.vantage else None
+            ),
+            client_cluster_as=extra,
+            from_src_rev=self._from_src_rev if has_from_src else 0,
+        )
 
     def query(self, src_prefix_index: int, dst_prefix_index: int) -> PathInfo:
         """Predict both directions between two arbitrary prefixes.
@@ -148,13 +196,15 @@ class INanoClient:
         Raises :class:`UnknownEndpointError` / :class:`NoPredictedRouteError`
         when prediction is impossible; see :meth:`query_or_none`.
         """
-        forward = self.predictor.predict(src_prefix_index, dst_prefix_index)
-        reverse = self.predictor.predict(dst_prefix_index, src_prefix_index)
+        predictor = self.predictor
+        forward = predictor.predict(src_prefix_index, dst_prefix_index)
+        reverse = predictor.predict(dst_prefix_index, src_prefix_index)
         return PathInfo(
             src_prefix_index=src_prefix_index,
             dst_prefix_index=dst_prefix_index,
             forward=forward,
             reverse=reverse,
+            atlas_day=self.runtime.atlas.day,
         )
 
     def query_or_none(
@@ -175,6 +225,7 @@ class INanoClient:
         search instead of raising/catching per pair.
         """
         predictor = self.predictor
+        day = self.runtime.atlas.day
         forward = predictor.predict_batch(list(pairs))
         # Only pairs with a forward path need the reverse direction (a
         # missing forward already makes the result None).
@@ -184,6 +235,13 @@ class INanoClient:
             )
         )
         return [
-            None if fwd is None else PathInfo.combine(s, d, fwd, next(reverse))
+            None
+            if fwd is None
+            else PathInfo.combine(s, d, fwd, next(reverse), atlas_day=day)
             for (s, d), fwd in zip(pairs, forward)
         ]
+
+    def close(self) -> None:
+        """Release this client's merged view and pooled predictors."""
+        if self.runtime is not None:
+            self.runtime.release(self._pool_token)

@@ -22,6 +22,9 @@ class PathInfo:
     dst_prefix_index: int
     forward: PredictedPath
     reverse: PredictedPath
+    #: day of the atlas lineage that answered this query (runtime
+    #: provenance; None when the payload was assembled outside a runtime)
+    atlas_day: int | None = None
 
     @classmethod
     def combine(
@@ -30,6 +33,7 @@ class PathInfo:
         dst_prefix_index: int,
         forward: PredictedPath | None,
         reverse: PredictedPath | None,
+        atlas_day: int | None = None,
     ) -> "PathInfo | None":
         """Pair the two one-way predictions, or None if either is missing.
 
@@ -43,6 +47,7 @@ class PathInfo:
             dst_prefix_index=dst_prefix_index,
             forward=forward,
             reverse=reverse,
+            atlas_day=atlas_day,
         )
 
     @property

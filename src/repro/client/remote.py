@@ -9,6 +9,15 @@ callers pay one simulated round trip to the agent instead of holding the
 atlas themselves; the agent answers from its local predictor and keeps
 per-caller accounting so deployments can see who should be promoted to a
 full client.
+
+The agent's compiled state is the client's
+:class:`~repro.runtime.runtime.AtlasRuntime`: predictors come from the
+runtime's shared pool, daily updates patch the compiled arrays in place
+underneath the agent (it keeps serving, with stale search-cache keys
+retired by the version bump), and :meth:`QueryAgent.co_located` builds
+an agent directly over a server's own runtime — no second download, no
+second compile, one shared search cache with every other co-located
+consumer.
 """
 
 from __future__ import annotations
@@ -42,6 +51,19 @@ class QueryAgent:
     def __post_init__(self) -> None:
         if self.client.atlas is None:
             raise ClientError("agent requires a client that already fetched the atlas")
+
+    @classmethod
+    def co_located(cls, server, local_hop_ms: float = 0.5, **client_kwargs) -> "QueryAgent":
+        """An agent sharing the *server's* runtime (one compiled graph,
+        one search cache with every other server-side consumer)."""
+        client = INanoClient(server, shared_runtime=server.runtime(), **client_kwargs)
+        client.fetch()
+        return cls(client=client, local_hop_ms=local_hop_ms)
+
+    @property
+    def runtime(self):
+        """The shared runtime the agent answers from."""
+        return self.client.runtime
 
     @property
     def queries_served(self) -> dict[int, int]:

@@ -1,18 +1,40 @@
 """The central iNano server.
 
-Holds one encoded atlas per day, computes the daily deltas clients fetch,
-and accepts measurement uploads from client libraries (which the next
-day's atlas build may incorporate). Also reports the bandwidth accounting
-used by the swarm-distribution benchmark.
+Holds recent days' encoded atlases, computes the daily deltas clients
+fetch, and accepts measurement uploads from client libraries (which the
+next day's atlas build may incorporate). Also reports the bandwidth
+accounting used by the swarm-distribution benchmark.
+
+Two runtime-era responsibilities live here as well:
+
+* **Retention** — the seed server kept every day's ``Atlas`` plus its
+  encoded bytes forever. Published days now age out of the full-atlas
+  store after ``retention_days``, except monthly anchors (day
+  ``% MONTHLY_REFRESH_DAYS == 0``), which stay as re-sync points; the
+  (small) delta chain is kept in full so lagging clients can still
+  roll forward. Evicted payload bytes are accounted in
+  ``bytes_evicted`` alongside the ``bytes_served`` bookkeeping.
+* **Server-side queries** — :meth:`runtime` owns a private
+  :class:`~repro.runtime.runtime.AtlasRuntime` over the latest
+  published day, advanced in place through the server's own deltas
+  (the same patch path clients use). :meth:`predict` /
+  :meth:`predict_batch` answer through its shared predictor pool, so
+  any number of server-side callers (and co-located query agents)
+  share one compiled graph and one search cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.atlas.delta import AtlasDelta, compute_delta, encode_delta
+from repro.atlas.delta import (
+    MONTHLY_REFRESH_DAYS,
+    AtlasDelta,
+    compute_delta,
+    encode_delta,
+)
 from repro.atlas.model import Atlas
-from repro.atlas.serialization import encode_atlas
+from repro.atlas.serialization import decode_atlas, encode_atlas
 from repro.errors import AtlasError
 from repro.measurement.traceroute import Traceroute
 
@@ -21,11 +43,16 @@ from repro.measurement.traceroute import Traceroute
 class AtlasServer:
     """Central coordinator: publishes atlases, deltas, and seeds the swarm."""
 
+    #: full atlases kept this many recent days (monthly anchors are
+    #: always retained); None disables eviction
+    retention_days: int | None = 7
     _atlases: dict[int, Atlas] = field(default_factory=dict)
     _encoded: dict[int, bytes] = field(default_factory=dict)
     _deltas: dict[int, AtlasDelta] = field(default_factory=dict)
     _uploaded_traces: list[Traceroute] = field(default_factory=list)
+    _runtime: object = field(default=None, repr=False)
     bytes_served: int = 0
+    bytes_evicted: int = 0
 
     def publish(self, atlas: Atlas) -> None:
         """Publish a new day's atlas; precomputes the delta from the prior day."""
@@ -37,11 +64,28 @@ class AtlasServer:
         previous = self._atlases.get(day - 1)
         if previous is not None:
             self._deltas[day] = compute_delta(previous, atlas)
+        self._evict_stale()
 
     def latest_day(self) -> int:
         if not self._atlases:
             raise AtlasError("no atlas published yet")
         return max(self._atlases)
+
+    def retained_days(self) -> list[int]:
+        """Days whose full atlas is still servable, ascending."""
+        return sorted(self._atlases)
+
+    def _evict_stale(self) -> None:
+        """Age full atlases out of the window; keep monthly anchors."""
+        if self.retention_days is None:
+            return
+        cutoff = max(self._atlases) - self.retention_days
+        for day in [d for d in self._atlases if d < cutoff]:
+            if day % MONTHLY_REFRESH_DAYS == 0:
+                continue
+            self.bytes_evicted += len(self._encoded[day])
+            del self._atlases[day]
+            del self._encoded[day]
 
     def full_atlas_bytes(self, day: int | None = None) -> bytes:
         """Serve a full encoded atlas (seed copy for the swarm)."""
@@ -69,6 +113,45 @@ class AtlasServer:
             return self._atlases[day]
         except KeyError:
             raise AtlasError(f"no atlas for day {day}") from None
+
+    # -- server-side queries -------------------------------------------------
+
+    def runtime(self):
+        """The server's own :class:`AtlasRuntime`, current to the latest
+        published day.
+
+        Built lazily from the latest encoded payload (a private copy —
+        the runtime mutates its atlas), then rolled forward in place
+        through the server's own delta chain on later publishes; only a
+        gap in the chain forces a rebuild.
+        """
+        from repro.runtime import AtlasRuntime
+
+        latest = self.latest_day()
+        runtime = self._runtime
+        if runtime is None:
+            runtime = AtlasRuntime(decode_atlas(self._encoded[latest]))
+            self._runtime = runtime
+            return runtime
+        while runtime.atlas.day < latest:
+            delta = self._deltas.get(runtime.atlas.day + 1)
+            if delta is None:
+                # Gap in the delta chain: re-seed *in place* so every
+                # co-located consumer holding this runtime follows.
+                runtime.reset(decode_atlas(self._encoded[latest]))
+                break
+            runtime.apply_delta(delta)
+        return runtime
+
+    def predict(self, src_prefix_index: int, dst_prefix_index: int, config=None):
+        """One-way prediction from the shared server-side predictor."""
+        return self.runtime().pool.predictor(config).predict_or_none(
+            src_prefix_index, dst_prefix_index
+        )
+
+    def predict_batch(self, pairs: list[tuple[int, int]], config=None):
+        """Batched predictions from the shared server-side predictor."""
+        return self.runtime().pool.predictor(config).predict_batch(list(pairs))
 
     # -- client uploads ------------------------------------------------------
 

@@ -34,7 +34,7 @@ struct-of-arrays form the predictor's array-native Dijkstra runs over:
   order, and preserving it makes the compiled engine's output
   bit-for-bit identical to the legacy dict-based search.
 
-Two builders produce a :class:`CompiledGraph`:
+Three builders produce a :class:`CompiledGraph`:
 
 * :meth:`CompiledGraph.from_prediction_graph` lowers an already-built
   object graph by replaying its ``edge_log`` — the canonical lowering.
@@ -44,6 +44,17 @@ Two builders produce a :class:`CompiledGraph`:
   for step and shares its per-link classifier
   (:func:`~repro.core.graph.link_edge_specs`); the equivalence suite
   asserts the two builders produce identical arrays.
+* :meth:`CompiledGraph.from_base_with_from_src` appends a client's
+  FROM_SRC plane onto an already-compiled TO_DST base without redoing
+  the base compilation. The emission order of ``from_atlas`` puts every
+  FROM_SRC section strictly after the TO_DST sections, so copying the
+  base arrays and continuing the compilation yields arrays identical to
+  a full ``from_atlas`` with the same inputs — the runtime's
+  incremental merge path for daily client traceroutes.
+
+Every compiled graph carries a process-unique ``version`` (see
+:mod:`repro.core.versioning`), refreshed whenever the arrays are
+mutated in place; search caches key on it instead of ``id(graph)``.
 
 ASNs and cluster ids must be non-negative: the search encodes "no next
 AS yet" as ``-1`` in its state arrays.
@@ -63,6 +74,7 @@ from repro.core.graph import (
     PredictionGraph,
     link_edge_specs,
 )
+from repro.core.versioning import next_graph_version
 
 #: edge-op codes (see module docstring)
 OP_INTRA = 0
@@ -122,6 +134,14 @@ class CompiledGraph:
     #: packed (cluster << 2 | plane << 1 | side) -> dense node id
     _id_of: dict[int, int] = field(default_factory=dict, repr=False)
 
+    #: process-unique version; refreshed on every in-place mutation so
+    #: version-keyed search caches can never alias a stale graph
+    version: int = field(default_factory=next_graph_version)
+
+    #: lazily-built numpy mirrors of the hot arrays, keyed by version
+    #: (see :meth:`np_views`); invalidated automatically on mutation
+    _np_views: tuple | None = field(default=None, repr=False)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -163,6 +183,54 @@ class CompiledGraph:
             "fwd_off": self.fwd_off,
             "fwd_lst": self.fwd_lst,
         }
+
+    def np_views(self):
+        """Numpy mirrors of the extraction-path arrays, cached per version.
+
+        Returns ``(e_dst, e_lat, e_loss, node_cluster, node_asn,
+        node_plane)`` as numpy arrays. The cache is keyed on
+        :attr:`version`, so in-place patching (which calls
+        :meth:`touch`) invalidates it automatically.
+        """
+        import numpy as np
+
+        cached = self._np_views
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        views = (
+            np.array(self.e_dst, dtype=np.int64),
+            np.array(self.e_lat, dtype=np.float64),
+            np.array(self.e_loss, dtype=np.float64),
+            np.array(self.node_cluster, dtype=np.int64),
+            np.array(self.node_asn, dtype=np.int64),
+            np.array(self.node_plane, dtype=np.int64),
+        )
+        self._np_views = (self.version, views)
+        return views
+
+    # -- mutation ----------------------------------------------------------
+
+    def touch(self) -> int:
+        """Record an in-place mutation: bump the version, drop np views."""
+        self.version = next_graph_version()
+        self._np_views = None
+        return self.version
+
+    def adopt(self, other: "CompiledGraph") -> None:
+        """Replace this graph's contents with ``other``'s, in place.
+
+        Used when the runtime must fall back to a full recompile (e.g. a
+        monthly refresh): predictors keep their object reference while
+        the arrays are swapped underneath, and the version bump retires
+        any cached search keyed on the old state.
+        """
+        self.atlas = other.atlas
+        self.extra_cluster_as = other.extra_cluster_as
+        self.has_from_src = other.has_from_src
+        for name in self.arrays():
+            setattr(self, name, getattr(other, name))
+        self._id_of = other._id_of
+        self.touch()
 
     # -- builders ----------------------------------------------------------
 
@@ -223,6 +291,78 @@ class CompiledGraph:
             out._compile_self_edges(FROM_SRC, clusters_from_src)
             out._compile_plane_crossings(clusters_from_src & clusters_to_dst)
         out._index()
+        return out
+
+    @classmethod
+    def from_base_with_from_src(
+        cls,
+        base: "CompiledGraph",
+        from_src_links: dict[tuple[int, int], LinkRecord],
+        extra_cluster_as: dict[int, int] | None = None,
+    ) -> "CompiledGraph":
+        """Merge a client FROM_SRC plane onto a compiled TO_DST base.
+
+        ``base`` must be a directed (``closed=False``) graph compiled
+        without a FROM_SRC plane. Because ``from_atlas`` emits every
+        FROM_SRC section strictly after the TO_DST sections, copying the
+        base arrays and continuing the compilation reproduces
+        ``from_atlas(atlas, from_src_links, extra_cluster_as,
+        closed=False)`` bit for bit — without re-classifying a single
+        atlas link.
+
+        The one case where the composition would diverge is an
+        ``extra_cluster_as`` entry that names a cluster the *atlas
+        links* reference but ``cluster_to_as`` cannot map (the base
+        skipped those links; a full build would keep them). That is
+        detected and handed to the full builder.
+        """
+        extra = extra_cluster_as or {}
+        atlas = base.atlas
+        if extra and not base.has_from_src:
+            c2a = atlas.cluster_to_as
+            for link in atlas.links:
+                for c in link:
+                    if c in extra and c not in c2a:
+                        return cls.from_atlas(
+                            atlas,
+                            from_src_links=from_src_links,
+                            extra_cluster_as=extra,
+                            closed=False,
+                        )
+        if base.has_from_src or not from_src_links:
+            # No incremental path: the base already diverged (or there is
+            # nothing to merge); compile canonically.
+            return cls.from_atlas(
+                atlas,
+                from_src_links=from_src_links,
+                extra_cluster_as=extra,
+                closed=False,
+            )
+        out = cls(
+            atlas=atlas,
+            extra_cluster_as=extra,
+            has_from_src=True,
+            node_plane=base.node_plane.copy(),
+            node_side=base.node_side.copy(),
+            node_cluster=base.node_cluster.copy(),
+            node_asn=base.node_asn.copy(),
+            e_src=base.e_src.copy(),
+            e_dst=base.e_dst.copy(),
+            e_kind=base.e_kind.copy(),
+            e_lat=base.e_lat.copy(),
+            e_loss=base.e_loss.copy(),
+            e_src_asn=base.e_src_asn.copy(),
+            e_dst_asn=base.e_dst_asn.copy(),
+            e_op=base.e_op.copy(),
+            e_phase=base.e_phase.copy(),
+        )
+        out._id_of = dict(base._id_of)
+        out._compile_link_plane(FROM_SRC, from_src_links)
+        clusters_from_src = {c for (a, b) in from_src_links for c in (a, b)}
+        out._compile_self_edges(FROM_SRC, clusters_from_src)
+        clusters_to_dst = {c for (a, b) in atlas.links for c in (a, b)}
+        out._compile_plane_crossings(clusters_from_src & clusters_to_dst)
+        out._index_fast()
         return out
 
     # -- construction internals --------------------------------------------
@@ -338,6 +478,20 @@ class CompiledGraph:
         self.rev_off, self.rev_lst = _csr(n, self.e_dst)
         self.fwd_off, self.fwd_lst = _csr(n, self.e_src)
 
+    def _index_fast(self) -> None:
+        """Numpy-vectorized :meth:`_index` (bit-identical output via
+        :func:`csr_numpy`). Used on hot incremental paths (runtime
+        merges and patches); the pure-Python ``_csr`` stays the spec."""
+        import numpy as np
+
+        n = len(self.node_cluster)
+        self.rev_off, self.rev_lst = csr_numpy(
+            n, np.array(self.e_dst, dtype=np.int64)
+        )
+        self.fwd_off, self.fwd_lst = csr_numpy(
+            n, np.array(self.e_src, dtype=np.int64)
+        )
+
 
 def _csr(n_nodes: int, bucket_of: list[int]) -> tuple[list[int], list[int]]:
     counts = [0] * (n_nodes + 1)
@@ -351,3 +505,15 @@ def _csr(n_nodes: int, bucket_of: list[int]) -> tuple[list[int], list[int]]:
         lst[pos[b]] = ei
         pos[b] += 1
     return counts, lst
+
+
+def csr_numpy(n_nodes: int, bucket_of) -> tuple[list[int], list[int]]:
+    """Vectorized equivalent of :func:`_csr` (the spec): a stable
+    argsort groups edge ids per bucket in emission order, exactly like
+    the counting sort. ``bucket_of`` must be an int64 numpy array."""
+    import numpy as np
+
+    counts = np.bincount(bucket_of, minlength=n_nodes)
+    off = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+    lst = np.argsort(bucket_of, kind="stable")
+    return off.tolist(), lst.tolist()

@@ -29,6 +29,7 @@ from repro.atlas.relationships import (
     REL_PROVIDER,
     REL_SIBLING,
 )
+from repro.core.versioning import next_graph_version
 
 TO_DST = 0
 FROM_SRC = 1
@@ -123,6 +124,9 @@ class PredictionGraph:
     #: every edge in emission order — the canonical edge numbering the
     #: compiled CSR lowering (repro.core.compiled) preserves
     edge_log: list[Edge] = field(default_factory=list, repr=False)
+    #: process-unique version (see repro.core.versioning); search caches
+    #: key on it instead of the GC-recyclable ``id(graph)``
+    version: int = field(default_factory=next_graph_version)
     _built: bool = field(default=False, repr=False)
 
     def build(self) -> "PredictionGraph":

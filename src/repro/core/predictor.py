@@ -162,6 +162,12 @@ class _NodeState:
 #: at _SEARCH_CACHE_MAX * _PATH_MEMO_MAX small objects)
 _PATH_MEMO_MAX = 4096
 
+#: minimum number of uncached start nodes in a destination group before
+#: predict_batch switches from the scalar parent-chain walk to the
+#: vectorized extraction (numpy per-hop overhead beats the scalar walk
+#: only once enough paths share it)
+_BATCH_EXTRACT_MIN = 8
+
 
 @dataclass
 class _CompiledStates:
@@ -182,6 +188,16 @@ class _CompiledStates:
     parent: list[int]
     nxt: list[int]
     paths: dict[int, PredictedPath]
+    _parent_np: object = None
+
+    def parent_np(self):
+        """Numpy mirror of ``parent`` (cached; states are immutable
+        once the search finishes), for vectorized batch extraction."""
+        if self._parent_np is None:
+            import numpy as np
+
+            self._parent_np = np.array(self.parent, dtype=np.int64)
+        return self._parent_np
 
 
 class INanoPredictor:
@@ -195,24 +211,37 @@ class INanoPredictor:
         from_src_prefixes: set[int] | None = None,
         client_cluster_as: dict[int, int] | None = None,
         engine: str = "compiled",
+        primary_graph: CompiledGraph | None = None,
+        fallback_factory=None,
     ) -> None:
         if engine not in ("compiled", "legacy"):
             raise ValueError(f"unknown predictor engine {engine!r}")
+        if primary_graph is not None and engine != "compiled":
+            raise ValueError("externally-supplied graphs require the compiled engine")
         self.atlas = atlas
         self.config = config or PredictorConfig.inano()
         self.engine = engine
         self._extra_cluster_as = dict(client_cluster_as or {})
-        if self.config.use_from_src:
+        if primary_graph is not None:
+            # Runtime-backed mode: the graph (and the lazy closed
+            # fallback, via ``fallback_factory``) is owned and kept
+            # current by an AtlasRuntime; the predictor never compiles.
+            self.graph = primary_graph
+        elif self.config.use_from_src:
             self.graph = self._build_graph(from_src_links, closed=False)
         else:
             self.graph = self._build_graph(None, closed=True)
         #: the closed fallback graph, built lazily via :attr:`fallback_graph`
         self._fallback_graph: PredictionGraph | CompiledGraph | None = None
+        self._fallback_factory = fallback_factory
         #: prefixes whose queries may start in the FROM_SRC plane (the
         #: client's own); None means any source may use it.
         self.from_src_prefixes = from_src_prefixes
-        #: per-(graph, destination, providers) search results, true LRU:
-        #: hits refresh recency, eviction drops the least recently used.
+        #: per-(graph version, destination, providers) search results,
+        #: true LRU: hits refresh recency, eviction drops the least
+        #: recently used. Version keys (not ``id(graph)``, which the
+        #: allocator can reuse after GC) can never alias a dead or
+        #: since-patched graph.
         self._search_cache: OrderedDict = OrderedDict()
         self._cache_max = _SEARCH_CACHE_MAX
 
@@ -245,7 +274,10 @@ class INanoPredictor:
         if not self.config.use_from_src:
             return None
         if self._fallback_graph is None:
-            self._fallback_graph = self._build_graph(None, closed=True)
+            if self._fallback_factory is not None:
+                self._fallback_graph = self._fallback_factory()
+            else:
+                self._fallback_graph = self._build_graph(None, closed=True)
         return self._fallback_graph
 
     def _query_graphs(self):
@@ -315,13 +347,34 @@ class INanoPredictor:
             for graph in self._query_graphs():
                 states = self._search(graph, dst_cluster, dst)
                 still = []
-                for item in pending:
-                    i, src, src_cluster = item
-                    path = self._lookup(graph, states, src, src_cluster, dst_cluster)
-                    if path is not None:
-                        out[i] = path
-                    else:
-                        still.append(item)
+                if self.engine == "compiled" and states.root_id is not None:
+                    # Resolve every pending source to its start node
+                    # first, then extract all uncached paths in one
+                    # vectorized pass over the CSR parent arrays.
+                    starts = []
+                    for item in pending:
+                        i, src, src_cluster = item
+                        nid = self._start_node(graph, states, src, src_cluster)
+                        if nid is None:
+                            still.append(item)
+                        else:
+                            starts.append((i, nid))
+                    memo = states.paths
+                    todo = {nid for _, nid in starts if nid not in memo}
+                    if len(todo) >= _BATCH_EXTRACT_MIN:
+                        self._extract_compiled_batch(graph, states, sorted(todo))
+                    for i, nid in starts:
+                        out[i] = self._memoized_extract(graph, states, nid)
+                else:
+                    for item in pending:
+                        i, src, src_cluster = item
+                        path = self._lookup(
+                            graph, states, src, src_cluster, dst_cluster
+                        )
+                        if path is not None:
+                            out[i] = path
+                        else:
+                            still.append(item)
                 pending = still
                 if not pending:
                     # Don't resume _query_graphs: that would build the
@@ -357,7 +410,7 @@ class INanoPredictor:
         dst_prefix_index: int,
     ):
         providers = self._provider_gate(dst_prefix_index)
-        cache_key = (id(graph), dst_cluster, providers)
+        cache_key = (graph.version, dst_cluster, providers)
         cache = self._search_cache
         cached = cache.get(cache_key)
         if cached is not None:
@@ -394,8 +447,23 @@ class INanoPredictor:
             if src_cluster == dst_cluster:
                 return self._trivial_path(graph, dst_cluster)
             return None
-        # Inlined _target_priority over packed node keys: FROM_SRC/UP
-        # when permitted, then TO_DST/UP, then TO_DST/DOWN.
+        nid = self._start_node(graph, states, src_prefix_index, src_cluster)
+        if nid is None:
+            return None
+        return self._memoized_extract(graph, states, nid)
+
+    def _start_node(
+        self,
+        graph: CompiledGraph,
+        states: _CompiledStates,
+        src_prefix_index: int,
+        src_cluster: int,
+    ) -> int | None:
+        """Best reached start node for a source, or None (compiled engine).
+
+        Inlined _target_priority over packed node keys: FROM_SRC/UP
+        when permitted, then TO_DST/UP, then TO_DST/DOWN.
+        """
         nid_of = graph._id_of.get
         phase = states.phase
         key = src_cluster << 2
@@ -405,13 +473,13 @@ class INanoPredictor:
         ):
             nid = nid_of(key | (FROM_SRC << 1) | UP)
             if nid is not None and phase[nid]:
-                return self._memoized_extract(graph, states, nid)
+                return nid
         nid = nid_of(key | (TO_DST << 1) | UP)
         if nid is not None and phase[nid]:
-            return self._memoized_extract(graph, states, nid)
+            return nid
         nid = nid_of(key | (TO_DST << 1) | DOWN)
         if nid is not None and phase[nid]:
-            return self._memoized_extract(graph, states, nid)
+            return nid
         return None
 
     def _memoized_extract(
@@ -844,6 +912,72 @@ class INanoPredictor:
             as_hops=states.eff[start],
             used_from_src=used_from_src,
         )
+
+    def _extract_compiled_batch(
+        self, cg: CompiledGraph, states: _CompiledStates, nids: list[int]
+    ) -> None:
+        """Extract many paths in one pass over the CSR parent arrays.
+
+        Vectorized counterpart of :meth:`_extract_compiled`: all parent
+        chains advance one hop per numpy step, accumulating latency and
+        success in the same per-hop order as the scalar walk (so floats
+        are bit-identical), then the cluster/AS sequences are assembled
+        from the collected node matrix. Results land in the per-search
+        path memo, subject to the same ``_PATH_MEMO_MAX`` cap.
+        """
+        import numpy as np
+
+        e_dst, e_lat, e_loss, node_cluster, node_asn, node_plane = cg.np_views()
+        parent = states.parent_np()
+        n = len(nids)
+        cur = np.array(nids, dtype=np.int64)
+        lat = np.zeros(n)
+        succ = np.ones(n)
+        rows = [cur]
+        while True:
+            pe = np.where(cur >= 0, parent[np.maximum(cur, 0)], -1)
+            act = pe >= 0
+            if not act.any():
+                break
+            pe_safe = np.maximum(pe, 0)
+            lat = lat + np.where(act, e_lat[pe_safe], 0.0)
+            succ = succ * np.where(act, 1.0 - e_loss[pe_safe], 1.0)
+            cur = np.where(act, e_dst[pe_safe], np.int64(-1))
+            rows.append(cur)
+        mat = np.vstack(rows)
+        safe = np.maximum(mat, 0)
+        cluster_cols = node_cluster[safe].T.tolist()
+        asn_cols = node_asn[safe].T.tolist()
+        valid_cols = (mat >= 0).T.tolist()
+        lat_list = lat.tolist()
+        loss_list = (1.0 - succ).tolist()
+        from_src_flags = (node_plane[np.array(nids)] == FROM_SRC).tolist()
+        eff = states.eff
+        memo = states.paths
+        for k, nid in enumerate(nids):
+            if len(memo) >= _PATH_MEMO_MAX:
+                break
+            clusters: list[int] = []
+            as_path: list[int] = []
+            c_col = cluster_cols[k]
+            a_col = asn_cols[k]
+            for t, ok in enumerate(valid_cols[k]):
+                if not ok:
+                    break
+                c = c_col[t]
+                if not clusters or clusters[-1] != c:
+                    clusters.append(c)
+                a = a_col[t]
+                if not as_path or as_path[-1] != a:
+                    as_path.append(a)
+            memo[nid] = PredictedPath(
+                clusters=tuple(clusters),
+                as_path=tuple(as_path),
+                latency_ms=lat_list[k],
+                loss=loss_list[k],
+                as_hops=eff[nid],
+                used_from_src=from_src_flags[k],
+            )
 
     @staticmethod
     def _trivial_path(cg: CompiledGraph, dst_cluster: int) -> PredictedPath:

@@ -1,0 +1,24 @@
+"""Process-wide monotonic version counter for prediction graphs.
+
+Search results are cached per destination, keyed by the graph they were
+computed over. Keying by ``id(graph)`` is unsound: CPython reuses object
+addresses after garbage collection, so a predictor that rebuilds its
+graph can alias a dead graph's cache entries and serve stale routes.
+
+Instead, every built :class:`~repro.core.graph.PredictionGraph` /
+:class:`~repro.core.compiled.CompiledGraph` draws a version from this
+counter, and every in-place mutation (the runtime's delta patching)
+draws a fresh one. Versions are never reused within a process, so a
+``(version, destination, providers)`` cache key can never alias.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_GRAPH_VERSIONS = itertools.count(1)
+
+
+def next_graph_version() -> int:
+    """A process-unique, monotonically increasing graph version."""
+    return next(_GRAPH_VERSIONS)

@@ -1,0 +1,109 @@
+"""Shared predictor pool, keyed by atlas version and client identity.
+
+The seed design gave every :class:`~repro.client.library.INanoClient`,
+remote agent and server path its own ``INanoPredictor`` — and therefore
+its own compiled graph and LRU search cache. The pool inverts that: a
+predictor is resolved per ``(config, client)`` key against the owning
+:class:`~repro.runtime.runtime.AtlasRuntime`, so
+
+* all callers without a private FROM_SRC plane share **one** predictor
+  (one compiled graph, one search cache) per config;
+* a client with its own measured FROM_SRC plane gets a dedicated entry
+  whose primary graph is the incrementally merged view — but still
+  shares the runtime's closed fallback graph;
+* after a daily update, entries refresh in place: the graphs were
+  patched under the predictor, the atlas mutated in place, and the
+  bumped graph versions retire stale search-cache keys without any
+  rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predictor import INanoPredictor, PredictorConfig
+
+
+@dataclass
+class _PoolEntry:
+    predictor: INanoPredictor
+    version: int
+    rev: int
+
+
+class PredictorPool:
+    """Resolves shared predictors for one :class:`AtlasRuntime`."""
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+        self._entries: dict[tuple, _PoolEntry] = {}
+        self.hits = 0
+        self.refreshes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def predictor(
+        self,
+        config: PredictorConfig | None = None,
+        *,
+        client_key: object = None,
+        from_src_links: dict | None = None,
+        from_src_prefixes: set[int] | None = None,
+        client_cluster_as: dict[int, int] | None = None,
+        from_src_rev: int = 0,
+    ) -> INanoPredictor:
+        """The shared predictor for ``config`` (and, if ``client_key``
+        names a client with FROM_SRC measurements, that client's merged
+        view). Never compiles when a fresh entry exists.
+        """
+        config = config or PredictorConfig.inano()
+        runtime = self._runtime
+        key = (config, client_key)
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.version == runtime.version
+            and entry.rev == from_src_rev
+        ):
+            self.hits += 1
+            return entry.predictor
+        if config.use_from_src and from_src_links:
+            primary = runtime.merged_graph(
+                client_key, from_src_links, client_cluster_as, from_src_rev
+            )
+        elif config.use_from_src:
+            primary = runtime.directed_graph()
+        else:
+            primary = runtime.closed_graph()
+        if entry is None:
+            entry = _PoolEntry(
+                predictor=INanoPredictor(
+                    runtime.atlas,
+                    config,
+                    from_src_prefixes=from_src_prefixes,
+                    client_cluster_as=client_cluster_as,
+                    primary_graph=primary,
+                    fallback_factory=runtime.closed_graph,
+                ),
+                version=runtime.version,
+                rev=from_src_rev,
+            )
+            self._entries[key] = entry
+        else:
+            # Refresh in place: graph objects were patched/adopted under
+            # us and the atlas mutated in place, so only the bindings
+            # and freshness markers need updating.
+            self.refreshes += 1
+            pred = entry.predictor
+            pred.graph = primary
+            pred.atlas = runtime.atlas
+            pred.from_src_prefixes = from_src_prefixes
+            entry.version = runtime.version
+            entry.rev = from_src_rev
+        return entry.predictor
+
+    def release(self, client_key: object) -> None:
+        """Drop every entry belonging to one client."""
+        for key in [k for k in self._entries if k[1] == client_key]:
+            del self._entries[key]

@@ -1,0 +1,282 @@
+"""Tests for predictor pooling, version-keyed caches, server retention,
+and the vectorized batch path extraction."""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import pytest
+
+from repro.atlas.model import Atlas, LinkRecord
+from repro.client import AtlasServer, ClientConfig, INanoClient
+from repro.client.remote import QueryAgent
+from repro.core.predictor import (
+    _BATCH_EXTRACT_MIN,
+    INanoPredictor,
+    PredictorConfig,
+)
+from repro.errors import AtlasError
+from repro.runtime import AtlasRuntime
+
+from helpers import prefix_of, toy_atlas
+
+
+@pytest.fixture()
+def server(scenario):
+    server = AtlasServer()
+    server.publish(scenario.atlas(0))
+    return server
+
+
+class TestPredictorPool:
+    def test_clients_without_from_src_share_one_predictor(self, server, scenario):
+        runtime = server.runtime()
+        clients = [
+            INanoClient(
+                server,
+                config=ClientConfig(use_swarm=False),
+                shared_runtime=runtime,
+            )
+            for _ in range(3)
+        ]
+        for client in clients:
+            client.fetch()
+        predictors = {id(client.predictor) for client in clients}
+        assert len(predictors) == 1, "co-located clients must share a predictor"
+        assert clients[0].bytes_downloaded == 0, "shared runtime means no download"
+        # ... and therefore one shared search cache
+        prefixes = scenario.all_prefixes()
+        clients[0].query_or_none(prefixes[0], prefixes[1])
+        cached = len(clients[0].predictor._search_cache)
+        clients[1].query_or_none(prefixes[2], prefixes[1])
+        assert len(clients[1].predictor._search_cache) >= cached
+
+    def test_measuring_client_gets_dedicated_merged_entry(self, server, scenario):
+        source = scenario.validation_set().sources[0]
+        client = INanoClient(
+            server,
+            vantage=source.vantage,
+            measurement_toolkit=scenario.simulator(0),
+            cluster_map=scenario.cluster_map(0),
+            config=ClientConfig(use_swarm=False),
+        )
+        client.fetch()
+        shared = client.predictor
+        assert not shared.graph.has_from_src
+        client.measure(n_prefixes=8)
+        own = client.predictor
+        assert own is not shared
+        assert own.graph.has_from_src
+        # re-access without new measurements: same pooled entry
+        assert client.predictor is own
+        # the closed fallback graph is the runtime's shared one
+        assert own.fallback_graph is client.runtime.closed_graph()
+
+    def test_pool_entry_refreshes_in_place_after_update(self, server, scenario):
+        server.publish(scenario.atlas(1))
+        client = INanoClient(server, config=ClientConfig(use_swarm=False))
+        client.fetch(day=0)
+        pred_before = client.predictor
+        graph_before = pred_before.graph
+        version_before = graph_before.version
+        client.apply_daily_update()
+        pred_after = client.predictor
+        assert pred_after is pred_before, "entry refreshes, not rebuilds"
+        assert pred_after.graph is graph_before, "graph patched in place"
+        assert pred_after.graph.version > version_before
+        assert pred_after.atlas.day == 1
+
+    def test_release_drops_client_state(self, server, scenario):
+        source = scenario.validation_set().sources[0]
+        client = INanoClient(
+            server,
+            vantage=source.vantage,
+            measurement_toolkit=scenario.simulator(0),
+            cluster_map=scenario.cluster_map(0),
+            config=ClientConfig(use_swarm=False),
+        )
+        client.fetch()
+        client.measure(n_prefixes=5)
+        client.predictor
+        runtime = client.runtime
+        assert runtime._merged
+        client.close()
+        assert not runtime._merged
+
+
+class TestVersionKeyedCache:
+    def test_cache_keys_use_graph_version_not_id(self):
+        atlas = toy_atlas()
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        predictor.predict(prefix_of(3), prefix_of(5))
+        (key,) = predictor._search_cache
+        assert key[0] == predictor.graph.version
+        assert key[0] != id(predictor.graph)
+
+    def test_patched_graph_version_retires_stale_entries(self):
+        atlas = toy_atlas()
+        runtime = AtlasRuntime(copy.deepcopy(atlas))
+        config = PredictorConfig.graph_baseline()
+        predictor = runtime.pool.predictor(config)
+        before = predictor.predict(prefix_of(3), prefix_of(5))
+        stale_keys = set(predictor._search_cache)
+        # a delta that changes the 3->5 route's latency
+        from repro.atlas.delta import AtlasDelta
+
+        delta = AtlasDelta(base_day=0, new_day=1)
+        delta.links_updated[(30, 50)] = LinkRecord(latency_ms=500.0)
+        delta.links_updated[(50, 30)] = LinkRecord(latency_ms=500.0)
+        runtime.apply_delta(delta)
+        predictor = runtime.pool.predictor(config)
+        after = predictor.predict(prefix_of(3), prefix_of(5))
+        assert after.latency_ms != before.latency_ms, "stale cache served"
+        # the answering entry is keyed by the *new* version; the old
+        # entry may linger in the LRU but can never be keyed again
+        fresh_keys = set(predictor._search_cache) - stale_keys
+        assert fresh_keys
+        assert all(key[0] == predictor.graph.version for key in fresh_keys)
+
+
+class TestServerRetention:
+    @staticmethod
+    def _publish_days(n, retention_days):
+        server = AtlasServer(retention_days=retention_days)
+        atlas = Atlas(day=0)
+        atlas.links[(1, 2)] = LinkRecord(latency_ms=10.0)
+        atlas.cluster_to_as = {1: 10, 2: 20}
+        atlas.prefix_to_cluster = {100: 1, 200: 2}
+        atlas.prefix_to_as = {100: 10, 200: 20}
+        server.publish(copy.deepcopy(atlas))
+        for day in range(1, n):
+            atlas = copy.deepcopy(atlas)
+            atlas.day = day
+            atlas.links[(1, 2)] = LinkRecord(latency_ms=10.0 + day)
+            server.publish(copy.deepcopy(atlas))
+        return server
+
+    def test_window_and_monthly_anchors_survive(self):
+        server = self._publish_days(10, retention_days=3)
+        # cutoff = 9 - 3 = 6: keep >= 6, plus the day-0 monthly anchor
+        assert server.retained_days() == [0, 6, 7, 8, 9]
+        assert server.bytes_evicted > 0
+        with pytest.raises(AtlasError):
+            server.full_atlas_bytes(3)
+        with pytest.raises(AtlasError):
+            server.atlas_object(3)
+        # the delta chain stays complete for roll-forward
+        for day in range(1, 10):
+            assert server.delta_for(day).new_day == day
+
+    def test_unlimited_retention(self):
+        server = self._publish_days(10, retention_days=None)
+        assert server.retained_days() == list(range(10))
+        assert server.bytes_evicted == 0
+
+    def test_default_keeps_recent_tests_working(self, scenario):
+        server = AtlasServer()
+        server.publish(scenario.atlas(0))
+        server.publish(scenario.atlas(1))
+        assert server.retained_days() == [0, 1]
+
+
+class TestServerSideQueries:
+    def test_server_predictions_match_client(self, server, scenario):
+        client = INanoClient(server, config=ClientConfig(use_swarm=False))
+        client.fetch()
+        prefixes = scenario.all_prefixes()
+        pairs = [(prefixes[i], prefixes[i + 1]) for i in range(6)]
+        server_paths = server.predict_batch(pairs)
+        for (src, dst), path in zip(pairs, server_paths):
+            assert path == server.predict(src, dst)
+            local = client.predictor.predict_or_none(src, dst)
+            assert path == local
+        assert len(server.runtime().pool) == 1
+
+    def test_server_runtime_rolls_forward_in_place(self, server, scenario):
+        runtime = server.runtime()
+        assert runtime.day == 0
+        server.publish(scenario.atlas(1))
+        rolled = server.runtime()
+        assert rolled is runtime, "roll forward patches, not rebuilds"
+        assert rolled.day == 1
+
+    def test_runtime_survives_delta_chain_gap(self, server, scenario):
+        """A publish gap (no delta to roll through) must re-seed the
+        server runtime *in place*, not orphan co-located consumers."""
+        runtime = server.runtime()
+        skipped = copy.deepcopy(scenario.atlas(1))
+        skipped.day = 2  # day 1 never published: no delta chain to day 2
+        server.publish(skipped)
+        rolled = server.runtime()
+        assert rolled is runtime, "gap must reset in place, not rebind"
+        assert rolled.day == 2
+        # pooled predictors keep working against the reset lineage
+        prefixes = scenario.all_prefixes()
+        server.predict(prefixes[0], prefixes[1])
+        assert runtime.pool.predictor().atlas.day == 2
+
+    def test_co_located_agent_shares_server_runtime(self, server, scenario):
+        agent = QueryAgent.co_located(server)
+        assert agent.runtime is server.runtime()
+        prefixes = scenario.all_prefixes()
+        result = agent.query_for(7, prefixes[0], prefixes[1])
+        assert result.agent_rtt_ms == 1.0
+        direct = server.predict(prefixes[0], prefixes[1])
+        if result.info is None:
+            # the pair may be one-way predictable only
+            assert direct is None or server.predict(prefixes[1], prefixes[0]) is None
+        else:
+            assert result.info.forward == direct
+            assert result.info.atlas_day == 0
+        # a new day advances the shared runtime underneath the agent
+        server.publish(scenario.atlas(1))
+        server.runtime()
+        assert agent.runtime.day == 1
+
+
+class TestVectorizedBatchExtraction:
+    def test_batch_matches_scalar_extraction(self, scenario, atlas):
+        predictor = INanoPredictor(atlas, PredictorConfig.inano())
+        prefixes = [int(p) for p in scenario.all_prefixes()]
+        dst = prefixes[len(prefixes) // 3]
+        sources = [p for p in prefixes if p != dst]
+        assert len(sources) >= _BATCH_EXTRACT_MIN
+        batch = predictor.predict_batch([(s, dst) for s in sources])
+        scalar_predictor = INanoPredictor(atlas, PredictorConfig.inano())
+        for src, got in zip(sources, batch):
+            want = scalar_predictor.predict_or_none(src, dst)
+            assert got == want, (src, dst)
+
+    def test_batch_extraction_bitwise_vs_scalar(self, atlas):
+        from repro.core.graph import TO_DST
+
+        predictor = INanoPredictor(atlas, PredictorConfig.graph_baseline())
+        graph = predictor.graph
+        clusters = sorted({c for ab in atlas.links for c in ab})
+        dst_cluster = clusters[0]
+        states = predictor._search(graph, dst_cluster, -1)
+        reached = [
+            nid for nid in range(graph.n_nodes) if states.phase[nid]
+        ]
+        assert len(reached) >= _BATCH_EXTRACT_MIN
+        predictor._extract_compiled_batch(graph, states, reached)
+        vectorized = dict(states.paths)
+        for nid in reached:
+            scalar = predictor._extract_compiled(graph, states, nid)
+            got = vectorized[nid]
+            assert got == scalar
+            # float fields must be bit-identical, not approximately equal
+            assert got.latency_ms.hex() == scalar.latency_ms.hex()
+            assert got.loss.hex() == scalar.loss.hex()
+
+    def test_small_groups_stay_on_scalar_path(self, atlas, monkeypatch):
+        predictor = INanoPredictor(atlas, PredictorConfig.inano())
+
+        def boom(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("vectorized path must not trigger")
+
+        monkeypatch.setattr(predictor, "_extract_compiled_batch", boom)
+        prefixes = list(atlas.prefix_to_cluster)
+        pairs = [(prefixes[i], prefixes[-1]) for i in range(_BATCH_EXTRACT_MIN - 2)]
+        predictor.predict_batch(pairs)
