@@ -5,7 +5,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: verify bench-smoke bench bench-update equivalence
+.PHONY: verify bench-smoke bench bench-update bench-search equivalence
 
 verify:
 	$(PYTEST) -x -q
@@ -13,7 +13,10 @@ verify:
 bench-update:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_update_performance.py -q
 
-bench-smoke: bench-update
+bench-search:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_search_performance.py -q
+
+bench-smoke: bench-update bench-search
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \
 		--benchmark-disable-gc --benchmark-min-rounds=5 --benchmark-warmup=off
 
@@ -21,4 +24,6 @@ bench:
 	BENCH_RECORD=1 $(PYTEST) benchmarks -q --benchmark-disable-gc
 
 equivalence:
-	$(PYTEST) tests/test_compiled_equivalence.py tests/test_runtime_delta_chain.py -q
+	$(PYTEST) tests/test_compiled_equivalence.py \
+		tests/test_runtime_delta_chain.py \
+		tests/test_search_kernel_property.py -q

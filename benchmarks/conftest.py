@@ -18,6 +18,7 @@ from repro.eval import get_scenario
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_QUERY_JSON = Path(__file__).parent.parent / "BENCH_query.json"
 BENCH_UPDATE_JSON = Path(__file__).parent.parent / "BENCH_update.json"
+BENCH_SEARCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
 _BENCH_HISTORY_MAX = 40
 
 
@@ -119,6 +120,17 @@ def bench_record_update():
     appends one run entry to ``BENCH_update.json`` on session teardown."""
     record, flush = _trajectory_recorder(
         BENCH_UPDATE_JSON, lambda **stats: stats
+    )
+    yield record
+    flush()
+
+
+@pytest.fixture(scope="session")
+def bench_record_search():
+    """Collect search-kernel benchmark stats (plain dicts, manual
+    timing); appends one run entry to ``BENCH_search.json``."""
+    record, flush = _trajectory_recorder(
+        BENCH_SEARCH_JSON, lambda **stats: stats
     )
     yield record
     flush()

@@ -1,0 +1,289 @@
+"""Search-kernel benchmarks: cold per-destination search + warm starts.
+
+Two metrics on two atlases (GC off, medians), appended to
+``BENCH_search.json``:
+
+* ``cold_search`` — one uncached per-destination backtracking search,
+  vectorized kernel (:mod:`repro.core.search`) vs the scalar spec loop
+  (``_search_compiled``), for the full-iNano and GRAPH-baseline
+  configs, on (a) the default-scenario atlas and (b) a synthetic
+  production-shape "fanout" atlas (~4k ASes, one cluster per AS, dense
+  multi-homing — the scale regime the kernel targets).
+* ``post_delta_first_query`` — the update-to-first-query path the
+  ROADMAP names as the top open item: after ``apply_delta``, the first
+  query against a hot destination under warm-start repair + pool
+  prewarming, versus the pre-repair architecture where the version
+  bump cold-started every destination (simulated by flushing the
+  pooled search cache after the patch).
+
+Gates: the kernel must beat the spec loop outright on cold searches
+(dedicated floor 1.35x on the best config; measured 1.5-1.7x), and
+repair+prewarming must cut post-delta first-query latency by >= 3x (it
+lands at orders of magnitude — the first query becomes a cache hit).
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import os
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.atlas.delta import compute_delta
+from repro.atlas.model import Atlas, LinkRecord
+from repro.atlas.relationships import REL_CUSTOMER, REL_PEER, REL_PROVIDER
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.runtime import AtlasRuntime
+
+_COLD_DESTINATIONS = 10
+_COLD_REPS = 7
+_DELTA_ROUNDS = 6
+_HOT_DESTINATIONS = 4
+
+
+def fanout_atlas(
+    seed=3, n_t1=16, n_t2=360, n_t3=3600, peers2=6, homing=3
+) -> Atlas:
+    """A production-shape synthetic atlas: three-tier AS hierarchy, one
+    cluster per AS (coarse PoP clustering), dense peering/multi-homing,
+    with full three-tuple witnesses, preferences and provider sets so
+    every corrective component is live."""
+    rng = random.Random(seed)
+    atlas = Atlas(day=0)
+    asn = 1
+    tiers = []
+    for n in (n_t1, n_t2, n_t3):
+        tiers.append(list(range(asn, asn + n)))
+        asn += n
+    t1, t2, t3 = tiers
+    for a in t1 + t2 + t3:
+        c = a * 4
+        atlas.cluster_to_as[c] = a
+        atlas.prefix_to_cluster[c * 100] = c
+        atlas.prefix_to_as[c * 100] = a
+
+    def cl(a):
+        return a * 4
+
+    def link(a, b):
+        lat = float(rng.randint(2, 20))
+        atlas.links[(cl(a), cl(b))] = LinkRecord(latency_ms=lat)
+        atlas.links[(cl(b), cl(a))] = LinkRecord(latency_ms=lat)
+
+    def rel(a, b, ab, ba):
+        atlas.relationship_codes[(a, b)] = ab
+        atlas.relationship_codes[(b, a)] = ba
+
+    neigh: dict[int, set[int]] = {}
+
+    def addadj(a, b):
+        neigh.setdefault(a, set()).add(b)
+        neigh.setdefault(b, set()).add(a)
+
+    for i, a in enumerate(t1):
+        for b in t1[i + 1:]:
+            rel(a, b, REL_PEER, REL_PEER)
+            addadj(a, b)
+            link(a, b)
+    for b in t2:
+        for a in rng.sample(t1, rng.randint(1, homing)):
+            rel(a, b, REL_PROVIDER, REL_CUSTOMER)
+            addadj(a, b)
+            link(a, b)
+        for b2 in rng.sample(t2, peers2):
+            if b2 != b and (b, b2) not in atlas.relationship_codes:
+                rel(b, b2, REL_PEER, REL_PEER)
+                addadj(b, b2)
+                link(b, b2)
+    for c in t3:
+        for b in rng.sample(t2, rng.randint(1, homing)):
+            rel(b, c, REL_PROVIDER, REL_CUSTOMER)
+            addadj(b, c)
+            link(b, c)
+    atlas.as_degrees = {a: len(v) for a, v in neigh.items()}
+    up: dict[int, list[int]] = {}
+    for (a, b), code in atlas.relationship_codes.items():
+        if code == REL_PROVIDER:
+            up.setdefault(b, []).append(a)
+    for b, nbrs in neigh.items():
+        for x in nbrs:
+            for y in nbrs:
+                if x != y:
+                    atlas.three_tuples.add((x, b, y))
+    for _ in range(3000):
+        a = rng.choice(t2 + t3)
+        ups = up.get(a, [])
+        if len(ups) >= 2:
+            x, y = rng.sample(ups, 2)
+            atlas.preferences.add((a, x, y))
+    for p, a in atlas.prefix_to_as.items():
+        if a in up:
+            atlas.providers[a] = frozenset(up[a])
+    return atlas
+
+
+def _median_cold_ms(predictor, search_fn, destinations):
+    times = []
+    for _ in range(_COLD_REPS):
+        start = time.perf_counter()
+        for prefix, cluster in destinations:
+            search_fn(
+                predictor.graph, cluster, predictor._provider_gate(prefix)
+            )
+        times.append(
+            (time.perf_counter() - start) / len(destinations) * 1000
+        )
+    return statistics.median(times)
+
+
+def test_bench_cold_search(scenario, bench_record_search, report):
+    arenas = [
+        ("scenario", scenario.atlas(0), 7),
+        ("fanout", fanout_atlas(), 431),
+    ]
+    configs = {
+        "iNano": PredictorConfig.inano(),
+        "GRAPH": PredictorConfig.graph_baseline(),
+    }
+    rows = []
+    timings = {}
+    ratios = []
+    gc.disable()
+    try:
+        for arena, atlas, step in arenas:
+            prefixes = sorted(atlas.prefix_to_cluster)[::step]
+            destinations = [
+                (p, atlas.cluster_of_prefix(p))
+                for p in prefixes[:_COLD_DESTINATIONS]
+            ]
+            for name, config in configs.items():
+                kernel = INanoPredictor(atlas, config, kernel="vector")
+                spec = INanoPredictor(atlas, config, kernel="scalar")
+                # warm the kernel views (one-time per graph version)
+                kernel._run_search(
+                    kernel.graph,
+                    destinations[0][1],
+                    kernel._provider_gate(destinations[0][0]),
+                )
+                kernel_ms = min(
+                    _median_cold_ms(kernel, kernel._run_search, destinations)
+                    for _ in range(2)
+                )
+                spec_ms = min(
+                    _median_cold_ms(spec, spec._search_compiled, destinations)
+                    for _ in range(2)
+                )
+                ratio = spec_ms / kernel_ms
+                ratios.append(ratio)
+                timings[f"{arena}_{name}"] = {
+                    "kernel_ms": round(kernel_ms, 4),
+                    "spec_ms": round(spec_ms, 4),
+                    "ratio": round(ratio, 3),
+                }
+                rows.append(
+                    (
+                        f"{arena} / {name}",
+                        f"{kernel_ms:.3f}",
+                        f"{spec_ms:.3f}",
+                        f"{ratio:.2f}x",
+                    )
+                )
+    finally:
+        gc.enable()
+    bench_record_search("cold_search", **timings)
+    from repro.eval.reporting import render_table
+
+    report(
+        "search_performance",
+        render_table(
+            "Cold per-destination search: kernel vs scalar spec",
+            ["atlas / config", "kernel ms", "spec ms", "speedup"],
+            rows,
+        ),
+    )
+    # The kernel must beat the spec loop outright; the dedicated run
+    # (GC off, quiet machine) holds the full floor on the best config
+    # (measured 1.5-1.7x; the 3x aspiration and remaining scalar floor
+    # are tracked in ROADMAP open items).
+    dedicated = os.environ.get("BENCH_RECORD") == "1"
+    floor = 1.35 if dedicated else 1.02
+    assert max(ratios) >= floor, (ratios, timings)
+
+
+@pytest.fixture(scope="module")
+def search_update_chain(scenario):
+    a0 = scenario.atlas(0)
+    a1 = scenario.atlas(1)
+    chain = []
+    for day in range(_DELTA_ROUNDS + 1):
+        atlas = copy.deepcopy(a0 if day % 2 == 0 else a1)
+        atlas.day = day
+        chain.append(atlas)
+    deltas = [compute_delta(b, n) for b, n in zip(chain, chain[1:])]
+    return chain, deltas
+
+
+def test_bench_post_delta_first_query(
+    scenario, search_update_chain, bench_record_search, report
+):
+    chain, deltas = search_update_chain
+    config = PredictorConfig.inano()
+    prefixes = [int(p) for p in scenario.all_prefixes()]
+    hot = [
+        (prefixes[i], prefixes[-(i + 1)]) for i in range(_HOT_DESTINATIONS)
+    ]
+
+    def first_query_times(warm: bool):
+        runtime = AtlasRuntime(copy.deepcopy(chain[0]))
+        runtime.pool.prewarm_max = 8 if warm else 0
+        predictor = runtime.pool.predictor(config)
+        for pair in hot:
+            predictor.predict_or_none(*pair)
+        times = []
+        for delta in deltas:
+            runtime.apply_delta(delta)
+            if not warm:
+                # the pre-repair architecture: the version bump strands
+                # every cached search, the first query runs cold
+                predictor._search_cache.clear()
+            start = time.perf_counter()
+            predictor.predict_or_none(*hot[0])
+            times.append((time.perf_counter() - start) * 1000)
+            for pair in hot:
+                predictor.predict_or_none(*pair)
+        return statistics.median(times)
+
+    gc.disable()
+    try:
+        cold_ms = first_query_times(warm=False)
+        warm_ms = first_query_times(warm=True)
+    finally:
+        gc.enable()
+    speedup = cold_ms / warm_ms
+    bench_record_search(
+        "post_delta_first_query",
+        cold_start_ms=round(cold_ms, 4),
+        warm_start_ms=round(warm_ms, 4),
+        speedup=round(speedup, 1),
+        rounds=len(deltas),
+    )
+    from repro.eval.reporting import render_table
+
+    report(
+        "search_warmstart",
+        render_table(
+            "Post-delta first query (hot destination)",
+            ["arm", "median ms"],
+            [
+                ("cold start (pre-repair architecture)", f"{cold_ms:.3f}"),
+                ("warm-start repair + prewarm", f"{warm_ms:.4f}"),
+                ("speedup", f"{speedup:.0f}x"),
+            ],
+        ),
+    )
+    dedicated = os.environ.get("BENCH_RECORD") == "1"
+    assert speedup >= (3.0 if dedicated else 2.0), (cold_ms, warm_ms)

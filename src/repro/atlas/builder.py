@@ -9,9 +9,10 @@ retains that monopoly.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.core.sssp import latency_sssp
 
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.preferences import PreferenceInference
@@ -228,25 +229,18 @@ class AtlasBuilder:
     def _intra_as_distance(
         self, atlas: Atlas, asn: int, src: int, dst: int, cache: dict
     ) -> float:
-        """Dijkstra over the atlas's intra-AS cluster links."""
+        """Shared-helper Dijkstra over the atlas's intra-AS cluster links."""
         key = (asn, src)
         if key not in cache:
-            dist = {src: 0.0}
-            heap = [(0.0, src)]
-            while heap:
-                d, node = heapq.heappop(heap)
-                if d > dist.get(node, float("inf")):
-                    continue
-                for (a, b), record in atlas.links.items():
-                    if a != node:
-                        continue
-                    if atlas.cluster_to_as.get(b) != asn:
-                        continue
-                    nd = d + record.latency_ms
-                    if nd < dist.get(b, float("inf")):
-                        dist[b] = nd
-                        heapq.heappush(heap, (nd, b))
-            cache[key] = dist
+            links = atlas.links
+            asn_of = atlas.cluster_to_as.get
+
+            def neighbors(node):
+                for (a, b), record in links.items():
+                    if a == node and asn_of(b) == asn:
+                        yield b, record.latency_ms
+
+            cache[key] = latency_sssp(src, neighbors)[0]
         return cache[key].get(dst, float("inf"))
 
     def _infer_late_exit(self, atlas: Atlas) -> None:

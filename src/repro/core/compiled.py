@@ -142,6 +142,13 @@ class CompiledGraph:
     #: (see :meth:`np_views`); invalidated automatically on mutation
     _np_views: tuple | None = field(default=None, repr=False)
 
+    #: kernel-facing views for the vectorized frontier search
+    #: (:mod:`repro.core.search`): numpy edge mirrors, the op-split
+    #: reverse CSR, packed membership keys. Cached as
+    #: ``((version, tuple_threshold), KernelViews)`` and rebuilt lazily
+    #: after any in-place mutation, like :attr:`_np_views`.
+    _kernel_views: tuple | None = field(default=None, repr=False)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -214,6 +221,7 @@ class CompiledGraph:
         """Record an in-place mutation: bump the version, drop np views."""
         self.version = next_graph_version()
         self._np_views = None
+        self._kernel_views = None
         return self.version
 
     def adopt(self, other: "CompiledGraph") -> None:

@@ -42,7 +42,11 @@ Two interchangeable engines implement the search:
   and integer heap entries. Only the *effective* hop count is tracked —
   the (as_hops, pending) split of :class:`~repro.core.costs.PathCost`
   is a homomorphism onto it under every ⊕ flavour, so nothing else of
-  the cost tuple is observable.
+  the cost tuple is observable. Cold searches run through the
+  vectorized phase-major bucket-queue kernel (:mod:`repro.core.search`)
+  by default; ``kernel="scalar"`` pins the scalar heap loop
+  (:meth:`INanoPredictor._search_compiled`), which stays as the
+  kernel's executable spec.
 * ``engine="legacy"`` is the original dict-of-dataclass search, kept as
   the executable specification; the equivalence suite asserts both
   engines return identical :class:`PredictedPath`s under every ablation.
@@ -58,6 +62,9 @@ import heapq
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from repro.core.search import run_kernel
+from repro.core.sssp import lazy_heap_loop
 
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.tuples import tuple_check
@@ -211,16 +218,22 @@ class INanoPredictor:
         from_src_prefixes: set[int] | None = None,
         client_cluster_as: dict[int, int] | None = None,
         engine: str = "compiled",
+        kernel: str = "vector",
         primary_graph: CompiledGraph | None = None,
         fallback_factory=None,
     ) -> None:
         if engine not in ("compiled", "legacy"):
             raise ValueError(f"unknown predictor engine {engine!r}")
+        if kernel not in ("vector", "scalar"):
+            raise ValueError(f"unknown search kernel {kernel!r}")
         if primary_graph is not None and engine != "compiled":
             raise ValueError("externally-supplied graphs require the compiled engine")
         self.atlas = atlas
         self.config = config or PredictorConfig.inano()
         self.engine = engine
+        #: "vector" (default) runs cold searches through the bucket-queue
+        #: kernel (repro.core.search); "scalar" pins the spec loop
+        self.kernel = kernel
         self._extra_cluster_as = dict(client_cluster_as or {})
         if primary_graph is not None:
             # Runtime-backed mode: the graph (and the lazy closed
@@ -328,59 +341,72 @@ class INanoPredictor:
         align with ``pairs`` and match per-pair :meth:`predict_or_none`.
         """
         out: list[PredictedPath | None] = [None] * len(pairs)
+        if not pairs:
+            return out
+        first_dst = pairs[0][1]
+        if all(dst == first_dst for _, dst in pairs):
+            # Server fan-in fast path: every pair already shares one
+            # destination, so skip the group-by regrouping entirely and
+            # run the single group straight through one shared search.
+            self._predict_group(first_dst, range(len(pairs)), pairs, out)
+            return out
         groups: dict[int, list[int]] = {}
         for i, (_, dst) in enumerate(pairs):
             groups.setdefault(dst, []).append(i)
-        cluster_of = self.atlas.cluster_of_prefix
         for dst, idxs in groups.items():
-            dst_cluster = cluster_of(dst)
-            if dst_cluster is None:
-                continue
-            pending = []
-            for i in idxs:
-                src = pairs[i][0]
-                src_cluster = cluster_of(src)
-                if src_cluster is not None:
-                    pending.append((i, src, src_cluster))
-            if not pending:
-                continue
-            for graph in self._query_graphs():
-                states = self._search(graph, dst_cluster, dst)
-                still = []
-                if self.engine == "compiled" and states.root_id is not None:
-                    # Resolve every pending source to its start node
-                    # first, then extract all uncached paths in one
-                    # vectorized pass over the CSR parent arrays.
-                    starts = []
-                    for item in pending:
-                        i, src, src_cluster = item
-                        nid = self._start_node(graph, states, src, src_cluster)
-                        if nid is None:
-                            still.append(item)
-                        else:
-                            starts.append((i, nid))
-                    memo = states.paths
-                    todo = {nid for _, nid in starts if nid not in memo}
-                    if len(todo) >= _BATCH_EXTRACT_MIN:
-                        self._extract_compiled_batch(graph, states, sorted(todo))
-                    for i, nid in starts:
-                        out[i] = self._memoized_extract(graph, states, nid)
-                else:
-                    for item in pending:
-                        i, src, src_cluster = item
-                        path = self._lookup(
-                            graph, states, src, src_cluster, dst_cluster
-                        )
-                        if path is not None:
-                            out[i] = path
-                        else:
-                            still.append(item)
-                pending = still
-                if not pending:
-                    # Don't resume _query_graphs: that would build the
-                    # lazy fallback graph with nothing left to resolve.
-                    break
+            self._predict_group(dst, idxs, pairs, out)
         return out
+
+    def _predict_group(self, dst, idxs, pairs, out) -> None:
+        """Resolve one destination group of a batch against one search."""
+        cluster_of = self.atlas.cluster_of_prefix
+        dst_cluster = cluster_of(dst)
+        if dst_cluster is None:
+            return
+        pending = []
+        for i in idxs:
+            src = pairs[i][0]
+            src_cluster = cluster_of(src)
+            if src_cluster is not None:
+                pending.append((i, src, src_cluster))
+        if not pending:
+            return
+        for graph in self._query_graphs():
+            states = self._search(graph, dst_cluster, dst)
+            still = []
+            if self.engine == "compiled" and states.root_id is not None:
+                # Resolve every pending source to its start node
+                # first, then extract all uncached paths in one
+                # vectorized pass over the CSR parent arrays.
+                starts = []
+                for item in pending:
+                    i, src, src_cluster = item
+                    nid = self._start_node(graph, states, src, src_cluster)
+                    if nid is None:
+                        still.append(item)
+                    else:
+                        starts.append((i, nid))
+                memo = states.paths
+                todo = {nid for _, nid in starts if nid not in memo}
+                if len(todo) >= _BATCH_EXTRACT_MIN:
+                    self._extract_compiled_batch(graph, states, sorted(todo))
+                for i, nid in starts:
+                    out[i] = self._memoized_extract(graph, states, nid)
+            else:
+                for item in pending:
+                    i, src, src_cluster = item
+                    path = self._lookup(
+                        graph, states, src, src_cluster, dst_cluster
+                    )
+                    if path is not None:
+                        out[i] = path
+                    else:
+                        still.append(item)
+            pending = still
+            if not pending:
+                # Don't resume _query_graphs: that would build the
+                # lazy fallback graph with nothing left to resolve.
+                break
 
     # -- search ---------------------------------------------------------------
 
@@ -409,21 +435,50 @@ class INanoPredictor:
         dst_cluster: int,
         dst_prefix_index: int,
     ):
-        providers = self._provider_gate(dst_prefix_index)
+        return self.search_for(
+            graph, dst_cluster, self._provider_gate(dst_prefix_index)
+        )
+
+    def search_for(
+        self,
+        graph: PredictionGraph | CompiledGraph,
+        dst_cluster: int,
+        providers: frozenset[int] | None,
+    ):
+        """The (cached) per-destination search for an explicit provider
+        gate — the providers are part of the cache key, so the runtime's
+        warm-start repair and pool prewarming can re-run a cached search
+        without resolving a destination prefix."""
         cache_key = (graph.version, dst_cluster, providers)
         cache = self._search_cache
         cached = cache.get(cache_key)
         if cached is not None:
             cache.move_to_end(cache_key)
             return cached
-        if self.engine == "legacy":
-            states = self._search_legacy(graph, dst_cluster, providers)
-        else:
-            states = self._search_compiled(graph, dst_cluster, providers)
+        states = self._run_search(graph, dst_cluster, providers)
         if len(cache) >= self._cache_max:
             cache.popitem(last=False)
         cache[cache_key] = states
         return states
+
+    def _run_search(
+        self,
+        graph: PredictionGraph | CompiledGraph,
+        dst_cluster: int,
+        providers: frozenset[int] | None,
+    ):
+        """One uncached search (engine + kernel dispatch, no LRU)."""
+        if self.engine == "legacy":
+            return self._search_legacy(graph, dst_cluster, providers)
+        if self.kernel == "vector":
+            root = graph.node_id(TO_DST, DOWN, dst_cluster)
+            if root is None:
+                return _CompiledStates(None, [], [], [], [], [], {})
+            result = run_kernel(graph, self.atlas, self.config, providers, root)
+            if result is not None:
+                return _CompiledStates(root, *result, {})
+            # ASNs too large to pack: fall through to the spec loop
+        return self._search_compiled(graph, dst_cluster, providers)
 
     def _lookup(
         self,
@@ -542,10 +597,8 @@ class INanoPredictor:
         )
         heapq.heappush(heap, (1, 0, 0.0, next(counter), root))
 
-        while heap:
-            _, _, _, _, u = heapq.heappop(heap)
-            if u in finalized:
-                continue
+        def settle(entry) -> None:
+            u = entry[-1]
             if u != root:
                 # Pop-time re-evaluation: among *finalized* out-neighbors,
                 # keep the best parent under the full comparator (this is
@@ -580,6 +633,8 @@ class INanoPredictor:
                             v,
                         ),
                     )
+
+        lazy_heap_loop(heap, finalized.__contains__, settle)
         return best
 
     @staticmethod

@@ -1,0 +1,69 @@
+"""Shared scalar Dijkstra primitives — the repo's tie-breaking contract.
+
+Three subsystems run hand-rolled scalar Dijkstra loops: the forwarding
+engine's intra-AS shortest paths (`repro.routing.forwarding`), the atlas
+builder's late-exit inference (`repro.atlas.builder`), and the legacy
+predictor search (`repro.core.predictor`, the executable specification
+of the prediction engines). They used to duplicate the same pop
+discipline; this module is the single place those semantics live:
+
+* **Lazy deletion.** Entries are tuples ending in the node; a node may
+  be pushed once per improvement and is *settled at its first pop* —
+  later (stale) entries are skipped, never removed eagerly.
+* **Lexicographic tie-breaking.** The heap orders entries by plain
+  tuple comparison, so equal-priority entries resolve by the remaining
+  tuple fields. :func:`latency_sssp` pushes ``(distance, node)`` —
+  exact-distance ties break toward the smaller node id. The predictor
+  pushes ``(phase, hops, cost, counter, node)`` — exact-cost ties break
+  by push order (the emission-order contract the compiled engines
+  preserve).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+_INF = float("inf")
+
+
+def lazy_heap_loop(heap, is_settled, settle) -> None:
+    """Run the shared lazy-deletion pop loop until the heap drains.
+
+    ``heap`` is a list of comparable tuples whose *last* element is the
+    node. ``is_settled(node)`` gates stale entries; ``settle(entry)``
+    finalizes the node and may push new entries onto ``heap``.
+    """
+    pop = heapq.heappop
+    while heap:
+        entry = pop(heap)
+        if is_settled(entry[-1]):
+            continue
+        settle(entry)
+
+
+def latency_sssp(source, neighbors):
+    """Single-source latency-shortest paths over a callable adjacency.
+
+    ``neighbors(node)`` yields ``(neighbor, latency_ms)`` pairs; the
+    iteration order decides nothing (parents update only on strict
+    improvement, and exact-distance pop ties break by node id via the
+    ``(distance, node)`` heap tuples). Returns ``(dist, parent)`` dicts;
+    unreachable nodes are absent from both.
+    """
+    dist: dict = {source: 0.0}
+    parent: dict = {}
+    settled: set = set()
+    heap: list[tuple[float, object]] = [(0.0, source)]
+
+    def settle(entry) -> None:
+        d, node = entry
+        settled.add(node)
+        for neighbor, latency in neighbors(node):
+            nd = d + latency
+            if nd < dist.get(neighbor, _INF):
+                dist[neighbor] = nd
+                parent[neighbor] = node
+                heapq.heappush(heap, (nd, neighbor))
+
+    lazy_heap_loop(heap, settled.__contains__, settle)
+    return dist, parent

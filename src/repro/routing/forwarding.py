@@ -13,9 +13,9 @@ and hot-potato choices in each direction).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
+from repro.core.sssp import latency_sssp
 from repro.errors import NoRouteError, RoutingError
 from repro.routing.bgp import RouteOracle
 from repro.topology.model import Topology
@@ -68,24 +68,18 @@ class ForwardingEngine:
         cached = self._sssp_cache.get(key)
         if cached is not None:
             return cached
-        dist: dict[int, float] = {src_pop: 0.0}
-        parent: dict[int, int] = {}
-        heap = [(0.0, src_pop)]
-        while heap:
-            d, pop = heapq.heappop(heap)
-            if d > dist.get(pop, float("inf")):
-                continue
-            for neighbor in self.topo.pop_neighbors(pop):
-                link = self.topo.links[(pop, neighbor)]
-                if not link.intra_as:
-                    continue
-                nd = d + link.latency_ms
-                if nd < dist.get(neighbor, float("inf")):
-                    dist[neighbor] = nd
-                    parent[neighbor] = pop
-                    heapq.heappush(heap, (nd, neighbor))
-        self._sssp_cache[key] = (dist, parent)
-        return dist, parent
+        topo = self.topo
+        links = topo.links
+
+        def neighbors(pop):
+            for neighbor in topo.pop_neighbors(pop):
+                link = links[(pop, neighbor)]
+                if link.intra_as:
+                    yield neighbor, link.latency_ms
+
+        result = latency_sssp(src_pop, neighbors)
+        self._sssp_cache[key] = result
+        return result
 
     def intra_as_distance(self, asn: int, src_pop: int, dst_pop: int) -> float:
         """Latency of the intra-AS shortest path, inf if disconnected."""

@@ -52,6 +52,8 @@ runtime falls back to a full recompile for that day.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.atlas.delta import AtlasDelta
@@ -100,6 +102,50 @@ def shared_delta_context(atlas, delta: AtlasDelta, asn_of) -> DeltaContext:
         pair = changed.get(link)
         changed[link] = (pair[0] if pair else None, loss)
     return DeltaContext(new_main, new_selfe, changed)
+
+
+@dataclass
+class PatchTouch:
+    """The touched-edge summary one patch exports for warm-start repair.
+
+    Everything the cache-repair layer (:mod:`repro.runtime.warmstart`)
+    needs to decide, per cached per-destination search, whether the
+    patch could have changed its outcome:
+
+    * ``lat_changed`` / ``loss_changed`` — **new** edge ids whose
+      latency/loss floats were rewritten;
+    * ``added`` — new edge ids that did not exist before the patch;
+    * ``removed_*`` — the deleted edges' endpoints and op/phase, in the
+      **old** node numbering (which the no-renumber splice preserves);
+    * ``old2new`` — monotonic old-edge-id -> new-edge-id map (``-1``
+      for deleted), None for value-only patches (identity);
+    * ``renumbered`` — node ids changed (first-appearance shift): every
+      cached search against the old version is unrepairable.
+    """
+
+    renumbered: bool = False
+    lat_changed: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    loss_changed: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    added: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    removed_src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    removed_dst: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    removed_op: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    removed_ph: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    old2new: np.ndarray | None = field(default=None, repr=False)
 
 
 class PatchConsistencyError(RuntimeError):
@@ -248,9 +294,21 @@ class CompiledGraphPatcher:
             or any(l not in self._main_pos for l in delta.links_updated)
         )
         if not structural:
-            n_values = self._patch_values(changed)
+            n_values, touched = self._patch_values(changed)
+            cached_views = cg._kernel_views
             cg.touch()
-            return {"mode": "values", "value_spans": n_values, "csr": "kept"}
+            if cached_views is not None:
+                # values moved but no structure: refresh the kernel
+                # views in place instead of an O(E) rebuild next search
+                from repro.core.search import refresh_views_after_values
+
+                refresh_views_after_values(cg, cached_views)
+            return {
+                "mode": "values",
+                "value_spans": n_values,
+                "csr": "kept",
+                "touch": touched,
+            }
         stats = self._patch_structural(
             delta, new_main, new_synth, new_selfe, changed
         )
@@ -281,29 +339,38 @@ class CompiledGraphPatcher:
         return lat_pos, lat_val, loss_pos, loss_val
 
     @staticmethod
-    def _write_spans(target: list, offs, counts, values) -> list:
-        """Scatter per-span values into ``target`` via a numpy mirror.
-
-        ``offs``/``counts``/``values`` are aligned arrays (span start,
-        span length, value). Returns the new list for ``target``.
-        """
+    def _span_ids(offs, counts) -> np.ndarray:
+        """Edge ids covered by aligned ``(span start, span length)``."""
         counts = np.asarray(counts, dtype=np.int64)
         total = int(counts.sum())
         if total == 0:
-            return target
+            return np.empty(0, dtype=np.int64)
         starts = np.repeat(np.asarray(offs, dtype=np.int64), counts)
         group = np.repeat(
             np.concatenate(([0], np.cumsum(counts)[:-1])), counts
         )
-        idx = starts + (np.arange(total, dtype=np.int64) - group)
+        return starts + (np.arange(total, dtype=np.int64) - group)
+
+    @classmethod
+    def _write_spans(cls, target: list, offs, counts, values) -> tuple:
+        """Scatter per-span values into ``target`` via a numpy mirror.
+
+        ``offs``/``counts``/``values`` are aligned arrays (span start,
+        span length, value). Returns ``(new list, touched edge ids)``.
+        """
+        idx = cls._span_ids(offs, counts)
+        if len(idx) == 0:
+            return target, idx
+        counts = np.asarray(counts, dtype=np.int64)
         mirror = np.array(target, dtype=np.float64)
         mirror[idx] = np.repeat(np.asarray(values, dtype=np.float64), counts)
-        return mirror.tolist()
+        return mirror.tolist(), idx
 
-    def _patch_values(self, changed: dict) -> int:
+    def _patch_values(self, changed: dict) -> tuple[int, PatchTouch]:
         """Rewrite latency/loss floats inside existing spans; no CSR work."""
+        touch = PatchTouch()
         if not changed:
-            return 0
+            return 0, touch
         cg = self.cg
         lat_pos, lat_val, loss_pos, loss_val = self._collect_main_values(
             changed, skip=None
@@ -311,23 +378,29 @@ class CompiledGraphPatcher:
         starts = self._starts_main
         nedges = self._nedges_main
         touched = 0
+        lat_ids = [touch.lat_changed]
+        loss_ids = [touch.loss_changed]
         if lat_pos:
             pos = np.array(lat_pos, dtype=np.int64)
-            cg.e_lat = self._write_spans(
+            cg.e_lat, ids = self._write_spans(
                 cg.e_lat, starts[pos], nedges[pos], lat_val
             )
+            lat_ids.append(ids)
             touched += len(lat_pos)
         if loss_pos:
             pos = np.array(loss_pos, dtype=np.int64)
-            cg.e_loss = self._write_spans(
+            cg.e_loss, ids = self._write_spans(
                 cg.e_loss, starts[pos], nedges[pos], loss_val
             )
+            loss_ids.append(ids)
             touched += len(loss_pos)
         # Synth spans (closed graphs): small section, scalar writes.
         if self._synth:
             changed_get = changed.get
             e_lat = cg.e_lat
             e_loss = cg.e_loss
+            synth_lat: list[int] = []
+            synth_loss: list[int] = []
             off = int(starts[-1])
             for link, n in zip(self._synth, self._nedges_synth):
                 if n:
@@ -337,11 +410,19 @@ class CompiledGraphPatcher:
                         for k in range(off, off + n):
                             if lat is not None:
                                 e_lat[k] = lat
+                                synth_lat.append(k)
                             if loss is not None:
                                 e_loss[k] = loss
+                                synth_loss.append(k)
                         touched += 1
                 off += n
-        return touched
+            if synth_lat:
+                lat_ids.append(np.array(synth_lat, dtype=np.int64))
+            if synth_loss:
+                loss_ids.append(np.array(synth_loss, dtype=np.int64))
+        touch.lat_changed = np.concatenate(lat_ids)
+        touch.loss_changed = np.concatenate(loss_ids)
+        return touched, touch
 
     # -- structural splice ---------------------------------------------------
 
@@ -658,24 +739,62 @@ class CompiledGraphPatcher:
 
         # Apply the deferred value writes: vectorized for the main
         # section, scalar for the (small) synth spans.
+        lat_ids = [np.empty(0, dtype=np.int64)]
+        loss_ids = [np.empty(0, dtype=np.int64)]
         if lat_pos:
             offs, counts = _main_offsets(lat_pos)
-            cg.e_lat = self._write_spans(cg.e_lat, offs, counts, lat_val)
+            cg.e_lat, ids = self._write_spans(cg.e_lat, offs, counts, lat_val)
+            lat_ids.append(ids)
         if loss_pos:
             offs, counts = _main_offsets(loss_pos)
-            cg.e_loss = self._write_spans(cg.e_loss, offs, counts, loss_val)
+            cg.e_loss, ids = self._write_spans(
+                cg.e_loss, offs, counts, loss_val
+            )
+            loss_ids.append(ids)
         e_lat = cg.e_lat
         e_loss = cg.e_loss
+        synth_lat: list[int] = []
+        synth_loss: list[int] = []
         for off, n, lat, loss in value_writes:
             for k in range(off, off + n):
                 if lat is not None:
                     e_lat[k] = lat
+                    synth_lat.append(k)
                 if loss is not None:
                     e_loss[k] = loss
+                    synth_loss.append(k)
+        if synth_lat:
+            lat_ids.append(np.array(synth_lat, dtype=np.int64))
+        if synth_loss:
+            loss_ids.append(np.array(synth_loss, dtype=np.int64))
 
-        csr_mode = self._repair_ids_and_csr(
+        csr_mode, old2new, removed_ids = self._repair_ids_and_csr(
             old_arrays, copy_runs, removed_spans, added_edges
         )
+        if csr_mode == "rebuilt":
+            touch = PatchTouch(renumbered=True)
+        else:
+            rem = removed_ids.tolist()
+            touch = PatchTouch(
+                lat_changed=np.concatenate(lat_ids),
+                loss_changed=np.concatenate(loss_ids),
+                added=np.array(
+                    [eid for eid, _, _ in added_edges], dtype=np.int64
+                ),
+                removed_src=np.fromiter(
+                    (old_arrays[0][i] for i in rem), np.int64, len(rem)
+                ),
+                removed_dst=np.fromiter(
+                    (old_arrays[1][i] for i in rem), np.int64, len(rem)
+                ),
+                removed_op=np.fromiter(
+                    (old_arrays[7][i] for i in rem), np.int64, len(rem)
+                ),
+                removed_ph=np.fromiter(
+                    (old_arrays[8][i] for i in rem), np.int64, len(rem)
+                ),
+                old2new=old2new,
+            )
 
         self._main = new_main
         self._main_pos = dict(zip(new_main, range(len(new_main))))
@@ -691,6 +810,7 @@ class CompiledGraphPatcher:
             "added_edges": len(added_edges),
             "value_spans": len(lat_pos) + len(loss_pos) + len(value_writes),
             "csr": csr_mode,
+            "touch": touch,
         }
 
     # -- node numbering & CSR repair ----------------------------------------
@@ -724,7 +844,7 @@ class CompiledGraphPatcher:
             n_nodes = len(cg.node_cluster)
             cg.rev_off, cg.rev_lst = csr_numpy(n_nodes, e_dst_np)
             cg.fwd_off, cg.fwd_lst = csr_numpy(n_nodes, e_src_np)
-            return "rebuilt"
+            return "rebuilt", None, np.empty(0, dtype=np.int64)
 
         old_n_edges = len(old_arrays[0])
         old2new = np.full(old_n_edges, -1, dtype=np.int64)
@@ -758,7 +878,7 @@ class CompiledGraphPatcher:
             old_n_nodes,
             n_nodes,
         )
-        return "patched"
+        return "patched", old2new, removed_ids
 
     def _renumber_nodes(self, order, e_src_np, e_dst_np):
         """Renumber nodes to first-appearance order (drops orphans).

@@ -14,7 +14,13 @@ predictor is resolved per ``(config, client)`` key against the owning
 * after a daily update, entries refresh in place: the graphs were
   patched under the predictor, the atlas mutated in place, and the
   bumped graph versions retire stale search-cache keys without any
-  rebuild.
+  rebuild;
+* the update hook (:meth:`PredictorPool.after_update`) carries cached
+  per-destination searches *across* the version bump: entries the patch
+  provably could not affect migrate to the new version (warm-start
+  repair, :mod:`repro.runtime.warmstart`), and the hottest dirty
+  destinations re-run through the vectorized search kernel immediately
+  (pool prewarming), so the first post-delta query hits a warm cache.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.runtime import warmstart
 
 
 @dataclass
@@ -29,6 +36,10 @@ class _PoolEntry:
     predictor: INanoPredictor
     version: int
     rev: int
+
+
+#: default per-(predictor, graph) cap on post-delta prewarm searches
+_PREWARM_MAX = 4
 
 
 class PredictorPool:
@@ -39,6 +50,9 @@ class PredictorPool:
         self._entries: dict[tuple, _PoolEntry] = {}
         self.hits = 0
         self.refreshes = 0
+        #: hottest (most recently used) dirty destinations re-searched
+        #: per predictor per patched graph after each update; 0 disables
+        self.prewarm_max = _PREWARM_MAX
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -102,6 +116,49 @@ class PredictorPool:
             entry.version = runtime.version
             entry.rev = from_src_rev
         return entry.predictor
+
+    def after_update(self, updates: list[tuple], delta) -> dict:
+        """Carry pooled search caches across one applied delta.
+
+        ``updates`` holds ``(name, graph, old_version, new_version,
+        touch)`` per materialized base graph (``touch`` None when that
+        graph was recompiled). For every pooled predictor: migrate the
+        cached searches the patch provably could not affect
+        (reusable/repairable), then re-run the hottest dirty
+        destinations through the kernel so the first post-delta query
+        is a cache hit. Client-merged primary graphs re-derive lazily
+        and are not repaired; their shared closed fallback is.
+        """
+        stats = {"reused": 0, "repaired": 0, "dirty": 0, "prewarmed": 0}
+        if not self._entries:
+            return stats
+        churn_ctx: dict[str, tuple] = {}
+        graphs_by_old_version = {
+            old_version: graph
+            for _, graph, old_version, new_version, _ in updates
+            if old_version != new_version
+        }
+        for entry in self._entries.values():
+            predictor = entry.predictor
+            for name, graph, old_version, new_version, touch in updates:
+                if old_version == new_version:
+                    continue
+                if touch is not None and delta is not None:
+                    churn = churn_ctx.get(name)
+                    if churn is None:
+                        churn = warmstart.tuple_churn_edges(graph, delta)
+                        churn_ctx[name] = churn
+                else:
+                    churn = ()
+                repaired = warmstart.repair_cache(
+                    predictor, graph, old_version, new_version, touch, churn
+                )
+                for key in ("reused", "repaired", "dirty"):
+                    stats[key] += repaired[key]
+            stats["prewarmed"] += warmstart.prewarm(
+                predictor, graphs_by_old_version, self.prewarm_max
+            )
+        return stats
 
     def release(self, client_key: object) -> None:
         """Drop every entry belonging to one client."""

@@ -53,6 +53,9 @@ class RuntimeUpdateReport:
     mode: str  # "patch" | "recompile"
     #: per-graph patch stats (graph name -> stats dict)
     graphs: dict[str, dict] = field(default_factory=dict)
+    #: pooled search-cache outcome: entries reused / repaired across
+    #: the patch, left dirty, and prewarmed (see repro.runtime.warmstart)
+    cache: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -165,24 +168,32 @@ class AtlasRuntime:
             if patch and self._graphs
             else None
         )
+        updates: list[tuple] = []
         for name, cg in self._graphs.items():
             closed = name == "closed"
+            old_version = cg.version
             if patch:
                 try:
-                    report.graphs[name] = self._patchers[name].apply(
-                        delta, context
+                    stats = self._patchers[name].apply(delta, context)
+                    report.graphs[name] = stats
+                    updates.append(
+                        (name, cg, old_version, cg.version, stats.get("touch"))
                     )
                     continue
                 except PatchConsistencyError:
                     report.mode = "recompile"
             self._recompile(name, cg, closed)
             report.graphs[name] = {"mode": "recompile"}
+            updates.append((name, cg, old_version, cg.version, None))
         if patch and report.mode == "patch":
             self.updates_patched += 1
         else:
             self.updates_recompiled += 1
         # Merged views go stale via the version check and re-derive
         # lazily from the (now current) directed base on next access.
+        # Pooled search caches migrate across the patch (warm-start
+        # repair) and the hottest leftovers re-run through the kernel.
+        report.cache = self.pool.after_update(updates, delta if patch else None)
         return report
 
     def reset(self, atlas: Atlas) -> None:

@@ -1,0 +1,302 @@
+"""Warm-start repair of per-destination search caches across deltas.
+
+Before this module, a patched graph's version bump silently retired
+every cached per-destination search: the first post-delta query paid a
+full cold search even when the delta could not possibly have changed
+its outcome. The repair layer instead classifies each cached search
+against the patch's touched-edge export
+(:class:`~repro.runtime.patch.PatchTouch`):
+
+* **reusable** — no touched edge is *relevant* to the search (below);
+  the entry migrates to the new graph version unchanged (the memoized
+  path cache is flushed only if a loss-changed edge sits on a cached
+  parent chain).
+* **repairable** — a structural splice moved edge ids but no touched
+  edge is relevant and node ids survived (no renumber); the cached
+  parent edge ids are remapped through the patch's monotonic
+  ``old2new`` map, state arrays extend over appended nodes (provably
+  unreached), and the entry migrates.
+* **dirty** — some touched edge is relevant, the patch renumbered
+  nodes, or the graph was recompiled outright; the entry is left under
+  its stale version (the pool's prewarmer re-runs the hottest ones
+  through the vectorized kernel immediately, everything else ages out
+  of the LRU).
+
+Relevance is the exact criterion the kernel's equivalence argument
+provides: a changed/added/removed edge can alter a finished search only
+if its settled endpoint was reached **and** its candidate ``(phase,
+hops)`` — composed from that endpoint's final state — does not
+lexicographically exceed the target's final key. Candidates above the
+target's key can at most improve it transiently, and every transient is
+erased before the target settles; candidates from unreached endpoints
+are never composed at all. Edges whose *validity* may flip (added
+edges, three-tuple churn under ``use_three_tuples``) additionally count
+as relevant when their target is unreached, since they may newly reach
+it. Daily deltas never carry preference/provider/degree changes (those
+are monthly, and monthly refreshes recompile), so no other input of a
+search can drift under a patch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compiled import OP_INTER, OP_INTRA
+
+__all__ = ["repair_cache", "prewarm", "tuple_churn_edges"]
+
+#: classification is a scalar walk over the touched edges per cached
+#: entry; a delta touching more than this many edges (not the paper's
+#: ~1MB daily churn — more like a content swap) marks everything dirty
+#: outright instead of burning the walk on entries that are doomed
+_REPAIR_MAX_TOUCHED = 1024
+
+
+def tuple_churn_edges(graph, delta) -> tuple | None:
+    """Edges whose three-tuple check could flip under ``delta``.
+
+    Returns ``((edge_id, required_next_asn), ...)``: the graph's
+    crossing edges whose ``(src_asn, dst_asn)`` matches a churned tuple
+    ``(a, b, c)`` with ``b != c`` — the check only consults the tuple
+    when the settled endpoint's next ASN equals ``c`` (and differs from
+    ``b``), which :func:`repair_cache` evaluates per cached search.
+    Returns None (meaning: assume everything relevant) when the churn is
+    far beyond a daily delta's — the edge scan would cost more than the
+    cold searches it could save.
+    """
+    churned = delta.tuples_added | delta.tuples_removed
+    if not churned:
+        return ()
+    if len(churned) > _REPAIR_MAX_TOUCHED:
+        return None
+    pairs: dict[tuple[int, int], set[int]] = {}
+    for a, b, c in churned:
+        if b != c:
+            pairs.setdefault((a, b), set()).add(c)
+    if not pairs:
+        return ()
+    sa = np.array(graph.e_src_asn, dtype=np.int64)
+    da = np.array(graph.e_dst_asn, dtype=np.int64)
+    radix = int(max(sa.max(), da.max())) + 1 if len(sa) else 1
+    keys = np.array(
+        sorted(
+            a * radix + b
+            for (a, b) in pairs
+            if 0 <= a < radix and 0 <= b < radix
+        ),
+        dtype=np.int64,
+    )
+    if not len(keys):
+        return ()
+    packed = sa * radix + da
+    hit = np.flatnonzero(np.isin(packed, keys))
+    out = []
+    for eid in hit.tolist():
+        for c in pairs[(graph.e_src_asn[eid], graph.e_dst_asn[eid])]:
+            out.append((eid, c))
+    return tuple(out)
+
+
+def _key2_relevant(pu, eu, op, e_ph_val, pv, ev) -> bool:
+    """True when a candidate composed from a reached endpoint state
+    ``(pu, eu)`` could touch a target whose final key is ``(pv, ev)``."""
+    np_ = e_ph_val if op == OP_INTER else pu
+    ne = eu if op == OP_INTRA else eu + 1
+    return not (np_ > pv or (np_ == pv and ne > ev))
+
+
+def _classify(states, graph, prepared, churn, config) -> bool:
+    """True when the cached search provably survives the patch.
+
+    ``prepared`` holds the patch's touched-edge arrays pre-converted to
+    python lists once per patch (not per cached entry).
+    """
+    lat_changed, added, rs, rd, ro, rp = prepared
+    phase = states.phase
+    eff = states.eff
+    nxt = states.nxt
+    n_states = len(phase)
+    e_src = graph.e_src
+    e_dst = graph.e_dst
+    e_op = graph.e_op
+    e_ph = graph.e_phase
+
+    def reached(node: int) -> int:
+        return phase[node] if node < n_states else 0
+
+    # latency rewrites: relevant only between two reached endpoints
+    for eid in lat_changed:
+        u = e_dst[eid]
+        pu = reached(u)
+        if not pu:
+            continue
+        v = e_src[eid]
+        pv = reached(v)
+        if pv and _key2_relevant(
+            pu, eff[u], e_op[eid], e_ph[eid], pv, eff[v]
+        ):
+            return False
+    # added edges: may also newly reach an unreached target
+    for eid in added:
+        u = e_dst[eid]
+        pu = reached(u)
+        if not pu:
+            continue
+        v = e_src[eid]
+        pv = reached(v)
+        if not pv or _key2_relevant(
+            pu, eff[u], e_op[eid], e_ph[eid], pv, eff[v]
+        ):
+            return False
+    # removed edges (old numbering, valid for the cached states): a
+    # never-valid candidate (unreached target) cannot have mattered
+    if rs:
+        for i in range(len(rs)):
+            u = rd[i]
+            pu = reached(u)
+            if not pu:
+                continue
+            v = rs[i]
+            pv = reached(v)
+            if pv and _key2_relevant(
+                pu, eff[u], ro[i], rp[i], pv, eff[v]
+            ):
+                return False
+    # three-tuple churn: validity flips gated by the settled endpoint's
+    # next ASN and the tuple-degree threshold
+    if churn and config.use_three_tuples:
+        dget = graph.atlas.as_degrees.get
+        thresh = config.tuple_degree_threshold
+        e_da = graph.e_dst_asn
+        for eid, c_req in churn:
+            u = e_dst[eid]
+            pu = reached(u)
+            if not pu or nxt[u] != c_req:
+                continue
+            if dget(e_da[eid], 0) <= thresh:
+                continue
+            v = e_src[eid]
+            pv = reached(v)
+            if not pv or _key2_relevant(
+                pu, eff[u], e_op[eid], e_ph[eid], pv, eff[v]
+            ):
+                return False
+    return True
+
+
+def repair_cache(
+    predictor, graph, old_version: int, new_version: int, touch, churn
+) -> dict:
+    """Migrate every cached search of ``predictor`` keyed on
+    ``old_version`` that provably survives the patch; returns
+    ``{"reused": n, "repaired": n, "dirty": n}``."""
+    counts = {"reused": 0, "repaired": 0, "dirty": 0}
+    cache = predictor._search_cache
+    stale = [key for key in cache if key[0] == old_version]
+    if not stale:
+        return counts
+    if touch is None or touch.renumbered or churn is None:
+        counts["dirty"] = len(stale)
+        return counts
+    touched = (
+        len(touch.lat_changed)
+        + len(touch.added)
+        + len(touch.removed_src)
+        + len(churn)
+    )
+    if touched > _REPAIR_MAX_TOUCHED:
+        counts["dirty"] = len(stale)
+        return counts
+    prepared = (
+        touch.lat_changed.tolist(),
+        touch.added.tolist(),
+        touch.removed_src.tolist(),
+        touch.removed_dst.tolist(),
+        touch.removed_op.tolist(),
+        touch.removed_ph.tolist(),
+    )
+    from repro.core.graph import DOWN, TO_DST
+
+    config = predictor.config
+    structural = touch.old2new is not None
+    for key in stale:
+        states = cache[key]
+        if states.root_id is None:
+            # destination absent: survives unless the patch could have
+            # introduced its node
+            if structural and graph.node_id(TO_DST, DOWN, key[1]) is not None:
+                counts["dirty"] += 1
+                continue
+            ok = True
+        else:
+            ok = _classify(states, graph, prepared, churn, config)
+        if not ok:
+            counts["dirty"] += 1
+            continue
+        if structural and states.root_id is not None:
+            if not _remap_states(states, graph, touch):
+                counts["dirty"] += 1
+                continue
+            counts["repaired"] += 1
+        else:
+            if states.paths and len(touch.loss_changed):
+                # loss rewrites don't move states, but memoized paths
+                # bake losses in: flush when one sits on a parent chain
+                if np.isin(touch.loss_changed, states.parent_np()).any():
+                    states.paths = {}
+            counts["reused"] += 1
+        del cache[key]
+        cache[(new_version, key[1], key[2])] = states
+    return counts
+
+
+def _remap_states(states, graph, touch) -> bool:
+    """Shift a cached search's edge ids through a structural splice."""
+    pnp = states.parent_np()
+    mask = pnp >= 0
+    remapped = np.where(mask, touch.old2new[np.maximum(pnp, 0)], -1)
+    if (remapped[mask] < 0).any():
+        # a cached parent edge was deleted — the relevance check should
+        # have caught it (defensive)
+        return False
+    states.parent = remapped.tolist()
+    states._parent_np = None
+    states.paths = {}
+    grow = graph.n_nodes - len(states.phase)
+    if grow > 0:
+        # appended nodes are provably unreached (any edge that could
+        # reach them would have been a relevant added edge)
+        states.phase.extend([0] * grow)
+        states.eff.extend([0] * grow)
+        states.exitc.extend([0.0] * grow)
+        states.parent.extend([-1] * grow)
+        states.nxt.extend([-1] * grow)
+    return True
+
+
+def prewarm(predictor, graphs_by_old_version: dict, limit: int) -> int:
+    """Re-run the hottest still-stale searches through the kernel so the
+    first post-delta query hits a warm cache; returns how many ran.
+
+    ``graphs_by_old_version`` maps each patched graph's pre-patch
+    version to the (now current) graph object. The budget is per
+    predictor across all its graphs: the LRU's recency order decides
+    which destinations count as hot, so a rarely-queried fallback plane
+    cannot starve the primary's hot set.
+    """
+    if not graphs_by_old_version:
+        return 0
+    cache = predictor._search_cache
+    stale = [key for key in cache if key[0] in graphs_by_old_version]
+    ran = 0
+    for key in reversed(stale):  # most recently used first
+        # every stale key leaves the LRU here: the hottest re-run warm,
+        # the rest are unreachable under their retired version and
+        # would only crowd live entries toward eviction
+        del cache[key]
+        if ran < limit:
+            predictor.search_for(
+                graphs_by_old_version[key[0]], key[1], key[2]
+            )
+            ran += 1
+    return ran
