@@ -1,11 +1,14 @@
 # Developer entry points. `make verify` is the tier-1 gate every PR must
 # keep green; `make bench-smoke` times the query engine (GC off for stable
-# numbers, appends to BENCH_query.json) and the update path (bench-update,
-# appends cold-recompile vs in-place-patch timings to BENCH_update.json).
+# numbers, appends to BENCH_query.json), the update path (bench-update,
+# appends cold-recompile vs in-place-patch timings to BENCH_update.json),
+# the search kernel (bench-search -> BENCH_search.json), and the sharded
+# prediction service (bench-serve, shard-count throughput/p50/p99 sweeps
+# -> BENCH_serve.json).
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: verify bench-smoke bench bench-update bench-search equivalence
+.PHONY: verify bench-smoke bench bench-update bench-search bench-serve equivalence
 
 verify:
 	$(PYTEST) -x -q
@@ -16,7 +19,10 @@ bench-update:
 bench-search:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_search_performance.py -q
 
-bench-smoke: bench-update bench-search
+bench-serve:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_serve_performance.py -q
+
+bench-smoke: bench-update bench-search bench-serve
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \
 		--benchmark-disable-gc --benchmark-min-rounds=5 --benchmark-warmup=off
 
@@ -26,4 +32,6 @@ bench:
 equivalence:
 	$(PYTEST) tests/test_compiled_equivalence.py \
 		tests/test_runtime_delta_chain.py \
-		tests/test_search_kernel_property.py -q
+		tests/test_search_kernel_property.py \
+		tests/test_delta_codec.py \
+		tests/test_serve_equivalence.py -q

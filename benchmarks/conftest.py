@@ -19,6 +19,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_QUERY_JSON = Path(__file__).parent.parent / "BENCH_query.json"
 BENCH_UPDATE_JSON = Path(__file__).parent.parent / "BENCH_update.json"
 BENCH_SEARCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
+BENCH_SERVE_JSON = Path(__file__).parent.parent / "BENCH_serve.json"
 _BENCH_HISTORY_MAX = 40
 
 
@@ -131,6 +132,18 @@ def bench_record_search():
     timing); appends one run entry to ``BENCH_search.json``."""
     record, flush = _trajectory_recorder(
         BENCH_SEARCH_JSON, lambda **stats: stats
+    )
+    yield record
+    flush()
+
+
+@pytest.fixture(scope="session")
+def bench_record_serve():
+    """Collect sharded-service benchmark stats (shard-count sweeps,
+    delta-broadcast convergence); appends one run entry to
+    ``BENCH_serve.json``."""
+    record, flush = _trajectory_recorder(
+        BENCH_SERVE_JSON, lambda **stats: stats
     )
     yield record
     flush()

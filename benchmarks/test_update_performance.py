@@ -247,7 +247,11 @@ def test_bench_update_to_first_query(
     assert node_ratio >= node_floor, (node_ratio, single_patch, node_seed)
     # And patching must beat even a *shared* full recompile outright
     # (loose floor: this arm shares everything except the patch itself).
-    single_floor = 1.2 if dedicated else 1.1
+    # The mixed-run floor sits well under the quiet-machine ratio
+    # (~1.15-1.3 on a 1-core container): at full-suite load the margin
+    # has been observed dipping to ~1.07 on unchanged code, so 1.1 was
+    # still flaking without catching anything real.
+    single_floor = 1.2 if dedicated else 1.05
     assert single_ratio >= single_floor, (
         single_ratio,
         single_patch,

@@ -20,6 +20,9 @@ over a synthetic-Internet substrate:
   cores patched in place by daily deltas, plus the predictor pool the
   server, remote agents and co-located clients resolve through;
 * :mod:`repro.client` — the client library and central server;
+* :mod:`repro.serve` — the sharded prediction service: multi-process
+  shard workers over shared-memory CSR, consistent-hash fan-out,
+  binary delta broadcast (``AtlasServer.serve()``);
 * :mod:`repro.apps` — CDN, VoIP and detour-routing case studies;
 * :mod:`repro.eval` — scenario presets, validation sets, metrics.
 """

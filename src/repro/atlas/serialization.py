@@ -1,9 +1,31 @@
-"""Binary serialization of atlas datasets.
+"""Binary serialization of atlas datasets — and the delta broadcast codec.
 
 Each dataset gets its own length-prefixed section so the Table 2 benchmark
 can report per-dataset compressed sizes exactly the way the paper does.
 The format is row-oriented ``struct`` packing with sorted keys, which is
 what makes DEFLATE effective (neighboring rows share most of their bytes).
+
+:func:`encode_delta` / :func:`decode_delta` are the **shard broadcast
+codec**: the wire format the sharded prediction service
+(:mod:`repro.serve`) uses to fan one day's
+:class:`~repro.atlas.delta.AtlasDelta` out to every worker process. It
+reuses the atlas framing (magic + length-prefixed compressed sections)
+but differs from the bandwidth-accounting encoder in
+:mod:`repro.atlas.delta` in two load-bearing ways:
+
+* **lossless values** — latencies and losses travel as raw float64, not
+  quantized units, so a worker that decodes the broadcast lands on
+  exactly the atlas a co-located consumer holding the object delta
+  lands on (bit-for-bit identical compiled arrays);
+* **order-preserving** — ``links_updated`` (and ``loss_updated``) rows
+  keep the delta's dict iteration order, because
+  ``apply_delta_inplace`` appends genuinely new links in that order and
+  the compiled emission order follows the ``links`` dict. Sorting the
+  rows (as the size-accounting encoder does) would reorder appended
+  links and silently fork a worker's graph from the service's.
+  Monthly-refresh sections carry ``relationship_codes`` in full (both
+  directions, no ``a < b`` halving) for the same reason: lossless
+  round-trip beats compactness on this path.
 """
 
 from __future__ import annotations
@@ -198,6 +220,205 @@ def decode_atlas(data: bytes) -> Atlas:
         frozenset((a, b)) for a, b in _unpack_rows("<II", sections.get("late_exit_pairs", b""))
     }
     return atlas
+
+
+DELTA_MAGIC = b"INDB"  # iNano delta broadcast
+DELTA_FORMAT_VERSION = 1
+
+#: broadcast sections in wire order; ``m:*`` sections appear only on
+#: monthly-refresh days
+_DELTA_SECTIONS = [
+    "links_removed",
+    "links_updated",
+    "loss_removed",
+    "loss_updated",
+    "tuples_removed",
+    "tuples_added",
+    "m:prefix_to_cluster",
+    "m:prefix_to_as",
+    "m:cluster_to_as",
+    "m:as_degrees",
+    "m:as_preferences",
+    "m:providers",
+    "m:prefix_providers",
+    "m:upstreams",
+    "m:relationship_codes",
+    "m:late_exit_pairs",
+]
+
+
+def _delta_payloads_exact(delta) -> dict[str, bytes]:
+    """Per-section broadcast payloads (uncompressed, lossless)."""
+    payloads: dict[str, bytes] = {
+        "links_removed": _pack_rows("<II", sorted(delta.links_removed)),
+        "links_updated": _pack_rows(
+            "<IIdd",
+            [
+                (a, b, rec.latency_ms, rec.loss_rate)
+                for (a, b), rec in delta.links_updated.items()
+            ],
+        ),
+        "loss_removed": _pack_rows("<II", sorted(delta.loss_removed)),
+        "loss_updated": _pack_rows(
+            "<IId",
+            [(a, b, loss) for (a, b), loss in delta.loss_updated.items()],
+        ),
+        "tuples_removed": _pack_rows("<III", sorted(delta.tuples_removed)),
+        "tuples_added": _pack_rows("<III", sorted(delta.tuples_added)),
+    }
+    refresh = delta.monthly_refresh
+    if refresh:
+        payloads["m:prefix_to_cluster"] = _pack_rows(
+            "<II", list(refresh["prefix_to_cluster"].items())
+        )
+        payloads["m:prefix_to_as"] = _pack_rows(
+            "<II", list(refresh["prefix_to_as"].items())
+        )
+        payloads["m:cluster_to_as"] = _pack_rows(
+            "<II", list(refresh["cluster_to_as"].items())
+        )
+        payloads["m:as_degrees"] = _pack_rows(
+            "<Iq", list(refresh["as_degrees"].items())
+        )
+        payloads["m:as_preferences"] = _pack_rows(
+            "<III", sorted(refresh["as_preferences"])
+        )
+        for kind in ("providers", "prefix_providers", "upstreams"):
+            payloads[f"m:{kind}"] = _pack_rows(
+                "<II",
+                [
+                    (key, member)
+                    for key, members in sorted(refresh[kind].items())
+                    for member in sorted(members)
+                ],
+            )
+        payloads["m:relationship_codes"] = _pack_rows(
+            "<IIB",
+            [
+                (a, b, code)
+                for (a, b), code in refresh["relationship_codes"].items()
+            ],
+        )
+        payloads["m:late_exit_pairs"] = _pack_rows(
+            "<II",
+            sorted(tuple(sorted(p)) for p in refresh["late_exit_pairs"]),
+        )
+    return payloads
+
+
+def encode_delta(delta, compress_level: int = 6) -> bytes:
+    """Broadcast wire encoding of one daily delta (see module docstring).
+
+    Inverse of :func:`decode_delta`. Distinct from
+    :func:`repro.atlas.delta.encode_delta` (the paper's quantized
+    size-accounting format, which has no decoder): this codec is
+    lossless and order-preserving, so ``apply_delta_inplace`` of the
+    decoded object reproduces the original's effect exactly.
+    """
+    payloads = _delta_payloads_exact(delta)
+    out = bytearray()
+    out += DELTA_MAGIC
+    out += struct.pack(
+        "<HII", DELTA_FORMAT_VERSION, delta.base_day, delta.new_day
+    )
+    present = [name for name in _DELTA_SECTIONS if name in payloads]
+    out += struct.pack("<B", len(present))
+    for name in present:
+        compressed = zlib.compress(payloads[name], compress_level)
+        name_bytes = name.encode("ascii")
+        out += struct.pack("<B", len(name_bytes))
+        out += name_bytes
+        out += struct.pack("<II", len(compressed), len(payloads[name]))
+        out += compressed
+    return bytes(out)
+
+
+def decode_delta(data: bytes):
+    """Decode a broadcast payload back into an ``AtlasDelta``; validates
+    framing. The decoded object feeds ``AtlasRuntime.apply_delta``
+    directly — in-place atlas mutation, CSR patch, warm-start repair —
+    with no intermediate representation."""
+    from repro.atlas.delta import AtlasDelta
+
+    if data[:4] != DELTA_MAGIC:
+        raise AtlasFormatError("bad delta magic")
+    version, base_day, new_day = struct.unpack_from("<HII", data, 4)
+    if version != DELTA_FORMAT_VERSION:
+        raise AtlasFormatError(f"unsupported delta format version {version}")
+    (n_sections,) = struct.unpack_from("<B", data, 14)
+    offset = 15
+    sections: dict[str, bytes] = {}
+    for _ in range(n_sections):
+        (name_len,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        name = data[offset : offset + name_len].decode("ascii")
+        offset += name_len
+        comp_len, raw_len = struct.unpack_from("<II", data, offset)
+        offset += 8
+        raw = zlib.decompress(data[offset : offset + comp_len])
+        if len(raw) != raw_len:
+            raise AtlasFormatError(f"delta section {name}: length mismatch")
+        sections[name] = raw
+        offset += comp_len
+
+    delta = AtlasDelta(base_day=base_day, new_day=new_day)
+    delta.links_removed = {
+        (a, b) for a, b in _unpack_rows("<II", sections.get("links_removed", b""))
+    }
+    delta.links_updated = {
+        (a, b): LinkRecord(latency_ms=lat, loss_rate=loss)
+        for a, b, lat, loss in _unpack_rows(
+            "<IIdd", sections.get("links_updated", b"")
+        )
+    }
+    delta.loss_removed = {
+        (a, b) for a, b in _unpack_rows("<II", sections.get("loss_removed", b""))
+    }
+    delta.loss_updated = {
+        (a, b): loss
+        for a, b, loss in _unpack_rows("<IId", sections.get("loss_updated", b""))
+    }
+    delta.tuples_removed = {
+        t for t in _unpack_rows("<III", sections.get("tuples_removed", b""))
+    }
+    delta.tuples_added = {
+        t for t in _unpack_rows("<III", sections.get("tuples_added", b""))
+    }
+    if "m:cluster_to_as" in sections or "m:relationship_codes" in sections:
+        refresh: dict[str, object] = {
+            "prefix_to_cluster": dict(
+                _unpack_rows("<II", sections.get("m:prefix_to_cluster", b""))
+            ),
+            "prefix_to_as": dict(
+                _unpack_rows("<II", sections.get("m:prefix_to_as", b""))
+            ),
+            "cluster_to_as": dict(
+                _unpack_rows("<II", sections.get("m:cluster_to_as", b""))
+            ),
+            "as_degrees": dict(
+                _unpack_rows("<Iq", sections.get("m:as_degrees", b""))
+            ),
+            "as_preferences": {
+                t for t in _unpack_rows("<III", sections.get("m:as_preferences", b""))
+            },
+            "relationship_codes": {
+                (a, b): code
+                for a, b, code in _unpack_rows(
+                    "<IIB", sections.get("m:relationship_codes", b"")
+                )
+            },
+            "late_exit_pairs": {
+                frozenset((a, b))
+                for a, b in _unpack_rows("<II", sections.get("m:late_exit_pairs", b""))
+            },
+        }
+        for kind in ("providers", "prefix_providers", "upstreams"):
+            grouped: dict[int, set[int]] = {}
+            for key, member in _unpack_rows("<II", sections.get(f"m:{kind}", b"")):
+                grouped.setdefault(key, set()).add(member)
+            refresh[kind] = {k: frozenset(v) for k, v in grouped.items()}
+        delta.monthly_refresh = refresh
+    return delta
 
 
 def compressed_section_sizes(atlas: Atlas, compress_level: int = 6) -> dict[str, int]:

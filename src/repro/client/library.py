@@ -224,22 +224,12 @@ class INanoClient:
         batch path, so pairs sharing an endpoint reuse one backtracking
         search instead of raising/catching per pair.
         """
+        from repro.client.query import combine_batches
+
         predictor = self.predictor
-        day = self.runtime.atlas.day
-        forward = predictor.predict_batch(list(pairs))
-        # Only pairs with a forward path need the reverse direction (a
-        # missing forward already makes the result None).
-        reverse = iter(
-            predictor.predict_batch(
-                [(d, s) for (s, d), fwd in zip(pairs, forward) if fwd is not None]
-            )
+        return combine_batches(
+            pairs, predictor.predict_batch, self.runtime.atlas.day
         )
-        return [
-            None
-            if fwd is None
-            else PathInfo.combine(s, d, fwd, next(reverse), atlas_day=day)
-            for (s, d), fwd in zip(pairs, forward)
-        ]
 
     def close(self) -> None:
         """Release this client's merged view and pooled predictors."""

@@ -77,3 +77,28 @@ class PathInfo:
     def mos(self) -> float:
         """Predicted VoIP quality over this path."""
         return mos_score(self.rtt_ms, self.loss_round_trip)
+
+
+def combine_batches(pairs, predict_batch, atlas_day) -> list["PathInfo | None"]:
+    """Run both directions of ``pairs`` through a batched one-way
+    predictor and zip them into :class:`PathInfo`\\ s.
+
+    The one batching contract both the client library and the sharded
+    service must share (their results are asserted bit-for-bit equal):
+    only pairs with a forward path get a reverse query — a missing
+    forward already makes the result None — and the reverse results
+    zip back positionally.
+    """
+    pairs = list(pairs)
+    forward = predict_batch(pairs)
+    reverse = iter(
+        predict_batch(
+            [(d, s) for (s, d), fwd in zip(pairs, forward) if fwd is not None]
+        )
+    )
+    return [
+        None
+        if fwd is None
+        else PathInfo.combine(s, d, fwd, next(reverse), atlas_day=atlas_day)
+        for (s, d), fwd in zip(pairs, forward)
+    ]

@@ -143,6 +143,24 @@ class AtlasServer:
             runtime.apply_delta(delta)
         return runtime
 
+    def serve(self, n_shards: int = 4, **service_kwargs):
+        """Scale-out serving: a sharded multi-process
+        :class:`~repro.serve.service.PredictionService` over the latest
+        published atlas.
+
+        The in-process :meth:`predict` / :meth:`predict_batch` path
+        stays for co-located consumers; ``serve()`` is the default
+        answer path once query traffic outgrows one core. The service
+        starts at the latest day's payload and rolls forward through
+        this server's delta chain with
+        :meth:`~repro.serve.service.PredictionService.sync_from` after
+        later publishes. Close it when done (context manager).
+        """
+        from repro.serve import PredictionService
+
+        payload = self._encoded[self.latest_day()]
+        return PredictionService(payload, n_shards=n_shards, **service_kwargs)
+
     def predict(self, src_prefix_index: int, dst_prefix_index: int, config=None):
         """One-way prediction from the shared server-side predictor."""
         return self.runtime().pool.predictor(config).predict_or_none(

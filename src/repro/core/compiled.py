@@ -52,6 +52,21 @@ Three builders produce a :class:`CompiledGraph`:
   a full ``from_atlas`` with the same inputs — the runtime's
   incremental merge path for daily client traceroutes.
 
+For multi-process serving (:mod:`repro.serve`), a compiled graph can be
+exported once to a ``multiprocessing.shared_memory`` block
+(:meth:`CompiledGraph.to_shared`) and mapped **zero-copy** by any number
+of shard workers (:meth:`CompiledGraph.from_shared`): the array fields
+become read-only numpy views over the shared buffer, so N workers serve
+from one physical copy of the CSR without recompiling or deserializing.
+The views are copy-on-write at the semantic level: the first in-place
+mutation (a daily delta patch, or a FROM_SRC merge copying the base)
+materializes plain Python lists via :meth:`ensure_mutable` and detaches
+the mapping — after which the worker's graph behaves exactly like a
+locally compiled one. Every consumer of the arrays (the scalar search
+loops, the vectorized kernel, batch extraction) indexes lists and numpy
+views identically, so serving from a view is bit-for-bit equivalent to
+serving from lists.
+
 Every compiled graph carries a process-unique ``version`` (see
 :mod:`repro.core.versioning`), refreshed whenever the arrays are
 mutated in place; search caches key on it instead of ``id(graph)``.
@@ -149,6 +164,11 @@ class CompiledGraph:
     #: after any in-place mutation, like :attr:`_np_views`.
     _kernel_views: tuple | None = field(default=None, repr=False)
 
+    #: the SharedMemory mapping backing the array views when this graph
+    #: was built by :meth:`from_shared`; held so the buffer outlives the
+    #: views, released by :meth:`ensure_mutable` / :meth:`release_shared`
+    _shm: object = field(default=None, repr=False)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -204,13 +224,15 @@ class CompiledGraph:
         cached = self._np_views
         if cached is not None and cached[0] == self.version:
             return cached[1]
+        # asarray: list fields copy into fresh arrays as before; shared
+        # memory views (already int64/float64) pass through zero-copy
         views = (
-            np.array(self.e_dst, dtype=np.int64),
-            np.array(self.e_lat, dtype=np.float64),
-            np.array(self.e_loss, dtype=np.float64),
-            np.array(self.node_cluster, dtype=np.int64),
-            np.array(self.node_asn, dtype=np.int64),
-            np.array(self.node_plane, dtype=np.int64),
+            np.asarray(self.e_dst, dtype=np.int64),
+            np.asarray(self.e_lat, dtype=np.float64),
+            np.asarray(self.e_loss, dtype=np.float64),
+            np.asarray(self.node_cluster, dtype=np.int64),
+            np.asarray(self.node_asn, dtype=np.int64),
+            np.asarray(self.node_plane, dtype=np.int64),
         )
         self._np_views = (self.version, views)
         return views
@@ -224,6 +246,34 @@ class CompiledGraph:
         self._kernel_views = None
         return self.version
 
+    def ensure_mutable(self) -> None:
+        """Materialize numpy-view arrays (shared-memory mappings) into
+        plain Python lists, in place.
+
+        A graph mapped by :meth:`from_shared` serves queries straight
+        off its read-only views; the first in-place mutation (a delta
+        patch, an :meth:`adopt`) must own ordinary lists. ``tolist()``
+        yields plain ints/floats, so a materialized graph is
+        indistinguishable from a locally compiled one. No-op for
+        list-backed graphs.
+        """
+        if isinstance(self.e_src, list) and isinstance(self.node_plane, list):
+            return
+        for name, values in self.arrays().items():
+            if not isinstance(values, list):
+                setattr(self, name, values.tolist())
+        self._np_views = None
+        self._kernel_views = None
+        self.release_shared()
+
+    def release_shared(self) -> None:
+        """Close this process's mapping of the shared-memory block (the
+        exporting owner still controls the block's lifetime)."""
+        shm = self._shm
+        if shm is not None:
+            self._shm = None
+            shm.close()
+
     def adopt(self, other: "CompiledGraph") -> None:
         """Replace this graph's contents with ``other``'s, in place.
 
@@ -232,6 +282,7 @@ class CompiledGraph:
         the arrays are swapped underneath, and the version bump retires
         any cached search keyed on the old state.
         """
+        self.release_shared()
         self.atlas = other.atlas
         self.extra_cluster_as = other.extra_cluster_as
         self.has_from_src = other.has_from_src
@@ -350,19 +401,19 @@ class CompiledGraph:
             atlas=atlas,
             extra_cluster_as=extra,
             has_from_src=True,
-            node_plane=base.node_plane.copy(),
-            node_side=base.node_side.copy(),
-            node_cluster=base.node_cluster.copy(),
-            node_asn=base.node_asn.copy(),
-            e_src=base.e_src.copy(),
-            e_dst=base.e_dst.copy(),
-            e_kind=base.e_kind.copy(),
-            e_lat=base.e_lat.copy(),
-            e_loss=base.e_loss.copy(),
-            e_src_asn=base.e_src_asn.copy(),
-            e_dst_asn=base.e_dst_asn.copy(),
-            e_op=base.e_op.copy(),
-            e_phase=base.e_phase.copy(),
+            node_plane=_mutable_copy(base.node_plane),
+            node_side=_mutable_copy(base.node_side),
+            node_cluster=_mutable_copy(base.node_cluster),
+            node_asn=_mutable_copy(base.node_asn),
+            e_src=_mutable_copy(base.e_src),
+            e_dst=_mutable_copy(base.e_dst),
+            e_kind=_mutable_copy(base.e_kind),
+            e_lat=_mutable_copy(base.e_lat),
+            e_loss=_mutable_copy(base.e_loss),
+            e_src_asn=_mutable_copy(base.e_src_asn),
+            e_dst_asn=_mutable_copy(base.e_dst_asn),
+            e_op=_mutable_copy(base.e_op),
+            e_phase=_mutable_copy(base.e_phase),
         )
         out._id_of = dict(base._id_of)
         out._compile_link_plane(FROM_SRC, from_src_links)
@@ -371,6 +422,94 @@ class CompiledGraph:
         clusters_to_dst = {c for (a, b) in atlas.links for c in (a, b)}
         out._compile_plane_crossings(clusters_from_src & clusters_to_dst)
         out._index_fast()
+        return out
+
+    # -- shared-memory export (multi-process serving) ----------------------
+
+    #: float-valued array fields; every other array field is int64
+    _FLOAT_FIELDS = ("e_lat", "e_loss")
+
+    def to_shared(self, name: str | None = None) -> "SharedGraphHandle":
+        """Export the arrays into one ``multiprocessing.shared_memory``
+        block, so shard workers can map the graph with
+        :meth:`from_shared` instead of recompiling it.
+
+        Returns a :class:`SharedGraphHandle`; the caller owns the block
+        and must eventually :meth:`~SharedGraphHandle.unlink` it. The
+        exported snapshot is decoupled from this graph — later in-place
+        patches here do not move the shared bytes (workers converge
+        through the delta broadcast instead).
+        """
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        packed: list[tuple[int, object]] = []
+        fields: dict[str, tuple[str, int, int]] = {}
+        offset = 0
+        for fname, values in self.arrays().items():
+            dtype = np.float64 if fname in self._FLOAT_FIELDS else np.int64
+            arr = np.asarray(values, dtype=dtype)
+            fields[fname] = (arr.dtype.str, offset, len(arr))
+            packed.append((offset, arr))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, offset), name=name
+        )
+        for off, arr in packed:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dst[:] = arr
+        meta = {
+            "name": shm.name,
+            "has_from_src": self.has_from_src,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "fields": fields,
+        }
+        return SharedGraphHandle(shm=shm, meta=meta)
+
+    @classmethod
+    def from_shared(
+        cls,
+        meta: dict,
+        atlas: Atlas,
+        extra_cluster_as: dict[int, int] | None = None,
+    ) -> "CompiledGraph":
+        """Map an exported graph zero-copy from shared memory.
+
+        ``atlas`` must be *the same logical atlas* the exporter compiled
+        from (same ``links`` dict order — e.g. decoded from the same
+        encoded payload), since the arrays embed its emission order.
+        Array fields become read-only numpy views over the shared
+        buffer; the first mutation goes through :meth:`ensure_mutable`.
+        """
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=meta["name"])
+        out = cls(
+            atlas=atlas,
+            extra_cluster_as=extra_cluster_as or {},
+            has_from_src=meta["has_from_src"],
+        )
+        for fname, (dtype, offset, count) in meta["fields"].items():
+            view = np.ndarray(
+                (count,), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+            view.flags.writeable = False
+            setattr(out, fname, view)
+        # _id_of rebuilds from the node arrays: interning assigned dense
+        # ids in emission order, so enumeration reproduces it exactly.
+        out._id_of = {
+            (c << 2) | (p << 1) | s: i
+            for i, (p, s, c) in enumerate(
+                zip(
+                    out.node_plane.tolist(),
+                    out.node_side.tolist(),
+                    out.node_cluster.tolist(),
+                )
+            )
+        }
+        out._shm = shm
         return out
 
     # -- construction internals --------------------------------------------
@@ -499,6 +638,39 @@ class CompiledGraph:
         self.fwd_off, self.fwd_lst = csr_numpy(
             n, np.array(self.e_src, dtype=np.int64)
         )
+
+
+@dataclass
+class SharedGraphHandle:
+    """Owner-side handle for a graph exported to shared memory.
+
+    ``meta`` is the (picklable) mapping recipe workers feed to
+    :meth:`CompiledGraph.from_shared`. The exporter keeps the handle
+    alive for the serving lifetime, then :meth:`unlink`\\ s the block.
+    """
+
+    shm: object
+    meta: dict
+
+    @property
+    def nbytes(self) -> int:
+        return self.shm.size
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the shared block (call once, from the owner, after
+        every worker has detached or exited)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+def _mutable_copy(values) -> list:
+    """A plain-list copy of an array field (list or numpy view)."""
+    return values.tolist() if hasattr(values, "tolist") else values.copy()
 
 
 def _csr(n_nodes: int, bucket_of: list[int]) -> tuple[list[int], list[int]]:

@@ -76,3 +76,13 @@ class UnknownEndpointError(PredictionError):
 
 class ClientError(ReproError):
     """Raised by the client library for lifecycle misuse (e.g. query before fetch)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the sharded prediction service for lifecycle misuse
+    (e.g. querying a closed service, registering a duplicate client)."""
+
+
+class ShardStateError(ServiceError):
+    """Raised when shard workers diverge (unequal post-broadcast graph
+    state, a worker-side failure, or a dead worker process)."""

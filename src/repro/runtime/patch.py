@@ -268,6 +268,9 @@ class CompiledGraphPatcher:
                 "monthly refresh changes classification inputs; recompile"
             )
         cg = self.cg
+        # Shared-memory mapped graphs (repro.serve workers) serve off
+        # read-only views; the first patch materializes plain lists.
+        cg.ensure_mutable()
         links = cg.atlas.links
         if context is None or cg.extra_cluster_as:
             context = shared_delta_context(cg.atlas, delta, self._asn_of)

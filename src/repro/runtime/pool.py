@@ -25,6 +25,7 @@ predictor is resolved per ``(config, client)`` key against the owning
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.predictor import INanoPredictor, PredictorConfig
@@ -41,6 +42,9 @@ class _PoolEntry:
 #: default per-(predictor, graph) cap on post-delta prewarm searches
 _PREWARM_MAX = 4
 
+#: per-entry cap on remembered hot destinations (warm-start records)
+_WARM_RECORDS_MAX = 32
+
 
 class PredictorPool:
     """Resolves shared predictors for one :class:`AtlasRuntime`."""
@@ -48,6 +52,14 @@ class PredictorPool:
     def __init__(self, runtime) -> None:
         self._runtime = runtime
         self._entries: dict[tuple, _PoolEntry] = {}
+        #: per-entry warm-start records: recently hot ``(graph name,
+        #: destination, provider gate)`` searches, recency-ordered.
+        #: They outlive the LRU search cache, so a destination whose
+        #: cached search aged out (or went dirty past the prewarm
+        #: budget on a recompile day) is still re-seeded by the next
+        #: update's prewarm pass. Dropped with the entry on release —
+        #: a released client must not pin prewarm work.
+        self._warm: dict[tuple, OrderedDict] = {}
         self.hits = 0
         self.refreshes = 0
         #: hottest (most recently used) dirty destinations re-searched
@@ -138,8 +150,15 @@ class PredictorPool:
             for _, graph, old_version, new_version, _ in updates
             if old_version != new_version
         }
-        for entry in self._entries.values():
+        name_of_version = {
+            old_version: name
+            for name, _, old_version, new_version, _ in updates
+            if old_version != new_version
+        }
+        graph_of_name = {name: graph for name, graph, _, _, _ in updates}
+        for pool_key, entry in self._entries.items():
             predictor = entry.predictor
+            self._record_warm(pool_key, predictor, name_of_version)
             for name, graph, old_version, new_version, touch in updates:
                 if old_version == new_version:
                     continue
@@ -155,12 +174,57 @@ class PredictorPool:
                 )
                 for key in ("reused", "repaired", "dirty"):
                     stats[key] += repaired[key]
-            stats["prewarmed"] += warmstart.prewarm(
+            ran = warmstart.prewarm(
                 predictor, graphs_by_old_version, self.prewarm_max
             )
+            ran += self._prewarm_from_records(
+                pool_key, predictor, graph_of_name, self.prewarm_max - ran
+            )
+            stats["prewarmed"] += ran
         return stats
 
+    def _record_warm(
+        self, pool_key: tuple, predictor, name_of_version: dict
+    ) -> None:
+        """Note the entry's hot destinations on the graphs this update
+        touched, before repair/prewarm churn the LRU. Cache iteration is
+        oldest-first, so the hottest record lands last."""
+        records = self._warm.setdefault(pool_key, OrderedDict())
+        for version, dst, providers in predictor._search_cache:
+            name = name_of_version.get(version)
+            if name is not None:
+                rec = (name, dst, providers)
+                records[rec] = None
+                records.move_to_end(rec)
+        while len(records) > _WARM_RECORDS_MAX:
+            records.popitem(last=False)
+
+    def _prewarm_from_records(
+        self, pool_key: tuple, predictor, graph_of_name: dict, budget: int
+    ) -> int:
+        """Top up the prewarm budget from warm-start records: hot
+        destinations whose cached search aged out of the LRU before
+        this update (so the stale-key prewarmer can't see them)."""
+        records = self._warm.get(pool_key)
+        if not records or budget <= 0:
+            return 0
+        cache = predictor._search_cache
+        ran = 0
+        for name, dst, providers in reversed(records):  # hottest first
+            if ran >= budget:
+                break
+            graph = graph_of_name.get(name)
+            if graph is None or (graph.version, dst, providers) in cache:
+                continue
+            predictor.search_for(graph, dst, providers)
+            ran += 1
+        return ran
+
     def release(self, client_key: object) -> None:
-        """Drop every entry belonging to one client."""
+        """Drop every entry belonging to one client — including its
+        warm-start records, so a released client's destinations stop
+        drawing prewarm searches on every subsequent update."""
         for key in [k for k in self._entries if k[1] == client_key]:
             del self._entries[key]
+        for key in [k for k in self._warm if k[1] == client_key]:
+            del self._warm[key]

@@ -108,6 +108,27 @@ class AtlasRuntime:
             self._patchers[name] = CompiledGraphPatcher(cg, closed=closed)
         return cg
 
+    def install_graph(
+        self, name: str, graph: CompiledGraph, closed: bool
+    ) -> CompiledGraph:
+        """Adopt an externally compiled graph as a materialized base.
+
+        The shard-worker path (:mod:`repro.serve`): a worker maps the
+        service's compiled CSR from shared memory
+        (:meth:`~repro.core.compiled.CompiledGraph.from_shared`) and
+        installs it under the canonical name (``"directed"`` /
+        ``"closed"``) instead of paying a private ``from_atlas``
+        compile. ``graph.atlas`` must be this runtime's atlas (same
+        links order as the exporter's); the patcher attached here keeps
+        the installed graph rolling through ``apply_delta`` like any
+        locally built base.
+        """
+        if graph.atlas is not self.atlas:
+            raise ValueError("installed graph must be compiled over the runtime's atlas")
+        self._graphs[name] = graph
+        self._patchers[name] = CompiledGraphPatcher(graph, closed=closed)
+        return graph
+
     def merged_graph(
         self,
         token: object,

@@ -1,0 +1,575 @@
+"""The sharded prediction front-end: consistent-hash fan-out over the
+worker fleet.
+
+:class:`PredictionService` is the scale-out answer path for the
+ROADMAP's heavy-traffic north star. One front-end object routes
+``predict`` / ``predict_batch`` / ``query_batch`` across N shard worker
+processes (:mod:`repro.serve.shard`), each holding its own
+:class:`~repro.runtime.runtime.AtlasRuntime` over the shared-memory CSR
+(:mod:`repro.serve.worker`):
+
+* **Routing.** Every query is routed by consistent hash of its
+  *destination cluster* (:mod:`repro.serve.hashring`), so the full
+  query stream for one destination lands on one shard and rides that
+  shard's per-destination search cache — shard-count changes remap only
+  ~1/N of destinations.
+* **Coalescing.** :meth:`submit` queues requests per shard and
+  :meth:`flush` ships each shard one batch: duplicate ``(src, dst)``
+  pairs in a window collapse to one slot, and distinct sources toward
+  one destination ride a single kernel search worker-side (the
+  predictor's destination-grouped batch path). :meth:`predict_batch`
+  fans a caller-supplied batch out to all involved shards concurrently
+  and reassembles results in order.
+* **Backpressure.** A shard whose queue reaches ``max_pending``
+  requests is flushed synchronously before more work is accepted for
+  it, bounding per-shard queue memory and keeping one outstanding
+  message per pipe (deadlock-free by construction).
+* **Delta broadcast.** :meth:`apply_delta` encodes one day's delta with
+  the binary broadcast codec
+  (:func:`~repro.atlas.serialization.encode_delta`) and fans the same
+  bytes to every worker, which decodes straight into the in-place
+  patch + warm-start repair path. The per-worker state snapshots
+  (day + array fingerprints) must agree afterwards — a diverged shard
+  raises :class:`~repro.errors.ShardStateError` instead of silently
+  serving two graph versions.
+
+Results are bit-for-bit identical to a single-process
+:class:`~repro.client.server.AtlasServer` over the same atlas lineage
+(``tests/test_serve_equivalence.py`` proves it across a delta chain
+with a monthly recompile and a FROM_SRC-merged measuring client).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.atlas.delta import AtlasDelta, apply_delta_inplace
+from repro.atlas.serialization import decode_atlas, decode_delta, encode_delta
+from repro.client.query import combine_batches
+from repro.errors import ServiceError, ShardStateError
+from repro.serve.hashring import DEFAULT_VNODES, HashRing
+from repro.serve.shard import ShardManager
+
+__all__ = ["PredictionService", "PendingPrediction"]
+
+_REQ_IDS = itertools.count(1)
+
+
+@dataclass
+class PendingPrediction:
+    """A queued one-way prediction; resolved by the next flush of its
+    shard (or any full :meth:`PredictionService.flush`)."""
+
+    src: int
+    dst: int
+    _service: object
+    _shard: int | None
+    done: bool = False
+    value: object = None
+    #: set when the worker failed this request's group; ``result()``
+    #: re-raises instead of masquerading as a no-path answer
+    error: Exception | None = None
+
+    def result(self):
+        """The PredictedPath (or None), flushing the queue if needed.
+        Raises :class:`~repro.errors.ShardStateError` if the request's
+        window failed worker-side."""
+        if not self.done:
+            self._service.flush()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def _resolve(self, value) -> None:
+        self.value = value
+        self.done = True
+
+    def _fail(self, error: Exception) -> None:
+        self.error = error
+        self.done = True
+
+
+class _ShardQueue:
+    """Per-shard pending requests, grouped by (config, client) and
+    deduplicated by (src, dst) within each group."""
+
+    __slots__ = ("groups", "requests")
+
+    def __init__(self) -> None:
+        #: (config, client) -> OrderedDict[(src, dst)] -> [futures]
+        self.groups: OrderedDict = OrderedDict()
+        self.requests = 0
+
+    def add(self, key, src, dst, future) -> bool:
+        """Queue one request; True when it coalesced onto an already
+        queued identical pair."""
+        group = self.groups.setdefault(key, OrderedDict())
+        waiters = group.get((src, dst))
+        if waiters is None:
+            group[(src, dst)] = [future]
+            coalesced = False
+        else:
+            waiters.append(future)
+            coalesced = True
+        self.requests += 1
+        return coalesced
+
+
+class PredictionService:
+    """Routes predictions across shard workers; see module docstring."""
+
+    def __init__(
+        self,
+        atlas_bytes: bytes,
+        n_shards: int = 4,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        max_pending: int = 256,
+        mp_context=None,
+    ) -> None:
+        # Validate everything cheap before spawning the fleet, so bad
+        # arguments cannot leak worker processes or shared blocks.
+        self._ring = HashRing(range(n_shards), vnodes=vnodes)
+        self.max_pending = int(max_pending)
+        #: the front-end's routing atlas — kept current by applying the
+        #: same decoded broadcasts the workers apply
+        self._atlas = decode_atlas(atlas_bytes)
+        # the manager compiles its shared-memory export from this same
+        # decoded object (read-only there), skipping a second decode
+        self._shards = ShardManager(
+            atlas_bytes, n_shards, mp_context=mp_context, atlas=self._atlas
+        )
+        self._queues = [_ShardQueue() for _ in range(n_shards)]
+        self._epoch = 0
+        self._clients: set[object] = set()
+        self.stats = {
+            "requests": 0,
+            "coalesced": 0,
+            "backpressure_flushes": 0,
+            "flushes": 0,
+            "batches_routed": 0,
+            "deltas_broadcast": 0,
+            "bytes_broadcast": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._shards.n_shards
+
+    @property
+    def day(self) -> int:
+        """The atlas day every shard currently serves."""
+        return self._atlas.day
+
+    @property
+    def shared_bytes(self) -> int:
+        """Size of the shared-memory CSR export all workers map."""
+        return self._shards.shared_bytes
+
+    def close(self) -> None:
+        """Stop the workers and destroy the shared blocks. Pending
+        (unflushed) requests resolve to None."""
+        for queue in self._queues:
+            for group in queue.groups.values():
+                for waiters in group.values():
+                    for future in waiters:
+                        future._resolve(None)
+            queue.groups.clear()
+            queue.requests = 0
+        self._shards.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._shards.closed:
+            raise ServiceError("prediction service is closed")
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of_destination(self, dst_prefix_index: int) -> int | None:
+        """The shard serving a destination prefix (None when the prefix
+        is unmapped — such queries answer None without a worker trip)."""
+        cluster = self._atlas.cluster_of_prefix(dst_prefix_index)
+        if cluster is None:
+            return None
+        return self._ring.shard_for(cluster)
+
+    # -- one-way predictions ----------------------------------------------
+
+    def submit(
+        self, src: int, dst: int, config=None, client=None
+    ) -> PendingPrediction:
+        """Queue one prediction into its shard's coalescing window.
+
+        The request rides the next flush of that shard; duplicate
+        pairs in the window share one wire slot and one result, and a
+        shard at ``max_pending`` queued requests is flushed
+        synchronously first (backpressure).
+        """
+        self._check_open()
+        self.stats["requests"] += 1
+        shard = self.shard_of_destination(dst)
+        future = PendingPrediction(src=src, dst=dst, _service=self, _shard=shard)
+        if shard is None:
+            future._resolve(None)
+            return future
+        if self._queues[shard].requests >= self.max_pending:
+            self.stats["backpressure_flushes"] += 1
+            self._flush_shard(shard)
+        if self._queues[shard].add((config, client), src, dst, future):
+            self.stats["coalesced"] += 1
+        return future
+
+    def flush(self) -> None:
+        """Ship every shard's queued window.
+
+        Runs in rounds: each round sends at most **one** batch message
+        per shard (the pipe protocol's one-outstanding-request
+        invariant — a second in-flight message could mutual-send
+        deadlock on oversized windows), then drains that round's
+        replies from every shard before the next. Shards still work
+        concurrently within a round, and every reply is consumed before
+        any worker-side failure raises — a failed group cannot
+        desynchronize the other shards' streams.
+        """
+        self._run_rounds(self._take_queues(range(self.n_shards)))
+
+    def _flush_shard(self, shard: int) -> None:
+        self._run_rounds(self._take_queues([shard]))
+
+    def _take_queues(self, shards) -> dict:
+        taken = {}
+        for shard in shards:
+            queue = self._queues[shard]
+            if queue.requests:
+                self._queues[shard] = _ShardQueue()
+                taken[shard] = queue.groups
+        return taken
+
+    def _run_rounds(self, taken: dict) -> None:
+        """Every group taken off the queues ends this call either
+        resolved or failed — never stranded looking unanswered — and
+        every successfully sent message gets its reply drained, so a
+        failure on one shard cannot desynchronize the others. The
+        first error is raised after all rounds complete."""
+        first: ShardStateError | None = None
+        sent: list[tuple] = []
+        try:
+            while taken:
+                sent = []
+                for shard in list(taken):
+                    groups = taken[shard]
+                    (config, client), group = groups.popitem(last=False)
+                    if not groups:
+                        del taken[shard]
+                    pairs = list(group)
+                    req_id = next(_REQ_IDS)
+
+                    def deliver(paths, pairs=pairs, group=group):
+                        for pair, path in zip(pairs, paths):
+                            for future in group[pair]:
+                                future._resolve(path)
+
+                    def on_error(exc, pairs=pairs, group=group):
+                        for pair in pairs:
+                            for future in group[pair]:
+                                future._fail(exc)
+
+                    try:
+                        self._shards.send(
+                            shard, ("batch", req_id, pairs, config, client)
+                        )
+                    except ShardStateError as exc:
+                        # Dead pipe: fail this group and everything
+                        # else queued for the shard; keep the round
+                        # going for the healthy shards.
+                        on_error(exc)
+                        self._fail_groups(taken.pop(shard, {}), exc)
+                        if first is None:
+                            first = exc
+                        continue
+                    sent.append((shard, req_id, deliver, on_error))
+                    self.stats["flushes"] += 1
+                try:
+                    self._collect(sent)
+                except ShardStateError as exc:
+                    if first is None:
+                        first = exc
+                sent = []
+        except BaseException as exc:  # unexpected: strand nothing
+            error = ShardStateError(f"flush aborted: {exc!r}")
+            for _, _, _, on_error in sent:
+                on_error(error)
+            for groups in taken.values():
+                self._fail_groups(groups, error)
+            raise
+        if first is not None:
+            raise first
+
+    @staticmethod
+    def _fail_groups(groups: dict, error: Exception) -> None:
+        for group in groups.values():
+            for waiters in group.values():
+                for future in waiters:
+                    future._fail(error)
+
+    def _collect(self, sent: list[tuple]) -> None:
+        """Drain one reply per sent ``(shard, req_id, deliver,
+        on_error)`` message — every drainable one, even past a dead
+        shard or a worker-side failure, so one failed request cannot
+        desynchronize the surviving shards' streams — then surface the
+        first error. ``on_error`` (when given) marks the group's
+        futures failed, so ``result()`` re-raises instead of passing a
+        failure off as a no-path answer."""
+        first = None
+
+        def failed(exc, on_error):
+            nonlocal first
+            if on_error is not None:
+                on_error(exc)
+            if first is None:
+                first = exc
+
+        for shard, req_id, deliver, on_error in sent:
+            try:
+                reply = self._shards.recv_raw(shard)
+            except ShardStateError as exc:  # dead pipe: drain the rest
+                failed(exc, on_error)
+                continue
+            if reply[0] == "error":
+                try:
+                    self._shards.check(shard, reply)
+                except ShardStateError as exc:
+                    failed(exc, on_error)
+                continue
+            tag, got_id, paths = reply
+            if tag != "batch" or got_id != req_id:
+                failed(
+                    ShardStateError(
+                        f"shard {shard} answered {tag!r}/{got_id} "
+                        f"to batch {req_id}"
+                    ),
+                    on_error,
+                )
+                continue
+            deliver(paths)
+        if first is not None:
+            raise first
+
+    def predict(self, src_prefix_index: int, dst_prefix_index: int, config=None):
+        """One-way prediction (PredictedPath or None), immediately
+        flushed. Mirrors :meth:`AtlasServer.predict`'s
+        ``predict_or_none`` semantics."""
+        future = self.submit(src_prefix_index, dst_prefix_index, config)
+        if not future.done:
+            self._flush_shard(future._shard)
+        return future.value
+
+    def predict_batch(self, pairs, config=None, client=None) -> list:
+        """Batched one-way predictions, fanned out to every involved
+        shard concurrently; results align with ``pairs`` and match a
+        single-process ``AtlasServer.predict_batch`` bit for bit."""
+        self._check_open()
+        pairs = list(pairs)
+        out: list = [None] * len(pairs)
+        if not pairs:
+            return out
+        self.flush()  # never interleave with queued windows on the pipes
+        self.stats["requests"] += len(pairs)
+        self.stats["batches_routed"] += 1
+        by_shard: dict[int, tuple[list[int], list[tuple[int, int]]]] = {}
+        cluster_of = self._atlas.cluster_of_prefix
+        shard_for = self._ring.shard_for
+        for i, (src, dst) in enumerate(pairs):
+            cluster = cluster_of(dst)
+            if cluster is None:
+                continue  # unmapped destination: None, like the pool path
+            idxs, sub = by_shard.setdefault(shard_for(cluster), ([], []))
+            idxs.append(i)
+            sub.append((src, dst))
+        sent = []
+        first: ShardStateError | None = None
+        for shard, (idxs, sub) in by_shard.items():
+            req_id = next(_REQ_IDS)
+            try:
+                self._shards.send(shard, ("batch", req_id, sub, config, client))
+            except ShardStateError as exc:
+                # Dead pipe: keep fanning out to (and draining) the
+                # healthy shards so their streams stay in sync.
+                if first is None:
+                    first = exc
+                continue
+
+            def deliver(paths, idxs=idxs):
+                for i, path in zip(idxs, paths):
+                    out[i] = path
+
+            sent.append((shard, req_id, deliver, None))
+        try:
+            self._collect(sent)
+        except ShardStateError as exc:
+            if first is None:
+                first = exc
+        if first is not None:
+            raise first
+        return out
+
+    # -- two-way query interface -------------------------------------------
+
+    def query_batch(self, pairs, config=None, client=None) -> list:
+        """Both directions per pair, combined into
+        :class:`~repro.client.query.PathInfo`\\ s (forward routed by the
+        destination's shard, reverse by the source's). Shares
+        ``INanoClient.query_batch``'s combine contract
+        (:func:`~repro.client.query.combine_batches`), which the
+        equivalence suite asserts bit for bit."""
+        return combine_batches(
+            pairs,
+            lambda batch: self.predict_batch(batch, config, client),
+            self.day,
+        )
+
+    def query(self, src_prefix_index: int, dst_prefix_index: int, config=None):
+        """One two-way query (PathInfo or None)."""
+        return self.query_batch([(src_prefix_index, dst_prefix_index)], config)[0]
+
+    # -- measuring clients --------------------------------------------------
+
+    def register_client(
+        self,
+        token: object,
+        from_src_links: dict,
+        client_cluster_as: dict[int, int] | None = None,
+        from_src_prefixes: set[int] | None = None,
+        rev: int = 1,
+    ) -> None:
+        """Install (or refresh, with a higher ``rev``) a measuring
+        client's FROM_SRC plane on every shard: each worker merges the
+        plane onto its shared directed base exactly like a co-located
+        ``INanoClient`` would, so client-scoped queries stay bit-for-bit
+        with the single-process path."""
+        self._check_open()
+        self.flush()
+        self._shards.broadcast(
+            (
+                "register",
+                token,
+                dict(from_src_links),
+                dict(client_cluster_as or {}),
+                set(from_src_prefixes) if from_src_prefixes is not None else None,
+                rev,
+            )
+        )
+        self._clients.add(token)
+
+    def release_client(self, token: object) -> None:
+        """Drop a client's merged views, pooled predictors, and
+        warm-start records on every shard."""
+        self._check_open()
+        self.flush()
+        self._shards.broadcast(("release", token))
+        self._clients.discard(token)
+
+    # -- updates ------------------------------------------------------------
+
+    def apply_delta(self, delta: AtlasDelta, verify: str = "fingerprint") -> dict:
+        """Advance every shard one day via the binary delta broadcast.
+
+        Encodes once, fans the same bytes to all workers, verifies the
+        post-apply snapshots agree (same day, same per-graph array
+        fingerprints — "one graph version across the fleet"), and rolls
+        the front-end's routing atlas forward with the identical
+        decoded view. Returns ``{"day", "epoch", "wire_bytes",
+        "modes", "snapshot"}``.
+
+        ``verify="fingerprint"`` (default) has each worker digest its
+        full arrays into the handshake — O(graph), the strong check.
+        ``verify="shape"`` compares only day/node/edge counts per
+        graph (the cheap handshake for latency-sensitive update paths;
+        :meth:`converged` still runs the full check on demand).
+        """
+        if verify not in ("fingerprint", "shape"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        self._check_open()
+        self.flush()
+        payload = encode_delta(delta)
+        self._epoch += 1
+        replies = self._shards.broadcast(
+            ("delta", self._epoch, payload, verify)
+        )
+        snapshots = []
+        modes = []
+        for shard, reply in enumerate(replies):
+            tag, epoch, snapshot, report = reply
+            if tag != "delta" or epoch != self._epoch:
+                raise ShardStateError(
+                    f"shard {shard} answered {tag!r}@{epoch} to delta "
+                    f"broadcast {self._epoch}"
+                )
+            snapshots.append(snapshot)
+            modes.append(report["mode"])
+        self._require_converged(snapshots)
+        apply_delta_inplace(self._atlas, decode_delta(payload))
+        if self._atlas.day != snapshots[0]["day"]:
+            raise ShardStateError(
+                f"front-end day {self._atlas.day} != shard day "
+                f"{snapshots[0]['day']} after broadcast"
+            )
+        self.stats["deltas_broadcast"] += 1
+        self.stats["bytes_broadcast"] += len(payload) * self.n_shards
+        return {
+            "day": self._atlas.day,
+            "epoch": self._epoch,
+            "wire_bytes": len(payload),
+            "modes": modes,
+            "snapshot": snapshots[0],
+        }
+
+    def sync_from(self, server) -> int:
+        """Roll forward to an :class:`AtlasServer`'s latest published
+        day through its delta chain; returns the number of deltas
+        applied. A gap in the chain cannot be bridged by broadcast —
+        that is a restart, not an update."""
+        applied = 0
+        latest = server.latest_day()
+        while self.day < latest:
+            delta = server.delta_for(self.day + 1)
+            self.apply_delta(delta)
+            applied += 1
+        return applied
+
+    def shard_snapshots(self) -> list[dict]:
+        """Fresh per-worker state snapshots (day + graph fingerprints)."""
+        self._check_open()
+        self.flush()
+        return [
+            reply[1] for reply in self._shards.broadcast(("snapshot",))
+        ]
+
+    def converged(self) -> bool:
+        """True when every shard reports identical graph state."""
+        snapshots = self.shard_snapshots()
+        return all(s == snapshots[0] for s in snapshots[1:])
+
+    def _require_converged(self, snapshots: list[dict]) -> None:
+        first = snapshots[0]
+        for shard, snapshot in enumerate(snapshots[1:], start=1):
+            if snapshot != first:
+                raise ShardStateError(
+                    f"shard {shard} diverged after broadcast: "
+                    f"{snapshot} != {first}"
+                )
+
+    def shard_stats(self) -> list[dict]:
+        """Per-worker counters (batches, pairs, deltas, clients)."""
+        self._check_open()
+        self.flush()
+        return [reply[1] for reply in self._shards.broadcast(("stats",))]

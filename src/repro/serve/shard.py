@@ -1,0 +1,217 @@
+"""Shard worker lifecycle: spawn, shared-memory export, message plumbing.
+
+``ShardManager`` owns the process side of the sharded prediction
+service:
+
+* it compiles the atlas **once** (a throwaway
+  :class:`~repro.runtime.runtime.AtlasRuntime` over the decoded
+  payload), exports each materialized base graph to a
+  ``multiprocessing.shared_memory`` block
+  (:meth:`~repro.core.compiled.CompiledGraph.to_shared`), and drops the
+  compile-side arrays — the shared blocks are the only full copy of the
+  CSR until a worker mutates;
+* it spawns ``n_shards`` worker processes
+  (:func:`~repro.serve.worker.shard_worker_main`), each of which
+  decodes its own atlas from the same bytes and maps the blocks
+  zero-copy;
+* it moves messages: exactly one outstanding request per shard pipe
+  (send, then receive before the next send to that shard), which keeps
+  the protocol deadlock-free while still letting a broadcast or a
+  fanned-out batch run on all shards concurrently — send to every
+  shard first, then collect.
+
+Worker replies tagged ``("error", ...)`` and dead pipes surface as
+:class:`~repro.errors.ShardStateError`; the manager never silently
+drops a shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+from repro.atlas.serialization import decode_atlas
+from repro.errors import ServiceError, ShardStateError
+from repro.runtime import AtlasRuntime
+from repro.serve.worker import shard_worker_main
+
+__all__ = ["ShardManager"]
+
+#: base graphs exported to every worker, in install order
+_SHARED_GRAPHS = ("directed", "closed")
+
+
+def _pick_context(mp_context):
+    if mp_context is not None:
+        if isinstance(mp_context, str):
+            return multiprocessing.get_context(mp_context)
+        return mp_context
+    # On Linux, fork shares the parent's resource_tracker (and page
+    # cache) and starts in milliseconds. Elsewhere keep the platform
+    # default — notably macOS, where CPython moved to spawn because
+    # fork-without-exec breaks threaded runtimes (Accelerate BLAS,
+    # Objective-C) even though fork is still offered.
+    if sys.platform.startswith("linux") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ShardManager:
+    """Spawns and talks to the shard worker fleet."""
+
+    def __init__(
+        self,
+        atlas_bytes: bytes,
+        n_shards: int,
+        mp_context=None,
+        graphs: tuple[str, ...] = _SHARED_GRAPHS,
+        atlas=None,
+    ) -> None:
+        if n_shards < 1:
+            raise ServiceError("need at least one shard")
+        self.n_shards = int(n_shards)
+        ctx = _pick_context(mp_context)
+        self._handles = []
+        self._conns = []
+        self._procs = []
+        self.snapshots: list[dict] = []
+        try:
+            # ``atlas`` (when the caller already decoded the payload) is
+            # only read: the compile runtime is discarded right after the
+            # export, so sharing the caller's object is safe.
+            compile_runtime = AtlasRuntime(
+                atlas if atlas is not None else decode_atlas(atlas_bytes)
+            )
+            for name in graphs:
+                cg = compile_runtime._base_graph(name, closed=(name == "closed"))
+                self._handles.append((name, cg.to_shared()))
+            del compile_runtime  # workers own the serving state from here
+            untrack = ctx.get_start_method() != "fork"
+            graph_metas = {name: handle.meta for name, handle in self._handles}
+            self.shared_bytes = sum(h.nbytes for _, h in self._handles)
+            for shard_index in range(self.n_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                init = {
+                    "shard_index": shard_index,
+                    "atlas_bytes": atlas_bytes,
+                    "graphs": graph_metas,
+                    "untrack_shm": untrack,
+                }
+                proc = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, init),
+                    name=f"inano-shard-{shard_index}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for shard_index, conn in enumerate(self._conns):
+                tag, idx, snapshot = conn.recv()
+                if tag != "ready" or idx != shard_index:
+                    raise ShardStateError(
+                        f"shard {shard_index} failed to start: {tag!r}"
+                    )
+                self.snapshots.append(snapshot)
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, shard: int, msg: tuple) -> None:
+        try:
+            self._conns[shard].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardStateError(f"shard {shard} pipe is down: {exc}") from exc
+
+    def recv_raw(self, shard: int) -> tuple:
+        """One reply off a shard's pipe (worker-reported errors come
+        back as ``("error", op, repr)`` tuples, not exceptions — the
+        reply *is* consumed either way, so the request/reply protocol
+        stays in sync for the next caller)."""
+        try:
+            return self._conns[shard].recv()
+        except (EOFError, OSError) as exc:
+            raise ShardStateError(f"shard {shard} died mid-request") from exc
+
+    @staticmethod
+    def check(shard: int, reply: tuple) -> tuple:
+        if reply[0] == "error":
+            raise ShardStateError(
+                f"shard {shard} failed op {reply[1]!r}: {reply[2]}"
+            )
+        return reply
+
+    def recv(self, shard: int) -> tuple:
+        return self.check(shard, self.recv_raw(shard))
+
+    def request(self, shard: int, msg: tuple) -> tuple:
+        self.send(shard, msg)
+        return self.recv(shard)
+
+    def broadcast(self, msg: tuple) -> list[tuple]:
+        """Send ``msg`` to every shard, then collect every reply (the
+        shards work concurrently between the two loops). Every reachable
+        pipe is drained before any failure — dead shard, worker-side
+        error — is raised, so one failed shard cannot desynchronize the
+        others' request/reply streams."""
+        sent: list[int] = []
+        send_error: ShardStateError | None = None
+        for shard in range(self.n_shards):
+            try:
+                self.send(shard, msg)
+            except ShardStateError as exc:
+                send_error = exc
+                break  # later shards never saw the message; their pipes are clean
+            sent.append(shard)
+        replies: dict[int, tuple] = {}
+        recv_error: ShardStateError | None = None
+        for shard in sent:
+            try:
+                replies[shard] = self.recv_raw(shard)
+            except ShardStateError as exc:
+                if recv_error is None:
+                    recv_error = exc
+        if send_error is not None:
+            raise send_error
+        if recv_error is not None:
+            raise recv_error
+        return [self.check(shard, replies[shard]) for shard in sent]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return getattr(self, "_closed", True)
+
+    def alive(self) -> list[bool]:
+        return [proc.is_alive() for proc in self._procs]
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop workers and destroy the shared blocks. Idempotent."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for shard, conn in enumerate(getattr(self, "_conns", [])):
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in getattr(self, "_procs", []):
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for _, handle in self._handles:
+            handle.close()
+            handle.unlink()

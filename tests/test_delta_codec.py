@@ -1,0 +1,197 @@
+"""The delta broadcast codec: lossless, order-preserving round trips.
+
+The sharded service's correctness argument leans on one property: a
+worker that applies ``decode_delta(encode_delta(d))`` must land on
+*exactly* the atlas a consumer applying ``d`` directly lands on —
+same dict orders (the compiled emission contract), same float bits,
+same monthly-refresh datasets. These tests pin that property, plus the
+framing validation.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import pytest
+
+from helpers import toy_atlas
+
+from repro.atlas.delta import (
+    AtlasDelta,
+    apply_delta,
+    compute_delta,
+)
+from repro.atlas.model import LinkRecord
+from repro.atlas.serialization import (
+    decode_delta,
+    encode_delta,
+)
+from repro.errors import AtlasFormatError
+
+
+def _roundtrip(delta: AtlasDelta) -> AtlasDelta:
+    return decode_delta(encode_delta(delta))
+
+
+def _make_daily(atlas):
+    nxt = copy.deepcopy(atlas)
+    nxt.day += 1
+    nxt.links[(10, 40)] = LinkRecord(latency_ms=3.14159265358979)
+    nxt.links[(10, 20)] = LinkRecord(latency_ms=12.125, loss_rate=0.015625)
+    del nxt.links[(20, 40)]
+    nxt.link_loss[(10, 30)] = 0.123456789
+    nxt.link_loss.pop((30, 10), None)
+    nxt.three_tuples.add((9, 8, 7))
+    nxt.three_tuples.discard((3, 1, 2))
+    return nxt
+
+
+class TestDailyRoundTrip:
+    def test_applied_atlases_identical_including_dict_order(self):
+        base = toy_atlas()
+        delta = compute_delta(base, _make_daily(base))
+        got = apply_delta(copy.deepcopy(base), _roundtrip(delta))
+        want = apply_delta(copy.deepcopy(base), delta)
+        assert list(got.links) == list(want.links), (
+            "links dict order drives compiled emission order"
+        )
+        assert got.links == want.links
+        assert got.link_loss == want.link_loss
+        assert got.three_tuples == want.three_tuples
+        assert got.day == want.day
+
+    def test_floats_travel_bit_exact(self):
+        base = toy_atlas()
+        delta = compute_delta(base, _make_daily(base))
+        decoded = _roundtrip(delta)
+        for link, rec in delta.links_updated.items():
+            assert decoded.links_updated[link].latency_ms == rec.latency_ms
+            assert decoded.links_updated[link].loss_rate == rec.loss_rate
+        assert decoded.loss_updated == delta.loss_updated
+
+    def test_links_updated_order_preserved_not_sorted(self):
+        # Build an update map whose iteration order is NOT sorted; the
+        # broadcast codec must keep it (new links append in this order).
+        delta = AtlasDelta(base_day=0, new_day=1)
+        for link in [(900, 1), (5, 5), (300, 2), (1, 999)]:
+            delta.links_updated[link] = LinkRecord(latency_ms=1.5)
+        decoded = _roundtrip(delta)
+        assert list(decoded.links_updated) == list(delta.links_updated)
+
+    def test_sets_round_trip(self):
+        delta = AtlasDelta(base_day=3, new_day=4)
+        delta.links_removed = {(7, 8), (1, 2)}
+        delta.loss_removed = {(9, 9)}
+        delta.tuples_removed = {(1, 2, 3)}
+        delta.tuples_added = {(4, 5, 6), (7, 8, 9)}
+        decoded = _roundtrip(delta)
+        assert decoded.links_removed == delta.links_removed
+        assert decoded.loss_removed == delta.loss_removed
+        assert decoded.tuples_removed == delta.tuples_removed
+        assert decoded.tuples_added == delta.tuples_added
+        assert (decoded.base_day, decoded.new_day) == (3, 4)
+        assert not decoded.monthly_refresh
+
+
+class TestMonthlyRoundTrip:
+    def _monthly(self):
+        base = _make_daily(toy_atlas())
+        nxt = copy.deepcopy(base)
+        nxt.day = 30
+        # asymmetric relationship flip: only representable by a codec
+        # that carries both directions (no a<b halving)
+        nxt.relationship_codes[(1, 2)] = 3
+        nxt.cluster_to_as[777] = 90_001
+        nxt.as_degrees[90_001] = 4
+        nxt.preferences.add((1, 2, 3))
+        nxt.providers = dict(nxt.providers)
+        nxt.providers[9] = frozenset({1, 2})
+        nxt.prefix_providers = {100: frozenset({3})}
+        nxt.upstreams = dict(nxt.upstreams)
+        nxt.late_exit_pairs.add(frozenset((1, 5)))
+        return base, nxt
+
+    def test_monthly_refresh_datasets_identical(self):
+        base, nxt = self._monthly()
+        delta = compute_delta(base, nxt)
+        assert delta.monthly_refresh, "day 30 must carry the refresh"
+        got = apply_delta(copy.deepcopy(base), _roundtrip(delta))
+        want = apply_delta(copy.deepcopy(base), delta)
+        for field in (
+            "prefix_to_cluster",
+            "prefix_to_as",
+            "cluster_to_as",
+            "as_degrees",
+            "preferences",
+            "providers",
+            "prefix_providers",
+            "upstreams",
+            "relationship_codes",
+            "late_exit_pairs",
+        ):
+            assert getattr(got, field) == getattr(want, field), field
+
+    def test_asymmetric_relationship_codes_survive(self):
+        base, nxt = self._monthly()
+        decoded = _roundtrip(compute_delta(base, nxt))
+        codes = decoded.monthly_refresh["relationship_codes"]
+        assert codes == nxt.relationship_codes
+        assert codes[(1, 2)] == 3 and codes[(2, 1)] != 3
+
+
+class TestChainEquivalence:
+    def test_random_chain_through_the_codec(self, atlas):
+        """A seeded multi-day churn chain applied via decoded broadcasts
+        equals the object-delta chain at every step."""
+        rng = random.Random(0xC0DEC)
+        direct = copy.deepcopy(atlas)
+        direct.day = 28  # crosses the monthly boundary at 30
+        wired = copy.deepcopy(direct)
+        current = copy.deepcopy(direct)
+        for _ in range(4):
+            nxt = copy.deepcopy(current)
+            nxt.day += 1
+            links = list(nxt.links)
+            for link in rng.sample(links, k=max(1, len(links) // 4)):
+                rec = nxt.links[link]
+                nxt.links[link] = LinkRecord(latency_ms=rec.latency_ms * 1.03125)
+            for link in rng.sample(links, k=2):
+                nxt.links.pop(link, None)
+                nxt.link_loss.pop(link, None)
+            clusters = sorted({c for ab in nxt.links for c in ab})
+            a, b = rng.sample(clusters, 2)
+            nxt.links.setdefault((a, b), LinkRecord(latency_ms=4.25))
+            if nxt.day % 30 == 0:
+                for pair in list(nxt.relationship_codes)[:1]:
+                    nxt.relationship_codes[pair] = (
+                        nxt.relationship_codes[pair] % 3
+                    ) + 1
+            delta = compute_delta(current, nxt)
+            direct = apply_delta(direct, delta)
+            wired = apply_delta(wired, _roundtrip(delta))
+            assert list(wired.links) == list(direct.links)
+            assert wired.links == direct.links
+            assert wired.link_loss == direct.link_loss
+            assert wired.three_tuples == direct.three_tuples
+            assert wired.relationship_codes == direct.relationship_codes
+            current = nxt
+
+
+class TestFraming:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(AtlasFormatError):
+            decode_delta(b"NOPE" + b"\x00" * 16)
+
+    def test_bad_version_rejected(self):
+        delta = AtlasDelta(base_day=0, new_day=1)
+        payload = bytearray(encode_delta(delta))
+        payload[4] = 99
+        with pytest.raises(AtlasFormatError):
+            decode_delta(bytes(payload))
+
+    def test_truncated_section_rejected(self):
+        base = toy_atlas()
+        payload = encode_delta(compute_delta(base, _make_daily(base)))
+        with pytest.raises(Exception):
+            decode_delta(payload[: len(payload) // 2])

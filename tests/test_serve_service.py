@@ -1,0 +1,350 @@
+"""Mechanics of the sharded prediction service.
+
+Covers the pieces the full-chain equivalence suite
+(``test_serve_equivalence.py``) exercises only implicitly: the
+shared-memory export/import round trip and its copy-on-write
+materialization, coalescing windows and per-shard backpressure, client
+registration/release across the fleet, divergence detection, and the
+pool's warm-start record lifecycle (a released client must stop
+drawing prewarm work).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.atlas.delta import compute_delta
+from repro.atlas.serialization import decode_atlas, encode_atlas
+from repro.client import AtlasServer
+from repro.core.compiled import CompiledGraph
+from repro.core.predictor import INanoPredictor, PredictorConfig
+from repro.errors import ServiceError
+from repro.runtime import AtlasRuntime
+
+N_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def server(scenario):
+    server = AtlasServer()
+    server.publish(copy.deepcopy(scenario.atlas(0)))
+    return server
+
+
+@pytest.fixture()
+def service(server):
+    svc = server.serve(n_shards=N_SHARDS)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def prefixes(scenario):
+    return sorted(scenario.atlas(0).prefix_to_cluster)
+
+
+class TestSharedGraph:
+    def test_round_trip_and_zero_copy_views(self, atlas):
+        payload = encode_atlas(atlas)
+        cg = CompiledGraph.from_atlas(decode_atlas(payload), closed=True)
+        handle = cg.to_shared()
+        try:
+            view = CompiledGraph.from_shared(handle.meta, decode_atlas(payload))
+            for name, want in cg.arrays().items():
+                got = getattr(view, name)
+                assert not isinstance(got, list), f"{name} should be a view"
+                assert not got.flags.writeable
+                assert got.tolist() == want, name
+            assert view._id_of == cg._id_of
+            assert view.n_nodes == cg.n_nodes and view.n_edges == cg.n_edges
+            view.release_shared()
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_predictions_from_views_match_lists(self, atlas, prefixes):
+        payload = encode_atlas(atlas)
+        ref_atlas = decode_atlas(payload)
+        cg = CompiledGraph.from_atlas(ref_atlas, closed=True)
+        handle = cg.to_shared()
+        try:
+            view_atlas = decode_atlas(payload)
+            view = CompiledGraph.from_shared(handle.meta, view_atlas)
+            config = PredictorConfig.graph_baseline()
+            ref = INanoPredictor(ref_atlas, config, primary_graph=cg)
+            over_view = INanoPredictor(view_atlas, config, primary_graph=view)
+            pairs = [(s, d) for s in prefixes[:6] for d in prefixes[6:12]]
+            assert over_view.predict_batch(pairs) == ref.predict_batch(pairs)
+            view.release_shared()
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_ensure_mutable_materializes_and_detaches(self, atlas):
+        cg = CompiledGraph.from_atlas(atlas, closed=True)
+        handle = cg.to_shared()
+        try:
+            view = CompiledGraph.from_shared(handle.meta, atlas)
+            assert view._shm is not None
+            view.ensure_mutable()
+            assert view._shm is None
+            assert all(
+                isinstance(values, list) for values in view.arrays().values()
+            )
+            assert view.arrays() == cg.arrays()
+            view.ensure_mutable()  # idempotent
+        finally:
+            handle.close()
+            handle.unlink()
+
+
+class TestRoutingAndCoalescing:
+    def test_predict_matches_server(self, service, server, prefixes):
+        for src, dst in [(prefixes[0], prefixes[5]), (prefixes[3], prefixes[9])]:
+            assert service.predict(src, dst) == server.predict(src, dst)
+
+    def test_unmapped_destination_short_circuits(self, service):
+        future = service.submit(10**9 + 7, 10**9 + 8)
+        assert future.done and future.value is None
+        assert service.predict_batch([(10**9 + 7, 10**9 + 8)]) == [None]
+
+    def test_window_coalesces_duplicates(self, service, prefixes):
+        src, dst = prefixes[0], prefixes[5]
+        futures = [service.submit(src, dst) for _ in range(4)]
+        other = service.submit(prefixes[1], dst)
+        assert service.stats["coalesced"] == 3
+        service.flush()
+        assert all(f.done for f in futures + [other])
+        assert len({id(f.value) for f in futures}) == 1, (
+            "duplicates share one wire slot and one result object"
+        )
+        # the whole window rode one worker batch per (config, client)
+        shard = service.shard_of_destination(dst)
+        stats = service.shard_stats()[shard]
+        assert stats["batches"] == 1
+        assert stats["pairs"] == 2  # (src,dst) dedup'd + (src2,dst)
+
+    def test_result_blocks_until_flush(self, service, server, prefixes):
+        future = service.submit(prefixes[2], prefixes[7])
+        assert not future.done
+        assert future.result() == server.predict(prefixes[2], prefixes[7])
+
+    def test_backpressure_flushes_saturated_shard(self, server, prefixes):
+        svc = server.serve(n_shards=1, max_pending=3)
+        try:
+            futures = [
+                svc.submit(prefixes[i], prefixes[7]) for i in range(5)
+            ]
+            assert svc.stats["backpressure_flushes"] == 1
+            assert all(f.done for f in futures[:3]), "saturated window drained"
+            assert not futures[3].done
+            svc.flush()
+            assert all(f.done for f in futures)
+        finally:
+            svc.close()
+
+    def test_close_resolves_pending_and_rejects_new_work(self, server, prefixes):
+        svc = server.serve(n_shards=N_SHARDS)
+        future = svc.submit(prefixes[0], prefixes[5])
+        svc.close()
+        assert future.done and future.value is None
+        with pytest.raises(ServiceError):
+            svc.predict(prefixes[0], prefixes[5])
+        svc.close()  # idempotent
+
+
+class TestFleetState:
+    def test_workers_start_converged(self, service):
+        assert service.converged()
+        snaps = service.shard_snapshots()
+        assert len(snaps) == N_SHARDS
+        assert snaps[0]["graphs"].keys() == {"directed", "closed"}
+
+    def test_sync_from_server_rolls_the_fleet(self, scenario):
+        server = AtlasServer()
+        server.publish(copy.deepcopy(scenario.atlas(0)))
+        server.runtime()  # materialize at day 0 so both sides roll the chain
+        svc = server.serve(n_shards=N_SHARDS)
+        try:
+            server.publish(copy.deepcopy(scenario.atlas(1)))
+            assert svc.day == 0
+            assert svc.sync_from(server) == 1
+            assert svc.day == 1
+            assert svc.converged()
+            pairs = [(s, d) for s, d in zip(
+                sorted(scenario.atlas(1).prefix_to_cluster)[:6],
+                sorted(scenario.atlas(1).prefix_to_cluster)[6:12],
+            )]
+            assert svc.predict_batch(pairs) == server.predict_batch(pairs)
+        finally:
+            svc.close()
+
+    def test_register_and_release_client_across_fleet(self, service, atlas, prefixes):
+        links = dict(list(copy.deepcopy(atlas).links.items())[:8])
+        service.register_client("tok", links, from_src_prefixes={prefixes[0]})
+        assert all(
+            s["registered_clients"] == 1 for s in service.shard_stats()
+        )
+        # client-scoped queries resolve through the merged pool entry
+        got = service.predict_batch(
+            [(prefixes[0], prefixes[5])], client="tok"
+        )
+        assert len(got) == 1
+        service.release_client("tok")
+        assert all(
+            s["registered_clients"] == 0 for s in service.shard_stats()
+        )
+
+    def test_shared_bytes_accounted(self, service):
+        assert service.shared_bytes > 0
+
+    def test_worker_error_does_not_desync_the_fleet(
+        self, service, server, prefixes
+    ):
+        from repro.errors import ShardStateError
+
+        pairs = [(prefixes[i], prefixes[i + 4]) for i in range(4)]
+        with pytest.raises(ShardStateError):
+            # unregistered client token: the owning worker replies with
+            # an error, but every shard's reply must still be drained
+            service.predict_batch(pairs, client="nobody")
+        # the request/reply streams stayed in sync: the service keeps
+        # answering correctly after the failure
+        assert service.predict_batch(pairs) == server.predict_batch(pairs)
+        assert service.converged()
+
+    def test_failed_window_futures_reraise_not_none(self, service, prefixes):
+        from repro.errors import ShardStateError
+
+        future = service.submit(prefixes[0], prefixes[5], client="nobody")
+        with pytest.raises(ShardStateError):
+            service.flush()
+        assert future.done and future.error is not None
+        with pytest.raises(ShardStateError):
+            # a failed request must not masquerade as "no path"
+            future.result()
+        # healthy requests still resolve afterwards
+        ok = service.submit(prefixes[0], prefixes[5])
+        service.flush()
+        assert ok.done and ok.error is None
+
+    def test_invalid_arguments_rejected_before_spawning(self, server):
+        with pytest.raises(ValueError):
+            server.serve(n_shards=2, vnodes=0)
+        with pytest.raises(ValueError):
+            server.serve(n_shards=0)
+
+    def test_dead_shard_does_not_strand_healthy_requests(
+        self, server, prefixes
+    ):
+        from repro.errors import ShardStateError
+
+        svc = server.serve(n_shards=2)
+        try:
+            d0 = next(p for p in prefixes if svc.shard_of_destination(p) == 0)
+            d1 = next(p for p in prefixes if svc.shard_of_destination(p) == 1)
+            healthy = svc.submit(prefixes[0], d0)
+            doomed = svc.submit(prefixes[0], d1)
+            svc._shards._conns[1].close()  # shard 1's pipe dies
+            with pytest.raises(ShardStateError):
+                svc.flush()
+            # the healthy shard's request was sent, collected, resolved
+            assert healthy.done and healthy.error is None
+            assert healthy.value == server.predict(prefixes[0], d0)
+            # the dead shard's request failed loudly, not silently-None
+            with pytest.raises(ShardStateError):
+                doomed.result()
+            # and the healthy shard's pipe stayed in sync afterwards
+            assert svc.predict(prefixes[0], d0) == server.predict(
+                prefixes[0], d0
+            )
+        finally:
+            svc.close()
+
+    def test_shape_verify_mode(self, scenario):
+        server = AtlasServer()
+        server.publish(copy.deepcopy(scenario.atlas(0)))
+        server.runtime()
+        svc = server.serve(n_shards=N_SHARDS)
+        try:
+            server.publish(copy.deepcopy(scenario.atlas(1)))
+            update = svc.apply_delta(server.delta_for(1), verify="shape")
+            # shape handshake skips the O(graph) digest per worker...
+            graphs = update["snapshot"]["graphs"]
+            assert all(fp is None for _, _, fp in graphs.values())
+            # ...while the on-demand check still runs the full digest
+            assert svc.converged()
+            with pytest.raises(ValueError):
+                svc.apply_delta(server.delta_for(1), verify="bogus")
+        finally:
+            svc.close()
+
+
+class TestPoolWarmRecords:
+    """The release fix: a released client's warm-start records must not
+    pin prewarm work on later updates."""
+
+    def _chain_step(self, atlas, bump):
+        nxt = copy.deepcopy(atlas)
+        nxt.day += 1
+        from repro.atlas.model import LinkRecord
+
+        for link in list(nxt.links)[: len(nxt.links) // 4]:
+            rec = nxt.links[link]
+            nxt.links[link] = LinkRecord(latency_ms=rec.latency_ms + bump)
+        return nxt
+
+    def test_records_reseed_destinations_evicted_from_lru(self, atlas):
+        runtime = AtlasRuntime(copy.deepcopy(atlas))
+        graph = runtime.closed_graph()
+        config = PredictorConfig.graph_baseline()
+        predictor = runtime.pool.predictor(config)
+        clusters = sorted({c for ab in runtime.atlas.links for c in ab})[:3]
+        for cluster in clusters:
+            predictor.search_for(graph, cluster, None)
+        day1 = self._chain_step(runtime.atlas, 0.25)
+        runtime.apply_delta(compute_delta(runtime.atlas, day1))
+        pool_key = (config, None)
+        assert runtime.pool._warm.get(pool_key), "update records hot dsts"
+        # simulate the hottest destination aging out of the LRU
+        graph = runtime.closed_graph()
+        victim = next(
+            key
+            for key in list(predictor._search_cache)
+            if key[1] == clusters[0]
+        )
+        del predictor._search_cache[victim]
+        day2 = self._chain_step(runtime.atlas, 0.5)
+        runtime.apply_delta(compute_delta(runtime.atlas, day2))
+        graph = runtime.closed_graph()
+        assert (graph.version, clusters[0], None) in predictor._search_cache, (
+            "warm records re-seed destinations the LRU already dropped"
+        )
+
+    def test_release_drops_warm_records(self, atlas):
+        runtime = AtlasRuntime(copy.deepcopy(atlas))
+        graph = runtime.closed_graph()
+        config = PredictorConfig.graph_baseline()
+        shared = runtime.pool.predictor(config)
+        dedicated = runtime.pool.predictor(config, client_key="c1")
+        clusters = sorted({c for ab in runtime.atlas.links for c in ab})[:2]
+        for cluster in clusters:
+            shared.search_for(graph, cluster, None)
+            dedicated.search_for(graph, cluster, None)
+        runtime.apply_delta(
+            compute_delta(runtime.atlas, self._chain_step(runtime.atlas, 0.25))
+        )
+        assert any(key[1] == "c1" for key in runtime.pool._warm)
+        runtime.release("c1")
+        assert not any(key[1] == "c1" for key in runtime.pool._warm), (
+            "released client's warm-start records must be dropped"
+        )
+        assert not any(key[1] == "c1" for key in runtime.pool._entries)
+        # subsequent updates still work and never prewarm for c1
+        report = runtime.apply_delta(
+            compute_delta(runtime.atlas, self._chain_step(runtime.atlas, 0.5))
+        )
+        assert "c1" not in {key[1] for key in runtime.pool._warm}
+        assert report.cache["prewarmed"] <= runtime.pool.prewarm_max
