@@ -2,13 +2,14 @@
 # keep green; `make bench-smoke` times the query engine (GC off for stable
 # numbers, appends to BENCH_query.json), the update path (bench-update,
 # appends cold-recompile vs in-place-patch timings to BENCH_update.json),
-# the search kernel (bench-search -> BENCH_search.json), and the sharded
+# the search kernel (bench-search -> BENCH_search.json), the sharded
 # prediction service (bench-serve, shard-count throughput/p50/p99 sweeps
-# -> BENCH_serve.json).
+# -> BENCH_serve.json), and the network gateway (bench-net, connect /
+# pipelined-QPS / delta-push-latency sweeps -> BENCH_net.json).
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: verify bench-smoke bench bench-update bench-search bench-serve equivalence
+.PHONY: verify bench-smoke bench bench-update bench-search bench-serve bench-net equivalence
 
 verify:
 	$(PYTEST) -x -q
@@ -22,7 +23,10 @@ bench-search:
 bench-serve:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_serve_performance.py -q
 
-bench-smoke: bench-update bench-search bench-serve
+bench-net:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_net_performance.py -q
+
+bench-smoke: bench-update bench-search bench-serve bench-net
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \
 		--benchmark-disable-gc --benchmark-min-rounds=5 --benchmark-warmup=off
 
@@ -34,4 +38,5 @@ equivalence:
 		tests/test_runtime_delta_chain.py \
 		tests/test_search_kernel_property.py \
 		tests/test_delta_codec.py \
-		tests/test_serve_equivalence.py -q
+		tests/test_serve_equivalence.py \
+		tests/test_net_equivalence.py -q

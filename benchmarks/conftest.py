@@ -20,6 +20,7 @@ BENCH_QUERY_JSON = Path(__file__).parent.parent / "BENCH_query.json"
 BENCH_UPDATE_JSON = Path(__file__).parent.parent / "BENCH_update.json"
 BENCH_SEARCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
 BENCH_SERVE_JSON = Path(__file__).parent.parent / "BENCH_serve.json"
+BENCH_NET_JSON = Path(__file__).parent.parent / "BENCH_net.json"
 _BENCH_HISTORY_MAX = 40
 
 
@@ -145,5 +146,15 @@ def bench_record_serve():
     record, flush = _trajectory_recorder(
         BENCH_SERVE_JSON, lambda **stats: stats
     )
+    yield record
+    flush()
+
+
+@pytest.fixture(scope="session")
+def bench_record_net():
+    """Collect network-gateway benchmark stats (connect latency,
+    pipelined QPS, delta-push latency); appends one run entry to
+    ``BENCH_net.json`` on session teardown."""
+    record, flush = _trajectory_recorder(BENCH_NET_JSON, lambda **stats: stats)
     yield record
     flush()

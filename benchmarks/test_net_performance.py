@@ -1,0 +1,162 @@
+"""Network-gateway benchmarks: the cost of crossing the node boundary.
+
+Three sweeps over a gateway serving the default scenario's atlas on
+both transports, recorded to ``BENCH_net.json`` under ``BENCH_RECORD=1``
+(``make bench-net``):
+
+* **connect** — TCP connect + HELLO/WELCOME handshake latency (the
+  per-client session setup cost);
+* **pipelined QPS** — single-PREDICT frames pipelined N-deep vs. sent
+  one-at-a-time (request/reply lockstep), plus ``predict_batch`` for
+  the one-frame batching ceiling. Pipelining is where the front-end
+  protocol wins back the wire's round trip — the acceptance gate is
+  ≥ 1k pipelined queries/s on warm destinations;
+* **delta push** — wall time from :meth:`NetworkGateway.push_delta` to
+  a subscribed bootstrapped client having *applied* the day in place
+  (decode + CSR patch + warm-start repair included), plus the wire
+  size of the push.
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import os
+import time
+
+import pytest
+
+from repro.atlas.delta import compute_delta
+from repro.client import AtlasServer
+from repro.net import NetworkClient, NetworkGateway
+
+N_CONNECTS = 20
+PIPELINE_DEPTH = 256
+PIPELINE_ROUNDS = 4
+LOCKSTEP_QUERIES = 200
+QPS_GATE = 1000.0
+
+
+@pytest.fixture(scope="module")
+def server(scenario):
+    server = AtlasServer()
+    server.publish(copy.deepcopy(scenario.atlas(0)))
+    return server
+
+
+@pytest.fixture(scope="module")
+def workload(scenario):
+    """Warm-destination pairs: a small destination set (well inside one
+    pool's LRU) so the sweep times the wire, not cold searches."""
+    atlas = scenario.atlas(0)
+    prefixes = sorted(atlas.prefix_to_cluster)
+    dsts = prefixes[:8]
+    srcs = prefixes[:25]
+    return [(s, d) for d in dsts for s in srcs if s != d]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_bench_gateway(server, scenario, workload, bench_record_net, report):
+    delta = compute_delta(scenario.atlas(0), _next_day(scenario))
+    gateway = NetworkGateway(server, tcp=("127.0.0.1", 0))
+    gateway.start()
+    gc.disable()
+    try:
+        host, port = gateway.tcp_address
+
+        # -- connect + handshake latency --
+        connects = []
+        for _ in range(N_CONNECTS):
+            start = time.perf_counter()
+            NetworkClient.connect_tcp(host, port).close()
+            connects.append(time.perf_counter() - start)
+
+        client = NetworkClient.connect_tcp(host, port)
+        client.predict_batch(workload)  # warm the pooled search caches
+
+        # -- lockstep (one in flight) vs pipelined vs one-frame batch --
+        lockstep = workload[:LOCKSTEP_QUERIES]
+        start = time.perf_counter()
+        for src, dst in lockstep:
+            client.predict(src, dst)
+        lockstep_s = time.perf_counter() - start
+        lockstep_qps = len(lockstep) / lockstep_s
+
+        window = (workload * ((PIPELINE_DEPTH // len(workload)) + 1))[
+            :PIPELINE_DEPTH
+        ]
+        start = time.perf_counter()
+        for _ in range(PIPELINE_ROUNDS):
+            client.pipeline_predict(window)
+        pipelined_s = (time.perf_counter() - start) / PIPELINE_ROUNDS
+        pipelined_qps = len(window) / pipelined_s
+
+        start = time.perf_counter()
+        for _ in range(PIPELINE_ROUNDS):
+            client.predict_batch(window)
+        batch_s = (time.perf_counter() - start) / PIPELINE_ROUNDS
+        batch_qps = len(window) / batch_s
+
+        # -- delta push latency: gateway apply -> client applied in place --
+        subscriber = NetworkClient.connect_tcp(host, port)
+        subscriber.bootstrap()
+        start = time.perf_counter()
+        push = gateway.push_delta(delta)
+        pushed_s = time.perf_counter() - start
+        subscriber.wait_for_day(push["day"], timeout=30.0)
+        applied_s = time.perf_counter() - start
+        subscriber.close()
+        client.close()
+    finally:
+        gc.enable()
+        gateway.close()
+
+    stats = {
+        "connect_p50_ms": round(_percentile(connects, 0.50) * 1000, 3),
+        "connect_p99_ms": round(_percentile(connects, 0.99) * 1000, 3),
+        "lockstep_qps": round(lockstep_qps, 1),
+        "pipelined_qps": round(pipelined_qps, 1),
+        "pipeline_depth": PIPELINE_DEPTH,
+        "batch_qps": round(batch_qps, 1),
+        "push_apply_ms": round(pushed_s * 1000, 3),
+        "push_applied_client_ms": round(applied_s * 1000, 3),
+        "push_wire_bytes": push["wire_bytes"],
+        "cpus": os.cpu_count(),
+    }
+    bench_record_net("gateway_tcp", **stats)
+    from repro.eval.reporting import render_table
+
+    report(
+        "net_gateway",
+        render_table(
+            f"Network gateway (TCP loopback, {len(workload)} warm pairs)",
+            ["metric", "value"],
+            [
+                ("connect p50", f"{stats['connect_p50_ms']:.2f} ms"),
+                ("lockstep QPS", f"{stats['lockstep_qps']:,.0f}"),
+                (
+                    f"pipelined QPS (depth {PIPELINE_DEPTH})",
+                    f"{stats['pipelined_qps']:,.0f}",
+                ),
+                ("batch QPS", f"{stats['batch_qps']:,.0f}"),
+                ("delta push -> applied", f"{stats['push_applied_client_ms']:.1f} ms"),
+                ("push wire size", f"{stats['push_wire_bytes']:,} B"),
+            ],
+        ),
+    )
+    # the acceptance gate: the wire must not cap the service below 1k
+    # pipelined queries/s on warm destinations. (The pipelined-vs-
+    # lockstep ratio is recorded, not asserted — on a loaded 1-core
+    # host scheduler jitter can invert the ~25% margin.)
+    assert pipelined_qps >= QPS_GATE, stats
+    assert lockstep_qps >= QPS_GATE, stats
+
+
+def _next_day(scenario):
+    nxt = copy.deepcopy(scenario.atlas(1))
+    nxt.day = 1
+    return nxt

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the network gateway and remote clients.
+
+The paper's Section 5 future work — "support remote queries so that
+only one local host need download the atlas" — over a real transport.
+This example stands up the node boundary:
+
+1. publish an atlas and start a :class:`NetworkGateway` listening on a
+   TCP port *and* a unix-domain socket (same protocol, both ends),
+2. connect a **delegate** client: no atlas, every query ships a binary
+   frame over the wire and the gateway answers from its backend,
+3. connect a **bootstrap** client: it fetches the full encoded atlas
+   over ``ATLAS_FETCH``, builds its own local runtime, and subscribes
+   to delta pushes — from here its queries never touch the network,
+4. publish the next day and :meth:`push_delta` — the subscribed client
+   receives the ``DELTA_PUSH`` frame and patches its compiled arrays
+   **in place** (the same daily-update path a co-located consumer
+   runs), staying bit-for-bit identical to the server side.
+
+Run:  python examples/remote_client.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.client import AtlasServer, INanoRemoteClient
+from repro.net import NetworkGateway
+from repro.eval import get_scenario
+
+
+def main() -> None:
+    scenario = get_scenario("small")
+    server = AtlasServer()
+    server.publish(scenario.atlas(day=0))
+    print("== atlas published (day 0) ==")
+
+    uds_path = str(Path(tempfile.mkdtemp()) / "inano.sock")
+    with NetworkGateway(server, tcp=("127.0.0.1", 0), uds=uds_path) as gateway:
+        host, port = gateway.tcp_address
+        print(f"  gateway listening on tcp://{host}:{port} and uds://{uds_path}")
+
+        prefixes = sorted(scenario.atlas(0).prefix_to_cluster)
+        pairs = [(prefixes[0], d) for d in prefixes[10:16]]
+
+        # Delegate mode (TCP): the client holds no atlas; each query is
+        # one frame round trip, answered from the server's shared pool.
+        with INanoRemoteClient.connect_tcp(host, port) as delegate:
+            print(f"  delegate connected: backend={delegate.backend_name}, "
+                  f"day={delegate.server_day}, mode={delegate.mode}")
+            info = delegate.query(*pairs[0])
+            if info is not None:
+                print(f"  remote query: rtt={info.rtt_ms:.1f} ms "
+                      f"loss={info.loss_round_trip:.3f} day={info.atlas_day}")
+            # pipelining: N requests on the wire before the first reply
+            paths = delegate.pipeline_predict(pairs * 4)
+            print(f"  pipelined {len(paths)} predicts over one connection")
+
+            # Bootstrap mode (UDS): fetch the atlas over the wire, build
+            # a local runtime, subscribe to the daily pushes.
+            with INanoRemoteClient.connect_uds(uds_path) as full:
+                atlas = full.bootstrap()
+                print(f"  bootstrapped over UDS: day {atlas.day}, "
+                      f"mode={full.mode}, subscribed={full.subscribed}")
+                local = full.query_batch(pairs)
+                remote = delegate.query_batch(pairs)
+                print(f"  local == remote answers: {local == remote}")
+
+                # Day 2: publish, push — the subscribed client applies
+                # the delta in place, no re-download.
+                server.publish(scenario.atlas(day=1))
+                push = gateway.push_delta(server.delta_for(1))
+                full.wait_for_day(push["day"])
+                print(f"  delta push: {push['wire_bytes']:,} wire bytes to "
+                      f"{push['subscribers']} subscriber(s); client now at "
+                      f"day {full.day} ({full.runtime.updates_patched} in-place "
+                      f"patch(es), {full.deltas_applied} push(es) applied)")
+                same = full.query_batch(pairs) == delegate.query_batch(pairs)
+                print(f"  post-delta local == remote answers: {same}")
+
+        print(f"  gateway stats: {gateway.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,10 @@ over a synthetic-Internet substrate:
 * :mod:`repro.serve` — the sharded prediction service: multi-process
   shard workers over shared-memory CSR, consistent-hash fan-out,
   binary delta broadcast (``AtlasServer.serve()``);
+* :mod:`repro.net` — the network gateway: a length-prefixed binary
+  wire protocol, an asyncio TCP/unix-socket front-end over either
+  backend, and remote clients that bootstrap an atlas and apply
+  pushed deltas over the wire (``repro.client.INanoRemoteClient``);
 * :mod:`repro.apps` — CDN, VoIP and detour-routing case studies;
 * :mod:`repro.eval` — scenario presets, validation sets, metrics.
 """

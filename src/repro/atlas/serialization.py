@@ -34,10 +34,14 @@ import struct
 import zlib
 
 from repro.atlas.model import Atlas, LinkRecord
-from repro.errors import AtlasFormatError
+from repro.errors import AtlasFormatError, CodecError
 
 MAGIC = b"INNA"
 FORMAT_VERSION = 1
+
+#: hard ceiling on one decompressed section — a corrupt or hostile
+#: length prefix must not balloon the decoder's memory
+MAX_SECTION_BYTES = 256 * 1024 * 1024
 
 #: Dataset names in serialization order; names match Table 2's rows where
 #: the paper has them.
@@ -67,8 +71,68 @@ def _pack_rows(fmt: str, rows: list[tuple]) -> bytes:
 def _unpack_rows(fmt: str, payload: bytes) -> list[tuple]:
     packer = struct.Struct(fmt)
     if len(payload) % packer.size:
-        raise AtlasFormatError("dataset payload is not row-aligned")
+        raise CodecError(
+            f"dataset payload of {len(payload)} bytes is not aligned to "
+            f"{packer.size}-byte rows"
+        )
     return [packer.unpack_from(payload, off) for off in range(0, len(payload), packer.size)]
+
+
+def _read_sections(
+    data: bytes, offset: int, n_sections: int, what: str
+) -> dict[str, bytes]:
+    """Shared section walk for the atlas and delta decoders: every
+    length is validated against the remaining payload before use, so
+    truncated or oversized frames raise :class:`~repro.errors.CodecError`
+    instead of leaking ``struct.error`` / ``IndexError`` /
+    ``zlib.error`` from arbitrary offsets."""
+    sections: dict[str, bytes] = {}
+    for _ in range(n_sections):
+        if offset + 1 > len(data):
+            raise CodecError(f"{what}: truncated before section name")
+        (name_len,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        if offset + name_len + 8 > len(data):
+            raise CodecError(f"{what}: truncated section header")
+        try:
+            name = data[offset : offset + name_len].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"{what}: undecodable section name") from exc
+        offset += name_len
+        comp_len, raw_len = struct.unpack_from("<II", data, offset)
+        offset += 8
+        if raw_len > MAX_SECTION_BYTES:
+            raise CodecError(
+                f"{what}: section {name} declares {raw_len} bytes "
+                f"(limit {MAX_SECTION_BYTES})"
+            )
+        if offset + comp_len > len(data):
+            raise CodecError(
+                f"{what}: section {name} truncated "
+                f"({comp_len} bytes declared, {len(data) - offset} left)"
+            )
+        try:
+            # bounded inflate: a bomb claiming a small raw_len stops at
+            # raw_len + 1 bytes instead of materializing its full output
+            decomp = zlib.decompressobj()
+            raw = decomp.decompress(data[offset : offset + comp_len], raw_len + 1)
+        except zlib.error as exc:
+            raise CodecError(f"{what}: section {name} is corrupt: {exc}") from exc
+        if (
+            len(raw) != raw_len
+            or not decomp.eof
+            or decomp.unconsumed_tail
+            or decomp.unused_data
+        ):
+            raise CodecError(f"{what}: section {name} length mismatch")
+        sections[name] = raw
+        offset += comp_len
+    if offset != len(data):
+        raise CodecError(
+            f"{what}: {len(data) - offset} trailing bytes after the last "
+            f"section"
+        )
+    return sections
 
 
 def _encode_latency(latency_ms: float) -> int:
@@ -157,27 +221,17 @@ def encode_atlas(atlas: Atlas, compress_level: int = 6) -> bytes:
 
 
 def decode_atlas(data: bytes) -> Atlas:
-    """Inverse of :func:`encode_atlas`; validates framing."""
+    """Inverse of :func:`encode_atlas`; validates framing (truncated or
+    oversized frames raise :class:`~repro.errors.CodecError`)."""
+    if len(data) < 11:
+        raise CodecError(f"atlas frame of {len(data)} bytes has no header")
     if data[:4] != MAGIC:
         raise AtlasFormatError("bad magic")
     version, day = struct.unpack_from("<HI", data, 4)
     if version != FORMAT_VERSION:
         raise AtlasFormatError(f"unsupported atlas format version {version}")
     (n_sections,) = struct.unpack_from("<B", data, 10)
-    offset = 11
-    sections: dict[str, bytes] = {}
-    for _ in range(n_sections):
-        (name_len,) = struct.unpack_from("<B", data, offset)
-        offset += 1
-        name = data[offset : offset + name_len].decode("ascii")
-        offset += name_len
-        comp_len, raw_len = struct.unpack_from("<II", data, offset)
-        offset += 8
-        raw = zlib.decompress(data[offset : offset + comp_len])
-        if len(raw) != raw_len:
-            raise AtlasFormatError(f"section {name}: length mismatch")
-        sections[name] = raw
-        offset += comp_len
+    sections = _read_sections(data, 11, n_sections, "atlas")
 
     atlas = Atlas(day=day)
     for a, b, lat in _unpack_rows("<IIH", sections.get("inter_cluster_links", b"")):
@@ -340,26 +394,15 @@ def decode_delta(data: bytes):
     with no intermediate representation."""
     from repro.atlas.delta import AtlasDelta
 
+    if len(data) < 15:
+        raise CodecError(f"delta frame of {len(data)} bytes has no header")
     if data[:4] != DELTA_MAGIC:
         raise AtlasFormatError("bad delta magic")
     version, base_day, new_day = struct.unpack_from("<HII", data, 4)
     if version != DELTA_FORMAT_VERSION:
         raise AtlasFormatError(f"unsupported delta format version {version}")
     (n_sections,) = struct.unpack_from("<B", data, 14)
-    offset = 15
-    sections: dict[str, bytes] = {}
-    for _ in range(n_sections):
-        (name_len,) = struct.unpack_from("<B", data, offset)
-        offset += 1
-        name = data[offset : offset + name_len].decode("ascii")
-        offset += name_len
-        comp_len, raw_len = struct.unpack_from("<II", data, offset)
-        offset += 8
-        raw = zlib.decompress(data[offset : offset + comp_len])
-        if len(raw) != raw_len:
-            raise AtlasFormatError(f"delta section {name}: length mismatch")
-        sections[name] = raw
-        offset += comp_len
+    sections = _read_sections(data, 15, n_sections, "delta")
 
     delta = AtlasDelta(base_day=base_day, new_day=new_day)
     delta.links_removed = {

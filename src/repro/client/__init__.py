@@ -8,7 +8,11 @@ fetches the atlas (by swarm), augments it with the host's own traceroutes
 Both resolve their compiled query state through `repro.runtime`: one
 shared `AtlasRuntime` per atlas lineage, patched in place by daily
 deltas, with predictors pooled across server, remote-agent and
-co-located client consumers.
+co-located client consumers. `INanoRemoteClient` (the
+`repro.net.client.NetworkClient`) is the off-node variant: it reaches
+a `repro.net.gateway.NetworkGateway` over TCP or a unix socket and
+either delegates queries over the wire or bootstraps a full atlas and
+applies pushed deltas locally.
 """
 
 from repro.client.server import AtlasServer
@@ -23,4 +27,15 @@ __all__ = [
     "PathInfo",
     "QueryAgent",
     "RemoteQueryResult",
+    "INanoRemoteClient",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.net.client imports from this package, so a direct
+    # import here would cycle when repro.net loads first.
+    if name == "INanoRemoteClient":
+        from repro.net.client import NetworkClient
+
+        return NetworkClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

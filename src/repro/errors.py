@@ -42,6 +42,17 @@ class AtlasFormatError(AtlasError):
     """Raised when serialized atlas bytes fail validation."""
 
 
+class CodecError(AtlasFormatError):
+    """Raised when an encoded atlas or delta frame is structurally
+    unsound — truncated mid-section, a declared length running past the
+    payload, an oversized section, or corrupt compressed bytes.
+
+    A typed subclass (instead of the raw ``struct.error`` / ``zlib.error``
+    / ``IndexError`` the decoders used to leak) so transport layers like
+    the network gateway can catch decode failures of untrusted bytes and
+    answer with a clean protocol-level ERROR frame."""
+
+
 class DeltaMismatchError(AtlasError):
     """Raised when a daily delta is applied to the wrong base atlas."""
 
@@ -86,3 +97,26 @@ class ServiceError(ReproError):
 class ShardStateError(ServiceError):
     """Raised when shard workers diverge (unequal post-broadcast graph
     state, a worker-side failure, or a dead worker process)."""
+
+
+class NetworkError(ReproError):
+    """Base class for the network gateway / remote client layer
+    (:mod:`repro.net`): transport failures, protocol violations, and
+    server-reported request errors."""
+
+
+class ProtocolError(NetworkError):
+    """Raised when wire bytes violate the gateway protocol: bad frame
+    magic, an unsupported version, an oversized or truncated frame, an
+    out-of-order reply, or a payload that does not parse."""
+
+
+class RemoteError(NetworkError):
+    """Raised client-side when the gateway answered a request with an
+    ERROR frame; carries the wire error ``code`` and the server's
+    message."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"remote error {code}: {message}")
+        self.code = code
+        self.remote_message = message

@@ -1,0 +1,42 @@
+"""The network gateway subsystem: the node boundary, crossed.
+
+The paper deploys iNano as a service for "millions of users" whose
+hosts hold no atlas, with one daily delta shipped to every full client
+(Section 5's remote-query future work). Everything below this package
+answers queries in-process or over ``multiprocessing`` pipes;
+:mod:`repro.net` is the real transport:
+
+* :mod:`repro.net.protocol` — the length-prefixed binary wire format
+  (HELLO, PREDICT/PREDICT_BATCH, QUERY_INFO, ATLAS_FETCH,
+  SUBSCRIBE/DELTA_PUSH on the ``INDB`` broadcast codec, ERROR), one
+  pure-python encode/decode layer shared by both ends;
+* :mod:`repro.net.gateway` — the asyncio front-end: TCP + unix-domain
+  listeners, pipelined per-connection request streams, a single-thread
+  bridge into a :class:`~repro.serve.service.PredictionService` or
+  :class:`~repro.client.server.AtlasServer`, and delta pushes to
+  subscribed connections;
+* :mod:`repro.net.client` — :class:`NetworkClient` (surfaced as
+  ``repro.client.INanoRemoteClient``): delegate queries over the wire
+  like a :class:`~repro.client.remote.QueryAgent` caller, or bootstrap
+  a full atlas over ``ATLAS_FETCH`` and apply pushed deltas through a
+  local :class:`~repro.runtime.runtime.AtlasRuntime` — bit-for-bit the
+  co-located answers, over either transport.
+"""
+
+from repro.net.client import NetworkClient
+from repro.net.gateway import NetworkGateway
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+
+__all__ = [
+    "NetworkClient",
+    "NetworkGateway",
+    "FrameDecoder",
+    "encode_frame",
+    "DEFAULT_MAX_FRAME",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,423 @@
+"""The networked iNano client: bootstrap or delegate over one socket.
+
+Section 5's future work — "support remote queries so that only one
+local host need download the atlas" — gave us :class:`QueryAgent`
+(in-process delegation). :class:`NetworkClient` takes the same two
+deployment modes across a real transport, speaking
+:mod:`repro.net.protocol` frames to a
+:class:`~repro.net.gateway.NetworkGateway` over TCP or a unix-domain
+socket:
+
+* **delegate mode** (the default after :meth:`connect_tcp` /
+  :meth:`connect_uds`): the client holds no atlas; ``predict`` /
+  ``query_batch`` ship PREDICT/QUERY_INFO frames and the gateway
+  answers from its backend — exactly what a ``QueryAgent`` caller gets
+  locally, for hosts that are not even on the agent's node.
+* **bootstrap mode** (:meth:`bootstrap`): the client fetches the full
+  encoded atlas over ``ATLAS_FETCH``, decodes it into a private
+  :class:`~repro.runtime.runtime.AtlasRuntime`, subscribes to delta
+  pushes, and from then on answers every query locally from its own
+  compiled core. Daily ``DELTA_PUSH`` frames (the ``INDB`` broadcast
+  codec) are applied through ``runtime.apply_delta`` — the same
+  in-place CSR patch + warm-start repair a co-located consumer runs —
+  so a bootstrapped remote client stays bit-for-bit identical to a
+  client sitting next to the server, across daily deltas and monthly
+  recompiles alike.
+
+Replies are matched to pipelined requests by id; ``DELTA_PUSH`` frames
+may interleave with replies at any frame boundary and are applied (or
+counted stale) on arrival. :meth:`pipeline_predict` exposes raw
+pipelining — send N requests, then drain N replies — which is where
+the wire amortizes its round trip (the bench's pipelined-QPS sweep).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.atlas.serialization import decode_atlas, decode_delta
+from repro.client.query import PathInfo, combine_batches
+from repro.core.predictor import PredictedPath, PredictorConfig
+from repro.errors import (
+    ClientError,
+    NetworkError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.net import protocol as P
+from repro.runtime import AtlasRuntime
+
+__all__ = ["NetworkClient"]
+
+_RECV_CHUNK = 64 * 1024
+
+
+class NetworkClient:
+    """A remote host talking to a :class:`NetworkGateway`; see module
+    docstring for the delegate / bootstrap split."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        endpoint: str,
+        timeout: float = 30.0,
+        max_frame: int = P.DEFAULT_MAX_FRAME,
+        config: PredictorConfig | None = None,
+        subscribe: bool = False,
+    ) -> None:
+        self._sock = sock
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self.default_config = config or PredictorConfig.inano()
+        self._decoder = P.FrameDecoder(max_frame=max_frame)
+        self._frames: list[tuple[int, int, bytes]] = []
+        self._last_id = 0
+        self._closed = False
+        self.runtime: AtlasRuntime | None = None
+        self.subscribed = False
+        self.server_day: int | None = None
+        self.backend_name: str | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.deltas_applied = 0
+        self.pushes_stale = 0
+        try:
+            self._hello(subscribe)
+        except BaseException:
+            # a failed handshake must not leak the connected socket —
+            # the caller never receives an object to close
+            self.close()
+            raise
+
+    # -- connecting --------------------------------------------------------
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, *, timeout: float = 30.0, **kwargs
+    ) -> "NetworkClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(
+            sock, endpoint=f"tcp://{host}:{port}", timeout=timeout, **kwargs
+        )
+
+    @classmethod
+    def connect_uds(
+        cls, path: str, *, timeout: float = 30.0, **kwargs
+    ) -> "NetworkClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock, endpoint=f"uds://{path}", timeout=timeout, **kwargs)
+
+    def _hello(self, subscribe: bool) -> None:
+        flags = P.FLAG_SUBSCRIBE if subscribe else 0
+        payload = self._request(P.HELLO, P.encode_hello(flags), P.WELCOME)
+        day, subscribed, backend = P.decode_welcome(payload)
+        self.server_day = day
+        self.subscribed = subscribed
+        self.backend_name = backend
+
+    @property
+    def mode(self) -> str:
+        """``"local"`` once bootstrapped, ``"delegate"`` before."""
+        return "local" if self.runtime is not None else "delegate"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _send_frame(self, ftype: int, request_id: int, payload: bytes) -> None:
+        if self._closed:
+            raise NetworkError("client is closed")
+        frame = P.encode_frame(ftype, request_id, payload)
+        # reset the timeout: a prior poll_updates may have left a
+        # near-zero one, and a timeout mid-sendall would desync the wire
+        self._sock.settimeout(self.timeout)
+        try:
+            self._sock.sendall(frame)
+        except (socket.timeout, TimeoutError) as exc:
+            raise NetworkError(
+                f"send to {self.endpoint} timed out after {self.timeout}s"
+            ) from exc
+        self.bytes_sent += len(frame)
+
+    def _next_frame(self, deadline: float | None):
+        """One frame off the wire (buffered frames first); ``None`` on
+        deadline expiry, raises on EOF."""
+        while not self._frames:
+            if deadline is None:
+                self._sock.settimeout(self.timeout)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except (socket.timeout, TimeoutError):
+                if deadline is None:
+                    raise NetworkError(
+                        f"no reply from {self.endpoint} within {self.timeout}s"
+                    ) from None
+                return None
+            if not chunk:
+                raise NetworkError(f"{self.endpoint} closed the connection")
+            self.bytes_received += len(chunk)
+            self._frames.extend(self._decoder.feed(chunk))
+        return self._frames.pop(0)
+
+    def _collect(self, request_id: int, expect: int) -> bytes:
+        """Read until ``request_id``'s reply arrives, applying any
+        interleaved delta pushes and discarding replies to abandoned
+        earlier requests on the way (a pipeline that raised mid-drain
+        leaves its tail replies in flight; ids are monotonic, so
+        anything below ``request_id`` is stale, not desync)."""
+        while True:
+            frame = self._next_frame(None)
+            ftype, got_id, payload = frame
+            if ftype == P.DELTA_PUSH:
+                self._on_push(payload)
+                continue
+            if got_id and got_id < request_id:
+                continue  # stale reply/error for an abandoned request
+            if ftype == P.ERROR:
+                code, message = P.decode_error(payload)
+                raise RemoteError(code, message)
+            if ftype == expect and got_id == request_id:
+                return payload
+            raise ProtocolError(
+                f"expected {P.frame_name(expect)}#{request_id}, got "
+                f"{P.frame_name(ftype)}#{got_id}"
+            )
+
+    def _take_id(self) -> int:
+        self._last_id += 1
+        return self._last_id
+
+    def _request(self, ftype: int, payload: bytes, expect: int) -> bytes:
+        request_id = self._take_id()
+        self._send_frame(ftype, request_id, payload)
+        return self._collect(request_id, expect)
+
+    # -- bootstrap + updates -----------------------------------------------
+
+    def bootstrap(self, day: int | None = None, subscribe: bool = True):
+        """Fetch the full atlas over the wire and go local: decode into
+        a private runtime (own compiled core, own predictor pool) and —
+        by default — subscribe to the gateway's delta pushes. Returns
+        the decoded :class:`~repro.atlas.model.Atlas`.
+
+        Subscribing happens *before* the fetch, so no delta can fall
+        into the gap between them: a push arriving pre-runtime is
+        dropped as stale (the fetched atlas already includes it). The
+        gateway may answer the fetch with an older *anchor* payload
+        followed by catch-up delta pushes (the anchor codec quantizes;
+        the delta codec does not) — the closing SUBSCRIBE round trip
+        below is an ordered fence past those, so this returns with the
+        runtime already on the gateway's current day."""
+        if self.runtime is not None:
+            raise ClientError("client already bootstrapped")
+        if subscribe and not self.subscribed:
+            self.subscribe(True)
+        blob = self._request(P.ATLAS_FETCH, P.encode_atlas_fetch(day), P.ATLAS)
+        self.runtime = AtlasRuntime(decode_atlas(blob))
+        # fence: any catch-up pushes precede this reply on the wire and
+        # are applied while collecting it
+        self.subscribe(self.subscribed)
+        return self.runtime.atlas
+
+    def subscribe(self, on: bool = True) -> int:
+        """Toggle delta pushes for this connection; returns the
+        gateway's current day."""
+        payload = self._request(
+            P.SUBSCRIBE, P.encode_subscribe(on), P.SUBSCRIBE_OK
+        )
+        day, subscribed = P.decode_subscribe_ok(payload)
+        self.server_day = day
+        self.subscribed = subscribed
+        return day
+
+    def _on_push(self, payload: bytes) -> None:
+        if self.runtime is None:
+            self.pushes_stale += 1  # nothing to apply it to
+            return
+        delta = decode_delta(payload)
+        current = self.runtime.atlas.day
+        if delta.new_day <= current:
+            self.pushes_stale += 1  # raced a fetch that already includes it
+            return
+        if delta.base_day != current:
+            raise ClientError(
+                f"delta push {delta.base_day}->{delta.new_day} does not "
+                f"extend local day {current}; re-bootstrap required"
+            )
+        self.runtime.apply_delta(delta)
+        self.deltas_applied += 1
+        self.server_day = delta.new_day
+
+    def poll_updates(self, max_wait: float = 0.0) -> int:
+        """Drain pending frames for up to ``max_wait`` seconds, applying
+        delta pushes; returns how many were applied. Only pushes are
+        legal here (no request is outstanding)."""
+        deadline = time.monotonic() + max_wait
+        applied = 0
+        while True:
+            try:
+                frame = self._next_frame(deadline)
+            except NetworkError:
+                if self._closed:
+                    return applied
+                raise
+            if frame is None:
+                return applied
+            ftype, got_id, payload = frame
+            if ftype != P.DELTA_PUSH:
+                if got_id and got_id <= self._last_id:
+                    continue  # stale reply for an abandoned request
+                raise ProtocolError(
+                    f"unexpected {P.frame_name(ftype)} while idle"
+                )
+            before = self.deltas_applied
+            self._on_push(payload)
+            applied += self.deltas_applied - before
+
+    def wait_for_day(self, day: int, timeout: float = 10.0) -> int:
+        """Poll pushes until the local runtime reaches ``day``."""
+        if self.runtime is None:
+            raise ClientError("bootstrap() before waiting on pushed days")
+        deadline = time.monotonic() + timeout
+        while self.runtime.atlas.day < day:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise NetworkError(
+                    f"day {day} not pushed within {timeout}s "
+                    f"(local day {self.runtime.atlas.day})"
+                )
+            self.poll_updates(max_wait=min(0.2, remaining))
+        return self.runtime.atlas.day
+
+    @property
+    def day(self) -> int | None:
+        """The atlas day queries answer from (local runtime once
+        bootstrapped, else the gateway's last reported day)."""
+        if self.runtime is not None:
+            return self.runtime.atlas.day
+        return self.server_day
+
+    # -- queries -----------------------------------------------------------
+
+    def _predictor(self, config: PredictorConfig | None):
+        return self.runtime.pool.predictor(config or self.default_config)
+
+    def predict(
+        self, src: int, dst: int, config: PredictorConfig | None = None
+    ) -> PredictedPath | None:
+        """One-way prediction (local in bootstrap mode, one frame
+        round trip in delegate mode)."""
+        if self.runtime is not None:
+            return self._predictor(config).predict_batch([(src, dst)])[0]
+        payload = self._request(
+            P.PREDICT, P.encode_predict_request(src, dst, config), P.PREDICT_OK
+        )
+        return P.decode_predict_reply(payload)
+
+    def predict_batch(
+        self,
+        pairs,
+        config: PredictorConfig | None = None,
+        client: str | None = None,
+    ) -> list[PredictedPath | None]:
+        pairs = list(pairs)
+        if self.runtime is not None:
+            if client is not None:
+                raise ClientError(
+                    "client-scoped queries are delegate-mode only"
+                )
+            return self._predictor(config).predict_batch(pairs)
+        payload = self._request(
+            P.PREDICT_BATCH,
+            P.encode_batch_request(pairs, config, client),
+            P.PREDICT_BATCH_OK,
+        )
+        paths = P.decode_batch_reply(payload)
+        if len(paths) != len(pairs):
+            raise ProtocolError(
+                f"{len(paths)} paths answered for {len(pairs)} pairs"
+            )
+        return paths
+
+    def query_batch(
+        self,
+        pairs,
+        config: PredictorConfig | None = None,
+        client: str | None = None,
+    ) -> list[PathInfo | None]:
+        """Two-way queries; shares ``combine_batches``'s contract with
+        every other query surface, so results are bit-for-bit a
+        co-located client's."""
+        pairs = list(pairs)
+        if self.runtime is not None:
+            if client is not None:
+                raise ClientError(
+                    "client-scoped queries are delegate-mode only"
+                )
+            return combine_batches(
+                pairs,
+                self._predictor(config).predict_batch,
+                self.runtime.atlas.day,
+            )
+        payload = self._request(
+            P.QUERY_INFO,
+            P.encode_query_request(pairs, config, client),
+            P.QUERY_INFO_OK,
+        )
+        infos = P.decode_query_reply(payload)
+        if len(infos) != len(pairs):
+            raise ProtocolError(
+                f"{len(infos)} infos answered for {len(pairs)} pairs"
+            )
+        return infos
+
+    def query(
+        self, src: int, dst: int, config: PredictorConfig | None = None
+    ) -> PathInfo | None:
+        return self.query_batch([(src, dst)], config)[0]
+
+    query_or_none = query
+
+    def pipeline_predict(
+        self, pairs, config: PredictorConfig | None = None
+    ) -> list[PredictedPath | None]:
+        """Raw wire pipelining: ship one PREDICT frame per pair without
+        waiting, then drain the replies in order. Delegate mode only —
+        this is the transport-level throughput primitive the bench
+        sweeps."""
+        if self.runtime is not None:
+            raise ClientError("pipeline_predict is delegate-mode only")
+        ids = []
+        for src, dst in pairs:
+            request_id = self._take_id()
+            self._send_frame(
+                P.PREDICT, request_id, P.encode_predict_request(src, dst, config)
+            )
+            ids.append(request_id)
+        return [
+            P.decode_predict_reply(self._collect(request_id, P.PREDICT_OK))
+            for request_id in ids
+        ]

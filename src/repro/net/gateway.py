@@ -1,0 +1,569 @@
+"""The network gateway: asyncio front-end over the prediction backends.
+
+The paper's deployment model is a *service*: remote hosts that hold no
+atlas send path queries over the network, and one daily delta ships to
+every full client. Everything below this module answers queries only
+in-process (``repro.runtime``) or over ``multiprocessing`` pipes
+(``repro.serve``); :class:`NetworkGateway` is the node boundary —
+
+* it listens on **TCP and unix-domain sockets** simultaneously (one
+  gateway, both transports, same protocol bytes);
+* each connection speaks the length-prefixed binary frames of
+  :mod:`repro.net.protocol`, **pipelined**: a client may send any
+  number of requests before reading replies, and the gateway answers
+  in order with matching request ids;
+* requests fan out to a backend — a sharded
+  :class:`~repro.serve.service.PredictionService` or a single-process
+  :class:`~repro.client.server.AtlasServer` — through a **single-thread
+  executor bridge**: the asyncio loop never blocks on a prediction, and
+  the backends (whose pipe protocol and predictor pool are not
+  thread-safe) see exactly one caller thread;
+* **backpressure** is structural: a connection's frames are processed
+  in arrival order and the socket is only read between requests, so a
+  client that pipelines faster than the backend answers fills the
+  kernel's TCP window instead of gateway memory. Frame sizes are capped
+  by ``max_frame`` and a decoder violation closes the connection;
+* **delta broadcast**: :meth:`push_delta` applies one day's
+  :class:`~repro.atlas.delta.AtlasDelta` to the backend, then pushes the
+  encoded ``INDB`` payload (the same broadcast codec the sharded fleet
+  uses internally) to every subscribed connection, where a
+  bootstrapped :class:`~repro.net.client.NetworkClient` applies it
+  through its local runtime's in-place patch + warm-start path.
+
+Run it synchronously from tests and applications: :meth:`start` spawns
+a daemon thread owning the event loop and returns once the listeners
+are bound; :meth:`close` tears everything down. The gateway is
+observation-equivalent to its backend — a networked client's answers
+are bit-for-bit the co-located answers (``tests/test_net_equivalence.py``
+drives TCP and UDS clients through the full churn chain against a
+co-located oracle).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.atlas.serialization import encode_atlas, encode_delta
+from repro.client.query import combine_batches
+from repro.errors import (
+    AtlasError,
+    CodecError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+)
+from repro.net import protocol as P
+
+__all__ = ["NetworkGateway"]
+
+_READ_CHUNK = 64 * 1024
+
+
+# -- backend adapters ------------------------------------------------------
+
+
+class _ServiceBackend:
+    """Bridge to a sharded :class:`~repro.serve.service.PredictionService`."""
+
+    name = "service"
+
+    def __init__(self, service) -> None:
+        self.service = service
+        #: (day, encoded payload) bootstrap anchor, captured at first
+        #: fetch; later fetches reuse it and the gateway replays its
+        #: pushed-delta log on top (exact: the INNA atlas codec
+        #: quantizes, so re-encoding a delta-evolved atlas would fork
+        #: the client from the fleet — anchor + lossless INDB deltas
+        #: lands bit-for-bit). All calls ride the bridge thread, so no
+        #: locking.
+        self._anchor: tuple[int, bytes] | None = None
+
+    @property
+    def day(self) -> int:
+        return self.service.day
+
+    def predict_batch(self, pairs, config, client):
+        return self.service.predict_batch(pairs, config, client)
+
+    def query_batch(self, pairs, config, client):
+        return self.service.query_batch(pairs, config, client)
+
+    def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
+        """The bootstrap anchor ``(day, payload)``; the gateway replays
+        newer pushed deltas on top so the client lands on the current
+        day."""
+        current = self.service.day
+        if day is not None and day != current:
+            raise AtlasError(
+                f"service serves day {current}, cannot bootstrap day {day}"
+            )
+        if self._anchor is None:
+            self._anchor = (current, encode_atlas(self.service.atlas))
+        return self._anchor
+
+    def apply_delta(self, delta, payload: bytes) -> int:
+        # the push payload doubles as the shard broadcast payload
+        self.service.apply_delta(delta, payload=payload)
+        return self.service.day
+
+
+class _ServerBackend:
+    """Bridge to a single-process :class:`~repro.client.server.AtlasServer`.
+
+    Queries answer through the server's own shared runtime (one
+    compiled graph + one pooled search cache with every co-located
+    consumer — which is what makes the remote/co-located equivalence
+    bit-for-bit trivial to audit)."""
+
+    name = "server"
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    @property
+    def _runtime(self):
+        return self.server.runtime()
+
+    @property
+    def day(self) -> int:
+        return self._runtime.atlas.day
+
+    def predict_batch(self, pairs, config, client):
+        if client is not None:
+            raise ProtocolError(
+                "client-scoped queries need a sharded service backend"
+            )
+        return self._runtime.pool.predictor(config).predict_batch(list(pairs))
+
+    def query_batch(self, pairs, config, client):
+        if client is not None:
+            raise ProtocolError(
+                "client-scoped queries need a sharded service backend"
+            )
+        runtime = self._runtime
+        return combine_batches(
+            pairs,
+            runtime.pool.predictor(config).predict_batch,
+            runtime.atlas.day,
+        )
+
+    def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
+        """The published payload as the bootstrap anchor; when pushes
+        have advanced the runtime past the latest *published* day, the
+        gateway's delta-log replay carries the client the rest of the
+        way (the INNA codec quantizes, so only anchor + lossless INDB
+        deltas reproduces the runtime's exact atlas)."""
+        if day is None:
+            day = self.server.latest_day()
+        return day, self.server.full_atlas_bytes(day)
+
+    def apply_delta(self, delta, payload: bytes) -> int:
+        # server.runtime() rolls itself through the server's published
+        # delta chain, so a delta that was published before being pushed
+        # is already applied by the time we get here — push-only then
+        runtime = self._runtime
+        if runtime.atlas.day < delta.new_day:
+            runtime.apply_delta(delta)
+        return runtime.atlas.day
+
+
+def _resolve_backend(backend):
+    if hasattr(backend, "shard_snapshots"):  # PredictionService
+        return _ServiceBackend(backend)
+    if hasattr(backend, "full_atlas_bytes"):  # AtlasServer
+        return _ServerBackend(backend)
+    if hasattr(backend, "atlas_bytes") and hasattr(backend, "predict_batch"):
+        return backend  # pre-built adapter (tests)
+    raise TypeError(
+        f"cannot serve {type(backend).__name__}: expected a "
+        "PredictionService or AtlasServer"
+    )
+
+
+# -- connection state ------------------------------------------------------
+
+
+class _Conn:
+    __slots__ = ("writer", "peer", "subscribed", "hello_done")
+
+    def __init__(self, writer, peer: str) -> None:
+        self.writer = writer
+        self.peer = peer
+        self.subscribed = False
+        self.hello_done = False
+
+
+class NetworkGateway:
+    """Serves the wire protocol on TCP and/or unix-domain sockets."""
+
+    def __init__(
+        self,
+        backend,
+        *,
+        tcp: tuple[str, int] | None = None,
+        uds: str | None = None,
+        max_frame: int = P.DEFAULT_MAX_FRAME,
+        hello_timeout: float = 10.0,
+    ) -> None:
+        if tcp is None and uds is None:
+            raise ValueError("gateway needs a TCP address and/or a UDS path")
+        self.backend = _resolve_backend(backend)
+        self._tcp_request = tcp
+        self._uds_request = uds
+        self.max_frame = int(max_frame)
+        self.hello_timeout = hello_timeout
+        self.tcp_address: tuple[str, int] | None = None
+        self.uds_path: str | None = None
+        # one bridge thread: the backends assume a single caller thread
+        self._bridge = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="inano-gateway"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._servers: list = []
+        self._conns: set[_Conn] = set()
+        #: every delta pushed through this gateway, in order
+        #: ``(new_day, encoded payload)`` — replayed after an ATLAS
+        #: reply so a bootstrap anchored on an older payload still
+        #: lands, losslessly, on the current day
+        self._delta_log: list[tuple[int, bytes]] = []
+        self._closed = False
+        self.stats = {
+            "connections_total": 0,
+            "connections_open": 0,
+            "frames_in": 0,
+            "frames_out": 0,
+            "requests": 0,
+            "errors_sent": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
+            "deltas_pushed": 0,
+            "push_frames": 0,
+            "atlas_bytes_served": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "NetworkGateway":
+        """Bind the listeners on a background event-loop thread; returns
+        once both endpoints are accepting (or raises what binding
+        raised)."""
+        if self._thread is not None:
+            raise NetworkError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="inano-gateway-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise self._startup_error
+        if not self._started.is_set():
+            raise NetworkError("gateway failed to start in time")
+        return self
+
+    def __enter__(self) -> "NetworkGateway":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._bind())
+        except BaseException as exc:
+            self._startup_error = exc
+            # a partial bind (TCP up, UDS failed) must not leak the
+            # listeners that did bind
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(self._teardown())
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self._teardown())
+            loop.close()
+
+    async def _bind(self) -> None:
+        if self._tcp_request is not None:
+            host, port = self._tcp_request
+            server = await asyncio.start_server(self._serve_conn, host, port)
+            self.tcp_address = server.sockets[0].getsockname()[:2]
+            self._servers.append(server)
+        if self._uds_request is not None:
+            server = await asyncio.start_unix_server(
+                self._serve_conn, path=self._uds_request
+            )
+            self.uds_path = self._uds_request
+            self._servers.append(server)
+
+    async def _teardown(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        for conn in list(self._conns):
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+        self._conns.clear()
+        tasks = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def close(self) -> None:
+        """Stop the listeners, close every connection, join the loop
+        thread, and remove the UDS socket file. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        # _loop may already be closed when start() failed to bind
+        if (
+            self._loop is not None
+            and self._thread is not None
+            and not self._loop.is_closed()
+        ):
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+        self._bridge.shutdown(wait=False)
+        if self.uds_path:
+            with contextlib.suppress(OSError):
+                os.unlink(self.uds_path)
+
+    # -- delta broadcast ---------------------------------------------------
+
+    def push_delta(self, delta) -> dict:
+        """Apply one daily delta to the backend, then push the encoded
+        broadcast to every subscribed connection. Thread-safe (callable
+        from any thread while the loop runs). Returns ``{"day",
+        "wire_bytes", "subscribers"}``."""
+        if self._loop is None or self._closed:
+            raise NetworkError("gateway is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self._push_delta(delta), self._loop
+        )
+        return future.result()
+
+    async def _push_delta(self, delta) -> dict:
+        loop = asyncio.get_running_loop()
+        payload = encode_delta(delta)  # one encode: shard fan-out + pushes
+        day = await loop.run_in_executor(
+            self._bridge, self.backend.apply_delta, delta, payload
+        )
+        self._delta_log.append((delta.new_day, payload))
+        frame = P.encode_frame(P.DELTA_PUSH, 0, payload)
+        receivers = [conn for conn in self._conns if conn.subscribed]
+        for conn in receivers:
+            with contextlib.suppress(Exception):
+                conn.writer.write(frame)
+        for conn in receivers:
+            with contextlib.suppress(Exception):
+                await conn.writer.drain()
+        self.stats["deltas_pushed"] += 1
+        self.stats["push_frames"] += len(receivers)
+        self.stats["bytes_out"] += len(frame) * len(receivers)
+        self.stats["frames_out"] += len(receivers)
+        return {
+            "day": day,
+            "wire_bytes": len(payload),
+            "subscribers": len(receivers),
+        }
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_conn(self, reader, writer) -> None:
+        peername = writer.get_extra_info("peername")
+        conn = _Conn(writer, peer=repr(peername))
+        self._conns.add(conn)
+        self.stats["connections_total"] += 1
+        self.stats["connections_open"] += 1
+        decoder = P.FrameDecoder(max_frame=self.max_frame)
+        try:
+            pending: list[tuple[int, int, bytes]] = []
+            deadline = asyncio.get_running_loop().time() + self.hello_timeout
+            while True:
+                while not pending:
+                    if conn.hello_done:
+                        timeout = None
+                    else:
+                        # hard deadline: trickling bytes must not extend it
+                        timeout = deadline - asyncio.get_running_loop().time()
+                        if timeout <= 0:
+                            raise asyncio.TimeoutError
+                    chunk = await asyncio.wait_for(
+                        reader.read(_READ_CHUNK), timeout=timeout
+                    )
+                    if not chunk:
+                        return  # clean EOF
+                    self.stats["bytes_in"] += len(chunk)
+                    pending.extend(decoder.feed(chunk))
+                # Requests are answered strictly in arrival order; the
+                # socket is not read again until this batch drains
+                # (per-connection backpressure).
+                for ftype, request_id, payload in pending:
+                    self.stats["frames_in"] += 1
+                    await self._handle_frame(conn, ftype, request_id, payload)
+                pending.clear()
+        except (asyncio.TimeoutError, TimeoutError):
+            # best effort: the peer may already be gone
+            with contextlib.suppress(Exception):
+                await self._send_error(
+                    conn, 0, P.E_MALFORMED, "no HELLO before timeout"
+                )
+        except ProtocolError as exc:
+            # framing is unrecoverable: report and drop the connection
+            with contextlib.suppress(Exception):
+                await self._send_error(conn, 0, P.E_MALFORMED, str(exc))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._conns.discard(conn)
+            self.stats["connections_open"] -= 1
+            # asyncio.CancelledError: loop teardown cancels us mid-wait
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send(self, conn: _Conn, frame: bytes) -> None:
+        conn.writer.write(frame)
+        self.stats["frames_out"] += 1
+        self.stats["bytes_out"] += len(frame)
+        await conn.writer.drain()
+
+    async def _send_error(
+        self, conn: _Conn, request_id: int, code: int, message: str
+    ) -> None:
+        self.stats["errors_sent"] += 1
+        await self._send(
+            conn, P.encode_frame(P.ERROR, request_id, P.encode_error(code, message))
+        )
+
+    async def _call(self, fn, *args):
+        """Run one backend call on the bridge thread."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._bridge, fn, *args
+        )
+
+    async def _handle_frame(
+        self, conn: _Conn, ftype: int, request_id: int, payload: bytes
+    ) -> None:
+        if not conn.hello_done:
+            if ftype != P.HELLO:
+                raise ProtocolError(
+                    f"first frame must be HELLO, got {P.frame_name(ftype)}"
+                )
+            version, flags = P.decode_hello(payload)
+            if version != P.PROTOCOL_VERSION:
+                raise ProtocolError(f"client speaks protocol {version}")
+            conn.hello_done = True
+            conn.subscribed = bool(flags & P.FLAG_SUBSCRIBE)
+            day = await self._call(lambda: self.backend.day)
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.WELCOME,
+                    request_id,
+                    P.encode_welcome(day, conn.subscribed, self.backend.name),
+                ),
+            )
+            return
+        self.stats["requests"] += 1
+        try:
+            await self._dispatch(conn, ftype, request_id, payload)
+        except (ProtocolError, CodecError) as exc:
+            await self._send_error(conn, request_id, P.E_MALFORMED, str(exc))
+        except AtlasError as exc:
+            await self._send_error(conn, request_id, P.E_UNAVAILABLE, str(exc))
+        except ReproError as exc:
+            await self._send_error(conn, request_id, P.E_BACKEND, repr(exc))
+        except Exception as exc:  # keep the connection serving
+            await self._send_error(conn, request_id, P.E_BACKEND, repr(exc))
+
+    async def _dispatch(
+        self, conn: _Conn, ftype: int, request_id: int, payload: bytes
+    ) -> None:
+        if ftype == P.PREDICT:
+            src, dst, config = P.decode_predict_request(payload)
+            paths = await self._call(
+                self.backend.predict_batch, [(src, dst)], config, None
+            )
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.PREDICT_OK, request_id, P.encode_predict_reply(paths[0])
+                ),
+            )
+        elif ftype == P.PREDICT_BATCH:
+            pairs, config, client = P.decode_batch_request(payload)
+            paths = await self._call(
+                self.backend.predict_batch, pairs, config, client
+            )
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.PREDICT_BATCH_OK, request_id, P.encode_batch_reply(paths)
+                ),
+            )
+        elif ftype == P.QUERY_INFO:
+            pairs, config, client = P.decode_query_request(payload)
+            infos = await self._call(
+                self.backend.query_batch, pairs, config, client
+            )
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.QUERY_INFO_OK, request_id, P.encode_query_reply(infos)
+                ),
+            )
+        elif ftype == P.ATLAS_FETCH:
+            day = P.decode_atlas_fetch(payload)
+            served_day, blob = await self._call(self.backend.atlas_bytes, day)
+            self.stats["atlas_bytes_served"] += len(blob)
+            await self._send(conn, P.encode_frame(P.ATLAS, request_id, blob))
+            # catch-up replay: deltas pushed after the served anchor
+            # follow the reply immediately, so the bootstrap lands on
+            # the backend's current day bit for bit (the anchor codec
+            # quantizes; the delta codec does not)
+            for new_day, delta_payload in self._delta_log:
+                if new_day > served_day:
+                    await self._send(
+                        conn, P.encode_frame(P.DELTA_PUSH, 0, delta_payload)
+                    )
+        elif ftype == P.SUBSCRIBE:
+            conn.subscribed = P.decode_subscribe(payload)
+            day = await self._call(lambda: self.backend.day)
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.SUBSCRIBE_OK,
+                    request_id,
+                    P.encode_subscribe_ok(day, conn.subscribed),
+                ),
+            )
+        elif ftype == P.HELLO:
+            raise ProtocolError("duplicate HELLO")
+        else:
+            await self._send_error(
+                conn,
+                request_id,
+                P.E_UNSUPPORTED,
+                f"unsupported frame {P.frame_name(ftype)}",
+            )

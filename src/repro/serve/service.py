@@ -127,12 +127,17 @@ class PredictionService:
         *,
         vnodes: int = DEFAULT_VNODES,
         max_pending: int = 256,
+        timeout: float | None = None,
         mp_context=None,
     ) -> None:
         # Validate everything cheap before spawning the fleet, so bad
         # arguments cannot leak worker processes or shared blocks.
         self._ring = HashRing(range(n_shards), vnodes=vnodes)
         self.max_pending = int(max_pending)
+        #: bound on every broadcast / fan-out reply wait (seconds; None
+        #: waits while the worker stays alive — dead workers raise
+        #: promptly either way)
+        self.timeout = timeout
         #: the front-end's routing atlas — kept current by applying the
         #: same decoded broadcasts the workers apply
         self._atlas = decode_atlas(atlas_bytes)
@@ -153,6 +158,7 @@ class PredictionService:
             "deltas_broadcast": 0,
             "bytes_broadcast": 0,
         }
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -166,13 +172,26 @@ class PredictionService:
         return self._atlas.day
 
     @property
+    def atlas(self):
+        """The front-end's routing atlas (read-only use: it is the
+        decoded view every worker also holds, kept current by the
+        delta broadcasts — the network gateway re-encodes it to serve
+        ATLAS_FETCH bootstraps)."""
+        return self._atlas
+
+    @property
     def shared_bytes(self) -> int:
         """Size of the shared-memory CSR export all workers map."""
         return self._shards.shared_bytes
 
     def close(self) -> None:
         """Stop the workers and destroy the shared blocks. Pending
-        (unflushed) requests resolve to None."""
+        (unflushed) requests resolve to None. Idempotent — later calls
+        (context-manager exit after an explicit close, double teardown)
+        are no-ops."""
+        if self._closed:
+            return
+        self._closed = True
         for queue in self._queues:
             for group in queue.groups.values():
                 for waiters in group.values():
@@ -340,7 +359,7 @@ class PredictionService:
 
         for shard, req_id, deliver, on_error in sent:
             try:
-                reply = self._shards.recv_raw(shard)
+                reply = self._shards.recv_raw(shard, timeout=self.timeout)
             except ShardStateError as exc:  # dead pipe: drain the rest
                 failed(exc, on_error)
                 continue
@@ -466,7 +485,8 @@ class PredictionService:
                 dict(client_cluster_as or {}),
                 set(from_src_prefixes) if from_src_prefixes is not None else None,
                 rev,
-            )
+            ),
+            timeout=self.timeout,
         )
         self._clients.add(token)
 
@@ -475,13 +495,22 @@ class PredictionService:
         warm-start records on every shard."""
         self._check_open()
         self.flush()
-        self._shards.broadcast(("release", token))
+        self._shards.broadcast(("release", token), timeout=self.timeout)
         self._clients.discard(token)
 
     # -- updates ------------------------------------------------------------
 
-    def apply_delta(self, delta: AtlasDelta, verify: str = "fingerprint") -> dict:
+    def apply_delta(
+        self,
+        delta: AtlasDelta,
+        verify: str = "fingerprint",
+        payload: bytes | None = None,
+    ) -> dict:
         """Advance every shard one day via the binary delta broadcast.
+
+        ``payload``, when given, must be ``encode_delta(delta)`` — a
+        caller that already encoded the same delta (the network
+        gateway shares its push payload) skips the second encode.
 
         Encodes once, fans the same bytes to all workers, verifies the
         post-apply snapshots agree (same day, same per-graph array
@@ -500,10 +529,11 @@ class PredictionService:
             raise ValueError(f"unknown verify mode {verify!r}")
         self._check_open()
         self.flush()
-        payload = encode_delta(delta)
+        if payload is None:
+            payload = encode_delta(delta)
         self._epoch += 1
         replies = self._shards.broadcast(
-            ("delta", self._epoch, payload, verify)
+            ("delta", self._epoch, payload, verify), timeout=self.timeout
         )
         snapshots = []
         modes = []
@@ -551,7 +581,10 @@ class PredictionService:
         self._check_open()
         self.flush()
         return [
-            reply[1] for reply in self._shards.broadcast(("snapshot",))
+            reply[1]
+            for reply in self._shards.broadcast(
+                ("snapshot",), timeout=self.timeout
+            )
         ]
 
     def converged(self) -> bool:
@@ -572,4 +605,7 @@ class PredictionService:
         """Per-worker counters (batches, pairs, deltas, clients)."""
         self._check_open()
         self.flush()
-        return [reply[1] for reply in self._shards.broadcast(("stats",))]
+        return [
+            reply[1]
+            for reply in self._shards.broadcast(("stats",), timeout=self.timeout)
+        ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import sys
+import time
 
 from repro.atlas.serialization import decode_atlas
 from repro.errors import ServiceError, ShardStateError
@@ -76,6 +77,10 @@ class ShardManager:
         self._handles = []
         self._conns = []
         self._procs = []
+        #: shards whose pipe is desynchronized (a reply timed out while
+        #: the worker lived: its late reply would answer the wrong
+        #: request) — all further traffic to them raises
+        self._poisoned: set[int] = set()
         self.snapshots: list[dict] = []
         try:
             # ``atlas`` (when the caller already decoded the payload) is
@@ -123,21 +128,72 @@ class ShardManager:
 
     # -- messaging ---------------------------------------------------------
 
+    def _check_poisoned(self, shard: int) -> None:
+        if shard in self._poisoned:
+            raise ShardStateError(
+                f"shard {shard} pipe is desynchronized after a reply "
+                f"timeout; the shard is quarantined"
+            )
+
     def send(self, shard: int, msg: tuple) -> None:
+        self._check_poisoned(shard)
         try:
             self._conns[shard].send(msg)
         except (BrokenPipeError, OSError) as exc:
             raise ShardStateError(f"shard {shard} pipe is down: {exc}") from exc
 
-    def recv_raw(self, shard: int) -> tuple:
+    #: liveness-check cadence while blocked on a reply
+    _POLL_STEP_S = 0.05
+
+    def recv_raw(self, shard: int, timeout: float | None = None) -> tuple:
         """One reply off a shard's pipe (worker-reported errors come
         back as ``("error", op, repr)`` tuples, not exceptions — the
         reply *is* consumed either way, so the request/reply protocol
-        stays in sync for the next caller)."""
-        try:
-            return self._conns[shard].recv()
-        except (EOFError, OSError) as exc:
-            raise ShardStateError(f"shard {shard} died mid-request") from exc
+        stays in sync for the next caller).
+
+        Never hangs on a dead worker: the wait polls the pipe in short
+        steps and checks the worker process between steps, raising
+        :class:`~repro.errors.ShardStateError` naming the shard when
+        the process died without answering (buffered replies from a
+        worker that died *after* sending are still drained first).
+        ``timeout`` (seconds) bounds the total wait even for a live
+        worker; ``None`` waits as long as the worker stays alive. A
+        timeout on a *live* worker poisons the shard (its late reply
+        would answer the wrong request), so every later send/recv to it
+        raises instead of consuming a stale reply.
+        """
+        self._check_poisoned(shard)
+        conn = self._conns[shard]
+        proc = self._procs[shard]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            step = self._POLL_STEP_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._poisoned.add(shard)
+                    raise ShardStateError(
+                        f"shard {shard} reply timed out after {timeout}s"
+                    )
+                step = min(step, remaining)
+            try:
+                if conn.poll(step):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardStateError(f"shard {shard} died mid-request") from exc
+            if not proc.is_alive():
+                # one last poll: the worker may have replied, then exited
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardStateError(
+                        f"shard {shard} died mid-request"
+                    ) from exc
+                raise ShardStateError(
+                    f"shard {shard} worker is dead "
+                    f"(exitcode {proc.exitcode}) with no reply pending"
+                )
 
     @staticmethod
     def check(shard: int, reply: tuple) -> tuple:
@@ -147,19 +203,20 @@ class ShardManager:
             )
         return reply
 
-    def recv(self, shard: int) -> tuple:
-        return self.check(shard, self.recv_raw(shard))
+    def recv(self, shard: int, timeout: float | None = None) -> tuple:
+        return self.check(shard, self.recv_raw(shard, timeout=timeout))
 
-    def request(self, shard: int, msg: tuple) -> tuple:
+    def request(self, shard: int, msg: tuple, timeout: float | None = None) -> tuple:
         self.send(shard, msg)
-        return self.recv(shard)
+        return self.recv(shard, timeout=timeout)
 
-    def broadcast(self, msg: tuple) -> list[tuple]:
+    def broadcast(self, msg: tuple, timeout: float | None = None) -> list[tuple]:
         """Send ``msg`` to every shard, then collect every reply (the
         shards work concurrently between the two loops). Every reachable
         pipe is drained before any failure — dead shard, worker-side
         error — is raised, so one failed shard cannot desynchronize the
-        others' request/reply streams."""
+        others' request/reply streams. ``timeout`` bounds each shard's
+        reply wait (dead workers are detected promptly regardless)."""
         sent: list[int] = []
         send_error: ShardStateError | None = None
         for shard in range(self.n_shards):
@@ -173,7 +230,7 @@ class ShardManager:
         recv_error: ShardStateError | None = None
         for shard in sent:
             try:
-                replies[shard] = self.recv_raw(shard)
+                replies[shard] = self.recv_raw(shard, timeout=timeout)
             except ShardStateError as exc:
                 if recv_error is None:
                     recv_error = exc

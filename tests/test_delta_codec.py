@@ -195,3 +195,117 @@ class TestFraming:
         payload = encode_delta(compute_delta(base, _make_daily(base)))
         with pytest.raises(Exception):
             decode_delta(payload[: len(payload) // 2])
+
+
+class TestTypedCodecErrors:
+    """PR 5 hardening: a truncated / oversized / corrupt frame raises
+    :class:`~repro.errors.CodecError` (a typed
+    :class:`~repro.errors.AtlasFormatError`), never a raw
+    ``struct.error`` / ``IndexError`` / ``zlib.error`` — the network
+    gateway turns these into clean ERROR frames for untrusted bytes."""
+
+    def _payload(self) -> bytes:
+        base = toy_atlas()
+        return encode_delta(compute_delta(base, _make_daily(base)))
+
+    def test_every_truncation_is_typed(self):
+        from repro.errors import CodecError
+
+        payload = self._payload()
+        decode_delta(payload)  # sanity: intact frame decodes
+        saw_codec_error = False
+        for cut in range(len(payload)):
+            with pytest.raises(AtlasFormatError):
+                decode_delta(payload[:cut])
+            try:
+                decode_delta(payload[:cut])
+            except CodecError:
+                saw_codec_error = True
+            except AtlasFormatError:
+                pass
+        assert saw_codec_error, "section truncations must raise CodecError"
+
+    def test_oversized_declared_section_rejected(self):
+        import struct
+
+        from repro.errors import CodecError
+        from repro.atlas.serialization import MAX_SECTION_BYTES
+
+        payload = bytearray(self._payload())
+        # first section header: magic(4) + <HII>(10) + count(1), then
+        # name_len, name, comp_len, raw_len
+        offset = 15
+        name_len = payload[offset]
+        raw_len_at = offset + 1 + name_len + 4
+        struct.pack_into("<I", payload, raw_len_at, MAX_SECTION_BYTES + 1)
+        with pytest.raises(CodecError, match="declares"):
+            decode_delta(bytes(payload))
+
+    def test_corrupt_compressed_bytes_rejected(self):
+        from repro.errors import CodecError
+
+        payload = bytearray(self._payload())
+        offset = 15
+        name_len = payload[offset]
+        comp_start = offset + 1 + name_len + 8
+        payload[comp_start] ^= 0xFF  # break the zlib stream
+        with pytest.raises(CodecError, match="corrupt"):
+            decode_delta(bytes(payload))
+
+    def test_decompression_bomb_is_bounded(self):
+        import struct
+        import zlib
+
+        from repro.errors import CodecError
+
+        # a frame whose section declares 16 raw bytes but carries a
+        # compressed stream inflating to 64 MB: the decoder must stop
+        # at raw_len + 1, not materialize the bomb
+        bomb = zlib.compress(b"\x00" * (64 * 1024 * 1024), 9)
+        name = b"links_removed"
+        payload = bytearray()
+        payload += b"INDB"
+        payload += struct.pack("<HII", 1, 0, 1)
+        payload += struct.pack("<B", 1)
+        payload += struct.pack("<B", len(name)) + name
+        payload += struct.pack("<II", len(bomb), 16)
+        payload += bomb
+        with pytest.raises(CodecError, match="length mismatch"):
+            decode_delta(bytes(payload))
+
+    def test_trailing_bytes_after_last_section_rejected(self):
+        from repro.errors import CodecError
+
+        with pytest.raises(CodecError, match="trailing"):
+            decode_delta(self._payload() + b"\x00" * 16)
+
+    def test_misaligned_rows_rejected(self):
+        from repro.errors import CodecError
+        from repro.atlas.serialization import _unpack_rows
+
+        with pytest.raises(CodecError, match="aligned"):
+            _unpack_rows("<II", b"\x00" * 7)
+
+    def test_atlas_decoder_shares_the_hardening(self):
+        from repro.errors import CodecError
+        from repro.atlas.serialization import decode_atlas, encode_atlas
+
+        payload = encode_atlas(toy_atlas())
+        with pytest.raises(AtlasFormatError):
+            decode_atlas(payload[:5])
+        with pytest.raises(CodecError):
+            decode_atlas(payload[: len(payload) - 3])
+
+    def test_random_mutations_never_leak_raw_errors(self):
+        from repro.errors import AtlasError
+
+        payload = self._payload()
+        rng = random.Random(0xD17A)
+        for _ in range(120):
+            mutated = bytearray(payload)
+            for _ in range(rng.randrange(1, 5)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            try:
+                decode_delta(bytes(mutated))
+            except AtlasError:
+                pass  # typed: fine (CodecError / AtlasFormatError)

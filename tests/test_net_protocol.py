@@ -1,0 +1,267 @@
+"""Wire-protocol unit tests: round-trip every frame type, then fuzz.
+
+The gateway protocol's contract is that *both* ends share one
+encode/decode layer (:mod:`repro.net.protocol`) and that no byte
+stream — truncated, corrupted, oversized, or adversarial — ever
+surfaces as anything but a typed
+:class:`~repro.errors.ProtocolError` / :class:`~repro.errors.CodecError`.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.client.query import PathInfo
+from repro.core.predictor import PredictedPath, PredictorConfig
+from repro.errors import ProtocolError
+from repro.net import protocol as P
+
+PATH = PredictedPath(
+    clusters=(10, 30, 50),
+    as_path=(1, 3, 5),
+    latency_ms=20.125,
+    loss=0.0078125,
+    as_hops=2,
+    used_from_src=True,
+)
+PATH2 = PredictedPath(
+    clusters=(50, 40),
+    as_path=(5, 4),
+    latency_ms=1e-9 + 3.3,
+    loss=0.1,
+    as_hops=1,
+    used_from_src=False,
+)
+INFO = PathInfo(
+    src_prefix_index=100,
+    dst_prefix_index=500,
+    forward=PATH,
+    reverse=PATH2,
+    atlas_day=27,
+)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = b"some payload bytes"
+        frame = P.encode_frame(P.PREDICT, 42, payload)
+        decoder = P.FrameDecoder()
+        assert decoder.feed(frame) == [(P.PREDICT, 42, payload)]
+        assert decoder.buffered == 0
+
+    def test_incremental_feed_byte_by_byte(self):
+        frame = P.encode_frame(P.QUERY_INFO, 7, b"abcdef")
+        decoder = P.FrameDecoder()
+        frames = []
+        for i in range(len(frame)):
+            frames.extend(decoder.feed(frame[i : i + 1]))
+        assert frames == [(P.QUERY_INFO, 7, b"abcdef")]
+
+    def test_multiple_frames_in_one_chunk(self):
+        chunk = b"".join(
+            P.encode_frame(P.PREDICT, i, bytes([i])) for i in range(5)
+        )
+        assert P.FrameDecoder().feed(chunk) == [
+            (P.PREDICT, i, bytes([i])) for i in range(5)
+        ]
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(P.encode_frame(P.PREDICT, 1, b""))
+        frame[0:4] = b"EVIL"
+        with pytest.raises(ProtocolError):
+            P.FrameDecoder().feed(bytes(frame))
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(P.encode_frame(P.PREDICT, 1, b""))
+        frame[4] = 99
+        with pytest.raises(ProtocolError):
+            P.FrameDecoder().feed(bytes(frame))
+
+    def test_oversized_frame_rejected_from_header_alone(self):
+        # the decoder must reject on the declared length, before (and
+        # without) the payload bytes arriving
+        header = struct.pack("<4sBBII", P.MAGIC, P.PROTOCOL_VERSION, P.PREDICT, 1, 10_000)
+        decoder = P.FrameDecoder(max_frame=1024)
+        with pytest.raises(ProtocolError, match="exceeds max_frame"):
+            decoder.feed(header)
+
+    def test_partial_frame_waits(self):
+        frame = P.encode_frame(P.ATLAS, 3, b"x" * 100)
+        decoder = P.FrameDecoder()
+        assert decoder.feed(frame[:50]) == []
+        assert decoder.buffered == 50
+        assert decoder.feed(frame[50:]) == [(P.ATLAS, 3, b"x" * 100)]
+
+
+class TestPayloadRoundTrips:
+    def test_hello_welcome(self):
+        version, flags = P.decode_hello(P.encode_hello(P.FLAG_SUBSCRIBE))
+        assert version == P.PROTOCOL_VERSION
+        assert flags & P.FLAG_SUBSCRIBE
+        assert P.decode_welcome(P.encode_welcome(27, True, "service")) == (
+            27,
+            True,
+            "service",
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            None,
+            PredictorConfig.inano(),
+            PredictorConfig.graph_baseline(),
+            PredictorConfig(use_preferences=False, tuple_degree_threshold=9),
+        ],
+    )
+    def test_predict_request(self, config):
+        payload = P.encode_predict_request(100, 500, config)
+        assert P.decode_predict_request(payload) == (100, 500, config)
+
+    @pytest.mark.parametrize("path", [None, PATH, PATH2])
+    def test_predict_reply(self, path):
+        got = P.decode_predict_reply(P.encode_predict_reply(path))
+        assert got == path
+        if path is not None:
+            # lossless float64: bit-for-bit, not approximately
+            assert struct.pack("<d", got.latency_ms) == struct.pack(
+                "<d", path.latency_ms
+            )
+
+    @pytest.mark.parametrize("client", [None, "meas", "token-é"])
+    def test_batch_request(self, client):
+        pairs = [(1, 2), (3, 4), (1, 2)]
+        config = PredictorConfig.graph_baseline()
+        payload = P.encode_batch_request(pairs, config, client)
+        assert P.decode_batch_request(payload) == (pairs, config, client)
+
+    def test_batch_reply(self):
+        paths = [PATH, None, PATH2, None]
+        assert P.decode_batch_reply(P.encode_batch_reply(paths)) == paths
+
+    def test_query_reply(self):
+        infos = [INFO, None, INFO]
+        assert P.decode_query_reply(P.encode_query_reply(infos)) == infos
+
+    def test_query_reply_none_day(self):
+        info = PathInfo(
+            src_prefix_index=1,
+            dst_prefix_index=2,
+            forward=PATH,
+            reverse=PATH2,
+            atlas_day=None,
+        )
+        (got,) = P.decode_query_reply(P.encode_query_reply([info]))
+        assert got == info and got.atlas_day is None
+
+    @pytest.mark.parametrize("day", [None, 0, 31])
+    def test_atlas_fetch(self, day):
+        assert P.decode_atlas_fetch(P.encode_atlas_fetch(day)) == day
+
+    def test_subscribe(self):
+        assert P.decode_subscribe(P.encode_subscribe(True)) is True
+        assert P.decode_subscribe(P.encode_subscribe(False)) is False
+        assert P.decode_subscribe_ok(P.encode_subscribe_ok(12, True)) == (12, True)
+
+    def test_error(self):
+        code, message = P.decode_error(
+            P.encode_error(P.E_BACKEND, "worker exploded")
+        )
+        assert code == P.E_BACKEND
+        assert message == "worker exploded"
+
+    def test_numpy_scalar_fields_pack(self):
+        np = pytest.importorskip("numpy")
+        path = PredictedPath(
+            clusters=(np.int64(10), np.int64(30)),
+            as_path=(np.int64(1), np.int64(3)),
+            latency_ms=np.float64(20.0),
+            loss=np.float64(0.25),
+            as_hops=1,
+            used_from_src=np.bool_(False),
+        )
+        got = P.decode_predict_reply(P.encode_predict_reply(path))
+        assert got == path
+
+
+class TestPayloadFuzz:
+    """No malformed payload may escape as anything but ProtocolError."""
+
+    DECODERS = [
+        P.decode_hello,
+        P.decode_welcome,
+        P.decode_predict_request,
+        P.decode_predict_reply,
+        P.decode_batch_request,
+        P.decode_batch_reply,
+        P.decode_query_request,
+        P.decode_query_reply,
+        P.decode_atlas_fetch,
+        P.decode_subscribe,
+        P.decode_subscribe_ok,
+        P.decode_error,
+    ]
+
+    GOOD = [
+        P.encode_hello(1),
+        P.encode_welcome(5, False, "server"),
+        P.encode_predict_request(1, 2, PredictorConfig.inano()),
+        P.encode_predict_reply(PATH),
+        P.encode_batch_request([(1, 2), (3, 4)], None, "tok"),
+        P.encode_batch_reply([PATH, None, PATH2]),
+        P.encode_query_reply([INFO, None]),
+        P.encode_atlas_fetch(9),
+        P.encode_subscribe_ok(3, True),
+        P.encode_error(P.E_MALFORMED, "x"),
+    ]
+
+    def _assert_typed(self, decoder, payload):
+        try:
+            decoder(payload)
+        except ProtocolError:
+            pass  # the only acceptable failure type
+
+    def test_truncations(self):
+        for payload in self.GOOD:
+            for cut in range(len(payload)):
+                for decoder in self.DECODERS:
+                    self._assert_typed(decoder, payload[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        for payload, decoder in [
+            (P.encode_hello(0), P.decode_hello),
+            (P.encode_predict_reply(None), P.decode_predict_reply),
+            (P.encode_atlas_fetch(None), P.decode_atlas_fetch),
+        ]:
+            with pytest.raises(ProtocolError, match="trailing"):
+                decoder(payload + b"\x00")
+
+    def test_random_mutations(self):
+        rng = random.Random(0xF00D)
+        for payload in self.GOOD:
+            for _ in range(40):
+                mutated = bytearray(payload)
+                for _ in range(rng.randrange(1, 4)):
+                    mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+                for decoder in self.DECODERS:
+                    self._assert_typed(decoder, bytes(mutated))
+
+    def test_random_garbage(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(60):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 80))
+            )
+            for decoder in self.DECODERS:
+                self._assert_typed(decoder, blob)
+
+    def test_huge_declared_counts_do_not_allocate(self):
+        # a batch reply declaring 2**32-1 paths must fail fast (typed),
+        # not build a four-billion-element list
+        payload = struct.pack("<I", 0xFFFFFFFF)
+        with pytest.raises(ProtocolError):
+            P.decode_batch_reply(payload)
+        with pytest.raises(ProtocolError):
+            P.decode_query_reply(payload)

@@ -348,3 +348,92 @@ class TestPoolWarmRecords:
         )
         assert "c1" not in {key[1] for key in runtime.pool._warm}
         assert report.cache["prewarmed"] <= runtime.pool.prewarm_max
+
+
+class TestCloseAndLiveness:
+    """PR 5 hardening: close is idempotent, a dead worker is detected
+    promptly (with its shard id) instead of hanging a pipe read, and
+    ``timeout=`` bounds every broadcast / fan-out reply wait."""
+
+    def test_close_is_idempotent(self, server, prefixes):
+        svc = server.serve(n_shards=N_SHARDS)
+        future = svc.submit(prefixes[0], prefixes[5])
+        svc.close()
+        assert future.done and future.value is None
+        svc.close()  # second explicit close: no-op
+        assert future.value is None
+
+    def test_context_exit_after_explicit_close(self, server):
+        with server.serve(n_shards=N_SHARDS) as svc:
+            svc.close()
+        assert svc._shards.closed  # __exit__ re-closed without error
+
+    def test_dead_worker_raises_with_shard_id_not_hang(self, server):
+        import time
+
+        from repro.errors import ShardStateError
+
+        svc = server.serve(n_shards=2)
+        try:
+            proc = svc._shards._procs[1]
+            proc.terminate()
+            proc.join(timeout=5.0)
+            start = time.monotonic()
+            with pytest.raises(ShardStateError, match="shard 1"):
+                svc._shards.request(1, ("snapshot",))
+            assert time.monotonic() - start < 5.0, "detection must be prompt"
+            # the other worker still serves
+            assert svc._shards.request(0, ("snapshot",))[0] == "snapshot"
+        finally:
+            svc.close()
+
+    def test_reply_timeout_bounds_the_wait_and_poisons_the_shard(self, server):
+        import time
+
+        from repro.errors import ShardStateError
+
+        svc = server.serve(n_shards=N_SHARDS)
+        try:
+            # no request outstanding: a live worker will never reply, so
+            # only the timeout can end this wait
+            start = time.monotonic()
+            with pytest.raises(ShardStateError, match="timed out"):
+                svc._shards.recv_raw(0, timeout=0.3)
+            elapsed = time.monotonic() - start
+            assert 0.2 <= elapsed < 5.0
+            # a timed-out shard's pipe may later carry the stale reply;
+            # it is quarantined rather than left to answer the wrong
+            # request
+            with pytest.raises(ShardStateError, match="quarantined"):
+                svc._shards.request(0, ("snapshot",))
+            # the other shard is unaffected
+            assert svc._shards.request(1, ("snapshot",))[0] == "snapshot"
+        finally:
+            svc.close()
+
+    def test_service_level_timeout_is_plumbed(self, server, prefixes):
+        svc = server.serve(n_shards=N_SHARDS, timeout=30.0)
+        try:
+            assert svc.timeout == 30.0
+            assert svc.predict(prefixes[0], prefixes[5]) == server.predict(
+                prefixes[0], prefixes[5]
+            )
+            assert svc.apply_delta is not None  # broadcast paths share it
+        finally:
+            svc.close()
+
+    def test_buffered_reply_from_exited_worker_still_drains(self, server):
+        svc = server.serve(n_shards=2)
+        try:
+            # ask for a snapshot, let the reply land in the pipe, then
+            # stop the worker: the reply must still be readable
+            svc._shards.send(1, ("snapshot",))
+            import time
+
+            time.sleep(0.3)
+            svc._shards._procs[1].terminate()
+            svc._shards._procs[1].join(timeout=5.0)
+            reply = svc._shards.recv_raw(1, timeout=5.0)
+            assert reply[0] == "snapshot"
+        finally:
+            svc.close()
