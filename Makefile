@@ -19,6 +19,7 @@ bench-update:
 
 bench-search:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_search_performance.py -q
+	python benchmarks/check_search_floor.py
 
 bench-serve:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_serve_performance.py -q

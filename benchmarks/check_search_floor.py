@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate for the search-kernel speedup floor (stdlib only).
+
+``make bench-search`` appends one run to ``BENCH_search.json``; this
+script then fails the build if the *latest* run's kernel-vs-spec
+speedup fell below the recorded floor:
+
+* absolute — the best ``fanout_*`` cold-search ratio must stay >=
+  ``FANOUT_FLOOR`` (the ISSUE acceptance bar for the array-native
+  kernel on the high-fanout atlas);
+* relative — it must also hold >= ``TOLERANCE`` of the best fanout
+  ratio ever recorded in the trajectory, so a slow decay that never
+  crosses the absolute bar still trips the gate.
+
+Older trajectory entries predating the fanout arena are skipped when
+computing the historical best; a latest run *without* fanout entries
+(e.g. a filtered pytest invocation) is an error, because the gate
+would otherwise silently pass on no data.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_SEARCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
+
+#: ISSUE acceptance bar: kernel >= 2.2x spec, cold search, fanout atlas.
+FANOUT_FLOOR = 2.2
+#: fraction of the best-ever recorded fanout ratio the latest run must
+#: retain. Generous on purpose: bench hosts vary (CI vs the 1-core
+#: container the trajectory was seeded on) and the absolute floor
+#: already guards the acceptance bar.
+TOLERANCE = 0.55
+
+
+def best_fanout_ratio(timings: dict) -> float | None:
+    cold = timings.get("cold_search")
+    if not isinstance(cold, dict):
+        return None
+    ratios = [
+        entry["ratio"]
+        for key, entry in cold.items()
+        if key.startswith("fanout_") and isinstance(entry, dict)
+    ]
+    return max(ratios) if ratios else None
+
+
+def main() -> int:
+    if not BENCH_SEARCH_JSON.exists():
+        print(f"FAIL: {BENCH_SEARCH_JSON} missing — run `make bench-search`")
+        return 1
+    payload = json.loads(BENCH_SEARCH_JSON.read_text())
+    runs = payload.get("runs") or []
+    if not runs:
+        print("FAIL: BENCH_search.json has no recorded runs")
+        return 1
+
+    latest = best_fanout_ratio(runs[-1].get("timings", {}))
+    if latest is None:
+        print(
+            "FAIL: latest run recorded no fanout_* cold_search entries "
+            "— run the full `make bench-search`, not a filtered subset"
+        )
+        return 1
+
+    history = [
+        ratio
+        for run in runs[:-1]
+        if (ratio := best_fanout_ratio(run.get("timings", {}))) is not None
+    ]
+    floor = FANOUT_FLOOR
+    if history:
+        floor = max(floor, max(history) * TOLERANCE)
+
+    verdict = "OK" if latest >= floor else "FAIL"
+    print(
+        f"{verdict}: fanout kernel-vs-spec ratio {latest:.2f}x "
+        f"(floor {floor:.2f}x = max(absolute {FANOUT_FLOOR}, "
+        f"{TOLERANCE} * best-recorded"
+        f"{f' {max(history):.2f}x' if history else ' n/a'}))"
+    )
+    return 0 if latest >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

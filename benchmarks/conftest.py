@@ -24,14 +24,22 @@ BENCH_NET_JSON = Path(__file__).parent.parent / "BENCH_net.json"
 _BENCH_HISTORY_MAX = 40
 
 
+#: trajectory schema: 2 adds optional per-phase breakdowns to entries
+#: ("phases" sub-dicts — e.g. state alloc vs relax vs extract for the
+#: search kernel, patch vs cache-repair vs query for the update path)
+BENCH_SCHEMA = 2
+
+
 def append_bench_run(path: Path, timings: dict) -> None:
     """Append one run entry to a trajectory JSON (bounded history)."""
-    payload: dict = {"schema": 1, "runs": []}
+    payload: dict = {"schema": BENCH_SCHEMA, "runs": []}
     if path.exists():
         try:
             loaded = json.loads(path.read_text())
             if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
                 payload = loaded
+                # older entries stay as-is: schema 2 only adds fields
+                payload["schema"] = BENCH_SCHEMA
         except (OSError, ValueError):
             pass
     payload["runs"].append(

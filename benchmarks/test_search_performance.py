@@ -15,6 +15,14 @@ Two metrics on two atlases (GC off, medians), appended to
   prewarming, versus the pre-repair architecture where the version
   bump cold-started every destination (simulated by flushing the
   pooled search cache after the patch).
+* ``value_repair_first_query`` — bounded in-place repair: a chain of
+  latency-only deltas on the fanout atlas, where touched cached
+  searches replay from their journal frontier at apply time; gates
+  that the replay path fires and that the first post-delta query stays
+  within 3x of an untouched warm-path hit.
+
+Schema-2 entries carry per-phase breakdowns (``phases`` sub-dicts:
+state alloc vs relax vs extract for cold searches).
 
 Gates: the kernel must beat the spec loop outright on cold searches
 (dedicated floor 1.35x on the best config; measured 1.5-1.7x), and
@@ -36,6 +44,7 @@ import pytest
 from repro.atlas.delta import compute_delta
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.relationships import REL_CUSTOMER, REL_PEER, REL_PROVIDER
+from repro.core import search as search_kernel
 from repro.core.predictor import INanoPredictor, PredictorConfig
 from repro.runtime import AtlasRuntime
 
@@ -179,10 +188,32 @@ def test_bench_cold_search(scenario, bench_record_search, report):
                 )
                 ratio = spec_ms / kernel_ms
                 ratios.append(ratio)
+                # schema-2 phase breakdown: one profiled pass splits the
+                # kernel's wall time into state acquisition (alloc),
+                # relaxation (the bucket/contest engine proper), and
+                # everything outside the kernel window (view resolution
+                # + result extraction)
+                search_kernel.PROFILE = profile = {}
+                t0 = time.perf_counter()
+                for prefix, cluster in destinations:
+                    kernel._run_search(
+                        kernel.graph, cluster, kernel._provider_gate(prefix)
+                    )
+                total_s = time.perf_counter() - t0
+                search_kernel.PROFILE = None
+                n = len(destinations)
+                alloc_s = profile.get("alloc_s", 0.0)
+                relax_s = max(profile.get("search_s", 0.0) - alloc_s, 0.0)
+                extract_s = max(total_s - alloc_s - relax_s, 0.0)
                 timings[f"{arena}_{name}"] = {
                     "kernel_ms": round(kernel_ms, 4),
                     "spec_ms": round(spec_ms, 4),
                     "ratio": round(ratio, 3),
+                    "phases": {
+                        "alloc_ms": round(alloc_s / n * 1000, 4),
+                        "relax_ms": round(relax_s / n * 1000, 4),
+                        "extract_ms": round(extract_s / n * 1000, 4),
+                    },
                 }
                 rows.append(
                     (
@@ -194,6 +225,7 @@ def test_bench_cold_search(scenario, bench_record_search, report):
                 )
     finally:
         gc.enable()
+        search_kernel.PROFILE = None
     bench_record_search("cold_search", **timings)
     from repro.eval.reporting import render_table
 
@@ -212,6 +244,16 @@ def test_bench_cold_search(scenario, bench_record_search, report):
     dedicated = os.environ.get("BENCH_RECORD") == "1"
     floor = 1.35 if dedicated else 1.02
     assert max(ratios) >= floor, (ratios, timings)
+    # The array-native engine's headline gate rides on the
+    # production-shape atlas: the kernel must hold >= 2.2x over the
+    # scalar spec there on a dedicated run (measured ~4.5x on GRAPH).
+    if dedicated:
+        fanout_best = max(
+            entry["ratio"]
+            for key, entry in timings.items()
+            if key.startswith("fanout_")
+        )
+        assert fanout_best >= 2.2, timings
 
 
 @pytest.fixture(scope="module")
@@ -287,3 +329,106 @@ def test_bench_post_delta_first_query(
     )
     dedicated = os.environ.get("BENCH_RECORD") == "1"
     assert speedup >= (3.0 if dedicated else 2.0), (cold_ms, warm_ms)
+
+
+def _value_only_next(atlas: Atlas, seed: int) -> Atlas:
+    """The next day with only link *values* changed (no edge added or
+    removed): rescale ~1% of the latencies — the paper's small-daily-
+    churn regime, and well inside the repair path's touched-edge budget
+    (``warmstart._REPAIR_MAX_TOUCHED``) — so the delta patches in place
+    and the pooled searches repair via bounded re-relaxation."""
+    nxt = copy.deepcopy(atlas)
+    nxt.day = atlas.day + 1
+    rng = random.Random(seed)
+    keys = sorted(nxt.links)
+    for key in rng.sample(keys, max(1, len(keys) // 100)):
+        rec = nxt.links[key]
+        nxt.links[key] = LinkRecord(
+            latency_ms=round(rec.latency_ms * rng.uniform(0.6, 1.5), 3),
+            loss_rate=rec.loss_rate,
+        )
+    return nxt
+
+
+def test_bench_value_repair_first_query(bench_record_search, report):
+    """Bounded in-place repair on value-only days: after a latency-only
+    delta, the first query against a hot destination (whose cached
+    search was repaired — replayed from the journal frontier — at apply
+    time) must land within 3x of an untouched warm-path hit, and the
+    replay path must actually fire (counted from the apply reports)."""
+    atlas = fanout_atlas()
+    config = PredictorConfig.inano()
+    all_prefixes = sorted(atlas.prefix_to_cluster)
+    dsts = all_prefixes[::431]
+    srcs = all_prefixes[7::97]
+    hot = [(srcs[i], dsts[-(i + 1)]) for i in range(_HOT_DESTINATIONS)]
+    runtime = AtlasRuntime(copy.deepcopy(atlas))
+    predictor = runtime.pool.predictor(config)
+    for pair in hot:
+        predictor.predict_or_none(*pair)
+    counts = {"reused": 0, "repaired": 0, "replayed": 0, "dirty": 0}
+    first_times: list[float] = []
+    warm_times: list[float] = []
+    gc.disable()
+    try:
+        current = atlas
+        for day in range(1, _DELTA_ROUNDS + 1):
+            nxt = _value_only_next(current, seed=day)
+            apply_report = runtime.apply_delta(compute_delta(current, nxt))
+            for key in counts:
+                counts[key] += apply_report.cache.get(key, 0)
+            # one unmeasured query on a *different* entry absorbs the
+            # node's one-time post-patch lazy work (compiled-view
+            # refresh) — that cost belongs to the apply segment
+            # (bench-update), not to per-entry repair
+            predictor.predict_or_none(*hot[1])
+            start = time.perf_counter()
+            predictor.predict_or_none(*hot[0])
+            first_times.append((time.perf_counter() - start) * 1000)
+            # the untouched-warm-path baseline: the same warm cached
+            # search serving a source it has not answered yet — a pure
+            # pooled-cache hit plus one path extraction, which is what
+            # any not-yet-memoized pair costs regardless of repair
+            # (the repair itself must flush memoized paths: the values
+            # they baked in changed)
+            fresh_src = srcs[_HOT_DESTINATIONS + day]
+            start = time.perf_counter()
+            predictor.predict_or_none(fresh_src, hot[0][1])
+            warm_times.append((time.perf_counter() - start) * 1000)
+            for pair in hot:
+                predictor.predict_or_none(*pair)
+            current = nxt
+    finally:
+        gc.enable()
+    first_ms = statistics.median(first_times)
+    warm_ms = statistics.median(warm_times)
+    ratio = first_ms / warm_ms
+    bench_record_search(
+        "value_repair_first_query",
+        first_query_ms=round(first_ms, 4),
+        warm_hit_ms=round(warm_ms, 4),
+        ratio=round(ratio, 2),
+        rounds=_DELTA_ROUNDS,
+        **counts,
+    )
+    from repro.eval.reporting import render_table
+
+    report(
+        "search_value_repair",
+        render_table(
+            "Value-only delta: repaired first query vs untouched warm hit",
+            ["metric", "value"],
+            [
+                ("first query after delta (ms)", f"{first_ms:.4f}"),
+                ("untouched warm path, new pair (ms)", f"{warm_ms:.4f}"),
+                ("ratio", f"{ratio:.2f}x"),
+                ("replayed", str(counts["replayed"])),
+                ("reused", str(counts["reused"])),
+                ("dirty", str(counts["dirty"])),
+            ],
+        ),
+    )
+    # the bounded-repair path must carry real traffic on value-only days
+    assert counts["replayed"] >= 1, counts
+    dedicated = os.environ.get("BENCH_RECORD") == "1"
+    assert ratio <= (3.0 if dedicated else 6.0), (first_ms, warm_ms, counts)

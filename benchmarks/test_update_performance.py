@@ -150,9 +150,11 @@ def _runtime_cycle_times(chain, deltas, from_src, query_pairs, mode):
         )
         predictor.predict_or_none(src, dst)
     times = []
+    apply_times = []
     for delta in deltas:
         start = time.perf_counter()
         runtime.apply_delta(delta, mode=mode)
+        mid = time.perf_counter()
         for (name, measures), (src, dst) in zip(_CONSUMERS, query_pairs):
             predictor = runtime.pool.predictor(
                 config,
@@ -162,7 +164,8 @@ def _runtime_cycle_times(chain, deltas, from_src, query_pairs, mode):
             )
             predictor.predict_or_none(src, dst)
         times.append((time.perf_counter() - start) * 1000)
-    return times
+        apply_times.append((mid - start) * 1000)
+    return times, apply_times
 
 
 def _seed_cycle_times(chain, deltas, from_src, query_pairs):
@@ -190,8 +193,10 @@ def test_bench_update_to_first_query(
     chain, deltas = update_chain
     gc.disable()
     try:
-        patched = _runtime_cycle_times(chain, deltas, from_src, query_pairs, "patch")
-        recompiled = _runtime_cycle_times(
+        patched, patched_apply = _runtime_cycle_times(
+            chain, deltas, from_src, query_pairs, "patch"
+        )
+        recompiled, recompiled_apply = _runtime_cycle_times(
             chain, deltas, from_src, query_pairs, "recompile"
         )
         seed_arch = _seed_cycle_times(chain, deltas, from_src, query_pairs)
@@ -213,6 +218,15 @@ def test_bench_update_to_first_query(
         seed_per_consumer_ms=round(node_seed, 3),
         runtime_ratio=round(single_ratio, 2),
         node_ratio=round(node_ratio, 2),
+        # schema-2 phase breakdown: the apply segment (patch/recompile +
+        # warm-start repair + prewarm) vs the consumers' first queries
+        phases={
+            "patch_apply_ms": round(_median(patched_apply), 3),
+            "patch_queries_ms": round(
+                _median([t - a for t, a in zip(patched, patched_apply)]), 3
+            ),
+            "recompile_apply_ms": round(_median(recompiled_apply), 3),
+        },
     )
     from repro.eval.reporting import render_table
 

@@ -169,6 +169,11 @@ class CompiledGraph:
     #: views, released by :meth:`ensure_mutable` / :meth:`release_shared`
     _shm: object = field(default=None, repr=False)
 
+    #: lazily-built :class:`~repro.core.search.SearchStatePool` (see
+    #: :meth:`search_pool`): spare per-search state-array bundles sized
+    #: to this graph, shared by every predictor searching it
+    _search_pool: object = field(default=None, repr=False)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -236,6 +241,24 @@ class CompiledGraph:
         )
         self._np_views = (self.version, views)
         return views
+
+    def search_pool(self):
+        """The per-graph :class:`~repro.core.search.SearchStatePool`.
+
+        One freelist of spare search-state array bundles per graph,
+        shared by every predictor over it (searches are single-threaded
+        per process, so sharing spare arrays is safe). Sized lazily to
+        the current node count; a renumbering day or recompile that
+        changes ``n_nodes`` drops stale-sized bundles on next access.
+        """
+        pool = self._search_pool
+        if pool is None:
+            from repro.core.search import SearchStatePool
+
+            pool = self._search_pool = SearchStatePool(self.n_nodes)
+        else:
+            pool.resize(self.n_nodes)
+        return pool
 
     # -- mutation ----------------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Optional numba acceleration for the search kernel (stretch layer).
+
+``kernel="numba"`` on :class:`~repro.core.predictor.INanoPredictor`
+opts into JIT-compiled inner loops for the bucket engine's candidate
+composition. The dependency is strictly optional: when numba is not
+importable (the default deployment), everything here degrades to
+``available() == False`` / ``compose is None`` and the predictor runs
+the plain numpy vector kernel — same results, no import error. The
+randomized property suite runs the ``numba`` kernel mode through the
+same bit-for-bit equality checks, so environments that do ship numba
+verify the compiled path against the scalar spec.
+
+The JIT path only covers configs without three-tuple or provider
+gates (set-membership tests don't lower); gated configs fall back to
+the numpy composition inside the engine per flush.
+"""
+
+from __future__ import annotations
+
+_numba = None
+_checked = False
+
+#: JIT-compiled candidate composition, or None when numba is absent.
+#: Signature: ``compose(eids, sp, se, sx, e_src, e_da, e_op, e_ph,
+#: e_lat, phase, eff, fin) -> (v, b, cp, ch, cx, keep)`` — the exact
+#: arrays the engine's numpy composition block produces for configs
+#: without tuple/provider gates.
+compose = None
+
+
+def available() -> bool:
+    """True when numba imports and the JIT layer compiled."""
+    _ensure()
+    return compose is not None
+
+
+def _ensure() -> None:
+    global _numba, _checked, compose
+    if _checked:
+        return
+    _checked = True
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return
+    _numba = numba
+    try:
+        compose = _build_compose(numba)
+    except Exception:
+        compose = None
+
+
+def _build_compose(numba):
+    import numpy as np
+
+    from repro.core.compiled import OP_INTER, OP_LATE_EXIT
+
+    op_inter = np.int64(OP_INTER)
+    op_late = np.int64(OP_LATE_EXIT)
+
+    @numba.njit(cache=True)
+    def _compose(eids, sp, se, sx, e_src, e_da, e_op, e_ph, e_lat,
+                 phase, eff, fin):  # pragma: no cover - needs numba
+        n = len(eids)
+        v = np.empty(n, np.int64)
+        b = np.empty(n, np.int64)
+        cp = np.empty(n, np.int64)
+        ch = np.empty(n, np.int64)
+        cx = np.empty(n, np.float64)
+        keep = np.empty(n, np.bool_)
+        for k in range(n):
+            e = eids[k]
+            tv = e_src[e]
+            v[k] = tv
+            b[k] = e_da[e]
+            op = e_op[e]
+            p = e_ph[e] if op == op_inter else sp[k]
+            h = se[k] + 1
+            x = sx[k] + e_lat[e] if op == op_late else 0.0
+            cp[k] = p
+            ch[k] = h
+            cx[k] = x
+            pv = phase[tv]
+            keep[k] = (not fin[tv]) and (
+                pv == 0 or p < pv or (p == pv and h <= eff[tv])
+            )
+        return v, b, cp, ch, cx, keep
+
+    return _compose

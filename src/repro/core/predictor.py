@@ -63,6 +63,8 @@ import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.search import run_kernel
 from repro.core.sssp import lazy_heap_loop
 
@@ -182,29 +184,59 @@ class _CompiledStates:
 
     ``root_id`` is None when the destination node is absent from the
     graph entirely (then only the trivial src==dst query can answer).
-    ``phase[v] == 0`` marks an unreached node. ``paths`` memoizes
-    extracted :class:`PredictedPath`s by start node id — extraction is a
-    pure function of the finished search, so repeated queries against a
+    The five state fields are flat numpy arrays (int64, except the
+    float64 exit cost) sized to the graph; ``phase[v] == 0`` marks an
+    unreached node. ``paths`` memoizes extracted
+    :class:`PredictedPath`s by start node id — extraction is a pure
+    function of the finished search, so repeated queries against a
     cached destination skip the parent-chain walk entirely.
+
+    ``journal`` is the bucket engine's replay journal when recording
+    was on (pool-managed predictors), enabling bounded in-place repair
+    after value-only delta days. ``pool`` points at the
+    :class:`~repro.core.search.SearchStatePool` the arrays came from so
+    eviction/repair can recycle them; recycled arrays may be handed to
+    the next search, so holders of a states object must drop it once
+    its cache entry is gone.
     """
 
     root_id: int | None
-    phase: list[int]
-    eff: list[int]
-    exitc: list[float]
-    parent: list[int]
-    nxt: list[int]
+    phase: object
+    eff: object
+    exitc: object
+    parent: object
+    nxt: object
     paths: dict[int, PredictedPath]
-    _parent_np: object = None
+    journal: object = None
+    pool: object = None
 
     def parent_np(self):
-        """Numpy mirror of ``parent`` (cached; states are immutable
-        once the search finishes), for vectorized batch extraction."""
-        if self._parent_np is None:
-            import numpy as np
+        """The int64 parent-edge array (vectorized batch extraction)."""
+        return self.parent
 
-            self._parent_np = np.array(self.parent, dtype=np.int64)
-        return self._parent_np
+    def recycle(self) -> None:
+        """Return the state arrays to their pool (caller must own the
+        states — i.e. just evicted/replaced their cache entry)."""
+        if self.pool is not None and isinstance(self.phase, np.ndarray):
+            self.pool.recycle(
+                (self.phase, self.eff, self.exitc, self.parent, self.nxt)
+            )
+            self.pool = None
+
+
+def _empty_states() -> _CompiledStates:
+    """States for a destination absent from the graph."""
+    z = np.zeros(0, dtype=np.int64)
+    return _CompiledStates(
+        None, z, z, np.zeros(0, dtype=np.float64), z, z, {}
+    )
+
+
+#: cap on the summed replay-journal bytes a predictor retains across
+#: its cached searches; beyond it the least-recently-used journals are
+#: dropped (their searches stay cached but repair falls back to the
+#: dirty re-search path)
+_JOURNAL_BUDGET_BYTES = 48 << 20
 
 
 class INanoPredictor:
@@ -221,10 +253,11 @@ class INanoPredictor:
         kernel: str = "vector",
         primary_graph: CompiledGraph | None = None,
         fallback_factory=None,
+        record_journal: bool = False,
     ) -> None:
         if engine not in ("compiled", "legacy"):
             raise ValueError(f"unknown predictor engine {engine!r}")
-        if kernel not in ("vector", "scalar"):
+        if kernel not in ("vector", "scalar", "numba"):
             raise ValueError(f"unknown search kernel {kernel!r}")
         if primary_graph is not None and engine != "compiled":
             raise ValueError("externally-supplied graphs require the compiled engine")
@@ -232,8 +265,30 @@ class INanoPredictor:
         self.config = config or PredictorConfig.inano()
         self.engine = engine
         #: "vector" (default) runs cold searches through the bucket-queue
-        #: kernel (repro.core.search); "scalar" pins the spec loop
+        #: kernel (repro.core.search); "scalar" pins the spec loop;
+        #: "numba" opts into the JIT inner loops when numba is
+        #: importable and degrades to the plain vector kernel otherwise
         self.kernel = kernel
+        #: whether the numba JIT layer is actually active (requested
+        #: *and* importable); with numba absent this stays False and
+        #: ``kernel="numba"`` behaves exactly like ``"vector"``
+        self.kernel_jit = False
+        if kernel == "numba":
+            from repro.core import jit
+
+            self.kernel_jit = jit.available()
+        #: record bucket-engine replay journals on cold searches so
+        #: value-only delta days can repair cached searches in place
+        #: (set by the runtime's PredictorPool)
+        self.record_journal = record_journal
+        #: lightweight kernel counters the serving layer surfaces:
+        #: cache hits/misses and cumulative cold-search microseconds
+        self.kernel_stats = {
+            "searches": 0,
+            "hits": 0,
+            "search_us": 0.0,
+            "last_search_us": 0.0,
+        }
         self._extra_cluster_as = dict(client_cluster_as or {})
         if primary_graph is not None:
             # Runtime-backed mode: the graph (and the lazy closed
@@ -452,14 +507,57 @@ class INanoPredictor:
         cache_key = (graph.version, dst_cluster, providers)
         cache = self._search_cache
         cached = cache.get(cache_key)
+        stats = self.kernel_stats
         if cached is not None:
             cache.move_to_end(cache_key)
+            stats["hits"] += 1
             return cached
+        from time import perf_counter
+
+        t0 = perf_counter()
         states = self._run_search(graph, dst_cluster, providers)
+        us = (perf_counter() - t0) * 1e6
+        stats["searches"] += 1
+        stats["search_us"] += us
+        stats["last_search_us"] = us
         if len(cache) >= self._cache_max:
-            cache.popitem(last=False)
+            _, evicted = cache.popitem(last=False)
+            if isinstance(evicted, _CompiledStates):
+                evicted.recycle()
         cache[cache_key] = states
+        if isinstance(states, _CompiledStates) and states.journal is not None:
+            self._trim_journals()
         return states
+
+    def _trim_journals(self) -> None:
+        """Drop least-recently-used replay journals until the summed
+        journal bytes fit the budget (searches stay cached; repair for
+        the trimmed ones falls back to the dirty re-search path)."""
+        total = 0
+        for st in self._search_cache.values():
+            if getattr(st, "journal", None) is not None:
+                total += st.journal.nbytes()
+        if total <= _JOURNAL_BUDGET_BYTES:
+            return
+        for st in self._search_cache.values():
+            if getattr(st, "journal", None) is not None:
+                total -= st.journal.nbytes()
+                st.journal = None
+                if total <= _JOURNAL_BUDGET_BYTES:
+                    break
+
+    def release_search_state(self) -> None:
+        """Free every cached search's state arrays and journals and the
+        per-graph state-pool freelists this predictor has touched (pool
+        release / teardown path)."""
+        for st in self._search_cache.values():
+            if isinstance(st, _CompiledStates):
+                st.journal = None
+                st.pool = None
+        self._search_cache.clear()
+        for graph in (self.graph, self._fallback_graph):
+            if isinstance(graph, CompiledGraph):
+                graph.search_pool().clear()
 
     def _run_search(
         self,
@@ -470,13 +568,22 @@ class INanoPredictor:
         """One uncached search (engine + kernel dispatch, no LRU)."""
         if self.engine == "legacy":
             return self._search_legacy(graph, dst_cluster, providers)
-        if self.kernel == "vector":
+        if self.kernel in ("vector", "numba"):
             root = graph.node_id(TO_DST, DOWN, dst_cluster)
             if root is None:
-                return _CompiledStates(None, [], [], [], [], [], {})
-            result = run_kernel(graph, self.atlas, self.config, providers, root)
+                return _empty_states()
+            pool = graph.search_pool()
+            result = run_kernel(
+                graph, self.atlas, self.config, providers, root,
+                pool=pool, record=self.record_journal,
+                use_jit=self.kernel_jit,
+            )
             if result is not None:
-                return _CompiledStates(root, *result, {})
+                phase, eff, exitc, parent, nxt, journal = result
+                return _CompiledStates(
+                    root, phase, eff, exitc, parent, nxt, {},
+                    journal=journal, pool=pool,
+                )
             # ASNs too large to pack: fall through to the spec loop
         return self._search_compiled(graph, dst_cluster, providers)
 
@@ -708,7 +815,7 @@ class INanoPredictor:
         """
         root = cg.node_id(TO_DST, DOWN, dst_cluster)
         if root is None:
-            return _CompiledStates(None, [], [], [], [], [], {})
+            return _empty_states()
         cfg = self.config
         use_tuples = cfg.use_three_tuples
         use_prefs = cfg.use_preferences
@@ -890,7 +997,18 @@ class INanoPredictor:
                 heappush(heap, (np_, ne, nx, count, v))
                 count += 1
 
-        return _CompiledStates(root, phase, eff, exitc, parent, nxt, {})
+        # Wrap the spec loop's python lists into the same array-native
+        # representation the kernel produces (bit-exact: python floats
+        # are IEEE doubles).
+        return _CompiledStates(
+            root,
+            np.array(phase, dtype=np.int64),
+            np.array(eff, dtype=np.int64),
+            np.array(exitc, dtype=np.float64),
+            np.array(parent, dtype=np.int64),
+            np.array(nxt, dtype=np.int64),
+            {},
+        )
 
     # -- extraction -------------------------------------------------------------
 
@@ -952,7 +1070,7 @@ class INanoPredictor:
             asn = node_asn[u]
             if not as_path or as_path[-1] != asn:
                 as_path.append(asn)
-            ei = parent[u]
+            ei = int(parent[u])
             if ei < 0:
                 break
             latency += e_lat[ei]
@@ -964,7 +1082,7 @@ class INanoPredictor:
             as_path=tuple(as_path),
             latency_ms=latency,
             loss=1.0 - success,
-            as_hops=states.eff[start],
+            as_hops=int(states.eff[start]),
             used_from_src=used_from_src,
         )
 
@@ -1030,7 +1148,7 @@ class INanoPredictor:
                 as_path=tuple(as_path),
                 latency_ms=lat_list[k],
                 loss=loss_list[k],
-                as_hops=eff[nid],
+                as_hops=int(eff[nid]),
                 used_from_src=from_src_flags[k],
             )
 

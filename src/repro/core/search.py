@@ -28,6 +28,21 @@ generation-order (emission-order) tie-breaking. Only *contested*
 targets — where an AS preference could overrule the packed-key winner —
 fall back to a scalar fold.
 
+Mutable search state is **array-native**: phase / effective hops / exit
+cost / parent edge / next ASN live in flat int64/float64 arrays sized
+to the graph (plus a boolean finalized array), written by vectorized
+scatter stores on the winner path and by scalar stores on the contested
+fold and in-bucket intra paths. There are no python-list twins and no
+mirror syncing — the vectorized flush reads the same arrays the scalar
+paths write. The arrays come from a :class:`SearchStatePool` freelist
+(one per compiled graph, shared by every predictor over that graph), so
+the warm path performs zero per-query state allocation. Bucket pending
+entries are stored per ``(phase, hops)`` key as ``(cost, counter,
+node)`` **column-array chunks** appended whole by the vectorized flush
+(small winner sets and scalar relaxations stage as plain tuples); a
+bucket pop concatenates its chunks and orders them with one
+``np.lexsort`` instead of per-entry heap traffic.
+
 Two exact shortcut theorems make the spec's pop-time parent
 re-evaluation cheap:
 
@@ -69,11 +84,38 @@ engine). That holds because:
   ever decides the node's settle position; the kernel pushes exactly
   that entry.
 
+Bounded re-relaxation repair (the repair-frontier theorem)
+----------------------------------------------------------
+
+Bucket-engine searches optionally record a **replay journal**: every
+state improvement (node, phase, hops, cost, parent edge, next ASN,
+reserved counter, pushed flag), every contest-list mutation, and a
+watermark (pending-entry counter + row counts) at every live bucket
+pop. Because bucket keys pop in strictly increasing order, the journal
+lets :func:`repair_kernel` reconstruct the engine's exact mid-search
+state at any bucket boundary.
+
+For a **value-only** patch, a changed edge value is first *read* by the
+search at the settle of the edge's target endpoint ``u = e_dst[ei]``
+(deferred relaxation composes the edge there; contest refolds reuse the
+cost recorded at relax time; loss is never read by the search). A
+churned three-tuple ``(a, b, c)`` is first read at the settle of an
+endpoint ``u`` of an ``(a, b)`` edge whose settled next-ASN equals
+``c``. Let ``K0`` be the minimum final ``(phase, hops)`` key over all
+such reached endpoints. Every bucket strictly before ``K0`` pops
+identical entries, settles identical nodes, and writes identical state
+(including counters) in the patched cold run as in the recorded run —
+so re-running the engine from the recorded ``K0`` watermark over the
+preserved arrays is **bit-for-bit equal to a cold re-search**, at the
+cost of only the suffix of the search. Replayed runs re-record their
+journal (truncated prefix + live suffix), so value-only repairs chain
+across consecutive delta days.
+
 The scalar loop stays available as the kernel's executable spec behind
 ``INanoPredictor(..., kernel="scalar")``; the randomized property suite
 (``tests/test_search_kernel_property.py``) asserts equality over random
-atlases, ablation configs, provider gates, FROM_SRC merges and delta
-days.
+atlases, ablation configs, provider gates, FROM_SRC merges, delta days
+and journal replays.
 
 The kernel needs every ASN packable into a fixed radix (three ASNs per
 membership key in one int64); :func:`kernel_views` reports ``ok=False``
@@ -102,14 +144,373 @@ _VECTOR_MIN = 96
 
 #: below this many deferrable (non-intra) edges in the whole graph the
 #: kernel skips the bucket/batch machinery entirely and runs the
-#: immediate-relaxation loop (``_run_small``) — measured crossover: the
-#: per-bucket numpy batches only out-run the optimized scalar loop once
-#: graphs reach roughly 70k edges (frontier flushes in the thousands)
-_VECTOR_GRAPH_MIN = 24576
+#: immediate-relaxation loop (``_run_small``) — re-measured for the
+#: array-native engine: column-chunk buckets and scatter winner writes
+#: pull the crossover down to roughly 16k deferrable edges
+_VECTOR_GRAPH_MIN = 16384
 
 #: packed (phase, hops) keys: phase << _K2_SHIFT | hops. Hop counts are
 #: bounded by the longest simple path, far below 2**40.
 _K2_SHIFT = 40
+_K2_MASK = (1 << _K2_SHIFT) - 1
+
+#: below this many winners a flush stages bucket entries as plain
+#: tuples instead of column chunks (tiny-array overhead)
+_CHUNK_MIN = 24
+
+#: journal row cap: a search recording more improvement rows than this
+#: drops its journal (the search result is unaffected; a later
+#: value-only repair falls back to the dirty re-search path)
+_JOURNAL_MAX_ROWS = 1 << 17
+
+#: optional per-phase profile sink: set to a dict to accumulate
+#: ``alloc_s`` (state acquisition) and ``search_s`` (total kernel)
+#: wall seconds; benchmarks read it for the schema-2 phase breakdown
+PROFILE: dict | None = None
+
+
+class SearchStatePool:
+    """Freelist of per-search state-array bundles for one graph size.
+
+    A bundle is ``(phase, eff, exitc, parent, nxt)`` — int64 except the
+    float64 exit cost — sized to the graph's node count. One pool hangs
+    off each :class:`CompiledGraph` (``cg.search_pool()``), shared by
+    every predictor searching that graph, so the warm path allocates no
+    per-query state: evicted and repaired searches recycle their
+    bundles here. A node-count change (renumbering day, recompile)
+    drops the freelist via :meth:`resize`.
+
+    Recycled bundles may be handed to the next search, so callers must
+    not retain a search's state arrays after explicitly recycling them.
+    """
+
+    __slots__ = ("n", "cap", "_free", "_fin")
+
+    def __init__(self, n: int = 0, cap: int = 8) -> None:
+        self.n = int(n)
+        self.cap = cap
+        self._free: list[tuple] = []
+        self._fin = None
+
+    def resize(self, n: int) -> None:
+        """Pin the pool to ``n`` nodes, dropping stale-sized arrays."""
+        if n != self.n:
+            self.n = int(n)
+            self._free.clear()
+            self._fin = None
+
+    def acquire(self, n: int, reset: bool = True):
+        """A ``(phase, eff, exitc, parent, nxt)`` bundle of length
+        ``n`` — recycled when available, freshly allocated otherwise.
+        ``reset=False`` skips the zero/-1 fill for callers that
+        overwrite every element."""
+        self.resize(n)
+        if self._free:
+            phase, eff, exitc, parent, nxt = self._free.pop()
+            if reset:
+                phase.fill(0)
+                eff.fill(0)
+                exitc.fill(0.0)
+                parent.fill(-1)
+                nxt.fill(-1)
+            return phase, eff, exitc, parent, nxt
+        if reset:
+            return (
+                np.zeros(n, np.int64),
+                np.zeros(n, np.int64),
+                np.zeros(n, np.float64),
+                np.full(n, -1, np.int64),
+                np.full(n, -1, np.int64),
+            )
+        return (
+            np.empty(n, np.int64),
+            np.empty(n, np.int64),
+            np.empty(n, np.float64),
+            np.empty(n, np.int64),
+            np.empty(n, np.int64),
+        )
+
+    def recycle(self, arrays) -> None:
+        """Return a bundle to the freelist (dropped on size mismatch or
+        when the freelist is full)."""
+        if len(arrays[0]) == self.n and len(self._free) < self.cap:
+            self._free.append(tuple(arrays))
+
+    def fin_scratch(self, n: int) -> np.ndarray:
+        """The pool's reusable finalized-flags array, reset to False."""
+        self.resize(n)
+        f = self._fin
+        if f is None or len(f) != n:
+            f = self._fin = np.zeros(n, dtype=bool)
+        else:
+            f.fill(False)
+        return f
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._fin = None
+
+    @property
+    def free_bundles(self) -> int:
+        return len(self._free)
+
+    def nbytes(self) -> int:
+        total = sum(a.nbytes for b in self._free for a in b)
+        if self._fin is not None:
+            total += self._fin.nbytes
+        return total
+
+
+def _acquire_state(pool: SearchStatePool | None, n: int, reset: bool):
+    if PROFILE is None:
+        if pool is not None:
+            return pool.acquire(n, reset=reset)
+        return SearchStatePool(n).acquire(n, reset=reset)
+    from time import perf_counter
+
+    t0 = perf_counter()
+    out = (
+        pool.acquire(n, reset=reset)
+        if pool is not None
+        else SearchStatePool(n).acquire(n, reset=reset)
+    )
+    PROFILE["alloc_s"] = PROFILE.get("alloc_s", 0.0) + perf_counter() - t0
+    return out
+
+
+class SearchJournal:
+    """Finalized replay journal of one bucket-engine search.
+
+    Improvement rows (one per state write, in event order): ``v`` node,
+    ``p``/``h``/``x`` the written phase/hops/exit cost, ``ei`` parent
+    edge, ``b`` next ASN, ``c`` reserved counter, ``pushed`` whether a
+    pending entry was pushed for the row. Contest rows mirror every
+    contest-list mutation (``creset`` True replaces the list). Bucket
+    rows record, per *live* bucket pop in strictly increasing key
+    order, the counter and row-count watermarks at that pop.
+    """
+
+    __slots__ = (
+        "v", "p", "h", "x", "ei", "b", "c", "pushed",
+        "cv", "cei", "cx", "creset",
+        "bk_p", "bk_h", "bk_count", "bk_rows", "bk_crows",
+    )
+
+    def __init__(self, v, p, h, x, ei, b, c, pushed,
+                 cv, cei, cx, creset,
+                 bk_p, bk_h, bk_count, bk_rows, bk_crows):
+        self.v = v
+        self.p = p
+        self.h = h
+        self.x = x
+        self.ei = ei
+        self.b = b
+        self.c = c
+        self.pushed = pushed
+        self.cv = cv
+        self.cei = cei
+        self.cx = cx
+        self.creset = creset
+        self.bk_p = bk_p
+        self.bk_h = bk_h
+        self.bk_count = bk_count
+        self.bk_rows = bk_rows
+        self.bk_crows = bk_crows
+
+    @property
+    def rows(self) -> int:
+        return len(self.v)
+
+    def nbytes(self) -> int:
+        return sum(
+            getattr(self, f).nbytes for f in self.__slots__
+        )
+
+
+class _JournalRecorder:
+    """Order-preserving journal accumulator: vectorized flushes append
+    whole array chunks, scalar paths stage tuples that flush into a
+    chunk before the next array append. Exceeding the row cap kills
+    the recorder (finalize returns None); the search is unaffected."""
+
+    __slots__ = (
+        "parts", "sv", "sp", "sh", "sx", "sei", "sb", "sc", "spush",
+        "cparts", "scv", "scei", "scx", "screset",
+        "bkp", "bkh", "bkc", "bkr", "bkcr",
+        "rows", "crows", "dead",
+    )
+
+    def __init__(self) -> None:
+        self.parts: list[tuple] = []
+        self.sv: list = []
+        self.sp: list = []
+        self.sh: list = []
+        self.sx: list = []
+        self.sei: list = []
+        self.sb: list = []
+        self.sc: list = []
+        self.spush: list = []
+        self.cparts: list[tuple] = []
+        self.scv: list = []
+        self.scei: list = []
+        self.scx: list = []
+        self.screset: list = []
+        self.bkp: list = []
+        self.bkh: list = []
+        self.bkc: list = []
+        self.bkr: list = []
+        self.bkcr: list = []
+        self.rows = 0
+        self.crows = 0
+        self.dead = False
+
+    def seed(self, j: SearchJournal, rows0: int, crows0: int, nbk: int):
+        """Start from the truncated prefix of a prior journal (replay)."""
+        if rows0:
+            self.parts.append((
+                j.v[:rows0].copy(), j.p[:rows0].copy(), j.h[:rows0].copy(),
+                j.x[:rows0].copy(), j.ei[:rows0].copy(), j.b[:rows0].copy(),
+                j.c[:rows0].copy(), j.pushed[:rows0].copy(),
+            ))
+        if crows0:
+            self.cparts.append((
+                j.cv[:crows0].copy(), j.cei[:crows0].copy(),
+                j.cx[:crows0].copy(), j.creset[:crows0].copy(),
+            ))
+        self.bkp = j.bk_p[:nbk].tolist()
+        self.bkh = j.bk_h[:nbk].tolist()
+        self.bkc = j.bk_count[:nbk].tolist()
+        self.bkr = j.bk_rows[:nbk].tolist()
+        self.bkcr = j.bk_crows[:nbk].tolist()
+        self.rows = rows0
+        self.crows = crows0
+
+    def _kill(self) -> None:
+        self.dead = True
+        self.parts.clear()
+        self.cparts.clear()
+        for lst in (self.sv, self.sp, self.sh, self.sx, self.sei,
+                    self.sb, self.sc, self.spush, self.scv, self.scei,
+                    self.scx, self.screset, self.bkp, self.bkh,
+                    self.bkc, self.bkr, self.bkcr):
+            lst.clear()
+
+    def _flush_scalars(self) -> None:
+        if self.sv:
+            self.parts.append((
+                np.array(self.sv, np.int64),
+                np.array(self.sp, np.int64),
+                np.array(self.sh, np.int64),
+                np.array(self.sx, np.float64),
+                np.array(self.sei, np.int64),
+                np.array(self.sb, np.int64),
+                np.array(self.sc, np.int64),
+                np.array(self.spush, bool),
+            ))
+            for lst in (self.sv, self.sp, self.sh, self.sx, self.sei,
+                        self.sb, self.sc, self.spush):
+                lst.clear()
+
+    def _flush_contest(self) -> None:
+        if self.scv:
+            self.cparts.append((
+                np.array(self.scv, np.int64),
+                np.array(self.scei, np.int64),
+                np.array(self.scx, np.float64),
+                np.array(self.screset, bool),
+            ))
+            for lst in (self.scv, self.scei, self.scx, self.screset):
+                lst.clear()
+
+    def add_row(self, v, p, h, x, ei, b, c, pushed) -> None:
+        if self.dead:
+            return
+        self.sv.append(v)
+        self.sp.append(p)
+        self.sh.append(h)
+        self.sx.append(x)
+        self.sei.append(ei)
+        self.sb.append(b)
+        self.sc.append(c)
+        self.spush.append(pushed)
+        self.rows += 1
+        if self.rows > _JOURNAL_MAX_ROWS:
+            self._kill()
+
+    def add_rows(self, v, p, h, x, ei, b, c) -> None:
+        """A vectorized all-pushed improvement chunk (fast winners)."""
+        if self.dead:
+            return
+        self._flush_scalars()
+        self.parts.append((v, p, h, x, ei, b, c, None))
+        self.rows += len(v)
+        if self.rows > _JOURNAL_MAX_ROWS:
+            self._kill()
+
+    def add_crow(self, v, ei, x, reset) -> None:
+        if self.dead:
+            return
+        self.scv.append(v)
+        self.scei.append(ei)
+        self.scx.append(x)
+        self.screset.append(reset)
+        self.crows += 1
+
+    def add_crows(self, v, ei, x) -> None:
+        """A vectorized all-reset contest chunk (fast winners)."""
+        if self.dead:
+            return
+        self._flush_contest()
+        self.cparts.append((v, ei, x, None))
+        self.crows += len(v)
+
+    def add_bucket(self, p, h, count) -> None:
+        if self.dead:
+            return
+        self.bkp.append(p)
+        self.bkh.append(h)
+        self.bkc.append(count)
+        self.bkr.append(self.rows)
+        self.bkcr.append(self.crows)
+
+    def finalize(self) -> SearchJournal | None:
+        if self.dead:
+            return None
+        self._flush_scalars()
+        self._flush_contest()
+
+        def cat(idx, dtype, fill=None):
+            arrs = []
+            for part in self.parts:
+                a = part[idx]
+                if a is None:
+                    a = np.full(len(part[0]), fill, dtype=dtype)
+                arrs.append(np.asarray(a, dtype=dtype))
+            if not arrs:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate(arrs) if len(arrs) > 1 else arrs[0]
+
+        def ccat(idx, dtype, fill=None):
+            arrs = []
+            for part in self.cparts:
+                a = part[idx]
+                if a is None:
+                    a = np.full(len(part[0]), fill, dtype=dtype)
+                arrs.append(np.asarray(a, dtype=dtype))
+            if not arrs:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate(arrs) if len(arrs) > 1 else arrs[0]
+
+        return SearchJournal(
+            cat(0, np.int64), cat(1, np.int64), cat(2, np.int64),
+            cat(3, np.float64), cat(4, np.int64), cat(5, np.int64),
+            cat(6, np.int64), cat(7, bool, True),
+            ccat(0, np.int64), ccat(1, np.int64), ccat(2, np.float64),
+            ccat(3, bool, True),
+            np.array(self.bkp, np.int64), np.array(self.bkh, np.int64),
+            np.array(self.bkc, np.int64), np.array(self.bkr, np.int64),
+            np.array(self.bkcr, np.int64),
+        )
 
 
 @dataclass
@@ -152,9 +553,10 @@ class KernelViews:
     #: set — pop-time re-evaluation is a provable no-op for every other
     #: node (see the module docstring), so the kernel skips it there
     needs_reeval: list = None
+    needs_reeval_np: np.ndarray = None
     #: per-node: the node has intra in-edges (a bucket with no such
-    #: member settles in one sorted pass, no local heap)
-    has_intra: list = None
+    #: member settles in one vectorized pass, no local heap)
+    has_intra: np.ndarray = None
     base: int = 0
 
 
@@ -248,11 +650,12 @@ def _build_views(cg: CompiledGraph, atlas, thresh: int) -> KernelViews:
         rest_lst=rest_ids.tolist(),
         rest_off_np=rest_off,
         rest_lst_np=rest_ids,
-        has_intra=(intra_counts > 0).tolist(),
+        has_intra=intra_counts > 0,
         ab2=(e_sa * base + e_da) * base,
         bdeg=bdeg,
         tuple_keys=tuple_keys,
         needs_reeval=needs_reeval,
+        needs_reeval_np=np.array(needs_reeval, dtype=bool),
         base=base,
     )
 
@@ -263,10 +666,15 @@ def run_kernel(
     config,
     providers: frozenset | None,
     root: int,
+    pool: SearchStatePool | None = None,
+    record: bool = False,
+    use_jit: bool = False,
 ):
     """Run the search kernel; returns ``(phase, eff, exitc, parent,
-    nxt)`` python lists bit-identical to the scalar spec loop, or None
-    when the graph's ASNs don't pack (caller falls back).
+    nxt, journal)`` — five numpy state arrays bit-identical to the
+    scalar spec loop plus the replay journal (None unless ``record``
+    and the bucket engine ran) — or None when the graph's ASNs don't
+    pack (caller falls back).
 
     Dispatches on graph scale: below ``_VECTOR_GRAPH_MIN`` deferrable
     (non-intra) edges the bucket/batch machinery costs more than it
@@ -279,9 +687,23 @@ def run_kernel(
     views = kernel_views(cg, atlas, config.tuple_degree_threshold)
     if not views.ok:
         return None
+    if PROFILE is None:
+        if len(views.rest_lst) < _VECTOR_GRAPH_MIN:
+            return _run_small(cg, atlas, config, providers, root, views, pool)
+        return _run_buckets(
+            cg, atlas, config, providers, root, views, pool, record, use_jit
+        )
+    from time import perf_counter
+
+    t0 = perf_counter()
     if len(views.rest_lst) < _VECTOR_GRAPH_MIN:
-        return _run_small(cg, atlas, config, providers, root, views)
-    return _run_buckets(cg, atlas, config, providers, root, views)
+        out = _run_small(cg, atlas, config, providers, root, views, pool)
+    else:
+        out = _run_buckets(
+            cg, atlas, config, providers, root, views, pool, record, use_jit
+        )
+    PROFILE["search_s"] = PROFILE.get("search_s", 0.0) + perf_counter() - t0
+    return out
 
 
 def _refold_contest(u, lst, parent, nxt, exitc, e_sa, e_da, e_dst, prefs):
@@ -326,13 +748,16 @@ def _run_small(
     providers: frozenset | None,
     root: int,
     views: KernelViews,
+    pool: SearchStatePool | None = None,
 ):
     """The spec loop with the kernel's exact shortcuts, for graphs too
     small to amortize per-bucket numpy calls. Bit-for-bit identical to
     ``_search_compiled``: relaxation is immediate and walks the unsplit
     reverse CSR, so heap counters advance exactly like the spec's; the
     contest-list re-evaluation and the hoisted ``(phase, hops)``
-    prefilter are outcome-preserving (module docstring)."""
+    prefilter are outcome-preserving (module docstring). State runs in
+    python lists (faster for scalar access) and lands in pooled arrays
+    at the end."""
     use_tuples = config.use_three_tuples
     use_prefs = config.use_preferences
     thresh = config.tuple_degree_threshold
@@ -447,7 +872,13 @@ def _run_small(
             heappush(heap, (np_, ne, nx, count, v))
             count += 1
 
-    return phase, eff, exitc, parent, nxt
+    out = _acquire_state(pool, n, reset=False)
+    out[0][:] = phase
+    out[1][:] = eff
+    out[2][:] = exitc
+    out[3][:] = parent
+    out[4][:] = nxt
+    return out[0], out[1], out[2], out[3], out[4], None
 
 
 def _run_buckets(
@@ -457,15 +888,184 @@ def _run_buckets(
     providers: frozenset | None,
     root: int,
     views: KernelViews,
+    pool: SearchStatePool | None = None,
+    record: bool = False,
+    use_jit: bool = False,
+):
+    """A fresh cold search through the phase-major bucket engine."""
+    n = cg.n_nodes
+    phase, eff, exitc, parent, nxt = _acquire_state(pool, n, reset=True)
+    fin = (
+        pool.fin_scratch(n) if pool is not None else np.zeros(n, dtype=bool)
+    )
+    contest: list = [None] * n
+    rec = _JournalRecorder() if record else None
+    phase[root] = 1
+    if rec is not None:
+        rec.add_row(root, 1, 0, 0.0, -1, -1, 0, True)
+    buckets: dict = {}
+    bucket_sc: dict = {(1, 0): [(0.0, 0, root)]}
+    bucket_keys: list = [(1, 0)]
+    state = (
+        phase, eff, exitc, parent, nxt, fin, contest,
+        buckets, bucket_sc, bucket_keys, 1,
+    )
+    return _bucket_engine(
+        cg, atlas, config, providers, views, state, rec, use_jit
+    )
+
+
+def repair_kernel(
+    cg: CompiledGraph,
+    atlas,
+    config,
+    providers: frozenset | None,
+    states,
+    touched_eids,
+    pool: SearchStatePool | None = None,
+    record: bool = False,
+):
+    """Bounded re-relaxation repair of a journaled search after a
+    value-only patch (see the module docstring for the exactness
+    argument). ``states`` carries the pre-patch arrays + journal;
+    ``touched_eids`` the patch's relevant edge ids (changed latencies
+    and effective tuple-churn edges). Returns the same 6-tuple as
+    :func:`run_kernel`, bit-for-bit equal to a cold re-search on the
+    patched graph, or None when repair doesn't apply (caller falls back
+    to the dirty re-search path). The caller owns recycling the old
+    state arrays afterwards."""
+    j = getattr(states, "journal", None)
+    if j is None or states.root_id is None:
+        return None
+    n = cg.n_nodes
+    old_phase = states.phase
+    if not isinstance(old_phase, np.ndarray) or len(old_phase) != n:
+        return None
+    views = kernel_views(cg, atlas, config.tuple_degree_threshold)
+    if not views.ok:
+        return None
+    eids = np.asarray(touched_eids, dtype=np.int64)
+    if eids.size == 0:
+        return None
+    u = views.e_dst[eids]
+    pu = old_phase[u]
+    reached = pu > 0
+    if not reached.any():
+        return None
+    ur = u[reached]
+    k0 = int(
+        ((old_phase[ur] << _K2_SHIFT) | states.eff[ur]).min()
+    )
+    bk_key = (j.bk_p << _K2_SHIFT) | j.bk_h
+    i = int(np.searchsorted(bk_key, k0))
+    if i >= len(bk_key) or int(bk_key[i]) != k0:
+        return None
+    count0 = int(j.bk_count[i])
+    rows0 = int(j.bk_rows[i])
+    crows0 = int(j.bk_crows[i])
+
+    # Seed the array state at the K0 watermark: nodes finalized strictly
+    # before K0 keep their (identical-by-theorem) final states; every
+    # other node takes its last journaled improvement before the
+    # watermark, or stays unreached.
+    phase, eff, exitc, parent, nxt = _acquire_state(pool, n, reset=True)
+    okey = (old_phase << _K2_SHIFT) | states.eff
+    fin = (old_phase > 0) & (okey < k0)
+    fidx = np.flatnonzero(fin)
+    phase[fidx] = old_phase[fidx]
+    eff[fidx] = states.eff[fidx]
+    exitc[fidx] = states.exitc[fidx]
+    parent[fidx] = states.parent[fidx]
+    nxt[fidx] = states.nxt[fidx]
+    vrows = j.v[:rows0]
+    live_rows = np.flatnonzero(~fin[vrows])
+    if live_rows.size:
+        vv = vrows[live_rows]
+        uq, first_rev = np.unique(vv[::-1], return_index=True)
+        last_rows = live_rows[live_rows.size - 1 - first_rev]
+        phase[uq] = j.p[last_rows]
+        eff[uq] = j.h[last_rows]
+        exitc[uq] = j.x[last_rows]
+        parent[uq] = j.ei[last_rows]
+        nxt[uq] = j.b[last_rows]
+
+    contest: list = [None] * n
+    if config.use_preferences and crows0:
+        cv = j.cv[:crows0]
+        keep = np.flatnonzero(~fin[cv])
+        if keep.size:
+            cvl = cv[keep].tolist()
+            ceil_ = j.cei[keep].tolist()
+            cxl = j.cx[keep].tolist()
+            crl = j.creset[keep].tolist()
+            for t in range(len(cvl)):
+                vtx = cvl[t]
+                if crl[t] or contest[vtx] is None:
+                    contest[vtx] = [(ceil_[t], cxl[t])]
+                else:
+                    contest[vtx].append((ceil_[t], cxl[t]))
+
+    # Rebuild the pending buckets at the watermark from the journal's
+    # pushed rows with key >= K0 (stale entries included — the cold run
+    # pops and skips them identically).
+    rowkey = (j.p[:rows0] << _K2_SHIFT) | j.h[:rows0]
+    psel = np.flatnonzero(j.pushed[:rows0] & (rowkey >= k0))
+    buckets: dict = {}
+    bucket_keys: list = []
+    if psel.size:
+        pk = rowkey[psel]
+        po = np.argsort(pk, kind="stable")
+        pks = pk[po]
+        kheads = np.concatenate(
+            ([0], np.flatnonzero(pks[1:] != pks[:-1]) + 1)
+        )
+        bounds = np.append(kheads, len(pks))
+        for t in range(len(kheads)):
+            seg = psel[po[kheads[t]:bounds[t + 1]]]
+            kv = int(pks[kheads[t]])
+            key = (kv >> _K2_SHIFT, kv & _K2_MASK)
+            buckets[key] = [(j.x[seg], j.c[seg], j.v[seg])]
+            bucket_keys.append(key)
+        heapq.heapify(bucket_keys)
+
+    rec = None
+    if record:
+        rec = _JournalRecorder()
+        rec.seed(j, rows0, crows0, i)
+    state = (
+        phase, eff, exitc, parent, nxt, fin, contest,
+        buckets, {}, bucket_keys, count0,
+    )
+    return _bucket_engine(
+        cg, atlas, config, providers, views, state, rec, False
+    )
+
+
+def _bucket_engine(
+    cg: CompiledGraph,
+    atlas,
+    config,
+    providers: frozenset | None,
+    views: KernelViews,
+    state: tuple,
+    rec: _JournalRecorder | None,
+    use_jit: bool = False,
 ):
     """The phase-major bucket queue with vectorized frontier flushes
-    (see the module docstring for the equivalence argument)."""
+    over flat array state (see the module docstring for the equivalence
+    argument). ``state`` carries the (possibly mid-search, for repair
+    replay) engine state: the five state arrays, finalized flags,
+    contest lists, pending buckets (column chunks + scalar staging),
+    the bucket-key heap and the entry counter."""
+    (phase, eff, exitc, parent, nxt, fin, contest,
+     buckets, bucket_sc, bucket_keys, count) = state
     use_tuples = config.use_three_tuples
     use_prefs = config.use_preferences
     thresh = config.tuple_degree_threshold
     tuples = atlas.three_tuples
     dget = atlas.as_degrees.get
     prefs = atlas.preferences
+    record = rec is not None
     # scalar-path locals (python lists)
     e_src = cg.e_src
     e_dst = cg.e_dst
@@ -492,47 +1092,30 @@ def _run_buckets(
     bdeg_np = views.bdeg
     tuple_keys = views.tuple_keys
     n_tuple_keys = len(tuple_keys)
+    needs_reeval_np = views.needs_reeval_np
+    node_has_intra = views.has_intra
     providers_arr = (
         np.fromiter(sorted(providers), dtype=np.int64, count=len(providers))
         if providers is not None
         else None
     )
+    jit_compose = None
+    if use_jit and not use_tuples and providers_arr is None:
+        from repro.core import jit as _jit
 
-    n = cg.n_nodes
-    phase = [0] * n
-    eff = [0] * n
-    exitc = [0.0] * n
-    parent = [-1] * n
-    nxt = [-1] * n
-    contest: list = [None] * n
-    finalized = bytearray(n)
-    # numpy mirrors of phase/eff/finalized, read only by the vectorized
-    # flush; scalar-path updates queue in dirty lists and sync in batch
-    phase_np = np.zeros(n, dtype=np.int64)
-    eff_np = np.zeros(n, dtype=np.int64)
-    fin_np = np.zeros(n, dtype=bool)
-    dirty: list[int] = []
-    fin_dirty: list[int] = []
+        jit_compose = _jit.compose
     heappush = heapq.heappush
     heappop = heapq.heappop
-    phase[root] = 1
-    phase_np[root] = 1
-    count = 1
-    #: pending heap entries grouped by (phase, hops); the heap holds
-    #: only bucket *keys* — entries are bulk-sorted per bucket, which
-    #: reproduces global pop order because pops are monotone in the key
-    buckets: dict = {(1, 0): [(1, 0, 0.0, 0, root)]}
-    bucket_keys: list = [(1, 0)]
-    node_has_intra = views.has_intra
 
     def push_entry(p, h, x, c, v):
         key = (p, h)
-        lst = buckets.get(key)
+        lst = bucket_sc.get(key)
         if lst is None:
-            buckets[key] = [(p, h, x, c, v)]
-            heappush(bucket_keys, key)
+            bucket_sc[key] = [(x, c, v)]
+            if key not in buckets:
+                heappush(bucket_keys, key)
         else:
-            lst.append((p, h, x, c, v))
+            lst.append((x, c, v))
 
     def relax_rest_scalar(u, sp, se, sx, sn, base_counter):
         """Scalar deferred relaxation for one settled node (small-flush
@@ -543,7 +1126,7 @@ def _run_buckets(
         for ei in rest_lst[rest_off[u]:rest_off[u + 1]]:
             c += 1
             v = e_src[ei]
-            if finalized[v]:
+            if fin[v]:
                 continue
             op = e_op[ei]
             np_ = e_ph[ei] if op == OP_INTER else sp
@@ -569,6 +1152,8 @@ def _run_buckets(
                 if use_prefs:
                     if needs_reeval[v]:
                         contest[v].append((ei, nx))
+                        if record:
+                            rec.add_crow(v, ei, nx, False)
                     pi = parent[v]
                     if pi >= 0:
                         pd = e_da[pi]
@@ -588,12 +1173,15 @@ def _run_buckets(
                     continue
             elif use_prefs and needs_reeval[v]:
                 contest[v] = [(ei, nx)]
+                if record:
+                    rec.add_crow(v, ei, nx, True)
             phase[v] = np_
             eff[v] = ne
             exitc[v] = nx
             parent[v] = ei
             nxt[v] = b
-            dirty.append(v)
+            if record:
+                rec.add_row(v, np_, ne, nx, ei, b, c - 1, True)
             push_entry(np_, ne, nx, c - 1, v)
 
     def fold_group(rows, v_l, ei_l, p_l, h_l, x_l, a_l, b_l, c_l):
@@ -601,6 +1189,8 @@ def _run_buckets(
         rows in generation order; pushes the minimal improving entry."""
         vtx = v_l[rows[0]]
         best_entry = None
+        best_row = -1
+        jrows = [] if record else None
         for j in rows:
             cpj = p_l[j]
             chj = h_l[j]
@@ -619,6 +1209,8 @@ def _run_buckets(
                     if use_prefs:
                         if needs_reeval[vtx]:
                             contest[vtx].append((ei_l[j], cxj))
+                            if record:
+                                rec.add_crow(vtx, ei_l[j], cxj, False)
                         pi = parent[vtx]
                         if pi >= 0:
                             pd = e_da[pi]
@@ -638,90 +1230,86 @@ def _run_buckets(
                         continue
             if not tie and use_prefs and needs_reeval[vtx]:
                 contest[vtx] = [(ei_l[j], cxj)]
+                if record:
+                    rec.add_crow(vtx, ei_l[j], cxj, True)
             phase[vtx] = cpj
             eff[vtx] = chj
             exitc[vtx] = cxj
             parent[vtx] = ei_l[j]
             nxt[vtx] = b_l[j]
+            if record:
+                jrows.append((vtx, cpj, chj, cxj, ei_l[j], b_l[j], c_l[j]))
             entry = (cpj, chj, cxj, c_l[j])
             if best_entry is None or entry < best_entry:
                 best_entry = entry
+                if record:
+                    best_row = len(jrows) - 1
         if best_entry is not None:
-            dirty.append(vtx)
             push_entry(*best_entry, vtx)
+        if record:
+            for t, r in enumerate(jrows):
+                rec.add_row(*r, t == best_row)
 
-    def flush(settled):
+    def flush(s):
         """Batch-relax all deferred (non-intra) edges of a finished
-        bucket (``settled`` carries ``(node, phase, hops, cost,
-        next_asn)`` per settle, in settle order): vectorized composition
-        + validity + prefilter, packed ``minimum.reduceat`` winner
-        selection per target, scalar folds only for contested targets —
-        all in generation order."""
+        bucket (``s``: settled node ids, int64 array in settle order):
+        vectorized composition + validity + prefilter over the state
+        arrays, packed ``minimum.reduceat`` winner selection per target
+        with scatter winner writes, scalar folds only for contested
+        targets — all in generation order."""
         nonlocal count
-        tot = 0
-        for tup in settled:
-            u = tup[0]
-            tot += rest_off[u + 1] - rest_off[u]
+        cnt = rest_off_np[s + 1] - rest_off_np[s]
+        tot = int(cnt.sum())
         if tot == 0:
             return
         base = count
         count += tot
         if tot < _VECTOR_MIN:
             c = base
-            for u, sp, se, sx, sn in settled:
-                relax_rest_scalar(u, sp, se, sx, sn, c)
+            for u in s.tolist():
+                relax_rest_scalar(
+                    u, int(phase[u]), int(eff[u]), float(exitc[u]),
+                    int(nxt[u]), c,
+                )
                 c += rest_off[u + 1] - rest_off[u]
             return
-        # sync the numpy mirrors the vector path reads
-        if dirty:
-            dn = np.fromiter(dirty, np.int64, len(dirty))
-            phase_np[dn] = np.fromiter(
-                (phase[x] for x in dirty), np.int64, len(dirty)
-            )
-            eff_np[dn] = np.fromiter(
-                (eff[x] for x in dirty), np.int64, len(dirty)
-            )
-            dirty.clear()
-        if fin_dirty:
-            fin_np[
-                np.fromiter(fin_dirty, np.int64, len(fin_dirty))
-            ] = True
-            fin_dirty.clear()
-        us, sps, ses, sxs, sns = zip(*settled)
-        n_settled = len(settled)
-        s = np.fromiter(us, dtype=np.int64, count=n_settled)
-        cnt = rest_off_np[s + 1] - rest_off_np[s]
         startpos = np.repeat(rest_off_np[s], cnt)
         within = np.arange(tot, dtype=np.int64) - np.repeat(
             np.cumsum(cnt) - cnt, cnt
         )
         eids = rest_lst_np[startpos + within]
-        sp = np.repeat(np.fromiter(sps, np.int64, n_settled), cnt)
-        se = np.repeat(np.fromiter(ses, np.int64, n_settled), cnt)
-        sx = np.repeat(np.fromiter(sxs, np.float64, n_settled), cnt)
-        sn = np.repeat(np.fromiter(sns, np.int64, n_settled), cnt)
-        v = e_src_np[eids]
-        b = e_da_np[eids]
-        pv = phase_np[v]
-        ev = eff_np[v]
-        valid = ~fin_np[v]
-        if use_tuples:
-            chk = (sn >= 0) & (b != sn) & bdeg_np[eids]
-            if n_tuple_keys:
-                keys = ab2_np[eids] + sn
-                pos = np.searchsorted(tuple_keys, keys)
-                hit = tuple_keys[np.minimum(pos, n_tuple_keys - 1)] == keys
-                valid &= ~chk | hit
-            else:
-                valid &= ~chk
-        if providers_arr is not None:
-            a_np = e_sa_np[eids]
-            valid &= (sn != -1) | np.isin(a_np, providers_arr)
-        op = e_op_np[eids]
-        cp = np.where(op == OP_INTER, e_ph_np[eids], sp)
-        ch = se + 1
-        cx = np.where(op == OP_LATE_EXIT, sx + e_lat_np[eids], 0.0)
-        keep = valid & ((pv == 0) | (cp < pv) | ((cp == pv) & (ch <= ev)))
+        sp = np.repeat(phase[s], cnt)
+        se = np.repeat(eff[s], cnt)
+        sx = np.repeat(exitc[s], cnt)
+        sn = np.repeat(nxt[s], cnt)
+        if jit_compose is not None:
+            v, b, cp, ch, cx, keep = jit_compose(
+                eids, sp, se, sx, e_src_np, e_da_np, e_op_np, e_ph_np,
+                e_lat_np, phase, eff, fin,
+            )
+        else:
+            v = e_src_np[eids]
+            b = e_da_np[eids]
+            pv = phase[v]
+            ev = eff[v]
+            valid = ~fin[v]
+            if use_tuples:
+                chk = (sn >= 0) & (b != sn) & bdeg_np[eids]
+                if n_tuple_keys:
+                    keys = ab2_np[eids] + sn
+                    pos = np.searchsorted(tuple_keys, keys)
+                    hit = tuple_keys[np.minimum(pos, n_tuple_keys - 1)] == keys
+                    valid &= ~chk | hit
+                else:
+                    valid &= ~chk
+            if providers_arr is not None:
+                a_np = e_sa_np[eids]
+                valid &= (sn != -1) | np.isin(a_np, providers_arr)
+            op = e_op_np[eids]
+            cp = np.where(op == OP_INTER, e_ph_np[eids], sp)
+            ch = se + 1
+            cx = np.where(op == OP_LATE_EXIT, sx + e_lat_np[eids], 0.0)
+            keep = valid & ((pv == 0) | (cp < pv) | ((cp == pv) & (ch <= ev)))
         idx = np.flatnonzero(keep)
         if idx.size == 0:
             return
@@ -739,14 +1327,12 @@ def _run_buckets(
         at_min = k2 == np.repeat(gmin, group_sizes)
         min_counts = np.add.reduceat(at_min.astype(np.int64), heads)
         # incumbent packed key per group (unreached -> +inf sentinel)
-        pv_sorted = pv[idx][order]
-        ev_sorted = ev[idx][order]
-        # (finalized targets were masked out of ``keep``; mirror values
-        # for them are never read past this point)
+        hv = v_sorted[heads]
+        pv_h = phase[hv]
         inc_k2 = np.where(
-            pv_sorted[heads] == 0,
+            pv_h == 0,
             np.int64(2 ** 62),
-            (pv_sorted[heads] << _K2_SHIFT) | ev_sorted[heads],
+            (pv_h << _K2_SHIFT) | eff[hv],
         )
         if use_prefs:
             # fast path: unique winner key strictly below the incumbent —
@@ -759,17 +1345,12 @@ def _run_buckets(
             # the full lexicographic (key, cost, order) minimum is the
             # fold for any group; only incumbent ties need the cost check
             o2 = np.lexsort((cx[sel], k2, v_sorted))
-            first = np.searchsorted(v_sorted[o2], v_sorted[heads])
+            first = np.searchsorted(v_sorted[o2], hv)
             frows_all = o2[first]
             fsel = gmin <= inc_k2
             eq = gmin == inc_k2
             if eq.any():
-                inc_x = np.fromiter(
-                    (exitc[t] for t in v_sorted[heads].tolist()),
-                    np.float64,
-                    len(heads),
-                )
-                fsel &= (~eq) | (cx[sel][frows_all] < inc_x)
+                fsel &= (~eq) | (cx[sel][frows_all] < exitc[hv])
             frows = frows_all[fsel]
             # the prefilter caps every candidate key at the incumbent's,
             # so a rejected group is all exact ties losing the strict
@@ -777,40 +1358,61 @@ def _run_buckets(
             slow_heads = np.zeros(0, dtype=np.int64)
         if len(frows):
             w_sel = sel[frows]
-            w_v_np = v_sorted[frows]
-            w_p_np = cp[w_sel]
-            w_h_np = ch[w_sel]
-            phase_np[w_v_np] = w_p_np
-            eff_np[w_v_np] = w_h_np
-            w_v = w_v_np.tolist()
-            w_ei = eids[w_sel].tolist()
-            w_p = w_p_np.tolist()
-            w_h = w_h_np.tolist()
-            w_x = cx[w_sel].tolist()
-            w_b = b[w_sel].tolist()
-            w_c = (base + w_sel).tolist()
-            track = use_prefs
-            buckets_get = buckets.get
-            for i in range(len(w_v)):
-                vtx = w_v[i]
-                cpj = w_p[i]
-                chj = w_h[i]
-                cxj = w_x[i]
-                eij = w_ei[i]
-                phase[vtx] = cpj
-                eff[vtx] = chj
-                exitc[vtx] = cxj
-                parent[vtx] = eij
-                nxt[vtx] = w_b[i]
-                if track and needs_reeval[vtx]:
-                    contest[vtx] = [(eij, cxj)]
-                key = (cpj, chj)
-                lst = buckets_get(key)
-                if lst is None:
-                    buckets[key] = [(cpj, chj, cxj, w_c[i], vtx)]
-                    heappush(bucket_keys, key)
-                else:
-                    lst.append((cpj, chj, cxj, w_c[i], vtx))
+            w_v = v_sorted[frows]
+            w_p = cp[w_sel]
+            w_h = ch[w_sel]
+            w_x = cx[w_sel]
+            w_ei = eids[w_sel]
+            w_b = b[w_sel]
+            w_c = base + w_sel
+            phase[w_v] = w_p
+            eff[w_v] = w_h
+            exitc[w_v] = w_x
+            parent[w_v] = w_ei
+            nxt[w_v] = w_b
+            if record:
+                rec.add_rows(w_v, w_p, w_h, w_x, w_ei, w_b, w_c)
+            if use_prefs:
+                m = needs_reeval_np[w_v]
+                if m.any():
+                    rv = w_v[m].tolist()
+                    rei = w_ei[m].tolist()
+                    rx = w_x[m].tolist()
+                    for t in range(len(rv)):
+                        contest[rv[t]] = [(rei[t], rx[t])]
+                    if record:
+                        rec.add_crows(w_v[m], w_ei[m], w_x[m])
+            nw = len(w_v)
+            if nw < _CHUNK_MIN:
+                w_p_l = w_p.tolist()
+                w_h_l = w_h.tolist()
+                w_x_l = w_x.tolist()
+                w_c_l = w_c.tolist()
+                w_v_l = w_v.tolist()
+                for t in range(nw):
+                    push_entry(
+                        w_p_l[t], w_h_l[t], w_x_l[t], w_c_l[t], w_v_l[t]
+                    )
+            else:
+                kk = (w_p << _K2_SHIFT) | w_h
+                ko = np.argsort(kk, kind="stable")
+                kks = kk[ko]
+                kheads = np.concatenate(
+                    ([0], np.flatnonzero(kks[1:] != kks[:-1]) + 1)
+                )
+                bounds = np.append(kheads, nw)
+                for t in range(len(kheads)):
+                    seg = ko[kheads[t]:bounds[t + 1]]
+                    kv = int(kks[kheads[t]])
+                    key = (kv >> _K2_SHIFT, kv & _K2_MASK)
+                    chunk = (w_x[seg], w_c[seg], w_v[seg])
+                    lst = buckets.get(key)
+                    if lst is None:
+                        buckets[key] = [chunk]
+                        if key not in bucket_sc:
+                            heappush(bucket_keys, key)
+                    else:
+                        lst.append(chunk)
         if len(slow_heads):
             sizes = group_sizes[np.searchsorted(heads, slow_heads)]
             v_l = v_sorted.tolist()
@@ -827,7 +1429,7 @@ def _run_buckets(
                     a_l, b_l, c_l,
                 )
 
-    settled_batch: list[tuple] = []
+    settled_batch: list[int] = []
 
     def settle_serial(local_heap):
         """In-bucket serial loop for buckets with live intra edges:
@@ -836,8 +1438,8 @@ def _run_buckets(
         nonlocal count
         while local_heap:
             entry = heappop(local_heap)
-            u = entry[4]
-            if finalized[u]:
+            u = entry[2]
+            if fin[u]:
                 continue
             if use_prefs:
                 lst = contest[u]
@@ -845,16 +1447,15 @@ def _run_buckets(
                     _refold_contest(
                         u, lst, parent, nxt, exitc, e_sa, e_da, e_dst, prefs
                     )
-            finalized[u] = 1
-            fin_dirty.append(u)
+            fin[u] = True
+            settled_batch.append(u)
             sp = phase[u]
             se = eff[u]
             sx = exitc[u]
             sn = nxt[u]
-            settled_batch.append((u, sp, se, sx, sn))
             for ei in intra_lst[intra_off[u]:intra_off[u + 1]]:
                 v = e_src[ei]
-                if finalized[v]:
+                if fin[v]:
                     continue
                 nx = sx + e_lat[ei]
                 ip = phase[v]
@@ -865,6 +1466,8 @@ def _run_buckets(
                     if use_prefs:
                         if needs_reeval[v]:
                             contest[v].append((ei, nx))
+                            if record:
+                                rec.add_crow(v, ei, nx, False)
                         # intra edges never cross: the candidate next
                         # hop is the inherited next ASN
                         aa = e_sa[ei]
@@ -887,47 +1490,97 @@ def _run_buckets(
                         continue
                 elif use_prefs and needs_reeval[v]:
                     contest[v] = [(ei, nx)]
+                    if record:
+                        rec.add_crow(v, ei, nx, True)
                 phase[v] = sp
                 eff[v] = se
                 exitc[v] = nx
                 parent[v] = ei
                 nxt[v] = sn
-                dirty.append(v)
-                heappush(local_heap, (sp, se, nx, count, v))
+                if record:
+                    rec.add_row(v, sp, se, nx, ei, sn, count, True)
+                heappush(local_heap, (nx, count, v))
                 count += 1
 
     while bucket_keys:
         key = heappop(bucket_keys)
-        entries = buckets.pop(key)
-        entries.sort()
-        live = [e for e in entries if not finalized[e[4]]]
-        if not live:
-            continue
-        # In-bucket intra relaxations can only originate from members
-        # with intra in-edges; without any, the sorted order *is* the
-        # final settle order and the whole bucket settles in one pass.
-        if any(node_has_intra[e[4]] for e in live):
-            # a sorted list already satisfies the heap invariant
-            settle_serial(live)
+        chunks = buckets.pop(key, None)
+        sc = bucket_sc.pop(key, None)
+        if chunks is None:
+            # scalar-only bucket: python tuple sort beats tiny arrays
+            sc.sort()
+            live = [e for e in sc if not fin[e[2]]]
+            if not live:
+                continue
+            if record:
+                rec.add_bucket(int(key[0]), int(key[1]), count)
+            if node_has_intra[[e[2] for e in live]].any():
+                # a sorted list already satisfies the heap invariant
+                settle_serial(live)
+            else:
+                for e in live:
+                    u = e[2]
+                    if fin[u]:
+                        continue
+                    if use_prefs:
+                        lst = contest[u]
+                        if lst is not None and len(lst) > 1:
+                            _refold_contest(
+                                u, lst, parent, nxt, exitc, e_sa, e_da,
+                                e_dst, prefs,
+                            )
+                    fin[u] = True
+                    settled_batch.append(u)
         else:
-            for e in live:
-                u = e[4]
-                if finalized[u]:
-                    continue
+            if sc:
+                chunks.append((
+                    np.array([e[0] for e in sc], np.float64),
+                    np.array([e[1] for e in sc], np.int64),
+                    np.array([e[2] for e in sc], np.int64),
+                ))
+            if len(chunks) == 1:
+                x_b, c_b, v_b = chunks[0]
+            else:
+                x_b = np.concatenate([ck[0] for ck in chunks])
+                c_b = np.concatenate([ck[1] for ck in chunks])
+                v_b = np.concatenate([ck[2] for ck in chunks])
+            order = np.lexsort((c_b, x_b))
+            v_ord = v_b[order]
+            uniq, first_idx = np.unique(v_ord, return_index=True)
+            live_first = first_idx[~fin[uniq]]
+            if live_first.size == 0:
+                continue
+            live_first.sort()
+            live_v = v_ord[live_first]
+            if record:
+                rec.add_bucket(int(key[0]), int(key[1]), count)
+            if node_has_intra[live_v].any():
+                x_l = x_b[order].tolist()
+                c_l = c_b[order].tolist()
+                v_l = v_ord.tolist()
+                # all (possibly stale/duplicate) entries feed the local
+                # heap; staleness resolves via the finalized check, and
+                # a sorted list already satisfies the heap invariant
+                settle_serial(list(zip(x_l, c_l, v_l)))
+            else:
                 if use_prefs:
-                    lst = contest[u]
-                    if lst is not None and len(lst) > 1:
-                        _refold_contest(
-                            u, lst, parent, nxt, exitc, e_sa, e_da,
-                            e_dst, prefs,
-                        )
-                finalized[u] = 1
-                fin_dirty.append(u)
-                settled_batch.append(
-                    (u, phase[u], eff[u], exitc[u], nxt[u])
-                )
+                    for u in live_v.tolist():
+                        lst = contest[u]
+                        if lst is not None and len(lst) > 1:
+                            _refold_contest(
+                                u, lst, parent, nxt, exitc, e_sa, e_da,
+                                e_dst, prefs,
+                            )
+                fin[live_v] = True
+                flush(live_v)
+                continue
         if settled_batch:
-            flush(settled_batch)
+            flush(
+                np.fromiter(
+                    settled_batch, dtype=np.int64, count=len(settled_batch)
+                )
+            )
             settled_batch = []
 
-    return phase, eff, exitc, parent, nxt
+    journal = rec.finalize() if record else None
+    return phase, eff, exitc, parent, nxt, journal

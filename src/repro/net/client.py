@@ -29,6 +29,13 @@ may interleave with replies at any frame boundary and are applied (or
 counted stale) on arrival. :meth:`pipeline_predict` exposes raw
 pipelining — send N requests, then drain N replies — which is where
 the wire amortizes its round trip (the bench's pipelined-QPS sweep).
+
+Constructing with ``stats=True`` negotiates the ``FLAG_STATS``
+capability: the gateway trails every successful delegate-mode query
+reply with a typed STATS frame (backend wall time, the search-kernel
+counter deltas the request caused, and the repair-class counts of the
+last applied day); the latest decoded frame is kept on
+``client.last_stats``.
 """
 
 from __future__ import annotations
@@ -52,6 +59,9 @@ __all__ = ["NetworkClient"]
 
 _RECV_CHUNK = 64 * 1024
 
+#: reply types the gateway trails with a STATS frame when negotiated
+_STATS_REPLIES = frozenset({P.PREDICT_OK, P.PREDICT_BATCH_OK, P.QUERY_INFO_OK})
+
 
 class NetworkClient:
     """A remote host talking to a :class:`NetworkGateway`; see module
@@ -66,6 +76,7 @@ class NetworkClient:
         max_frame: int = P.DEFAULT_MAX_FRAME,
         config: PredictorConfig | None = None,
         subscribe: bool = False,
+        stats: bool = False,
     ) -> None:
         self._sock = sock
         self.endpoint = endpoint
@@ -83,6 +94,12 @@ class NetworkClient:
         self.bytes_received = 0
         self.deltas_applied = 0
         self.pushes_stale = 0
+        #: FLAG_STATS negotiated: the gateway follows every successful
+        #: delegate-mode query reply with a typed STATS frame; the
+        #: latest decoded one is kept here
+        self.stats_enabled = bool(stats)
+        self.last_stats: dict | None = None
+        self.stats_frames = 0
         try:
             self._hello(subscribe)
         except BaseException:
@@ -114,6 +131,8 @@ class NetworkClient:
 
     def _hello(self, subscribe: bool) -> None:
         flags = P.FLAG_SUBSCRIBE if subscribe else 0
+        if self.stats_enabled:
+            flags |= P.FLAG_STATS
         payload = self._request(P.HELLO, P.encode_hello(flags), P.WELCOME)
         day, subscribed, backend = P.decode_welcome(payload)
         self.server_day = day
@@ -194,15 +213,40 @@ class NetworkClient:
             if ftype == P.DELTA_PUSH:
                 self._on_push(payload)
                 continue
+            if ftype == P.STATS and got_id < request_id:
+                continue  # stale stats for an abandoned request
             if got_id and got_id < request_id:
                 continue  # stale reply/error for an abandoned request
             if ftype == P.ERROR:
                 code, message = P.decode_error(payload)
                 raise RemoteError(code, message)
             if ftype == expect and got_id == request_id:
+                if self.stats_enabled and expect in _STATS_REPLIES:
+                    self._read_stats(request_id)
                 return payload
             raise ProtocolError(
                 f"expected {P.frame_name(expect)}#{request_id}, got "
+                f"{P.frame_name(ftype)}#{got_id}"
+            )
+
+    def _read_stats(self, request_id: int) -> None:
+        """Consume the STATS frame trailing a successful query reply
+        (already in flight — the gateway writes it right behind the
+        reply), applying any delta pushes interleaved at a frame
+        boundary on the way."""
+        while True:
+            ftype, got_id, payload = self._next_frame(None)
+            if ftype == P.DELTA_PUSH:
+                self._on_push(payload)
+                continue
+            if ftype == P.STATS:
+                self.last_stats = P.decode_stats(payload)
+                self.stats_frames += 1
+                if got_id == request_id:
+                    return
+                continue  # stale stats for an abandoned request
+            raise ProtocolError(
+                f"expected STATS#{request_id}, got "
                 f"{P.frame_name(ftype)}#{got_id}"
             )
 

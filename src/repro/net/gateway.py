@@ -45,6 +45,7 @@ import asyncio
 import contextlib
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.atlas.serialization import encode_atlas, encode_delta
@@ -110,6 +111,13 @@ class _ServiceBackend:
         self.service.apply_delta(delta, payload=payload)
         return self.service.day
 
+    def kernel_sample(self):
+        """The kernels live in the shard worker processes; sampling them
+        per request would cost a pipe round-trip per query, so STATS
+        frames from a service backend carry wall time only (the worker
+        ``stats`` op exposes the per-shard kernel counters offline)."""
+        return None
+
 
 class _ServerBackend:
     """Bridge to a single-process :class:`~repro.client.server.AtlasServer`.
@@ -170,6 +178,14 @@ class _ServerBackend:
             runtime.apply_delta(delta)
         return runtime.atlas.day
 
+    def kernel_sample(self):
+        """A snapshot of the shared pool's kernel counters plus the
+        repair-class counts of the last applied delta; the gateway
+        differences two snapshots to attribute kernel work per request.
+        Runs on the bridge thread, like every backend call."""
+        pool = self._runtime.pool
+        return pool.kernel_stats(), dict(pool.last_repair)
+
 
 def _resolve_backend(backend):
     if hasattr(backend, "shard_snapshots"):  # PredictionService
@@ -188,12 +204,15 @@ def _resolve_backend(backend):
 
 
 class _Conn:
-    __slots__ = ("writer", "peer", "subscribed", "hello_done")
+    __slots__ = ("writer", "peer", "subscribed", "stats", "hello_done")
 
     def __init__(self, writer, peer: str) -> None:
         self.writer = writer
         self.peer = peer
         self.subscribed = False
+        #: FLAG_STATS negotiated: every successful query reply is
+        #: followed by a STATS frame with the same request id
+        self.stats = False
         self.hello_done = False
 
 
@@ -245,6 +264,7 @@ class NetworkGateway:
             "bytes_out": 0,
             "deltas_pushed": 0,
             "push_frames": 0,
+            "stats_frames": 0,
             "atlas_bytes_served": 0,
         }
 
@@ -462,6 +482,51 @@ class NetworkGateway:
             self._bridge, fn, *args
         )
 
+    async def _timed_call(self, conn: _Conn, fn, *args):
+        """One backend query on the bridge thread, returning ``(result,
+        stats)``. ``stats`` is None unless the connection negotiated
+        ``FLAG_STATS``; then it holds the request's wall time plus —
+        when the backend exposes :meth:`kernel_sample` counters — the
+        search-kernel deltas this request caused and the repair-class
+        counts of the last applied day. Sampling happens on the bridge
+        thread around the call itself, so the counters (which are not
+        thread-safe) see exactly one reader and the deltas attribute
+        cleanly to this request (the bridge serializes requests)."""
+        if not conn.stats:
+            return await self._call(fn, *args), None
+        sample = getattr(self.backend, "kernel_sample", None)
+
+        def run():
+            before = sample() if sample is not None else None
+            t0 = time.perf_counter()
+            result = fn(*args)
+            stats = {"elapsed_us": (time.perf_counter() - t0) * 1e6}
+            if before is not None:
+                counters0, _ = before
+                counters1, repair = sample()
+                stats["searches"] = counters1["searches"] - counters0["searches"]
+                stats["cache_hits"] = counters1["hits"] - counters0["hits"]
+                stats["search_us"] = (
+                    counters1["search_us"] - counters0["search_us"]
+                )
+                for key in ("reused", "repaired", "replayed", "dirty"):
+                    stats[key] = repair.get(key, 0)
+            return result, stats
+
+        return await asyncio.get_running_loop().run_in_executor(
+            self._bridge, run
+        )
+
+    async def _send_stats(
+        self, conn: _Conn, request_id: int, stats: dict | None
+    ) -> None:
+        if stats is None:
+            return
+        self.stats["stats_frames"] += 1
+        await self._send(
+            conn, P.encode_frame(P.STATS, request_id, P.encode_stats(stats))
+        )
+
     async def _handle_frame(
         self, conn: _Conn, ftype: int, request_id: int, payload: bytes
     ) -> None:
@@ -475,6 +540,7 @@ class NetworkGateway:
                 raise ProtocolError(f"client speaks protocol {version}")
             conn.hello_done = True
             conn.subscribed = bool(flags & P.FLAG_SUBSCRIBE)
+            conn.stats = bool(flags & P.FLAG_STATS)
             day = await self._call(lambda: self.backend.day)
             await self._send(
                 conn,
@@ -502,8 +568,8 @@ class NetworkGateway:
     ) -> None:
         if ftype == P.PREDICT:
             src, dst, config = P.decode_predict_request(payload)
-            paths = await self._call(
-                self.backend.predict_batch, [(src, dst)], config, None
+            paths, stats = await self._timed_call(
+                conn, self.backend.predict_batch, [(src, dst)], config, None
             )
             await self._send(
                 conn,
@@ -511,10 +577,11 @@ class NetworkGateway:
                     P.PREDICT_OK, request_id, P.encode_predict_reply(paths[0])
                 ),
             )
+            await self._send_stats(conn, request_id, stats)
         elif ftype == P.PREDICT_BATCH:
             pairs, config, client = P.decode_batch_request(payload)
-            paths = await self._call(
-                self.backend.predict_batch, pairs, config, client
+            paths, stats = await self._timed_call(
+                conn, self.backend.predict_batch, pairs, config, client
             )
             await self._send(
                 conn,
@@ -522,10 +589,11 @@ class NetworkGateway:
                     P.PREDICT_BATCH_OK, request_id, P.encode_batch_reply(paths)
                 ),
             )
+            await self._send_stats(conn, request_id, stats)
         elif ftype == P.QUERY_INFO:
             pairs, config, client = P.decode_query_request(payload)
-            infos = await self._call(
-                self.backend.query_batch, pairs, config, client
+            infos, stats = await self._timed_call(
+                conn, self.backend.query_batch, pairs, config, client
             )
             await self._send(
                 conn,
@@ -533,6 +601,7 @@ class NetworkGateway:
                     P.QUERY_INFO_OK, request_id, P.encode_query_reply(infos)
                 ),
             )
+            await self._send_stats(conn, request_id, stats)
         elif ftype == P.ATLAS_FETCH:
             day = P.decode_atlas_fetch(payload)
             served_day, blob = await self._call(self.backend.atlas_bytes, day)

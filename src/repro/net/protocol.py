@@ -39,6 +39,14 @@ and the blocking client build on it):
   ``INDB`` broadcast codec (:func:`repro.atlas.serialization.encode_delta`),
   exactly the bytes the sharded service fans to its workers, applied
   client-side through the same in-place patch + warm-start path.
+* ``STATS`` — per-request kernel telemetry: a client that set
+  ``FLAG_STATS`` in its HELLO receives one typed STATS frame after
+  every successful PREDICT / PREDICT_BATCH / QUERY_INFO reply (same
+  ``request_id``) carrying the backend wall time, the search-kernel
+  counter deltas the request caused (cold searches, cache hits, kernel
+  microseconds), and the repair-class counts of the backend's last
+  applied delta (reused / repaired / replayed / dirty) — the first
+  metrics hook an autoscaler needs, behind the capability bit.
 * ``ERROR`` — a typed failure reply (code + message); decode failures
   of untrusted bytes (:class:`~repro.errors.CodecError`) and backend
   errors travel as these instead of killing the connection.
@@ -86,6 +94,7 @@ ATLAS = 10
 SUBSCRIBE = 11
 SUBSCRIBE_OK = 12
 DELTA_PUSH = 13
+STATS = 14
 ERROR = 127
 
 _FRAME_NAMES = {
@@ -102,11 +111,13 @@ _FRAME_NAMES = {
     SUBSCRIBE: "SUBSCRIBE",
     SUBSCRIBE_OK: "SUBSCRIBE_OK",
     DELTA_PUSH: "DELTA_PUSH",
+    STATS: "STATS",
     ERROR: "ERROR",
 }
 
 #: HELLO capability flags
 FLAG_SUBSCRIBE = 1
+FLAG_STATS = 2
 
 # -- wire error codes ------------------------------------------------------
 
@@ -511,6 +522,49 @@ def decode_subscribe_ok(payload: bytes) -> tuple[int, bool]:
     (subscribed,) = r.take(_U8)
     r.finish()
     return day, bool(subscribed)
+
+
+# -- STATS -----------------------------------------------------------------
+
+#: elapsed_us, searches, cache_hits, search_us, reused, repaired,
+#: replayed, dirty — fixed layout so the frame stays cheap to emit on
+#: every request
+_STATS = struct.Struct("<dqqdqqqq")
+
+#: key order of the STATS payload (shared by encode and decode)
+STATS_FIELDS = (
+    "elapsed_us",
+    "searches",
+    "cache_hits",
+    "search_us",
+    "reused",
+    "repaired",
+    "replayed",
+    "dirty",
+)
+
+
+def encode_stats(stats: dict) -> bytes:
+    """One per-request kernel-telemetry payload; missing keys encode as
+    zero so a backend without a given counter still emits a well-formed
+    frame."""
+    return _STATS.pack(
+        float(stats.get("elapsed_us", 0.0)),
+        int(stats.get("searches", 0)),
+        int(stats.get("cache_hits", 0)),
+        float(stats.get("search_us", 0.0)),
+        int(stats.get("reused", 0)),
+        int(stats.get("repaired", 0)),
+        int(stats.get("replayed", 0)),
+        int(stats.get("dirty", 0)),
+    )
+
+
+def decode_stats(payload: bytes) -> dict:
+    r = _Reader(payload)
+    values = r.take(_STATS)
+    r.finish()
+    return dict(zip(STATS_FIELDS, values))
 
 
 # -- ERROR -----------------------------------------------------------------

@@ -113,7 +113,10 @@ class PatchTouch:
     patch could have changed its outcome:
 
     * ``lat_changed`` / ``loss_changed`` — **new** edge ids whose
-      latency/loss floats were rewritten;
+      latency/loss floats were rewritten, with the per-edge old/new
+      values alongside (``lat_old``/``lat_new``, ``loss_old``/
+      ``loss_new``) so the repair layer can drop no-op rewrites and
+      seed bounded re-relaxation from the genuinely changed edges;
     * ``added`` — new edge ids that did not exist before the patch;
     * ``removed_*`` — the deleted edges' endpoints and op/phase, in the
       **old** node numbering (which the no-renumber splice preserves);
@@ -127,8 +130,20 @@ class PatchTouch:
     lat_changed: np.ndarray = field(
         default_factory=lambda: np.empty(0, np.int64), repr=False
     )
+    lat_old: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64), repr=False
+    )
+    lat_new: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64), repr=False
+    )
     loss_changed: np.ndarray = field(
         default_factory=lambda: np.empty(0, np.int64), repr=False
+    )
+    loss_old: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64), repr=False
+    )
+    loss_new: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64), repr=False
     )
     added: np.ndarray = field(
         default_factory=lambda: np.empty(0, np.int64), repr=False
@@ -359,15 +374,20 @@ class CompiledGraphPatcher:
         """Scatter per-span values into ``target`` via a numpy mirror.
 
         ``offs``/``counts``/``values`` are aligned arrays (span start,
-        span length, value). Returns ``(new list, touched edge ids)``.
+        span length, value). Returns ``(new list, touched edge ids,
+        old values, new values)`` — the value arrays aligned with the
+        ids.
         """
         idx = cls._span_ids(offs, counts)
         if len(idx) == 0:
-            return target, idx
+            empty = np.empty(0, dtype=np.float64)
+            return target, idx, empty, empty
         counts = np.asarray(counts, dtype=np.int64)
         mirror = np.array(target, dtype=np.float64)
-        mirror[idx] = np.repeat(np.asarray(values, dtype=np.float64), counts)
-        return mirror.tolist(), idx
+        old = mirror[idx]
+        new = np.repeat(np.asarray(values, dtype=np.float64), counts)
+        mirror[idx] = new
+        return mirror.tolist(), idx, old, new
 
     def _patch_values(self, changed: dict) -> tuple[int, PatchTouch]:
         """Rewrite latency/loss floats inside existing spans; no CSR work."""
@@ -382,20 +402,28 @@ class CompiledGraphPatcher:
         nedges = self._nedges_main
         touched = 0
         lat_ids = [touch.lat_changed]
+        lat_olds = [touch.lat_old]
+        lat_news = [touch.lat_new]
         loss_ids = [touch.loss_changed]
+        loss_olds = [touch.loss_old]
+        loss_news = [touch.loss_new]
         if lat_pos:
             pos = np.array(lat_pos, dtype=np.int64)
-            cg.e_lat, ids = self._write_spans(
+            cg.e_lat, ids, old, new = self._write_spans(
                 cg.e_lat, starts[pos], nedges[pos], lat_val
             )
             lat_ids.append(ids)
+            lat_olds.append(old)
+            lat_news.append(new)
             touched += len(lat_pos)
         if loss_pos:
             pos = np.array(loss_pos, dtype=np.int64)
-            cg.e_loss, ids = self._write_spans(
+            cg.e_loss, ids, old, new = self._write_spans(
                 cg.e_loss, starts[pos], nedges[pos], loss_val
             )
             loss_ids.append(ids)
+            loss_olds.append(old)
+            loss_news.append(new)
             touched += len(loss_pos)
         # Synth spans (closed graphs): small section, scalar writes.
         if self._synth:
@@ -403,7 +431,11 @@ class CompiledGraphPatcher:
             e_lat = cg.e_lat
             e_loss = cg.e_loss
             synth_lat: list[int] = []
+            synth_lat_old: list[float] = []
+            synth_lat_new: list[float] = []
             synth_loss: list[int] = []
+            synth_loss_old: list[float] = []
+            synth_loss_new: list[float] = []
             off = int(starts[-1])
             for link, n in zip(self._synth, self._nedges_synth):
                 if n:
@@ -412,19 +444,31 @@ class CompiledGraphPatcher:
                         lat, loss = pair
                         for k in range(off, off + n):
                             if lat is not None:
-                                e_lat[k] = lat
                                 synth_lat.append(k)
+                                synth_lat_old.append(e_lat[k])
+                                synth_lat_new.append(lat)
+                                e_lat[k] = lat
                             if loss is not None:
-                                e_loss[k] = loss
                                 synth_loss.append(k)
+                                synth_loss_old.append(e_loss[k])
+                                synth_loss_new.append(loss)
+                                e_loss[k] = loss
                         touched += 1
                 off += n
             if synth_lat:
                 lat_ids.append(np.array(synth_lat, dtype=np.int64))
+                lat_olds.append(np.array(synth_lat_old, dtype=np.float64))
+                lat_news.append(np.array(synth_lat_new, dtype=np.float64))
             if synth_loss:
                 loss_ids.append(np.array(synth_loss, dtype=np.int64))
+                loss_olds.append(np.array(synth_loss_old, dtype=np.float64))
+                loss_news.append(np.array(synth_loss_new, dtype=np.float64))
         touch.lat_changed = np.concatenate(lat_ids)
+        touch.lat_old = np.concatenate(lat_olds)
+        touch.lat_new = np.concatenate(lat_news)
         touch.loss_changed = np.concatenate(loss_ids)
+        touch.loss_old = np.concatenate(loss_olds)
+        touch.loss_new = np.concatenate(loss_news)
         return touched, touch
 
     # -- structural splice ---------------------------------------------------
@@ -742,34 +786,57 @@ class CompiledGraphPatcher:
 
         # Apply the deferred value writes: vectorized for the main
         # section, scalar for the (small) synth spans.
+        empty_f = np.empty(0, dtype=np.float64)
         lat_ids = [np.empty(0, dtype=np.int64)]
+        lat_olds = [empty_f]
+        lat_news = [empty_f]
         loss_ids = [np.empty(0, dtype=np.int64)]
+        loss_olds = [empty_f]
+        loss_news = [empty_f]
         if lat_pos:
             offs, counts = _main_offsets(lat_pos)
-            cg.e_lat, ids = self._write_spans(cg.e_lat, offs, counts, lat_val)
+            cg.e_lat, ids, old, new = self._write_spans(
+                cg.e_lat, offs, counts, lat_val
+            )
             lat_ids.append(ids)
+            lat_olds.append(old)
+            lat_news.append(new)
         if loss_pos:
             offs, counts = _main_offsets(loss_pos)
-            cg.e_loss, ids = self._write_spans(
+            cg.e_loss, ids, old, new = self._write_spans(
                 cg.e_loss, offs, counts, loss_val
             )
             loss_ids.append(ids)
+            loss_olds.append(old)
+            loss_news.append(new)
         e_lat = cg.e_lat
         e_loss = cg.e_loss
         synth_lat: list[int] = []
+        synth_lat_old: list[float] = []
+        synth_lat_new: list[float] = []
         synth_loss: list[int] = []
+        synth_loss_old: list[float] = []
+        synth_loss_new: list[float] = []
         for off, n, lat, loss in value_writes:
             for k in range(off, off + n):
                 if lat is not None:
-                    e_lat[k] = lat
                     synth_lat.append(k)
+                    synth_lat_old.append(e_lat[k])
+                    synth_lat_new.append(lat)
+                    e_lat[k] = lat
                 if loss is not None:
-                    e_loss[k] = loss
                     synth_loss.append(k)
+                    synth_loss_old.append(e_loss[k])
+                    synth_loss_new.append(loss)
+                    e_loss[k] = loss
         if synth_lat:
             lat_ids.append(np.array(synth_lat, dtype=np.int64))
+            lat_olds.append(np.array(synth_lat_old, dtype=np.float64))
+            lat_news.append(np.array(synth_lat_new, dtype=np.float64))
         if synth_loss:
             loss_ids.append(np.array(synth_loss, dtype=np.int64))
+            loss_olds.append(np.array(synth_loss_old, dtype=np.float64))
+            loss_news.append(np.array(synth_loss_new, dtype=np.float64))
 
         csr_mode, old2new, removed_ids = self._repair_ids_and_csr(
             old_arrays, copy_runs, removed_spans, added_edges
@@ -780,7 +847,11 @@ class CompiledGraphPatcher:
             rem = removed_ids.tolist()
             touch = PatchTouch(
                 lat_changed=np.concatenate(lat_ids),
+                lat_old=np.concatenate(lat_olds),
+                lat_new=np.concatenate(lat_news),
                 loss_changed=np.concatenate(loss_ids),
+                loss_old=np.concatenate(loss_olds),
+                loss_new=np.concatenate(loss_news),
                 added=np.array(
                     [eid for eid, _, _ in added_edges], dtype=np.int64
                 ),

@@ -65,6 +65,16 @@ class PredictorPool:
         #: hottest (most recently used) dirty destinations re-searched
         #: per predictor per patched graph after each update; 0 disables
         self.prewarm_max = _PREWARM_MAX
+        #: repair-class counts of the most recent :meth:`after_update`
+        #: (what the serving layer reports per request as the backend's
+        #: current repair posture)
+        self.last_repair = {
+            "reused": 0,
+            "repaired": 0,
+            "replayed": 0,
+            "dirty": 0,
+            "prewarmed": 0,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,6 +121,10 @@ class PredictorPool:
                     client_cluster_as=client_cluster_as,
                     primary_graph=primary,
                     fallback_factory=runtime.closed_graph,
+                    # pooled predictors ride the runtime's delta chain:
+                    # record replay journals so value-only days repair
+                    # touched cached searches in place
+                    record_journal=True,
                 ),
                 version=runtime.version,
                 rev=from_src_rev,
@@ -141,8 +155,15 @@ class PredictorPool:
         is a cache hit. Client-merged primary graphs re-derive lazily
         and are not repaired; their shared closed fallback is.
         """
-        stats = {"reused": 0, "repaired": 0, "dirty": 0, "prewarmed": 0}
+        stats = {
+            "reused": 0,
+            "repaired": 0,
+            "replayed": 0,
+            "dirty": 0,
+            "prewarmed": 0,
+        }
         if not self._entries:
+            self.last_repair = dict(stats)
             return stats
         churn_ctx: dict[str, tuple] = {}
         graphs_by_old_version = {
@@ -172,7 +193,7 @@ class PredictorPool:
                 repaired = warmstart.repair_cache(
                     predictor, graph, old_version, new_version, touch, churn
                 )
-                for key in ("reused", "repaired", "dirty"):
+                for key in ("reused", "repaired", "replayed", "dirty"):
                     stats[key] += repaired[key]
             ran = warmstart.prewarm(
                 predictor, graphs_by_old_version, self.prewarm_max
@@ -181,7 +202,22 @@ class PredictorPool:
                 pool_key, predictor, graph_of_name, self.prewarm_max - ran
             )
             stats["prewarmed"] += ran
+        self.last_repair = dict(stats)
         return stats
+
+    def kernel_stats(self) -> dict:
+        """Pooled search-kernel counters, summed over every entry:
+        ``searches`` (cold kernel runs), ``hits`` (search-cache hits)
+        and ``search_us`` (cumulative cold-search microseconds). The
+        serving layer samples this before/after a request to attribute
+        kernel work per query."""
+        totals = {"searches": 0, "hits": 0, "search_us": 0.0}
+        for entry in self._entries.values():
+            counters = entry.predictor.kernel_stats
+            totals["searches"] += counters["searches"]
+            totals["hits"] += counters["hits"]
+            totals["search_us"] += counters["search_us"]
+        return totals
 
     def _record_warm(
         self, pool_key: tuple, predictor, name_of_version: dict
@@ -223,8 +259,12 @@ class PredictorPool:
     def release(self, client_key: object) -> None:
         """Drop every entry belonging to one client — including its
         warm-start records, so a released client's destinations stop
-        drawing prewarm searches on every subsequent update."""
+        drawing prewarm searches on every subsequent update — and free
+        each dropped predictor's search-state arrays, journals, and
+        pooled state bundles (the state-pool lifecycle contract: a
+        released client must not pin per-search memory)."""
         for key in [k for k in self._entries if k[1] == client_key]:
-            del self._entries[key]
+            entry = self._entries.pop(key)
+            entry.predictor.release_search_state()
         for key in [k for k in self._warm if k[1] == client_key]:
             del self._warm[key]

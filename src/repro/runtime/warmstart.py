@@ -16,11 +16,17 @@ against the patch's touched-edge export
   parent edge ids are remapped through the patch's monotonic
   ``old2new`` map, state arrays extend over appended nodes (provably
   unreached), and the entry migrates.
-* **dirty** — some touched edge is relevant, the patch renumbered
-  nodes, or the graph was recompiled outright; the entry is left under
-  its stale version (the pool's prewarmer re-runs the hottest ones
-  through the vectorized kernel immediately, everything else ages out
-  of the LRU).
+* **replayed** — a value-only patch touched a relevant edge, but the
+  cached search carries a replay journal: the bucket engine re-runs
+  from the earliest bucket any touched edge could have been read in
+  (:func:`repro.core.search.repair_kernel` — bounded re-relaxation),
+  producing states bit-for-bit equal to a cold re-search on the
+  patched graph at a fraction of the cost.
+* **dirty** — some touched edge is relevant and replay doesn't apply
+  (no journal, structural splice, renumbering, or an outright
+  recompile); the entry is left under its stale version (the pool's
+  prewarmer re-runs the hottest ones through the vectorized kernel
+  immediately, everything else ages out of the LRU).
 
 Relevance is the exact criterion the kernel's equivalence argument
 provides: a changed/added/removed edge can alter a finished search only
@@ -184,13 +190,86 @@ def _classify(states, graph, prepared, churn, config) -> bool:
     return True
 
 
+def _really_changed_lat(touch) -> np.ndarray:
+    """Latency-rewritten edge ids whose value actually moved.
+
+    The patcher rewrites whole spans per changed link; links whose new
+    latency equals the old produce no-op writes that neither relevance
+    nor replay needs to consider."""
+    ids = touch.lat_changed
+    if len(touch.lat_old) == len(ids) and len(ids):
+        return ids[touch.lat_old != touch.lat_new]
+    return ids
+
+
+def _replay_touched_eids(states, graph, lat_eids, churn, config) -> list:
+    """The replay frontier's seed edges for one cached search: the
+    genuinely changed latencies plus the tuple-churn edges whose
+    validity flip is live for this search (settled next ASN matches the
+    churned tuple and the degree gate passes)."""
+    eids = list(lat_eids)
+    if churn and config.use_three_tuples:
+        dget = graph.atlas.as_degrees.get
+        thresh = config.tuple_degree_threshold
+        e_dst = graph.e_dst
+        e_da = graph.e_dst_asn
+        phase = states.phase
+        nxt = states.nxt
+        n_states = len(phase)
+        for eid, c_req in churn:
+            u = e_dst[eid]
+            if u >= n_states or not phase[u] or nxt[u] != c_req:
+                continue
+            if dget(e_da[eid], 0) > thresh:
+                eids.append(eid)
+    return eids
+
+
+def _replay(predictor, graph, states, providers, lat_eids, churn):
+    """Bounded re-relaxation of one journaled cached search; returns
+    the repaired states object or None (caller falls back to dirty)."""
+    from repro.core import search as _search
+    from repro.core.predictor import _CompiledStates
+
+    config = predictor.config
+    eids = _replay_touched_eids(states, graph, lat_eids, churn, config)
+    if not eids:
+        return None
+    pool = graph.search_pool()
+    result = _search.repair_kernel(
+        graph,
+        graph.atlas,
+        config,
+        providers,
+        states,
+        eids,
+        pool=pool,
+        record=predictor.record_journal,
+    )
+    if result is None:
+        return None
+    phase, eff, exitc, parent, nxt, journal = result
+    return _CompiledStates(
+        states.root_id,
+        phase,
+        eff,
+        exitc,
+        parent,
+        nxt,
+        {},
+        journal=journal,
+        pool=pool,
+    )
+
+
 def repair_cache(
     predictor, graph, old_version: int, new_version: int, touch, churn
 ) -> dict:
     """Migrate every cached search of ``predictor`` keyed on
-    ``old_version`` that provably survives the patch; returns
-    ``{"reused": n, "repaired": n, "dirty": n}``."""
-    counts = {"reused": 0, "repaired": 0, "dirty": 0}
+    ``old_version`` that provably survives the patch — and repair, via
+    journal replay, the value-only-touched ones that don't; returns
+    ``{"reused": n, "repaired": n, "replayed": n, "dirty": n}``."""
+    counts = {"reused": 0, "repaired": 0, "replayed": 0, "dirty": 0}
     cache = predictor._search_cache
     stale = [key for key in cache if key[0] == old_version]
     if not stale:
@@ -198,8 +277,9 @@ def repair_cache(
     if touch is None or touch.renumbered or churn is None:
         counts["dirty"] = len(stale)
         return counts
+    lat_really = _really_changed_lat(touch)
     touched = (
-        len(touch.lat_changed)
+        len(lat_really)
         + len(touch.added)
         + len(touch.removed_src)
         + len(churn)
@@ -208,7 +288,7 @@ def repair_cache(
         counts["dirty"] = len(stale)
         return counts
     prepared = (
-        touch.lat_changed.tolist(),
+        lat_really.tolist(),
         touch.added.tolist(),
         touch.removed_src.tolist(),
         touch.removed_dst.tolist(),
@@ -231,7 +311,20 @@ def repair_cache(
         else:
             ok = _classify(states, graph, prepared, churn, config)
         if not ok:
-            counts["dirty"] += 1
+            replayed = (
+                None
+                if structural
+                else _replay(
+                    predictor, graph, states, key[2], prepared[0], churn
+                )
+            )
+            if replayed is None:
+                counts["dirty"] += 1
+                continue
+            del cache[key]
+            cache[(new_version, key[1], key[2])] = replayed
+            states.recycle()
+            counts["replayed"] += 1
             continue
         if structural and states.root_id is not None:
             if not _remap_states(states, graph, touch):
@@ -247,30 +340,41 @@ def repair_cache(
             counts["reused"] += 1
         del cache[key]
         cache[(new_version, key[1], key[2])] = states
+    if counts["replayed"]:
+        predictor._trim_journals()
     return counts
 
 
 def _remap_states(states, graph, touch) -> bool:
     """Shift a cached search's edge ids through a structural splice."""
-    pnp = states.parent_np()
+    pnp = np.asarray(states.parent_np())
     mask = pnp >= 0
-    remapped = np.where(mask, touch.old2new[np.maximum(pnp, 0)], -1)
+    remapped = np.where(mask, touch.old2new[np.maximum(pnp, 0)], np.int64(-1))
     if (remapped[mask] < 0).any():
         # a cached parent edge was deleted — the relevance check should
         # have caught it (defensive)
         return False
-    states.parent = remapped.tolist()
-    states._parent_np = None
-    states.paths = {}
     grow = graph.n_nodes - len(states.phase)
     if grow > 0:
         # appended nodes are provably unreached (any edge that could
-        # reach them would have been a relevant added edge)
-        states.phase.extend([0] * grow)
-        states.eff.extend([0] * grow)
-        states.exitc.extend([0.0] * grow)
-        states.parent.extend([-1] * grow)
-        states.nxt.extend([-1] * grow)
+        # reach them would have been a relevant added edge); the grown
+        # arrays no longer match their pool's size, so drop the pool
+        # ref — recycling would reject them anyway
+        zi = np.zeros(grow, np.int64)
+        mi = np.full(grow, -1, np.int64)
+        states.phase = np.concatenate((np.asarray(states.phase), zi))
+        states.eff = np.concatenate((np.asarray(states.eff), zi))
+        states.exitc = np.concatenate(
+            (np.asarray(states.exitc), np.zeros(grow, np.float64))
+        )
+        remapped = np.concatenate((remapped, mi))
+        states.nxt = np.concatenate((np.asarray(states.nxt), mi))
+        states.pool = None
+    states.parent = remapped
+    # edge ids (and latencies) moved under the recorded rows: the
+    # replay journal is stale for any future value-only repair
+    states.journal = None
+    states.paths = {}
     return True
 
 
@@ -292,8 +396,11 @@ def prewarm(predictor, graphs_by_old_version: dict, limit: int) -> int:
     for key in reversed(stale):  # most recently used first
         # every stale key leaves the LRU here: the hottest re-run warm,
         # the rest are unreachable under their retired version and
-        # would only crowd live entries toward eviction
-        del cache[key]
+        # would only crowd live entries toward eviction; their state
+        # arrays recycle into the pool for the re-runs to reuse
+        evicted = cache.pop(key)
+        if hasattr(evicted, "recycle"):
+            evicted.recycle()
         if ran < limit:
             predictor.search_for(
                 graphs_by_old_version[key[0]], key[1], key[2]

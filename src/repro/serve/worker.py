@@ -190,7 +190,13 @@ def _dispatch(op, msg, runtime, clients, stats):
     if op == "snapshot":
         return ("snapshot", runtime_snapshot(runtime))
     if op == "stats":
-        return ("stats", dict(stats))
+        # include the shard's pooled search-kernel counters and the
+        # repair-class counts of its last applied delta — the per-shard
+        # view of what a FLAG_STATS gateway client sees per request
+        out = dict(stats)
+        out["kernel"] = runtime.pool.kernel_stats()
+        out["last_repair"] = dict(runtime.pool.last_repair)
+        return ("stats", out)
     raise ValueError(f"unknown worker op {op!r}")
 
 

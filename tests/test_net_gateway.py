@@ -271,6 +271,75 @@ class TestBootstrapAndPush:
             assert c.subscribed is False
 
 
+class TestStatsCapability:
+    """FLAG_STATS: typed per-request kernel telemetry behind the
+    capability bit — a STATS frame trails every successful query reply
+    with the same request id."""
+
+    def test_stats_frames_trail_query_replies(self):
+        server = make_server()
+        gw = NetworkGateway(server, tcp=("127.0.0.1", 0)).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port, stats=True) as c:
+                assert c.stats_enabled is True
+                assert c.last_stats is None
+                pair = (prefix_of(1), prefix_of(5))
+                c.predict(*pair)
+                first = c.last_stats
+                assert first is not None
+                assert first["elapsed_us"] > 0.0
+                # a fresh backend runs the kernel cold for this pair
+                assert first["searches"] >= 1
+                assert first["search_us"] > 0.0
+                # an identical repeat is a pure cache hit: no new search
+                c.predict(*pair)
+                second = c.last_stats
+                assert second["searches"] == 0
+                assert second["cache_hits"] >= 1
+                assert c.stats_frames == 2
+                assert gw.stats["stats_frames"] == 2
+                # every delegate-mode query surface trails one
+                c.predict_batch([pair])
+                assert c.stats_frames == 3
+                c.query_batch([pair])
+                assert c.stats_frames == 4
+                # pipelining drains one STATS frame per reply, in order
+                got = c.pipeline_predict([pair, pair, pair])
+                assert len(got) == 3
+                assert c.stats_frames == 7
+        finally:
+            gw.close()
+
+    def test_stats_carry_repair_classes_after_a_delta(self):
+        server = make_server()
+        gw = NetworkGateway(server, tcp=("127.0.0.1", 0)).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port, stats=True) as c:
+                pair = (prefix_of(1), prefix_of(5))
+                c.predict(*pair)  # warm the pooled search cache
+                gw.push_delta(next_day_delta())
+                c.predict(*pair)
+                keys = ("reused", "repaired", "replayed", "dirty")
+                got = {k: c.last_stats[k] for k in keys}
+                want = server.runtime().pool.last_repair
+                assert got == {k: want[k] for k in keys}
+                # the warmed entry was classified into exactly one class
+                assert sum(got.values()) >= 1
+        finally:
+            gw.close()
+
+    def test_stats_off_by_default(self, gateway, client):
+        before = gateway.stats["stats_frames"]
+        assert client.predict(prefix_of(1), prefix_of(5)) is not None
+        assert client.last_stats is None
+        assert client.stats_frames == 0
+        assert gateway.stats["stats_frames"] == before
+        # and no stray frame is left in flight on the connection
+        assert client.poll_updates(max_wait=0.2) == 0
+
+
 class TestLifecycle:
     def test_close_is_idempotent_and_ends_clients(self):
         server = make_server()

@@ -172,6 +172,24 @@ class TestPayloadRoundTrips:
         assert code == P.E_BACKEND
         assert message == "worker exploded"
 
+    def test_stats(self):
+        stats = {
+            "elapsed_us": 123.25,
+            "searches": 2,
+            "cache_hits": 5,
+            "search_us": 88.5,
+            "reused": 3,
+            "repaired": 1,
+            "replayed": 4,
+            "dirty": 0,
+        }
+        assert P.decode_stats(P.encode_stats(stats)) == stats
+        # missing keys encode as zero, and the float fields stay lossless
+        sparse = P.decode_stats(P.encode_stats({"elapsed_us": 0.1}))
+        assert sparse["elapsed_us"] == 0.1
+        assert sparse["searches"] == 0 and sparse["dirty"] == 0
+        assert set(sparse) == set(P.STATS_FIELDS)
+
     def test_numpy_scalar_fields_pack(self):
         np = pytest.importorskip("numpy")
         path = PredictedPath(
@@ -201,6 +219,7 @@ class TestPayloadFuzz:
         P.decode_atlas_fetch,
         P.decode_subscribe,
         P.decode_subscribe_ok,
+        P.decode_stats,
         P.decode_error,
     ]
 
@@ -214,6 +233,7 @@ class TestPayloadFuzz:
         P.encode_query_reply([INFO, None]),
         P.encode_atlas_fetch(9),
         P.encode_subscribe_ok(3, True),
+        P.encode_stats({"elapsed_us": 9.5, "searches": 1, "replayed": 2}),
         P.encode_error(P.E_MALFORMED, "x"),
     ]
 

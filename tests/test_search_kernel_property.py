@@ -25,6 +25,7 @@ from __future__ import annotations
 import copy
 import random
 
+import numpy as np
 import pytest
 
 from repro.atlas.delta import compute_delta
@@ -147,14 +148,14 @@ def random_atlas(rng: random.Random) -> Atlas:
 
 def assert_states_equal(got, want, label):
     assert got.root_id == want.root_id, label
-    assert got.phase == want.phase, label
-    assert got.eff == want.eff, label
-    assert got.parent == want.parent, label
-    assert got.nxt == want.nxt, label
-    assert got.exitc == want.exitc, label
-    # exact float identity, not just ==
-    for a, b in zip(got.exitc, want.exitc):
-        assert float(a).hex() == float(b).hex(), label
+    assert np.array_equal(np.asarray(got.phase), np.asarray(want.phase)), label
+    assert np.array_equal(np.asarray(got.eff), np.asarray(want.eff)), label
+    assert np.array_equal(np.asarray(got.parent), np.asarray(want.parent)), label
+    assert np.array_equal(np.asarray(got.nxt), np.asarray(want.nxt)), label
+    # exact float identity (bit pattern), not just ==
+    ga = np.asarray(got.exitc, dtype=np.float64)
+    wa = np.asarray(want.exitc, dtype=np.float64)
+    assert np.array_equal(ga.view(np.int64), wa.view(np.int64)), label
 
 
 def all_destinations(atlas):
@@ -345,6 +346,158 @@ class TestWarmStartRepair:
         assert totals["reused"] > 0, totals
         assert totals["repaired"] > 0, totals
         assert totals["prewarmed"] > 0, totals
+
+    @pytest.mark.parametrize("seed", range(0, N_ATLASES, 4))
+    def test_replay_repair_interleaved_days(self, seed, monkeypatch):
+        """Forced bucket engine + journaled pooled state: value-only
+        days repair touched cached searches in place (bounded
+        re-relaxation replay), structural days remap or fall back, and
+        every surviving entry stays bit-for-bit equal to a fresh scalar
+        search over the post-delta atlas."""
+        monkeypatch.setattr(search, "_VECTOR_GRAPH_MIN", 0)
+        if seed % 8:
+            monkeypatch.setattr(search, "_VECTOR_MIN", 4)
+            monkeypatch.setattr(search, "_CHUNK_MIN", 2)
+        rng = random.Random(0x5EED + seed)
+        base = random_atlas(rng)
+        runtime = AtlasRuntime(copy.deepcopy(base))
+        runtime.pool.prewarm_max = 3
+        configs = [PredictorConfig.inano(), CONFIGS["tuples+providers"]]
+        predictors = [runtime.pool.predictor(c) for c in configs]
+        totals = {"reused": 0, "repaired": 0, "replayed": 0, "dirty": 0}
+
+        current = copy.deepcopy(base)
+        perturbations = [
+            _perturb_values,
+            _perturb_structural,
+            _perturb_values,
+            _perturb_values,
+        ]
+        for day, perturb in enumerate(perturbations):
+            prefixes = sorted(runtime.atlas.prefix_to_cluster)
+            for predictor in predictors:
+                for src, dst in zip(prefixes, prefixes[1:] + prefixes[:1]):
+                    predictor.predict_or_none(src, dst)
+            nxt = copy.deepcopy(current)
+            nxt.day = day + 1
+            perturb(nxt, rng)
+            report = runtime.apply_delta(compute_delta(current, nxt))
+            current = nxt
+            for key in totals:
+                totals[key] += report.cache.get(key, 0)
+            for config, predictor in zip(configs, predictors):
+                fresh = INanoPredictor(
+                    copy.deepcopy(runtime.atlas), config, kernel="scalar"
+                )
+                for name, graph in (
+                    ("directed", runtime.directed_graph()),
+                    ("closed", runtime.closed_graph()),
+                ):
+                    version = graph.version
+                    ref = CompiledGraph.from_atlas(
+                        runtime.atlas, closed=(name == "closed")
+                    )
+                    for key in list(predictor._search_cache):
+                        if key[0] != version:
+                            continue
+                        got = predictor._search_cache[key]
+                        want = fresh._search_compiled(ref, key[1], key[2])
+                        assert_states_equal(
+                            got, want, (seed, day, name, key[1])
+                        )
+        # value-only days must actually exercise the replay path (the
+        # journaled bucket engine makes every touched search repairable)
+        assert totals["replayed"] > 0, totals
+
+    def test_replay_totals_across_suite(self, monkeypatch):
+        """Aggregated over seeds, the replay class dominates value-only
+        days under the bucket engine — and the repaired searches carry
+        fresh journals, so back-to-back value days replay again."""
+        monkeypatch.setattr(search, "_VECTOR_GRAPH_MIN", 0)
+        totals = {"reused": 0, "repaired": 0, "replayed": 0, "dirty": 0}
+        for seed in range(6):
+            rng = random.Random(0xABBA + seed)
+            base = random_atlas(rng)
+            runtime = AtlasRuntime(copy.deepcopy(base))
+            predictor = runtime.pool.predictor(PredictorConfig.inano())
+            prefixes = sorted(runtime.atlas.prefix_to_cluster)
+            current = copy.deepcopy(base)
+            for day in range(3):  # three value-only days back to back
+                for src, dst in zip(prefixes, prefixes[1:] + prefixes[:1]):
+                    predictor.predict_or_none(src, dst)
+                nxt = copy.deepcopy(current)
+                nxt.day = day + 1
+                _perturb_values(nxt, rng)
+                report = runtime.apply_delta(compute_delta(current, nxt))
+                current = nxt
+                for key in totals:
+                    totals[key] += report.cache.get(key, 0)
+        assert totals["replayed"] > 0, totals
+        assert totals["replayed"] >= totals["dirty"], totals
+
+    def test_state_pool_bounded_across_churn(self, monkeypatch):
+        """State-pool lifecycle: a long churn chain must not grow pool
+        memory past the freelist cap, and ``PredictorPool.release()``
+        must free the released entry's pooled arrays and journals."""
+        monkeypatch.setattr(search, "_VECTOR_GRAPH_MIN", 0)
+        rng = random.Random(0x9001)
+        base = random_atlas(rng)
+        runtime = AtlasRuntime(copy.deepcopy(base))
+        predictor = runtime.pool.predictor(PredictorConfig.inano())
+        prefixes = sorted(runtime.atlas.prefix_to_cluster)
+        current = copy.deepcopy(base)
+        sizes = []
+        for day in range(8):
+            for src, dst in zip(prefixes, prefixes[1:] + prefixes[:1]):
+                predictor.predict_or_none(src, dst)
+            for g in (runtime.directed_graph(), runtime.closed_graph()):
+                pool = g.search_pool()
+                assert pool.free_bundles <= pool.cap
+                # a bundle is 5 arrays of 8 bytes/node + the bool
+                # finalized scratch: the freelist cap bounds the pool
+                bound = pool.cap * 5 * 8 * g.n_nodes + g.n_nodes
+                sizes.append(pool.nbytes())
+                assert pool.nbytes() <= bound, (day, pool.nbytes(), bound)
+            nxt = copy.deepcopy(current)
+            nxt.day = day + 1
+            (_perturb_values if day % 2 else _perturb_structural)(nxt, rng)
+            runtime.apply_delta(compute_delta(current, nxt))
+            current = nxt
+        assert any(sizes), sizes
+        # a renumbering recompile resizes the pool rather than keeping
+        # stale bundles
+        _perturb_renumber(current, rng)
+        nxt = copy.deepcopy(current)
+        nxt.day = 99
+        runtime.apply_delta(compute_delta(current, nxt))
+        for g in (runtime.directed_graph(), runtime.closed_graph()):
+            pool = g.search_pool()
+            for bundle in pool._free:
+                assert len(bundle[0]) == g.n_nodes
+        # release() frees the entry's cached state + pool freelists
+        runtime.pool.release(None)
+        assert len(predictor._search_cache) == 0
+        for g in (runtime.directed_graph(), runtime.closed_graph()):
+            assert g.search_pool().free_bundles == 0
+
+    def test_numba_kernel_falls_back_without_dependency(self):
+        """``kernel="numba"`` must degrade gracefully when numba is not
+        importable: same predictions as the vector kernel, no error."""
+        from repro.core import jit
+
+        rng = random.Random(0xA11)
+        atlas = random_atlas(rng)
+        config = PredictorConfig.inano()
+        nb = INanoPredictor(atlas, config, kernel="numba")
+        vec = INanoPredictor(atlas, config, kernel="vector")
+        if not jit.available():
+            assert nb.kernel_jit is False
+        prefixes = sorted(atlas.prefix_to_cluster)
+        for src in prefixes[::2]:
+            for dst in prefixes[1::2]:
+                assert nb.predict_or_none(src, dst) == vec.predict_or_none(
+                    src, dst
+                ), (src, dst)
 
     def test_post_delta_first_query_is_cache_hit(self):
         """Prewarming turns the first post-delta query into a hit."""

@@ -126,6 +126,19 @@ class TestRoutingAndCoalescing:
         assert stats["batches"] == 1
         assert stats["pairs"] == 2  # (src,dst) dedup'd + (src2,dst)
 
+    def test_shard_stats_expose_kernel_counters(self, service, prefixes):
+        service.predict(prefixes[0], prefixes[5])
+        stats = service.shard_stats()
+        for s in stats:
+            assert set(s["kernel"]) == {"searches", "hits", "search_us"}
+            assert set(s["last_repair"]) == {
+                "reused", "repaired", "replayed", "dirty", "prewarmed",
+            }
+        # at least the shard that served the pair ran or reused a search
+        assert any(
+            s["kernel"]["searches"] + s["kernel"]["hits"] >= 1 for s in stats
+        )
+
     def test_result_blocks_until_flush(self, service, server, prefixes):
         future = service.submit(prefixes[2], prefixes[7])
         assert not future.done
