@@ -26,6 +26,7 @@ bench-serve:
 
 bench-net:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_net_performance.py -q
+	python benchmarks/check_net_floor.py
 
 bench-smoke: bench-update bench-search bench-serve bench-net
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \

@@ -14,7 +14,16 @@ both transports, recorded to ``BENCH_net.json`` under ``BENCH_RECORD=1``
 * **delta push** — wall time from :meth:`NetworkGateway.push_delta` to
   a subscribed bootstrapped client having *applied* the day in place
   (decode + CSR patch + warm-start repair included), plus the wire
-  size of the push.
+  size of the push;
+* **fan-out sweep** — wall time from :meth:`NetworkGateway.push_delta`
+  to the *last* of N loopback subscribers having received the day's
+  push frame, for N = 1, 50, 200. The acceptance gate is the 200/1
+  latency ratio staying within ``FANOUT_RATIO_GATE``: per-subscriber
+  distribution work must stay negligible against the day's shared
+  encode+apply cost. Subscribers here *receive* rather than apply —
+  on a shared-CPU loopback host, N clients applying serialize on the
+  interpreter, which would measure the harness, not the gateway; one
+  subscriber's bytes are decode-validated out of band each round.
 """
 
 from __future__ import annotations
@@ -22,19 +31,28 @@ from __future__ import annotations
 import copy
 import gc
 import os
+import selectors
+import socket
+import threading
 import time
 
 import pytest
 
 from repro.atlas.delta import compute_delta
+from repro.atlas.model import LinkRecord
+from repro.atlas.serialization import decode_delta, encode_delta
 from repro.client import AtlasServer
 from repro.net import NetworkClient, NetworkGateway
+from repro.net import protocol as P
 
 N_CONNECTS = 20
 PIPELINE_DEPTH = 256
 PIPELINE_ROUNDS = 4
 LOCKSTEP_QUERIES = 200
 QPS_GATE = 1000.0
+SWEEP_NS = (1, 50, 200)
+SWEEP_ROUNDS = 3
+FANOUT_RATIO_GATE = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -160,3 +178,167 @@ def _next_day(scenario):
     nxt = copy.deepcopy(scenario.atlas(1))
     nxt.day = 1
     return nxt
+
+
+class _SweepSubscribers:
+    """N raw subscribed sockets drained by one selector thread.
+
+    Completion is byte-counted (every socket must receive exactly one
+    push frame's worth of bytes per round) so the timed window contains
+    no parsing; subscriber 0 keeps its bytes for out-of-band frame
+    decode + delta validation. The reader sleeps briefly between
+    selector batches so fan-out writes accumulate instead of the reader
+    stealing the interpreter from the gateway loop once per socket —
+    the ~0.5 ms granularity this adds to the measured latency is the
+    same for every N.
+    """
+
+    def __init__(self, host: str, port: int, n: int) -> None:
+        self.n = n
+        self.socks: list[socket.socket] = []
+        self.sel = selectors.DefaultSelector()
+        self.counts: dict[int, list] = {}
+        self._scratch = bytearray(1 << 20)
+        hello = P.encode_frame(P.HELLO, 0, P.encode_hello(P.FLAG_SUBSCRIBE))
+        for i in range(n):
+            s = socket.create_connection((host, port))
+            s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            s.sendall(hello)
+            self.socks.append(s)
+        for i, s in enumerate(self.socks):
+            dec = P.FrameDecoder(P.DEFAULT_MAX_FRAME)
+            welcome = None
+            while welcome is None:
+                for frame in dec.feed(s.recv(65536)):
+                    welcome = frame
+                    break
+            assert welcome[0] == P.WELCOME
+            s.setblocking(False)
+            self.sel.register(s, selectors.EVENT_READ)
+            # [socket, bytes received, kept bytes (subscriber 0 only)]
+            self.counts[s.fileno()] = [s, 0, bytearray() if i == 0 else None]
+
+    def await_round(self, wire_bytes: int, done: threading.Event) -> None:
+        targets = {fd: ent[1] + wire_bytes for fd, ent in self.counts.items()}
+        need = self.n
+        while need:
+            time.sleep(0.0005)  # batch wakes; see class docstring
+            for key, _ in self.sel.select(timeout=5.0):
+                ent = self.counts[key.fd]
+                try:
+                    m = ent[0].recv_into(self._scratch)
+                except BlockingIOError:
+                    continue
+                if ent[2] is not None:
+                    ent[2] += self._scratch[:m]
+                before = ent[1]
+                ent[1] += m
+                if before < targets[key.fd] <= ent[1]:
+                    need -= 1
+        done.set()
+
+    def validate_round(self, delta) -> None:
+        kept = self.counts[self.socks[0].fileno()][2]
+        frames = P.FrameDecoder(P.DEFAULT_MAX_FRAME).feed(bytes(kept))
+        del kept[:]
+        assert frames and frames[-1][0] == P.DELTA_PUSH
+        decoded = decode_delta(frames[-1][2])
+        assert decoded.new_day == delta.new_day
+
+    def close(self) -> None:
+        for s in self.socks:
+            self.sel.unregister(s)
+            s.close()
+        self.sel.close()
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.01)
+
+
+def test_bench_push_fanout_sweep(server, bench_record_net, report):
+    server.runtime()  # live runtime: every push repairs the compiled core
+    gateway = NetworkGateway(server, tcp=("127.0.0.1", 0))
+    gateway.start()
+    gc.disable()
+    stats: dict = {}
+    try:
+        host, port = gateway.tcp_address
+        # synthetic successive days off the gateway's live atlas: every
+        # link's latency nudges, i.e. a full-size value-churn day (a
+        # real scenario day costs a ~10 s topology rebuild per round)
+        cur = copy.deepcopy(server.runtime().atlas)
+        best_ms: dict[int, float] = {}
+        fanout_us: dict[int, float] = {}
+        wire_bytes = 0
+        for n in SWEEP_NS:
+            _wait_until(lambda: not gateway._conns)
+            subs = _SweepSubscribers(host, port, n)
+            try:
+                _wait_until(lambda: len(gateway._conns) == n)
+                for _ in range(SWEEP_ROUNDS):
+                    nxt = copy.deepcopy(cur)
+                    nxt.day = cur.day + 1
+                    for key, rec in nxt.links.items():
+                        nxt.links[key] = LinkRecord(
+                            latency_ms=rec.latency_ms * 1.01 + 0.01,
+                            loss_rate=rec.loss_rate,
+                        )
+                    delta = compute_delta(cur, nxt)
+                    cur = nxt
+                    wire = len(encode_delta(delta)) + P.HEADER_SIZE
+                    done = threading.Event()
+                    th = threading.Thread(
+                        target=subs.await_round, args=(wire, done)
+                    )
+                    th.start()
+                    start = time.perf_counter()
+                    push = gateway.push_delta(delta)
+                    assert done.wait(30.0)
+                    elapsed_ms = (time.perf_counter() - start) * 1e3
+                    th.join()
+                    assert push["subscribers"] == n
+                    wire_bytes = push["wire_bytes"]
+                    subs.validate_round(delta)
+                    if n not in best_ms or elapsed_ms < best_ms[n]:
+                        best_ms[n] = elapsed_ms
+                        fanout_us[n] = gateway.stats["push_enqueue_us"]
+            finally:
+                subs.close()
+        assert gateway.stats["push_errors"] == 0
+        assert gateway.stats["push_drops"] == 0
+    finally:
+        gc.enable()
+        gateway.close()
+
+    ratio = best_ms[SWEEP_NS[-1]] / best_ms[SWEEP_NS[0]]
+    for n in SWEEP_NS:
+        stats[f"all_received_{n}_ms"] = round(best_ms[n], 3)
+    stats["ratio_200_over_1"] = round(ratio, 3)
+    stats["fanout_loop_us_200"] = round(fanout_us[SWEEP_NS[-1]], 1)
+    stats["wire_bytes"] = wire_bytes
+    stats["rounds"] = SWEEP_ROUNDS
+    stats["cpus"] = os.cpu_count()
+    bench_record_net("push_fanout", **stats)
+    from repro.eval.reporting import render_table
+
+    report(
+        "net_push_fanout",
+        render_table(
+            "Delta push fan-out (TCP loopback, best of "
+            f"{SWEEP_ROUNDS} rounds)",
+            ["subscribers", "push -> all received"],
+            [(str(n), f"{best_ms[n]:.2f} ms") for n in SWEEP_NS]
+            + [
+                ("ratio 200/1", f"{ratio:.2f}x"),
+                ("fan-out loop @200", f"{fanout_us[SWEEP_NS[-1]]:.0f} us"),
+            ],
+        ),
+    )
+    # the tentpole gate: distribution latency stays flat as subscribers
+    # scale — per-subscriber cost must not rival the day's shared work
+    assert ratio <= FANOUT_RATIO_GATE, stats

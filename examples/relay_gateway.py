@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Planetary delta distribution: relay tiers and log compaction.
+
+The paper distributes a compact atlas once and then ships small daily
+deltas to every consumer. One origin cannot fan out to the planet by
+itself, so gateways compose into a distribution tree:
+
+1. start an **origin** :class:`NetworkGateway` over a published atlas,
+2. start two :class:`RelayGateway` tiers — each bootstraps its backend
+   from its upstream over the same wire protocol, subscribes to delta
+   pushes, re-applies them to its own backend, and re-serves anchor
+   bytes and push payloads **verbatim** (no re-encode) downstream,
+3. connect clients behind the tail relay: a delegate (queries over the
+   wire) and a bootstrapped subscriber (local runtime + pushes) — both
+   answer bit-for-bit what the origin's backend answers,
+4. push several days at the origin and watch them cascade through both
+   tiers to the subscribed client,
+5. **compaction**: every ``compact_days`` the gateway folds its delta
+   log into a fresh losslessly-encoded anchor, so a client that shows
+   up a week late downloads one anchor plus a short suffix instead of
+   the whole history.
+
+Run:  python examples/relay_gateway.py
+"""
+
+from repro.client import AtlasServer, INanoRemoteClient
+from repro.eval import get_scenario
+from repro.net import NetworkGateway, RelayGateway
+
+
+def main() -> None:
+    scenario = get_scenario("small")
+    server = AtlasServer()
+    server.publish(scenario.atlas(day=0))
+    print("== atlas published (day 0) ==")
+
+    # compact aggressively so the example shows a fold; the default is
+    # every 7 days / 64 MiB of log
+    with NetworkGateway(
+        server, tcp=("127.0.0.1", 0), compact_days=3
+    ) as origin:
+        host, port = origin.tcp_address
+        print(f"  origin listening on tcp://{host}:{port}")
+
+        with RelayGateway(
+            upstream_tcp=(host, port), tcp=("127.0.0.1", 0), compact_days=3
+        ) as mid, RelayGateway(
+            upstream_tcp=mid.tcp_address, tcp=("127.0.0.1", 0), compact_days=3
+        ) as tail:
+            t_host, t_port = tail.tcp_address
+            print(f"  relay tiers: origin -> {mid.tcp_address} -> "
+                  f"{tail.tcp_address}")
+
+            prefixes = sorted(scenario.atlas(0).prefix_to_cluster)
+            pairs = [(prefixes[0], d) for d in prefixes[10:16]]
+
+            with INanoRemoteClient.connect_tcp(t_host, t_port) as delegate, \
+                    INanoRemoteClient.connect_tcp(t_host, t_port) as sub:
+                print(f"  delegate behind 2 relay tiers: "
+                      f"backend={delegate.backend_name}, "
+                      f"day={delegate.server_day}")
+                atlas = sub.bootstrap()
+                print(f"  subscriber bootstrapped: day {atlas.day}, "
+                      f"subscribed={sub.subscribed}")
+
+                # five days of churn pushed at the origin cascade
+                # through both tiers to the subscribed client
+                for day in range(1, 6):
+                    server.publish(scenario.atlas(day=day))
+                    push = origin.push_delta(server.delta_for(day))
+                    sub.wait_for_day(push["day"], timeout=30.0)
+                print(f"  pushed days 1..5: subscriber at day {sub.day}, "
+                      f"{sub.deltas_applied} pushes applied in place")
+                same = sub.query_batch(pairs) == delegate.query_batch(pairs)
+                print(f"  subscriber == delegate answers: {same}")
+
+                for name, gw in (("origin", origin), ("mid", mid),
+                                 ("tail", tail)):
+                    s = gw.stats
+                    print(f"  {name}: compactions={s['compactions']} "
+                          f"anchor_day={s['anchor_day']} "
+                          f"log_days={s['delta_log_days']} "
+                          f"log_bytes={s['delta_log_bytes']:,}")
+
+                # a week-late client: one compacted anchor + a short
+                # suffix instead of the whole history
+                with INanoRemoteClient.connect_tcp(t_host, t_port) as late:
+                    atlas = late.bootstrap()
+                    print(f"  late bootstrap behind the tail relay: day "
+                          f"{atlas.day} via anchor day "
+                          f"{tail.stats['anchor_day']} + "
+                          f"{late.deltas_applied} catch-up delta(s)")
+                    same = late.query_batch(pairs) == delegate.query_batch(pairs)
+                    print(f"  late == delegate answers: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,14 @@ from repro.errors import AtlasFormatError, CodecError
 
 MAGIC = b"INNA"
 FORMAT_VERSION = 1
+#: version 2 is the **exact** anchor format: float64 link values, dict
+#: iteration order preserved, relationship codes in full. It exists so a
+#: gateway can fold its delta log into a fresh anchor (re-anchoring)
+#: without breaking the anchor+INDB bit-for-bit convergence contract —
+#: re-encoding a delta-evolved atlas with version 1 would re-quantize
+#: values and re-sort appended links, silently forking every client that
+#: bootstraps from the new anchor off the origin's runtime.
+EXACT_FORMAT_VERSION = 2
 
 #: hard ceiling on one decompressed section — a corrupt or hostile
 #: length prefix must not balloon the decoder's memory
@@ -151,29 +159,14 @@ def _decode_loss(units: int) -> float:
     return units * _LOSS_UNIT
 
 
-def dataset_payloads(atlas: Atlas) -> dict[str, bytes]:
-    """Serialize each dataset independently (uncompressed bytes)."""
+def _shared_payloads(atlas: Atlas) -> dict[str, bytes]:
+    """The sections encoded identically by both format versions."""
     payloads: dict[str, bytes] = {}
-    payloads["inter_cluster_links"] = _pack_rows(
-        "<IIH",
-        [
-            (a, b, _encode_latency(rec.latency_ms))
-            for (a, b), rec in sorted(atlas.links.items())
-        ],
-    )
-    payloads["link_loss_rates"] = _pack_rows(
-        "<IIH",
-        [
-            (a, b, _encode_loss(loss))
-            for (a, b), loss in sorted(atlas.link_loss.items())
-        ],
-    )
     payloads["prefix_to_cluster"] = _pack_rows(
         "<II", sorted(atlas.prefix_to_cluster.items())
     )
     payloads["prefix_to_as"] = _pack_rows("<II", sorted(atlas.prefix_to_as.items()))
     payloads["cluster_to_as"] = _pack_rows("<II", sorted(atlas.cluster_to_as.items()))
-    payloads["as_degrees"] = _pack_rows("<IH", sorted(atlas.as_degrees.items()))
     payloads["as_three_tuples"] = _pack_rows("<III", sorted(atlas.three_tuples))
     payloads["as_preferences"] = _pack_rows("<III", sorted(atlas.preferences))
 
@@ -189,6 +182,30 @@ def dataset_payloads(atlas: Atlas) -> dict[str, bytes]:
             provider_rows.append((2, asn, upstream, 0))
     payloads["provider_mappings"] = _pack_rows("<BIIB", provider_rows)
 
+    payloads["late_exit_pairs"] = _pack_rows(
+        "<II", sorted(tuple(sorted(p)) for p in atlas.late_exit_pairs)
+    )
+    return payloads
+
+
+def dataset_payloads(atlas: Atlas) -> dict[str, bytes]:
+    """Serialize each dataset independently (uncompressed bytes)."""
+    payloads = _shared_payloads(atlas)
+    payloads["inter_cluster_links"] = _pack_rows(
+        "<IIH",
+        [
+            (a, b, _encode_latency(rec.latency_ms))
+            for (a, b), rec in sorted(atlas.links.items())
+        ],
+    )
+    payloads["link_loss_rates"] = _pack_rows(
+        "<IIH",
+        [
+            (a, b, _encode_loss(loss))
+            for (a, b), loss in sorted(atlas.link_loss.items())
+        ],
+    )
+    payloads["as_degrees"] = _pack_rows("<IH", sorted(atlas.as_degrees.items()))
     payloads["relationships"] = _pack_rows(
         "<IIB",
         [
@@ -197,18 +214,57 @@ def dataset_payloads(atlas: Atlas) -> dict[str, bytes]:
             if a < b
         ],
     )
-    payloads["late_exit_pairs"] = _pack_rows(
-        "<II", sorted(tuple(sorted(p)) for p in atlas.late_exit_pairs)
+    return payloads
+
+
+def dataset_payloads_exact(atlas: Atlas) -> dict[str, bytes]:
+    """Version-2 payloads: lossless values, dict-order rows.
+
+    Differs from :func:`dataset_payloads` only where version 1 loses
+    information:
+
+    * ``inter_cluster_links`` — float64 latency **and** loss, rows in
+      ``atlas.links`` iteration order (the compiled emission order);
+    * ``link_loss_rates`` — float64 loss in dict order;
+    * ``as_degrees`` — int64 (monthly refreshes carry ``<Iq``);
+    * ``relationships`` — both directions verbatim, no ``a < b``
+      halving, so asymmetric codes survive the round trip.
+    """
+    payloads = _shared_payloads(atlas)
+    payloads["inter_cluster_links"] = _pack_rows(
+        "<IIdd",
+        [
+            (a, b, rec.latency_ms, rec.loss_rate)
+            for (a, b), rec in atlas.links.items()
+        ],
+    )
+    payloads["link_loss_rates"] = _pack_rows(
+        "<IId",
+        [(a, b, loss) for (a, b), loss in atlas.link_loss.items()],
+    )
+    payloads["as_degrees"] = _pack_rows("<Iq", sorted(atlas.as_degrees.items()))
+    payloads["relationships"] = _pack_rows(
+        "<IIB",
+        [(a, b, code) for (a, b), code in atlas.relationship_codes.items()],
     )
     return payloads
 
 
-def encode_atlas(atlas: Atlas, compress_level: int = 6) -> bytes:
-    """Full wire encoding: header + per-dataset compressed sections."""
-    payloads = dataset_payloads(atlas)
+def encode_atlas(atlas: Atlas, compress_level: int = 6, *, exact: bool = False) -> bytes:
+    """Full wire encoding: header + per-dataset compressed sections.
+
+    ``exact=True`` emits format version 2 (see
+    :func:`dataset_payloads_exact`): a lossless, order-preserving anchor
+    whose decode reproduces ``atlas`` bit-for-bit — including link
+    insertion order, which the compiled graph emission follows. Publish
+    paths keep the default version 1 (quantized, sorted, smaller).
+    """
+    payloads = dataset_payloads_exact(atlas) if exact else dataset_payloads(atlas)
     out = bytearray()
     out += MAGIC
-    out += struct.pack("<HI", FORMAT_VERSION, atlas.day)
+    out += struct.pack(
+        "<HI", EXACT_FORMAT_VERSION if exact else FORMAT_VERSION, atlas.day
+    )
     out += struct.pack("<B", len(DATASET_ORDER))
     for name in DATASET_ORDER:
         compressed = zlib.compress(payloads[name], compress_level)
@@ -228,16 +284,25 @@ def decode_atlas(data: bytes) -> Atlas:
     if data[:4] != MAGIC:
         raise AtlasFormatError("bad magic")
     version, day = struct.unpack_from("<HI", data, 4)
-    if version != FORMAT_VERSION:
+    if version not in (FORMAT_VERSION, EXACT_FORMAT_VERSION):
         raise AtlasFormatError(f"unsupported atlas format version {version}")
+    exact = version == EXACT_FORMAT_VERSION
     (n_sections,) = struct.unpack_from("<B", data, 10)
     sections = _read_sections(data, 11, n_sections, "atlas")
 
     atlas = Atlas(day=day)
-    for a, b, lat in _unpack_rows("<IIH", sections.get("inter_cluster_links", b"")):
-        atlas.links[(a, b)] = LinkRecord(latency_ms=_decode_latency(lat))
-    for a, b, loss in _unpack_rows("<IIH", sections.get("link_loss_rates", b"")):
-        atlas.link_loss[(a, b)] = _decode_loss(loss)
+    if exact:
+        for a, b, lat, loss in _unpack_rows(
+            "<IIdd", sections.get("inter_cluster_links", b"")
+        ):
+            atlas.links[(a, b)] = LinkRecord(latency_ms=lat, loss_rate=loss)
+        for a, b, loss in _unpack_rows("<IId", sections.get("link_loss_rates", b"")):
+            atlas.link_loss[(a, b)] = loss
+    else:
+        for a, b, lat in _unpack_rows("<IIH", sections.get("inter_cluster_links", b"")):
+            atlas.links[(a, b)] = LinkRecord(latency_ms=_decode_latency(lat))
+        for a, b, loss in _unpack_rows("<IIH", sections.get("link_loss_rates", b"")):
+            atlas.link_loss[(a, b)] = _decode_loss(loss)
     atlas.prefix_to_cluster = {
         k: v for k, v in _unpack_rows("<II", sections.get("prefix_to_cluster", b""))
     }
@@ -248,7 +313,10 @@ def decode_atlas(data: bytes) -> Atlas:
         k: v for k, v in _unpack_rows("<II", sections.get("cluster_to_as", b""))
     }
     atlas.as_degrees = {
-        k: v for k, v in _unpack_rows("<IH", sections.get("as_degrees", b""))
+        k: v
+        for k, v in _unpack_rows(
+            "<Iq" if exact else "<IH", sections.get("as_degrees", b"")
+        )
     }
     atlas.three_tuples = {
         (a, b, c) for a, b, c in _unpack_rows("<III", sections.get("as_three_tuples", b""))
@@ -265,11 +333,15 @@ def decode_atlas(data: bytes) -> Atlas:
     atlas.providers = {k: frozenset(v) for k, v in providers.items()}
     atlas.prefix_providers = {k: frozenset(v) for k, v in prefix_providers.items()}
     atlas.upstreams = {k: frozenset(v) for k, v in upstreams.items()}
-    for a, b, code in _unpack_rows("<IIB", sections.get("relationships", b"")):
-        from repro.atlas.relationships import _CODE_INVERSE
+    if exact:
+        for a, b, code in _unpack_rows("<IIB", sections.get("relationships", b"")):
+            atlas.relationship_codes[(a, b)] = code
+    else:
+        for a, b, code in _unpack_rows("<IIB", sections.get("relationships", b"")):
+            from repro.atlas.relationships import _CODE_INVERSE
 
-        atlas.relationship_codes[(a, b)] = code
-        atlas.relationship_codes[(b, a)] = _CODE_INVERSE[code]
+            atlas.relationship_codes[(a, b)] = code
+            atlas.relationship_codes[(b, a)] = _CODE_INVERSE[code]
     atlas.late_exit_pairs = {
         frozenset((a, b)) for a, b in _unpack_rows("<II", sections.get("late_exit_pairs", b""))
     }

@@ -20,7 +20,11 @@ answers queries in-process or over ``multiprocessing`` pipes;
   like a :class:`~repro.client.remote.QueryAgent` caller, or bootstrap
   a full atlas over ``ATLAS_FETCH`` and apply pushed deltas through a
   local :class:`~repro.runtime.runtime.AtlasRuntime` — bit-for-bit the
-  co-located answers, over either transport.
+  co-located answers, over either transport;
+* :mod:`repro.net.relay` — :class:`RelayGateway`: a gateway that
+  bootstraps from an *upstream* gateway and re-serves its anchor bytes
+  and delta pushes verbatim downstream, chaining origin → region
+  relays → clients without re-encoding anything on the path.
 """
 
 from repro.net.client import NetworkClient
@@ -31,10 +35,12 @@ from repro.net.protocol import (
     FrameDecoder,
     encode_frame,
 )
+from repro.net.relay import RelayGateway
 
 __all__ = [
     "NetworkClient",
     "NetworkGateway",
+    "RelayGateway",
     "FrameDecoder",
     "encode_frame",
     "DEFAULT_MAX_FRAME",

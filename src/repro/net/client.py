@@ -29,6 +29,16 @@ may interleave with replies at any frame boundary and are applied (or
 counted stale) on arrival. :meth:`pipeline_predict` exposes raw
 pipelining — send N requests, then drain N replies — which is where
 the wire amortizes its round trip (the bench's pipelined-QPS sweep).
+A ``SUB_DROPPED`` frame — the gateway unsubscribed this connection
+because it stopped draining pushes — flips ``subscribed`` off and is
+counted in ``sub_dropped`` (the connection keeps answering queries; a
+bootstrapped client that wants pushes again must re-bootstrap, since
+days were missed).
+
+A ``push_hook`` callable diverts raw ``DELTA_PUSH`` payloads instead
+of applying them locally — the relay tier
+(:class:`~repro.net.relay.RelayGateway`) uses this to re-broadcast the
+exact upstream bytes downstream.
 
 Constructing with ``stats=True`` negotiates the ``FLAG_STATS``
 capability: the gateway trails every successful delegate-mode query
@@ -77,6 +87,7 @@ class NetworkClient:
         config: PredictorConfig | None = None,
         subscribe: bool = False,
         stats: bool = False,
+        push_hook=None,
     ) -> None:
         self._sock = sock
         self.endpoint = endpoint
@@ -94,6 +105,13 @@ class NetworkClient:
         self.bytes_received = 0
         self.deltas_applied = 0
         self.pushes_stale = 0
+        #: gateway unsubscribed us (send queue over budget); the last
+        #: SUB_DROPPED reason string is kept for diagnostics
+        self.sub_dropped = 0
+        self.drop_reason: str | None = None
+        #: when set, raw DELTA_PUSH payloads go to this callable instead
+        #: of the local runtime (relay mode)
+        self._push_hook = push_hook
         #: FLAG_STATS negotiated: the gateway follows every successful
         #: delegate-mode query reply with a typed STATS frame; the
         #: latest decoded one is kept here
@@ -213,6 +231,9 @@ class NetworkClient:
             if ftype == P.DELTA_PUSH:
                 self._on_push(payload)
                 continue
+            if ftype == P.SUB_DROPPED:
+                self._on_sub_dropped(payload)
+                continue
             if ftype == P.STATS and got_id < request_id:
                 continue  # stale stats for an abandoned request
             if got_id and got_id < request_id:
@@ -238,6 +259,9 @@ class NetworkClient:
             ftype, got_id, payload = self._next_frame(None)
             if ftype == P.DELTA_PUSH:
                 self._on_push(payload)
+                continue
+            if ftype == P.SUB_DROPPED:
+                self._on_sub_dropped(payload)
                 continue
             if ftype == P.STATS:
                 self.last_stats = P.decode_stats(payload)
@@ -297,7 +321,23 @@ class NetworkClient:
         self.subscribed = subscribed
         return day
 
+    def fetch_atlas_bytes(self, day: int | None = None) -> bytes:
+        """The raw encoded atlas anchor, verbatim off the wire — no
+        decode, no runtime. Relay gateways re-serve these exact bytes
+        downstream so every tier anchors on the same payload."""
+        return self._request(P.ATLAS_FETCH, P.encode_atlas_fetch(day), P.ATLAS)
+
+    def _on_sub_dropped(self, payload: bytes) -> None:
+        day, reason = P.decode_sub_dropped(payload)
+        self.subscribed = False
+        self.server_day = day
+        self.sub_dropped += 1
+        self.drop_reason = reason
+
     def _on_push(self, payload: bytes) -> None:
+        if self._push_hook is not None:
+            self._push_hook(payload)
+            return
         if self.runtime is None:
             self.pushes_stale += 1  # nothing to apply it to
             return
@@ -331,6 +371,9 @@ class NetworkClient:
             if frame is None:
                 return applied
             ftype, got_id, payload = frame
+            if ftype == P.SUB_DROPPED:
+                self._on_sub_dropped(payload)
+                continue
             if ftype != P.DELTA_PUSH:
                 if got_id and got_id <= self._last_id:
                     continue  # stale reply for an abandoned request

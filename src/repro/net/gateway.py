@@ -24,11 +24,31 @@ in-process (``repro.runtime``) or over ``multiprocessing`` pipes
   kernel's TCP window instead of gateway memory. Frame sizes are capped
   by ``max_frame`` and a decoder violation closes the connection;
 * **delta broadcast**: :meth:`push_delta` applies one day's
-  :class:`~repro.atlas.delta.AtlasDelta` to the backend, then pushes the
-  encoded ``INDB`` payload (the same broadcast codec the sharded fleet
-  uses internally) to every subscribed connection, where a
-  bootstrapped :class:`~repro.net.client.NetworkClient` applies it
-  through its local runtime's in-place patch + warm-start path.
+  :class:`~repro.atlas.delta.AtlasDelta` to the backend, encodes the
+  ``INDB`` payload **once**, and hands the single shared ``DELTA_PUSH``
+  frame to every subscribed connection's bounded send queue. One writer
+  task per connection drains its queue concurrently, so a slow or
+  stalled subscriber delays only itself — never the broadcast. A
+  subscriber whose queue exceeds ``subscriber_buffer`` has stopped
+  reading: it is unsubscribed with a typed ``SUB_DROPPED`` frame
+  (counted in ``stats["push_drops"]``) instead of buffering gateway
+  memory without bound, and a peer whose socket dies mid-drain is
+  counted in ``stats["push_errors"]`` and dropped from the broadcast
+  set entirely;
+* **log compaction**: the pushed-delta log would otherwise grow with
+  gateway uptime, and every bootstrap replays it past the anchor. On a
+  cadence (``compact_days`` days or ``log_max_bytes`` retained bytes)
+  the gateway folds the log into a fresh anchor — an **exact**
+  (format-2, lossless, order-preserving) encode of the backend's
+  current atlas — and drops the covered prefix, so a week-offline
+  bootstrap costs one anchor plus a short suffix while the
+  anchor+``INDB`` bit-for-bit convergence contract holds unchanged.
+
+For planetary fan-out, :class:`~repro.net.relay.RelayGateway` chains
+gateways into distribution tiers: a relay bootstraps from an upstream
+gateway over the same wire protocol, applies upstream pushes to its own
+runtime, and re-serves bootstrap + broadcast downstream — same frames,
+same bytes, bit-for-bit.
 
 Run it synchronously from tests and applications: :meth:`start` spawns
 a daemon thread owning the event loop and returns once the listeners
@@ -46,6 +66,7 @@ import contextlib
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.atlas.serialization import encode_atlas, encode_delta
@@ -74,14 +95,12 @@ class _ServiceBackend:
 
     def __init__(self, service) -> None:
         self.service = service
-        #: (day, encoded payload) bootstrap anchor, captured at first
-        #: fetch; later fetches reuse it and the gateway replays its
-        #: pushed-delta log on top (exact: the INNA atlas codec
-        #: quantizes, so re-encoding a delta-evolved atlas would fork
-        #: the client from the fleet — anchor + lossless INDB deltas
-        #: lands bit-for-bit). All calls ride the bridge thread, so no
-        #: locking.
-        self._anchor: tuple[int, bytes] | None = None
+        #: the day the service held at gateway construction — as long
+        #: as no delta has been applied since, the quantized format-1
+        #: encode round-trips to exactly the shard atlases (they were
+        #: decoded from such an encode); past it only the exact
+        #: format-2 encode anchors without forking the client
+        self._pristine_day = service.day
 
     @property
     def day(self) -> int:
@@ -94,17 +113,24 @@ class _ServiceBackend:
         return self.service.query_batch(pairs, config, client)
 
     def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
-        """The bootstrap anchor ``(day, payload)``; the gateway replays
-        newer pushed deltas on top so the client lands on the current
-        day."""
+        """The bootstrap anchor ``(day, payload)``; the gateway caches
+        it and replays newer pushed deltas on top so the client lands
+        on the current day."""
         current = self.service.day
         if day is not None and day != current:
             raise AtlasError(
                 f"service serves day {current}, cannot bootstrap day {day}"
             )
-        if self._anchor is None:
-            self._anchor = (current, encode_atlas(self.service.atlas))
-        return self._anchor
+        return current, encode_atlas(
+            self.service.atlas, exact=current != self._pristine_day
+        )
+
+    def reanchor_bytes(self) -> tuple[int, bytes]:
+        """Fold the delta log away: an exact (lossless, order-preserving)
+        encode of the current atlas is a valid fresh anchor, because the
+        service's atlas *is* the client-visible atlas — same anchor
+        bytes, same lossless deltas."""
+        return self.service.day, encode_atlas(self.service.atlas, exact=True)
 
     def apply_delta(self, delta, payload: bytes) -> int:
         # the push payload doubles as the shard broadcast payload
@@ -169,6 +195,13 @@ class _ServerBackend:
             day = self.server.latest_day()
         return day, self.server.full_atlas_bytes(day)
 
+    def reanchor_bytes(self) -> tuple[int, bytes]:
+        """Exact encode of the shared runtime's current atlas — the
+        very state a bootstrapped client must land on, so it anchors
+        bit-for-bit with an empty replay suffix."""
+        runtime = self._runtime
+        return runtime.atlas.day, encode_atlas(runtime.atlas, exact=True)
+
     def apply_delta(self, delta, payload: bytes) -> int:
         # server.runtime() rolls itself through the server's published
         # delta chain, so a delta that was published before being pushed
@@ -203,8 +236,45 @@ def _resolve_backend(backend):
 # -- connection state ------------------------------------------------------
 
 
+class _PushTracker:
+    """Per-broadcast drain meter: each subscriber's writer task calls
+    :meth:`done` once the shared push frame has drained to its socket;
+    the slowest drain of the broadcast lands in
+    ``stats["push_drain_slowest_us"]`` (and rides the STATS wire
+    frame as ``push_drain_us``)."""
+
+    __slots__ = ("stats", "t0")
+
+    def __init__(self, stats: dict, t0: float) -> None:
+        self.stats = stats
+        self.t0 = t0
+
+    def done(self) -> None:
+        elapsed_us = (time.perf_counter() - self.t0) * 1e6
+        if elapsed_us > self.stats["push_drain_slowest_us"]:
+            self.stats["push_drain_slowest_us"] = elapsed_us
+
+
 class _Conn:
-    __slots__ = ("writer", "peer", "subscribed", "stats", "hello_done")
+    """Per-connection state. Every outgoing frame goes through
+    ``queue`` — drained by one writer task per connection — so a
+    broadcast enqueues a single shared frame object to every subscriber
+    (zero copy) and a slow peer blocks only its own writer task."""
+
+    __slots__ = (
+        "writer",
+        "peer",
+        "subscribed",
+        "stats",
+        "hello_done",
+        "queue",
+        "queued_bytes",
+        "task",
+        "wake",
+        "space",
+        "drained",
+        "closing",
+    )
 
     def __init__(self, writer, peer: str) -> None:
         self.writer = writer
@@ -214,6 +284,32 @@ class _Conn:
         #: followed by a STATS frame with the same request id
         self.stats = False
         self.hello_done = False
+        #: pending ``(frame, tracker)`` writes; tracker is non-None
+        #: only for broadcast push frames. ``frame is None`` is a drain
+        #: sentinel: the broadcast fast path already wrote the bytes
+        #: into the transport and only needs the writer task to await
+        #: the flush so the tracker times it
+        self.queue: deque[tuple[bytes | None, _PushTracker | None]] = deque()
+        self.queued_bytes = 0
+        self.task: asyncio.Task | None = None
+        self.wake = asyncio.Event()
+        self.space = asyncio.Event()
+        self.space.set()
+        self.drained = asyncio.Event()
+        self.drained.set()
+        self.closing = False
+
+    def enqueue(
+        self, frame: bytes | None, tracker: _PushTracker | None = None
+    ) -> bool:
+        if self.closing:
+            return False
+        self.queue.append((frame, tracker))
+        if frame is not None:
+            self.queued_bytes += len(frame)
+        self.drained.clear()
+        self.wake.set()
+        return True
 
 
 class NetworkGateway:
@@ -227,6 +323,10 @@ class NetworkGateway:
         uds: str | None = None,
         max_frame: int = P.DEFAULT_MAX_FRAME,
         hello_timeout: float = 10.0,
+        subscriber_buffer: int = 4 * 1024 * 1024,
+        reply_buffer: int = 4 * 1024 * 1024,
+        compact_days: int | None = 7,
+        log_max_bytes: int | None = 64 * 1024 * 1024,
     ) -> None:
         if tcp is None and uds is None:
             raise ValueError("gateway needs a TCP address and/or a UDS path")
@@ -235,6 +335,18 @@ class NetworkGateway:
         self._uds_request = uds
         self.max_frame = int(max_frame)
         self.hello_timeout = hello_timeout
+        #: a subscriber whose unsent queue exceeds this is unsubscribed
+        #: with a SUB_DROPPED frame instead of buffering more pushes
+        self.subscriber_buffer = int(subscriber_buffer)
+        #: request handlers pause reading new requests while a
+        #: connection's unsent replies exceed this (structural
+        #: backpressure, now measured at the send queue)
+        self.reply_buffer = int(reply_buffer)
+        #: compaction cadence: fold the delta log into a fresh exact
+        #: anchor every ``compact_days`` days and/or whenever the log
+        #: retains more than ``log_max_bytes``; None disables that axis
+        self.compact_days = compact_days
+        self.log_max_bytes = log_max_bytes
         self.tcp_address: tuple[str, int] | None = None
         self.uds_path: str | None = None
         # one bridge thread: the backends assume a single caller thread
@@ -247,11 +359,19 @@ class NetworkGateway:
         self._startup_error: BaseException | None = None
         self._servers: list = []
         self._conns: set[_Conn] = set()
-        #: every delta pushed through this gateway, in order
-        #: ``(new_day, encoded payload)`` — replayed after an ATLAS
-        #: reply so a bootstrap anchored on an older payload still
-        #: lands, losslessly, on the current day
+        #: deltas pushed through this gateway since the last
+        #: compaction, in order ``(new_day, encoded payload)`` —
+        #: replayed after an ATLAS reply so a bootstrap anchored on an
+        #: older payload still lands, losslessly, on the current day
         self._delta_log: list[tuple[int, bytes]] = []
+        self._log_bytes = 0
+        #: ``(day, payload)`` bootstrap anchor: captured lazily from the
+        #: backend at first fetch, replaced by an exact re-encode at
+        #: every compaction. Loop-thread state, like the log.
+        self._anchor: tuple[int, bytes] | None = None
+        #: oldest day still bootstrappable after compaction dropped the
+        #: log prefix (None until the first compaction)
+        self._log_floor: int | None = None
         self._closed = False
         self.stats = {
             "connections_total": 0,
@@ -264,8 +384,17 @@ class NetworkGateway:
             "bytes_out": 0,
             "deltas_pushed": 0,
             "push_frames": 0,
+            "push_errors": 0,
+            "push_drops": 0,
+            "push_encode_us": 0.0,
+            "push_enqueue_us": 0.0,
+            "push_drain_slowest_us": 0.0,
             "stats_frames": 0,
             "atlas_bytes_served": 0,
+            "delta_log_bytes": 0,
+            "delta_log_days": 0,
+            "compactions": 0,
+            "anchor_day": -1,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -382,36 +511,140 @@ class NetworkGateway:
         )
         return future.result()
 
-    async def _push_delta(self, delta) -> dict:
+    async def _push_delta(self, delta, payload: bytes | None = None) -> dict:
         loop = asyncio.get_running_loop()
-        payload = encode_delta(delta)  # one encode: shard fan-out + pushes
+        t0 = time.perf_counter()
+        if payload is None:
+            payload = encode_delta(delta)  # one encode: shard fan-out + pushes
+        self.stats["push_encode_us"] = (time.perf_counter() - t0) * 1e6
         day = await loop.run_in_executor(
             self._bridge, self.backend.apply_delta, delta, payload
         )
         self._delta_log.append((delta.new_day, payload))
+        self._log_bytes += len(payload)
+        if self._compaction_due(day):
+            await self._compact()
+        self.stats["delta_log_bytes"] = self._log_bytes
+        self.stats["delta_log_days"] = len(self._delta_log)
+        # one frame object for every subscriber. Fast path: a subscriber
+        # whose writer is idle (empty queue) gets the frame written
+        # straight into its transport here — a buffered non-blocking
+        # write, no writer-task wakeup — which is what keeps the
+        # 200-subscriber fan-out within ~2x of a single subscriber. A
+        # subscriber with traffic in flight takes the queue path so its
+        # writer task preserves frame order at the peer's own pace.
         frame = P.encode_frame(P.DELTA_PUSH, 0, payload)
-        receivers = [conn for conn in self._conns if conn.subscribed]
-        for conn in receivers:
-            with contextlib.suppress(Exception):
+        t1 = time.perf_counter()
+        self.stats["push_drain_slowest_us"] = 0.0
+        tracker = _PushTracker(self.stats, t1)
+        delivered = 0
+        for conn in list(self._conns):
+            if not conn.subscribed:
+                continue
+            transport = conn.writer.transport
+            # unsent = our queue + what the transport already buffered
+            unsent = conn.queued_bytes + transport.get_write_buffer_size()
+            if unsent > self.subscriber_buffer:
+                self._drop_subscriber(conn, day)
+                continue
+            if conn.queue or conn.closing or transport.is_closing():
+                if conn.enqueue(frame, tracker):
+                    delivered += 1
+                continue
+            try:
                 conn.writer.write(frame)
-        for conn in receivers:
-            with contextlib.suppress(Exception):
-                await conn.writer.drain()
+            except Exception:
+                self._writer_failed(conn, tracker)
+                continue
+            self.stats["frames_out"] += 1
+            self.stats["bytes_out"] += len(frame)
+            delivered += 1
+            if transport.get_write_buffer_size() == 0:
+                tracker.done()  # flushed to the kernel synchronously
+            else:
+                # the transport buffered: a zero-frame sentinel makes
+                # the writer task await drain and time the flush
+                conn.enqueue(None, tracker)
+        self.stats["push_enqueue_us"] = (time.perf_counter() - t1) * 1e6
         self.stats["deltas_pushed"] += 1
-        self.stats["push_frames"] += len(receivers)
-        self.stats["bytes_out"] += len(frame) * len(receivers)
-        self.stats["frames_out"] += len(receivers)
+        self.stats["push_frames"] += delivered
         return {
             "day": day,
             "wire_bytes": len(payload),
-            "subscribers": len(receivers),
+            "subscribers": delivered,
         }
+
+    def _drop_subscriber(self, conn: _Conn, day: int) -> None:
+        """This subscriber's queue is over budget — it stopped reading.
+        Unsubscribe it (the connection stays usable for request/reply)
+        and queue a typed notice behind its backlog so a peer that
+        resumes reading learns why the pushes stopped."""
+        conn.subscribed = False
+        self.stats["push_drops"] += 1
+        conn.enqueue(
+            P.encode_frame(
+                P.SUB_DROPPED,
+                0,
+                P.encode_sub_dropped(day, "subscriber send queue over budget"),
+            )
+        )
+
+    def _compaction_due(self, day: int) -> bool:
+        if not hasattr(self.backend, "reanchor_bytes"):
+            return False  # pre-built adapter without exact re-encode
+        if self.compact_days is not None:
+            base = self._anchor[0] if self._anchor is not None else None
+            if base is None and self._delta_log:
+                # no anchor captured yet: age against the log's start
+                base = self._delta_log[0][0] - 1
+            if base is not None and day - base >= self.compact_days:
+                return True
+        return (
+            self.log_max_bytes is not None
+            and self._log_bytes > self.log_max_bytes
+        )
+
+    async def _compact(self) -> None:
+        """Fold the delta log into a fresh anchor: an exact encode of
+        the backend's current atlas (format 2 — lossless, insertion
+        order preserved) replaces anchor + covered log prefix, so the
+        bit-for-bit convergence contract survives re-anchoring. Days at
+        or below the new anchor are no longer bootstrappable
+        (``_log_floor``)."""
+        anchor_day, blob = await self._call(self.backend.reanchor_bytes)
+        self._anchor = (anchor_day, blob)
+        self._log_floor = anchor_day
+        self._delta_log = [
+            (d, p) for d, p in self._delta_log if d > anchor_day
+        ]
+        self._log_bytes = sum(len(p) for _, p in self._delta_log)
+        self.stats["compactions"] += 1
+        self.stats["anchor_day"] = anchor_day
+
+    async def _ensure_anchor(self) -> tuple[int, bytes]:
+        """The current-day bootstrap anchor, captured from the backend
+        lazily and re-captured only when the backend advanced past what
+        anchor + delta-log replay covers (e.g. a day published
+        out-of-band rather than pushed). Compaction replaces it with an
+        exact re-encode; in between, every bootstrap reuses the cached
+        payload."""
+        current = await self._call(lambda: self.backend.day)
+        covered = -1 if self._anchor is None else self._anchor[0]
+        if self._delta_log:
+            covered = max(covered, self._delta_log[-1][0])
+        if self._anchor is None or current > covered:
+            self._anchor = await self._call(self.backend.atlas_bytes, None)
+            self.stats["anchor_day"] = self._anchor[0]
+        return self._anchor
 
     # -- connection handling -----------------------------------------------
 
     async def _serve_conn(self, reader, writer) -> None:
         peername = writer.get_extra_info("peername")
         conn = _Conn(writer, peer=repr(peername))
+        conn.task = asyncio.get_running_loop().create_task(
+            self._conn_writer(conn)
+        )
         self._conns.add(conn)
         self.stats["connections_total"] += 1
         self.stats["connections_open"] += 1
@@ -459,14 +692,87 @@ class NetworkGateway:
             self.stats["connections_open"] -= 1
             # asyncio.CancelledError: loop teardown cancels us mid-wait
             with contextlib.suppress(Exception, asyncio.CancelledError):
+                # flush queued replies (bounded) before closing
+                await asyncio.wait_for(conn.drained.wait(), timeout=5.0)
+            conn.closing = True
+            if conn.task is not None:
+                conn.task.cancel()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
+    async def _conn_writer(self, conn: _Conn) -> None:
+        """One per connection: drains its send queue to the socket.
+        Frames enqueue without awaiting, so the broadcast path never
+        blocks on a peer; this task alone absorbs the peer's pace."""
+        while True:
+            if not conn.queue:
+                conn.space.set()
+                conn.drained.set()
+                conn.wake.clear()
+                await conn.wake.wait()
+                continue
+            frame, tracker = conn.queue.popleft()
+            if frame is not None:
+                conn.queued_bytes -= len(frame)
+                # count before the write so a request handler's reply
+                # accounting is visible by the time the peer reads it
+                self.stats["frames_out"] += 1
+                self.stats["bytes_out"] += len(frame)
+            try:
+                if frame is not None:
+                    conn.writer.write(frame)
+                await conn.writer.drain()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                if frame is not None:
+                    self.stats["frames_out"] -= 1
+                    self.stats["bytes_out"] -= len(frame)
+                self._writer_failed(conn, tracker)
+                return
+            if conn.queued_bytes <= self.reply_buffer:
+                conn.space.set()
+            if tracker is not None:
+                tracker.done()
+
+    def _writer_failed(self, conn: _Conn, tracker: _PushTracker | None) -> None:
+        """A write to this peer failed mid-drain: the connection is
+        dead. Count every broadcast frame that will never arrive in
+        ``push_errors``, drop the peer from the broadcast set, and abort
+        the transport so the reader task unblocks too."""
+        conn.closing = True
+        conn.subscribed = False
+        undelivered = [tracker] + [t for _, t in conn.queue]
+        self.stats["push_errors"] += sum(
+            1 for t in undelivered if t is not None
+        )
+        conn.queue.clear()
+        conn.queued_bytes = 0
+        conn.space.set()  # wakes any handler parked in _wait_space
+        conn.drained.set()
+        self._conns.discard(conn)
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+
     async def _send(self, conn: _Conn, frame: bytes) -> None:
-        conn.writer.write(frame)
-        self.stats["frames_out"] += 1
-        self.stats["bytes_out"] += len(frame)
-        await conn.writer.drain()
+        if not conn.enqueue(frame):
+            raise ConnectionError(f"connection {conn.peer} is closing")
+        await self._wait_space(conn)
+
+    async def _wait_space(self, conn: _Conn) -> None:
+        """Structural backpressure at the send queue: the request
+        handler (which alone reads the socket) parks here while the
+        connection's unsent bytes exceed ``reply_buffer``, so a client
+        that pipelines faster than it reads fills its own TCP window,
+        not gateway memory. Single-threaded loop: no suspension point
+        between the check and ``clear()``, so the writer task cannot
+        slip a ``set()`` in between and deadlock."""
+        while conn.queued_bytes > self.reply_buffer and not conn.closing:
+            conn.space.clear()
+            await conn.space.wait()
+        if conn.closing:
+            raise ConnectionError(f"connection {conn.peer} is closing")
 
     async def _send_error(
         self, conn: _Conn, request_id: int, code: int, message: str
@@ -495,6 +801,12 @@ class NetworkGateway:
         if not conn.stats:
             return await self._call(fn, *args), None
         sample = getattr(self.backend, "kernel_sample", None)
+        # last-broadcast timings, captured loop-side before the hop
+        push_timings = (
+            self.stats["push_encode_us"],
+            self.stats["push_enqueue_us"],
+            self.stats["push_drain_slowest_us"],
+        )
 
         def run():
             before = sample() if sample is not None else None
@@ -511,6 +823,11 @@ class NetworkGateway:
                 )
                 for key in ("reused", "repaired", "replayed", "dirty"):
                     stats[key] = repair.get(key, 0)
+            (
+                stats["push_encode_us"],
+                stats["push_enqueue_us"],
+                stats["push_drain_us"],
+            ) = push_timings
             return result, stats
 
         return await asyncio.get_running_loop().run_in_executor(
@@ -604,18 +921,37 @@ class NetworkGateway:
             await self._send_stats(conn, request_id, stats)
         elif ftype == P.ATLAS_FETCH:
             day = P.decode_atlas_fetch(payload)
-            served_day, blob = await self._call(self.backend.atlas_bytes, day)
+            if day is None or day == self.stats["anchor_day"]:
+                served_day, blob = await self._ensure_anchor()
+            else:
+                if self._log_floor is not None and day < self._log_floor:
+                    raise AtlasError(
+                        f"day {day} was compacted away (anchor floor "
+                        f"{self._log_floor}); bootstrap the current day"
+                    )
+                served_day, blob = await self._call(
+                    self.backend.atlas_bytes, day
+                )
             self.stats["atlas_bytes_served"] += len(blob)
-            await self._send(conn, P.encode_frame(P.ATLAS, request_id, blob))
             # catch-up replay: deltas pushed after the served anchor
             # follow the reply immediately, so the bootstrap lands on
             # the backend's current day bit for bit (the anchor codec
-            # quantizes; the delta codec does not)
+            # may quantize; the delta codec does not). Anchor and
+            # suffix enqueue with no suspension point in between, so a
+            # concurrent push cannot interleave mid-replay — it lands
+            # after the suffix, strictly newer, and applies on top.
+            frames = [P.encode_frame(P.ATLAS, request_id, blob)]
             for new_day, delta_payload in self._delta_log:
                 if new_day > served_day:
-                    await self._send(
-                        conn, P.encode_frame(P.DELTA_PUSH, 0, delta_payload)
+                    frames.append(
+                        P.encode_frame(P.DELTA_PUSH, 0, delta_payload)
                     )
+            for frame in frames:
+                if not conn.enqueue(frame):
+                    raise ConnectionError(
+                        f"connection {conn.peer} is closing"
+                    )
+            await self._wait_space(conn)
         elif ftype == P.SUBSCRIBE:
             conn.subscribed = P.decode_subscribe(payload)
             day = await self._call(lambda: self.backend.day)

@@ -39,6 +39,12 @@ and the blocking client build on it):
   ``INDB`` broadcast codec (:func:`repro.atlas.serialization.encode_delta`),
   exactly the bytes the sharded service fans to its workers, applied
   client-side through the same in-place patch + warm-start path.
+* ``SUB_DROPPED`` — server-initiated notice (id 0) that the gateway
+  unsubscribed this connection because its send queue exceeded the
+  per-subscriber budget (it stopped reading pushes); the payload
+  carries the atlas day the drop happened on plus a reason string, so
+  the client knows to re-bootstrap instead of waiting for pushes that
+  will never come.
 * ``STATS`` — per-request kernel telemetry: a client that set
   ``FLAG_STATS`` in its HELLO receives one typed STATS frame after
   every successful PREDICT / PREDICT_BATCH / QUERY_INFO reply (same
@@ -95,6 +101,7 @@ SUBSCRIBE = 11
 SUBSCRIBE_OK = 12
 DELTA_PUSH = 13
 STATS = 14
+SUB_DROPPED = 15
 ERROR = 127
 
 _FRAME_NAMES = {
@@ -112,6 +119,7 @@ _FRAME_NAMES = {
     SUBSCRIBE_OK: "SUBSCRIBE_OK",
     DELTA_PUSH: "DELTA_PUSH",
     STATS: "STATS",
+    SUB_DROPPED: "SUB_DROPPED",
     ERROR: "ERROR",
 }
 
@@ -524,12 +532,27 @@ def decode_subscribe_ok(payload: bytes) -> tuple[int, bool]:
     return day, bool(subscribed)
 
 
+def encode_sub_dropped(day: int, reason: str) -> bytes:
+    return _I64.pack(day) + _pack_str(reason[:2000])
+
+
+def decode_sub_dropped(payload: bytes) -> tuple[int, str]:
+    r = _Reader(payload)
+    (day,) = r.take(_I64)
+    reason = _read_str(r) or ""
+    r.finish()
+    return day, reason
+
+
 # -- STATS -----------------------------------------------------------------
 
 #: elapsed_us, searches, cache_hits, search_us, reused, repaired,
-#: replayed, dirty — fixed layout so the frame stays cheap to emit on
-#: every request
-_STATS = struct.Struct("<dqqdqqqq")
+#: replayed, dirty, push_encode_us, push_enqueue_us, push_drain_us —
+#: fixed layout so the frame stays cheap to emit on every request. The
+#: three ``push_*`` floats mirror the gateway's last delta broadcast
+#: (encode once / enqueue fan-out / slowest subscriber drain), zero
+#: until the gateway has pushed a delta.
+_STATS = struct.Struct("<dqqdqqqqddd")
 
 #: key order of the STATS payload (shared by encode and decode)
 STATS_FIELDS = (
@@ -541,6 +564,9 @@ STATS_FIELDS = (
     "repaired",
     "replayed",
     "dirty",
+    "push_encode_us",
+    "push_enqueue_us",
+    "push_drain_us",
 )
 
 
@@ -557,6 +583,9 @@ def encode_stats(stats: dict) -> bytes:
         int(stats.get("repaired", 0)),
         int(stats.get("replayed", 0)),
         int(stats.get("dirty", 0)),
+        float(stats.get("push_encode_us", 0.0)),
+        float(stats.get("push_enqueue_us", 0.0)),
+        float(stats.get("push_drain_us", 0.0)),
     )
 
 

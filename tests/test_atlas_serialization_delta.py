@@ -13,6 +13,8 @@ from repro.atlas.delta import (
 )
 from repro.atlas.model import Atlas, LinkRecord
 from repro.atlas.serialization import (
+    EXACT_FORMAT_VERSION,
+    FORMAT_VERSION,
     compressed_section_sizes,
     dataset_payloads,
     decode_atlas,
@@ -168,3 +170,69 @@ class TestDelta:
         assert len(encode_delta(delta)) < len(enc(new))
         sizes = compressed_delta_sizes(delta)
         assert sizes["inter_cluster_links"] >= 0
+
+
+class TestExactCodec:
+    """Format version 2: the lossless, order-preserving anchor used for
+    gateway re-anchoring. The default (version 1) codec quantizes link
+    values and sorts rows, so re-encoding a delta-evolved atlas with it
+    would fork every client that bootstraps from the new anchor; the
+    exact codec must round-trip the atlas *identically*, including dict
+    iteration order (compiled emission order is load-bearing)."""
+
+    def _churned_atlas(self) -> Atlas:
+        atlas = make_atlas(day=9)
+        # values off the 0.05ms / 1e-4 quantization grids
+        atlas.links[(3, 40)] = LinkRecord(latency_ms=1.0 / 3.0, loss_rate=1.0 / 7.0)
+        atlas.link_loss[(3, 40)] = 1.0 / 7.0
+        # append links out of sorted order, the way apply_delta_inplace
+        # does (delta order, after existing keys)
+        atlas.links[(2, 1)] = LinkRecord(latency_ms=0.1)
+        atlas.as_degrees[999] = 1_000_000  # overflows version 1's u16
+        return atlas
+
+    def test_exact_roundtrip_is_bit_for_bit_and_order_preserving(self):
+        import struct as _struct
+
+        atlas = self._churned_atlas()
+        decoded = decode_atlas(encode_atlas(atlas, exact=True))
+        assert list(decoded.links) == list(atlas.links)  # not just same set
+        for key, rec in atlas.links.items():
+            got = decoded.links[key]
+            assert _struct.pack("<d", got.latency_ms) == _struct.pack(
+                "<d", rec.latency_ms
+            )
+            assert _struct.pack("<d", got.loss_rate) == _struct.pack(
+                "<d", rec.loss_rate
+            )
+        assert decoded.link_loss == atlas.link_loss
+        assert decoded.as_degrees == atlas.as_degrees
+        assert decoded.relationship_codes == atlas.relationship_codes
+        assert decoded.day == atlas.day
+        assert atlases_equal(atlas, decoded)
+
+    def test_exact_format_survives_asymmetric_relationships(self):
+        # version 1 stores only the a < b half and mirrors it back; the
+        # exact format must keep a genuinely asymmetric table
+        atlas = make_atlas()
+        atlas.relationship_codes = {(1, 2): 0, (2, 1): 1, (9, 4): 2}
+        decoded = decode_atlas(encode_atlas(atlas, exact=True))
+        assert decoded.relationship_codes == atlas.relationship_codes
+
+    def test_default_codec_unchanged_and_quantizing(self):
+        atlas = self._churned_atlas()
+        atlas.as_degrees.pop(999)  # not representable in version 1
+        payload = encode_atlas(atlas)
+        version = payload[4] | (payload[5] << 8)
+        assert version == FORMAT_VERSION
+        decoded = decode_atlas(payload)
+        # quantized: close, but NOT equal — which is exactly why
+        # re-anchoring needs the exact format
+        got = decoded.links[(3, 40)].latency_ms
+        assert got != atlas.links[(3, 40)].latency_ms
+        assert abs(got - atlas.links[(3, 40)].latency_ms) <= 0.05
+        assert list(decoded.links) == sorted(atlas.links)
+
+    def test_exact_header_carries_version_2(self):
+        payload = encode_atlas(make_atlas(), exact=True)
+        assert payload[4] | (payload[5] << 8) == EXACT_FORMAT_VERSION

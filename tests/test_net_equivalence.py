@@ -175,3 +175,140 @@ class TestServiceBackedGateway:
             if gateway is not None:
                 gateway.close()
             service.close()
+
+
+class TestRelayChainAndCompaction:
+    """Planetary distribution, end to end: origin -> relay -> relay,
+    with compaction firing mid-chain at every tier. Clients behind two
+    relay tiers — delegate and bootstrapped, plus one that bootstraps a
+    week late, *after* the log was folded into a fresh exact anchor —
+    must land bit-for-bit on the co-located oracle, every day of the
+    >= 10-delta churn chain."""
+
+    COMPACT_DAYS = 4
+
+    def test_two_deep_relay_chain_matches_co_located_across_chain(
+        self, chain
+    ):
+        from repro.net import RelayGateway
+
+        server = AtlasServer()
+        server.publish(copy.deepcopy(chain[0]))
+        ref_runtime = server.runtime()
+        agent = QueryAgent.co_located(server)
+        origin = NetworkGateway(
+            server, tcp=("127.0.0.1", 0), compact_days=self.COMPACT_DAYS
+        ).start()
+        relays: list[RelayGateway] = []
+        clients: list[NetworkClient] = []
+        try:
+            upstream = origin
+            for _ in range(2):
+                relay = RelayGateway(
+                    upstream_tcp=upstream.tcp_address,
+                    tcp=("127.0.0.1", 0),
+                    compact_days=self.COMPACT_DAYS,
+                ).start()
+                relays.append(relay)
+                upstream = relay
+            tail = relays[-1]
+            host, port = tail.tcp_address
+            delegate = NetworkClient.connect_tcp(host, port)
+            boot = NetworkClient.connect_tcp(host, port)
+            clients = [delegate, boot]
+            assert delegate.backend_name == "relay"
+            assert boot.bootstrap().day == chain[0].day
+
+            prefixes = sorted(chain[0].prefix_to_cluster)
+            rng = random.Random(0x2E1A7)
+
+            def check_day(day, check_clients):
+                pairs = [
+                    tuple(rng.sample(prefixes, 2)) for _ in range(PAIRS_PER_DAY)
+                ]
+                for config in CONFIGS:
+                    oracle = ref_runtime.pool.predictor(config).predict_batch(
+                        pairs
+                    )
+                    for client in check_clients:
+                        assert client.predict_batch(pairs, config) == oracle, (
+                            day,
+                            config.ablation_name(),
+                            client.mode,
+                        )
+                oracle_infos = [
+                    r.info for r in agent.query_batch_for(0, pairs)
+                ]
+                for client in check_clients:
+                    assert client.query_batch(pairs) == oracle_infos, (
+                        day,
+                        client.mode,
+                    )
+
+            check_day(chain[0].day, clients)
+            for base, nxt in zip(chain, chain[1:]):
+                delta = compute_delta(base, nxt)
+                result = origin.push_delta(delta)
+                assert result["day"] == nxt.day == ref_runtime.atlas.day
+                # the push crosses both relay tiers before the client
+                # behind them sees it
+                assert boot.wait_for_day(nxt.day, timeout=30.0) == nxt.day
+                check_day(nxt.day, clients)
+
+            assert len(chain) - 1 >= 10, "chain must span >= 10 deltas"
+            # compaction fired at every tier mid-chain, and no tier lost
+            # its upstream feed
+            assert origin.stats["compactions"] >= 2
+            for relay in relays:
+                assert relay.stats["compactions"] >= 2
+                assert relay.stats["upstream_lost"] == 0
+                assert relay.backend.day == chain[-1].day
+            assert origin.stats["delta_log_days"] < len(chain) - 1
+
+            # the week-late client: bootstraps behind both relays after
+            # multiple compactions folded most of the chain into a fresh
+            # exact anchor — one anchor + a short suffix, same answers
+            late = NetworkClient.connect_tcp(host, port)
+            clients.append(late)
+            assert late.bootstrap().day == chain[-1].day
+            assert late.deltas_applied <= self.COMPACT_DAYS
+            check_day(chain[-1].day, clients)
+        finally:
+            for client in clients:
+                client.close()
+            for relay in reversed(relays):
+                relay.close()
+            origin.close()
+
+    def test_late_bootstrap_lands_bit_for_bit_after_origin_compaction(
+        self, chain
+    ):
+        """No relays: the origin alone, compacting mid-chain; a client
+        that bootstraps only at the end anchors on the exact re-encode
+        and replays the short suffix to the oracle's exact state."""
+        server = AtlasServer()
+        server.publish(copy.deepcopy(chain[0]))
+        ref_runtime = server.runtime()
+        gateway = NetworkGateway(
+            server, tcp=("127.0.0.1", 0), compact_days=self.COMPACT_DAYS
+        ).start()
+        try:
+            for base, nxt in zip(chain, chain[1:]):
+                gateway.push_delta(compute_delta(base, nxt))
+            assert gateway.stats["compactions"] >= 2
+            host, port = gateway.tcp_address
+            with NetworkClient.connect_tcp(host, port) as late:
+                assert late.bootstrap().day == chain[-1].day
+                assert late.deltas_applied <= self.COMPACT_DAYS
+                prefixes = sorted(chain[0].prefix_to_cluster)
+                rng = random.Random(0x1A7E)
+                pairs = [
+                    tuple(rng.sample(prefixes, 2)) for _ in range(16)
+                ]
+                for config in CONFIGS:
+                    oracle = ref_runtime.pool.predictor(config).predict_batch(
+                        pairs
+                    )
+                    assert late.predict_batch(pairs, config) == oracle
+        finally:
+            gateway.close()

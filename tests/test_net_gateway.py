@@ -449,3 +449,239 @@ class TestLifecycle:
         assert gateway.stats["frames_in"] > before["frames_in"]
         assert gateway.stats["bytes_out"] > before["bytes_out"]
         assert gateway.stats["connections_open"] >= 1
+
+
+def toy_chain_deltas(days: int):
+    """Deltas for ``days`` successive toy-atlas days (one value change
+    per day)."""
+    atlases = [toy_atlas()]
+    for day in range(1, days + 1):
+        nxt = copy.deepcopy(atlases[-1])
+        nxt.day = day
+        nxt.links[(10, 20)] = LinkRecord(latency_ms=3.0 + day * 0.25)
+        atlases.append(nxt)
+    return [compute_delta(a, b) for a, b in zip(atlases, atlases[1:])]
+
+
+def wait_until(predicate, timeout: float = 5.0, what: str = "condition"):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{what} not reached within {timeout}s")
+        time.sleep(0.01)
+
+
+class TestPushChurn:
+    """The broadcast under failure: dead peers must be counted and
+    dropped, slow peers unsubscribed with a typed frame, and a bootstrap
+    racing live pushes must still land — none of it silently.
+
+    The peer pathologies are injected at the connection's transport
+    (``write`` raising for a dead peer, ``get_write_buffer_size`` held
+    positive for a peer that stopped reading) so the tests do not
+    depend on OS socket buffer sizes.
+    """
+
+    def _single_conn(self, gw):
+        wait_until(lambda: len(gw._conns) == 1, what="connection registered")
+        conn = next(iter(gw._conns))
+        # before patching the writer, let its task finish any frame
+        # already in flight (drained is set only from its idle loop), so
+        # the patch applies exactly from the next push on
+        wait_until(conn.drained.is_set, what="writer idle")
+        return conn
+
+    def test_dead_peer_counts_push_errors_and_leaves_broadcast(self):
+        gw = NetworkGateway(make_server(), tcp=("127.0.0.1", 0)).start()
+        try:
+            host, port = gw.tcp_address
+            victim = NetworkClient.connect_tcp(host, port, subscribe=True)
+            conn = self._single_conn(gw)
+
+            def dead_write(data):
+                raise ConnectionResetError("peer vanished mid-write")
+
+            conn.writer.write = dead_write
+            deltas = toy_chain_deltas(2)
+            # the broadcast fast path hits the dead transport inline:
+            # the push reports the failure synchronously
+            result = gw.push_delta(deltas[0])
+            assert result["subscribers"] == 0
+            assert gw.stats["push_errors"] == 1
+            assert conn not in gw._conns
+            # the dead peer is out of the broadcast set entirely
+            assert gw.push_delta(deltas[1])["subscribers"] == 0
+            assert gw.stats["push_errors"] == 1
+            # and the gateway keeps serving everyone else
+            with NetworkClient.connect_tcp(host, port) as healthy:
+                assert healthy.predict(prefix_of(1), prefix_of(5)) is not None
+            victim.close()
+        finally:
+            gw.close()
+
+    def test_slow_subscriber_dropped_with_typed_frame(self):
+        import threading
+
+        # budget 0: any byte still unflushed when the next push arrives
+        # is over budget
+        gw = NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), subscriber_buffer=0
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            slow = NetworkClient.connect_tcp(host, port)
+            slow.bootstrap()
+            assert slow.subscribed is True
+            conn = self._single_conn(gw)
+            released = threading.Event()
+            buffered = [0]  # simulated transport write-buffer depth
+            transport = conn.writer.transport
+            real_write = conn.writer.write
+
+            def buffering_write(data):
+                real_write(data)  # the bytes still reach the peer
+                buffered[0] += len(data)
+
+            async def stalled_drain():
+                import asyncio
+
+                while not released.is_set():
+                    await asyncio.sleep(0.005)
+                buffered[0] = 0
+
+            conn.writer.write = buffering_write
+            conn.writer.drain = stalled_drain
+            transport.get_write_buffer_size = lambda: buffered[0]
+
+            deltas = toy_chain_deltas(3)
+            # day 1 goes out on the fast path but sticks in the transport
+            assert gw.push_delta(deltas[0])["subscribers"] == 1
+            # day 2 finds day 1 unflushed: over budget -> unsubscribe
+            assert gw.push_delta(deltas[1])["subscribers"] == 0
+            assert gw.stats["push_drops"] == 1
+            assert gw.push_delta(deltas[2])["subscribers"] == 0
+            assert gw.stats["push_drops"] == 1  # dropped once, not per push
+            released.set()
+            assert slow.wait_for_day(1) == 1
+            wait_until(
+                lambda: slow.poll_updates(max_wait=0.05) >= 0
+                and slow.sub_dropped == 1,
+                what="SUB_DROPPED received",
+            )
+            assert slow.subscribed is False
+            assert "over budget" in slow.drop_reason
+            assert slow.runtime.atlas.day == 1  # days 2 and 3 never came
+            # the connection stays usable for request/reply
+            assert slow.subscribe(False) == gw.backend.day
+            slow.close()
+        finally:
+            gw.close()
+
+    def test_bootstrap_races_concurrent_pushes(self):
+        import threading
+
+        server = make_server()
+        gw = NetworkGateway(server, tcp=("127.0.0.1", 0)).start()
+        clients: list[NetworkClient] = []
+        push_errors: list[BaseException] = []
+        try:
+            host, port = gw.tcp_address
+            deltas = toy_chain_deltas(6)
+
+            def pusher():
+                import time
+
+                try:
+                    for delta in deltas:
+                        gw.push_delta(delta)
+                        time.sleep(0.02)
+                except BaseException as exc:  # surfaced after join
+                    push_errors.append(exc)
+
+            thread = threading.Thread(target=pusher)
+            thread.start()
+            for _ in range(4):
+                c = NetworkClient.connect_tcp(host, port)
+                clients.append(c)
+                hello_day = c.server_day
+                atlas = c.bootstrap()
+                # anchor + catch-up replay always lands at or past the
+                # day the connection saw at HELLO, whatever interleaved
+                assert atlas.day >= hello_day
+            thread.join(timeout=30.0)
+            assert not thread.is_alive() and not push_errors
+            pairs = [(prefix_of(1), prefix_of(5)), (prefix_of(3), prefix_of(2))]
+            oracle = server.runtime().pool.predictor(None).predict_batch(pairs)
+            for c in clients:
+                assert c.wait_for_day(6) == 6
+                assert c.predict_batch(pairs) == oracle
+            assert gw.stats["push_errors"] == 0
+            assert gw.stats["push_drops"] == 0
+        finally:
+            for c in clients:
+                c.close()
+            gw.close()
+
+
+class TestCompaction:
+    def test_day_cadence_folds_log_and_reanchors(self):
+        server = make_server()
+        gw = NetworkGateway(server, tcp=("127.0.0.1", 0), compact_days=3).start()
+        try:
+            for delta in toy_chain_deltas(7):
+                gw.push_delta(delta)
+            # compacted at day 3 and day 6; day 7 remains as the suffix
+            assert gw.stats["compactions"] == 2
+            assert gw.stats["anchor_day"] == 6
+            assert gw.stats["delta_log_days"] == 1
+            assert gw.stats["delta_log_bytes"] > 0
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port) as late:
+                assert late.bootstrap().day == 7
+                pair = (prefix_of(1), prefix_of(5))
+                oracle = server.runtime().pool.predictor(None).predict_batch([pair])
+                assert late.predict_batch([pair]) == oracle
+        finally:
+            gw.close()
+
+    def test_compacted_day_no_longer_bootstrappable(self):
+        gw = NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), compact_days=3
+        ).start()
+        try:
+            for delta in toy_chain_deltas(3):
+                gw.push_delta(delta)
+            assert gw.stats["compactions"] == 1
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port) as c:
+                with pytest.raises(RemoteError) as excinfo:
+                    c.bootstrap(day=1)
+                assert excinfo.value.code == P.E_UNAVAILABLE
+                assert "compacted" in str(excinfo.value)
+        finally:
+            gw.close()
+
+    def test_byte_cap_bounds_the_log(self):
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            compact_days=None,
+            log_max_bytes=1,
+        ).start()
+        try:
+            deltas = toy_chain_deltas(5)
+            for delta in deltas:
+                gw.push_delta(delta)
+            # every push blows the 1-byte budget: the log never retains
+            assert gw.stats["compactions"] == len(deltas)
+            assert gw.stats["delta_log_days"] == 0
+            assert gw.stats["delta_log_bytes"] == 0
+            assert gw.stats["anchor_day"] == 5
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port) as late:
+                # anchor-only bootstrap (empty replay suffix) still lands
+                assert late.bootstrap().day == 5
+        finally:
+            gw.close()

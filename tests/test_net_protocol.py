@@ -172,6 +172,13 @@ class TestPayloadRoundTrips:
         assert code == P.E_BACKEND
         assert message == "worker exploded"
 
+    def test_sub_dropped(self):
+        day, reason = P.decode_sub_dropped(
+            P.encode_sub_dropped(9, "subscriber send queue over budget")
+        )
+        assert day == 9
+        assert reason == "subscriber send queue over budget"
+
     def test_stats(self):
         stats = {
             "elapsed_us": 123.25,
@@ -182,6 +189,9 @@ class TestPayloadRoundTrips:
             "repaired": 1,
             "replayed": 4,
             "dirty": 0,
+            "push_encode_us": 311.75,
+            "push_enqueue_us": 4.5,
+            "push_drain_us": 92.25,
         }
         assert P.decode_stats(P.encode_stats(stats)) == stats
         # missing keys encode as zero, and the float fields stay lossless
@@ -219,6 +229,7 @@ class TestPayloadFuzz:
         P.decode_atlas_fetch,
         P.decode_subscribe,
         P.decode_subscribe_ok,
+        P.decode_sub_dropped,
         P.decode_stats,
         P.decode_error,
     ]
@@ -233,6 +244,7 @@ class TestPayloadFuzz:
         P.encode_query_reply([INFO, None]),
         P.encode_atlas_fetch(9),
         P.encode_subscribe_ok(3, True),
+        P.encode_sub_dropped(7, "queue over budget"),
         P.encode_stats({"elapsed_us": 9.5, "searches": 1, "replayed": 2}),
         P.encode_error(P.E_MALFORMED, "x"),
     ]

@@ -1,0 +1,221 @@
+"""RelayGateway mechanics over the toy atlas.
+
+The full-chain 2-deep relay equivalence is pinned in
+``test_net_equivalence.py``; this suite covers the relay machinery
+itself: construction, bootstrap-from-upstream (including catch-up past
+already-pushed days), push re-broadcast, the verbatim-bytes guarantee,
+upstream-loss behavior, and teardown.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from helpers import prefix_of, toy_atlas
+
+from repro.atlas.delta import compute_delta
+from repro.atlas.model import LinkRecord
+from repro.client import AtlasServer
+from repro.errors import RemoteError
+from repro.net import NetworkClient, NetworkGateway, RelayGateway
+from repro.net import protocol as P
+
+
+def make_origin(**kwargs) -> NetworkGateway:
+    server = AtlasServer()
+    server.publish(toy_atlas())
+    gw = NetworkGateway(server, tcp=("127.0.0.1", 0), **kwargs)
+    gw.start()
+    return gw
+
+
+def toy_chain_deltas(days: int):
+    atlases = [toy_atlas()]
+    for day in range(1, days + 1):
+        nxt = copy.deepcopy(atlases[-1])
+        nxt.day = day
+        nxt.links[(10, 20)] = LinkRecord(latency_ms=3.0 + day * 0.25)
+        atlases.append(nxt)
+    return [compute_delta(a, b) for a, b in zip(atlases, atlases[1:])]
+
+
+def wait_until(predicate, timeout: float = 10.0, what: str = "condition"):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{what} not reached within {timeout}s")
+        time.sleep(0.01)
+
+
+class TestConstruction:
+    def test_exactly_one_upstream_required(self):
+        with pytest.raises(ValueError):
+            RelayGateway(tcp=("127.0.0.1", 0))
+        with pytest.raises(ValueError):
+            RelayGateway(
+                upstream_tcp=("127.0.0.1", 1),
+                upstream_uds="/tmp/nope.sock",
+                tcp=("127.0.0.1", 0),
+            )
+
+    def test_relay_needs_its_own_listener(self):
+        origin = make_origin()
+        try:
+            with pytest.raises(ValueError):
+                RelayGateway(upstream_tcp=origin.tcp_address)
+        finally:
+            origin.close()
+
+    def test_bootstraps_current_day_including_pushed_suffix(self):
+        origin = make_origin()
+        relay = None
+        try:
+            for delta in toy_chain_deltas(2):
+                origin.push_delta(delta)
+            relay = RelayGateway(
+                upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+            )
+            # the anchor fetch replays the pushed suffix before serving
+            assert relay.backend.day == 2
+            assert relay.stats["delta_log_days"] == 2
+            assert relay.stats["upstream_lost"] == 0
+        finally:
+            if relay is not None:
+                relay.close()
+            origin.close()
+
+
+class TestServing:
+    def test_relay_answers_match_origin(self):
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        clients = []
+        try:
+            pairs = [(prefix_of(1), prefix_of(5)), (prefix_of(3), prefix_of(2))]
+            o_host, o_port = origin.tcp_address
+            r_host, r_port = relay.tcp_address
+            at_origin = NetworkClient.connect_tcp(o_host, o_port)
+            at_relay = NetworkClient.connect_tcp(r_host, r_port)
+            clients = [at_origin, at_relay]
+            assert at_relay.backend_name == "relay"
+            assert at_relay.predict_batch(pairs) == at_origin.predict_batch(pairs)
+            assert at_relay.query_batch(pairs) == at_origin.query_batch(pairs)
+        finally:
+            for c in clients:
+                c.close()
+            relay.close()
+            origin.close()
+
+    def test_client_scoped_queries_rejected(self):
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        try:
+            host, port = relay.tcp_address
+            with NetworkClient.connect_tcp(host, port) as c:
+                with pytest.raises(RemoteError) as excinfo:
+                    c.predict_batch(
+                        [(prefix_of(1), prefix_of(5))], client="meas"
+                    )
+                assert excinfo.value.code == P.E_MALFORMED
+        finally:
+            relay.close()
+            origin.close()
+
+    def test_pushes_flow_through_and_refan_downstream(self):
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        boot = None
+        try:
+            host, port = relay.tcp_address
+            boot = NetworkClient.connect_tcp(host, port)
+            assert boot.bootstrap().day == 0
+            for delta in toy_chain_deltas(3):
+                origin.push_delta(delta)
+            assert boot.wait_for_day(3) == 3
+            assert boot.deltas_applied == 3
+            assert relay.backend.day == 3
+            assert relay.stats["deltas_pushed"] == 3
+            # downstream answers equal the origin backend's, post-churn
+            pair = (prefix_of(1), prefix_of(5))
+            oracle = origin.backend.predict_batch([pair], None, None)
+            assert boot.predict_batch([pair]) == oracle
+        finally:
+            if boot is not None:
+                boot.close()
+            relay.close()
+            origin.close()
+
+    def test_relay_serves_upstream_bytes_verbatim(self):
+        # the distribution-tree contract: a relay re-serves the origin's
+        # anchor payload and push payloads without re-encoding
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        probe = None
+        try:
+            for delta in toy_chain_deltas(2):
+                origin.push_delta(delta)
+            wait_until(
+                lambda: relay.backend.day == 2, what="relay caught up"
+            )
+            o_host, o_port = origin.tcp_address
+            r_host, r_port = relay.tcp_address
+            with NetworkClient.connect_tcp(o_host, o_port) as at_origin:
+                with NetworkClient.connect_tcp(r_host, r_port) as at_relay:
+                    assert (
+                        at_relay.fetch_atlas_bytes()
+                        == at_origin.fetch_atlas_bytes()
+                    )
+            assert relay._delta_log == origin._delta_log
+        finally:
+            if probe is not None:
+                probe.close()
+            relay.close()
+            origin.close()
+
+
+class TestUpstreamLoss:
+    def test_origin_close_marks_upstream_lost_but_keeps_serving(self):
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        try:
+            origin.push_delta(toy_chain_deltas(1)[0])
+            wait_until(lambda: relay.backend.day == 1, what="relay at day 1")
+            origin.close()
+            wait_until(
+                lambda: relay.stats["upstream_lost"] == 1,
+                what="upstream loss detected",
+            )
+            # frozen at its last good day, still answering
+            host, port = relay.tcp_address
+            with NetworkClient.connect_tcp(host, port) as c:
+                assert c.server_day == 1
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            relay.close()
+            origin.close()
+
+    def test_close_is_idempotent_and_stops_the_poller(self):
+        origin = make_origin()
+        relay = RelayGateway(
+            upstream_tcp=origin.tcp_address, tcp=("127.0.0.1", 0)
+        ).start()
+        relay.close()
+        relay.close()
+        assert not relay._poller.is_alive()
+        # a clean close is not an upstream loss
+        assert relay.stats["upstream_lost"] == 0
+        origin.close()
