@@ -23,6 +23,7 @@ bench-search:
 
 bench-serve:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_serve_performance.py -q
+	python benchmarks/check_serve_floor.py
 
 bench-net:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_net_performance.py -q

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI gate for the sharded service's perf floors (stdlib only).
+
+``make bench-serve`` appends one run to ``BENCH_serve.json``; this
+script then fails the build if the *latest* run regressed:
+
+* **shard scaling** (absolute) — steady ``predict_batch`` throughput at
+  4 shards must stay >= ``SCALING_FLOOR`` x the 1-shard number (the
+  serving tentpole's acceptance bar; holds even on one core via
+  aggregate LRU capacity);
+* **hot-spot load collapse** (absolute, machine-independent) — under
+  the 90%-skewed workload, heat-replicated routing must cut the
+  busiest shard's load share to <= ``SHARE_CEILING`` x the pinned
+  case's (pinned concentrates ~1.0 of the stream on one shard;
+  replication across 4 shards should land well under half);
+* **hot-spot throughput lift** (absolute, cpu-gated) — the replicated
+  hot stream must run >= ``LIFT_FLOOR`` x the pinned one on hosts with
+  at least as many cores as replicas. On smaller hosts the parallelism
+  physically isn't there (four workers time-slice one core, and the
+  router's extra per-pair work is pure overhead), so the lift is
+  recorded for the trajectory but the gate is waived — the load-share
+  collapse above is the machine-independent half of the acceptance
+  bar.
+
+A latest run *without* the hotspot sweep (e.g. a filtered pytest
+invocation) is an error: the gate must never silently pass on no data.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_SERVE_JSON = Path(__file__).parent.parent / "BENCH_serve.json"
+
+#: acceptance bar carried by the shard-scaling bench since it landed.
+SCALING_FLOOR = 2.0
+#: replicated max-shard load share vs pinned, 90%-skewed workload.
+SHARE_CEILING = 0.5
+#: ISSUE acceptance bar: >= 2x hot-destination throughput, given cores.
+LIFT_FLOOR = 2.0
+
+
+def entry(timings: dict, name: str) -> dict | None:
+    found = timings.get(name)
+    return found if isinstance(found, dict) else None
+
+
+def main() -> int:
+    if not BENCH_SERVE_JSON.exists():
+        print(f"FAIL: {BENCH_SERVE_JSON} missing — run `make bench-serve`")
+        return 1
+    payload = json.loads(BENCH_SERVE_JSON.read_text())
+    runs = payload.get("runs") or []
+    if not runs:
+        print("FAIL: BENCH_serve.json has no recorded runs")
+        return 1
+
+    latest = runs[-1].get("timings", {})
+    failures = []
+
+    scaling = entry(latest, "shard_scaling")
+    if scaling is None:
+        failures.append("latest run recorded no shard_scaling sweep")
+    else:
+        sweep = scaling.get("sweep", {})
+        speedup = (sweep.get("4") or {}).get("speedup_vs_1")
+        if not isinstance(speedup, (int, float)):
+            failures.append("shard_scaling sweep lacks 4-shard speedup_vs_1")
+        elif speedup < SCALING_FLOOR:
+            failures.append(
+                f"4-shard speedup {speedup:.2f}x below the "
+                f"{SCALING_FLOOR}x floor"
+            )
+        else:
+            print(
+                f"ok: 4-shard steady speedup {speedup:.2f}x "
+                f"(floor {SCALING_FLOOR}x)"
+            )
+
+    hotspot = entry(latest, "hotspot_replication")
+    if hotspot is None:
+        print(
+            "FAIL: latest run recorded no hotspot_replication sweep "
+            "— run the full `make bench-serve`, not a filtered subset"
+        )
+        return 1
+    pinned = hotspot.get("pinned") or {}
+    replicated = hotspot.get("replicated") or {}
+
+    pinned_share = pinned.get("max_shard_load_share")
+    replicated_share = replicated.get("max_shard_load_share")
+    if not isinstance(pinned_share, (int, float)) or not isinstance(
+        replicated_share, (int, float)
+    ):
+        failures.append("hotspot_replication lacks max_shard_load_share")
+    else:
+        ceiling = SHARE_CEILING * pinned_share
+        if replicated_share > ceiling:
+            failures.append(
+                f"replicated max shard share {replicated_share:.2f} "
+                f"exceeds {ceiling:.2f} ({SHARE_CEILING} x pinned "
+                f"{pinned_share:.2f})"
+            )
+        else:
+            print(
+                f"ok: hot-spot load share {pinned_share:.2f} -> "
+                f"{replicated_share:.2f} (ceiling {ceiling:.2f})"
+            )
+
+    lift = hotspot.get("hot_throughput_lift")
+    cpus = hotspot.get("cpus")
+    replicas = hotspot.get("replicas", 4)
+    if not isinstance(lift, (int, float)) or not isinstance(cpus, int):
+        failures.append("hotspot_replication lacks hot_throughput_lift/cpus")
+    elif cpus < replicas:
+        print(
+            f"ok: hot-destination throughput lift {lift:.2f}x recorded "
+            f"({cpus} cpus < {replicas} replicas: no parallel headroom, "
+            "gate waived)"
+        )
+    elif lift < LIFT_FLOOR:
+        failures.append(
+            f"hot-destination throughput lift {lift:.2f}x below the "
+            f"{LIFT_FLOOR}x acceptance bar ({cpus} cpus)"
+        )
+    else:
+        print(
+            f"ok: hot-destination throughput lift {lift:.2f}x "
+            f"(floor {LIFT_FLOOR}x, {cpus} cpus)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: sharded service floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,18 @@ answers queries in-process or over ``multiprocessing`` pipes;
   a full atlas over ``ATLAS_FETCH`` and apply pushed deltas through a
   local :class:`~repro.runtime.runtime.AtlasRuntime` — bit-for-bit the
   co-located answers, over either transport;
+* :mod:`repro.net.admission` — :class:`AdmissionControl`: per-client
+  token-bucket rate limits, node-wide queue-depth shedding (typed
+  RETRY frames with a retry-after hint), and connection caps — the
+  gateway's compute-side protection, next to its structural
+  memory-side backpressure;
 * :mod:`repro.net.relay` — :class:`RelayGateway`: a gateway that
   bootstraps from an *upstream* gateway and re-serves its anchor bytes
   and delta pushes verbatim downstream, chaining origin → region
   relays → clients without re-encoding anything on the path.
 """
 
+from repro.net.admission import AdmissionControl, TokenBucket
 from repro.net.client import NetworkClient
 from repro.net.gateway import NetworkGateway
 from repro.net.protocol import (
@@ -38,6 +44,8 @@ from repro.net.protocol import (
 from repro.net.relay import RelayGateway
 
 __all__ = [
+    "AdmissionControl",
+    "TokenBucket",
     "NetworkClient",
     "NetworkGateway",
     "RelayGateway",

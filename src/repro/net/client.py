@@ -31,9 +31,21 @@ pipelining — send N requests, then drain N replies — which is where
 the wire amortizes its round trip (the bench's pipelined-QPS sweep).
 A ``SUB_DROPPED`` frame — the gateway unsubscribed this connection
 because it stopped draining pushes — flips ``subscribed`` off and is
-counted in ``sub_dropped`` (the connection keeps answering queries; a
-bootstrapped client that wants pushes again must re-bootstrap, since
-days were missed).
+counted in ``sub_dropped`` (the connection keeps answering queries).
+By default a bootstrapped client that wants pushes again must
+re-bootstrap, since days were missed; constructing with
+``auto_resubscribe=True`` instead triggers :meth:`resubscribe` at the
+next idle point — re-subscribe, re-anchor the local runtime on a
+fresh ``ATLAS_FETCH``, and carry on bit-for-bit.
+
+A gateway running admission control answers over-rate or shed queries
+with a typed ``RETRY`` frame (retry-after hint). The client honors it
+transparently: the request is re-sent after a capped exponential
+backoff that never waits less than the gateway's hint (``retries``
+counts the waits; ``max_retries`` consecutive sheds of one request
+raise :class:`~repro.errors.NetworkError`). Connecting to a TLS+auth
+gateway takes ``ssl_context=`` on the connect classmethods and
+``auth_token=`` (sent in the HELLO under ``FLAG_AUTH``).
 
 A ``push_hook`` callable diverts raw ``DELTA_PUSH`` payloads instead
 of applying them locally — the relay tier
@@ -72,6 +84,20 @@ _RECV_CHUNK = 64 * 1024
 #: reply types the gateway trails with a STATS frame when negotiated
 _STATS_REPLIES = frozenset({P.PREDICT_OK, P.PREDICT_BATCH_OK, P.QUERY_INFO_OK})
 
+#: exponential-backoff floor and ceiling for RETRY re-sends (seconds);
+#: the gateway's retry-after hint raises the floor per attempt
+_RETRY_BASE = 0.05
+_RETRY_CAP = 2.0
+
+
+class _Retry(Exception):
+    """Internal: the gateway shed this request with a RETRY frame."""
+
+    def __init__(self, retry_after_s: float, reason: str) -> None:
+        super().__init__(reason)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
 
 class NetworkClient:
     """A remote host talking to a :class:`NetworkGateway`; see module
@@ -88,6 +114,9 @@ class NetworkClient:
         subscribe: bool = False,
         stats: bool = False,
         push_hook=None,
+        auth_token: str | None = None,
+        auto_resubscribe: bool = False,
+        max_retries: int = 6,
     ) -> None:
         self._sock = sock
         self.endpoint = endpoint
@@ -109,6 +138,17 @@ class NetworkClient:
         #: SUB_DROPPED reason string is kept for diagnostics
         self.sub_dropped = 0
         self.drop_reason: str | None = None
+        #: opt-in: recover from SUB_DROPPED at the next idle point by
+        #: re-subscribing and re-anchoring (see :meth:`resubscribe`)
+        self.auto_resubscribe = bool(auto_resubscribe)
+        self._resubscribe_pending = False
+        self.resubscribes = 0
+        #: shared secret for a gateway running with ``auth_token=``
+        self._auth_token = auth_token
+        #: RETRY handling: consecutive sheds of one request before the
+        #: client gives up, and how many backoff waits it has taken
+        self.max_retries = int(max_retries)
+        self.retries = 0
         #: when set, raw DELTA_PUSH payloads go to this callable instead
         #: of the local runtime (relay mode)
         self._push_hook = push_hook
@@ -130,28 +170,43 @@ class NetworkClient:
 
     @classmethod
     def connect_tcp(
-        cls, host: str, port: int, *, timeout: float = 30.0, **kwargs
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        ssl_context=None,
+        server_hostname: str | None = None,
+        **kwargs,
     ) -> "NetworkClient":
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if ssl_context is not None:
+            sock = ssl_context.wrap_socket(
+                sock, server_hostname=server_hostname or host
+            )
         return cls(
             sock, endpoint=f"tcp://{host}:{port}", timeout=timeout, **kwargs
         )
 
     @classmethod
     def connect_uds(
-        cls, path: str, *, timeout: float = 30.0, **kwargs
+        cls, path: str, *, timeout: float = 30.0, ssl_context=None, **kwargs
     ) -> "NetworkClient":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(timeout)
         sock.connect(path)
+        if ssl_context is not None:
+            sock = ssl_context.wrap_socket(sock)
         return cls(sock, endpoint=f"uds://{path}", timeout=timeout, **kwargs)
 
     def _hello(self, subscribe: bool) -> None:
         flags = P.FLAG_SUBSCRIBE if subscribe else 0
         if self.stats_enabled:
             flags |= P.FLAG_STATS
-        payload = self._request(P.HELLO, P.encode_hello(flags), P.WELCOME)
+        payload = self._request(
+            P.HELLO, P.encode_hello(flags, self._auth_token), P.WELCOME
+        )
         day, subscribed, backend = P.decode_welcome(payload)
         self.server_day = day
         self.subscribed = subscribed
@@ -238,6 +293,9 @@ class NetworkClient:
                 continue  # stale stats for an abandoned request
             if got_id and got_id < request_id:
                 continue  # stale reply/error for an abandoned request
+            if ftype == P.RETRY and got_id == request_id:
+                retry_after_s, reason = P.decode_retry(payload)
+                raise _Retry(retry_after_s, reason)
             if ftype == P.ERROR:
                 code, message = P.decode_error(payload)
                 raise RemoteError(code, message)
@@ -279,9 +337,31 @@ class NetworkClient:
         return self._last_id
 
     def _request(self, ftype: int, payload: bytes, expect: int) -> bytes:
-        request_id = self._take_id()
-        self._send_frame(ftype, request_id, payload)
-        return self._collect(request_id, expect)
+        """One request/reply round trip. A RETRY reply (admission shed)
+        re-sends with a fresh id after a capped exponential backoff
+        that never undercuts the gateway's retry-after hint."""
+        attempt = 0
+        while True:
+            request_id = self._take_id()
+            self._send_frame(ftype, request_id, payload)
+            try:
+                return self._collect(request_id, expect)
+            except _Retry as shed:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise NetworkError(
+                        f"{P.frame_name(ftype)} shed {attempt} times by "
+                        f"{self.endpoint}: {shed.reason}"
+                    ) from None
+                self._backoff(attempt, shed.retry_after_s)
+
+    def _backoff(self, attempt: int, hint_s: float) -> None:
+        delay = min(
+            _RETRY_CAP,
+            max(hint_s, _RETRY_BASE * (2 ** (attempt - 1))),
+        )
+        self.retries += 1
+        time.sleep(delay)
 
     # -- bootstrap + updates -----------------------------------------------
 
@@ -333,6 +413,48 @@ class NetworkClient:
         self.server_day = day
         self.sub_dropped += 1
         self.drop_reason = reason
+        if self.auto_resubscribe:
+            # SUB_DROPPED can arrive mid-request (interleaved with a
+            # reply drain), where issuing nested requests would tangle
+            # the wire; act at the next idle point instead.
+            self._resubscribe_pending = True
+
+    def _maybe_resubscribe(self) -> None:
+        if not self._resubscribe_pending or self._closed:
+            return
+        self._resubscribe_pending = False
+        self.resubscribe()
+
+    def resubscribe(self) -> int | None:
+        """Recover push delivery after a SUB_DROPPED: re-subscribe and —
+        in bootstrap mode — re-anchor the local runtime with a fresh
+        ``ATLAS_FETCH`` (days were missed while unsubscribed; the push
+        chain cannot bridge the gap). Bit-for-bit safe: the fresh
+        anchor plus the gateway's catch-up replay is exactly the
+        bootstrap contract. Returns the local day (or the gateway's, in
+        delegate mode)."""
+        old_runtime = self.runtime
+        # Pushes interleaved before the new anchor arrives are already
+        # folded into it (the gateway applies, then broadcasts); with
+        # no runtime installed they count stale instead of tripping the
+        # gap check against the stale pre-drop day.
+        self.runtime = None
+        try:
+            self.subscribe(True)
+            if old_runtime is not None:
+                blob = self._request(
+                    P.ATLAS_FETCH, P.encode_atlas_fetch(None), P.ATLAS
+                )
+                self.runtime = AtlasRuntime(decode_atlas(blob))
+                # fence: catch-up replay frames precede this reply and
+                # apply onto the fresh runtime while collecting it
+                self.subscribe(True)
+        except BaseException:
+            if self.runtime is None:
+                self.runtime = old_runtime
+            raise
+        self.resubscribes += 1
+        return self.day
 
     def _on_push(self, payload: bytes) -> None:
         if self._push_hook is not None:
@@ -358,7 +480,9 @@ class NetworkClient:
     def poll_updates(self, max_wait: float = 0.0) -> int:
         """Drain pending frames for up to ``max_wait`` seconds, applying
         delta pushes; returns how many were applied. Only pushes are
-        legal here (no request is outstanding)."""
+        legal here (no request is outstanding) — which also makes this
+        the safe point where a pending auto-resubscribe runs."""
+        self._maybe_resubscribe()
         deadline = time.monotonic() + max_wait
         applied = 0
         while True:
@@ -373,6 +497,7 @@ class NetworkClient:
             ftype, got_id, payload = frame
             if ftype == P.SUB_DROPPED:
                 self._on_sub_dropped(payload)
+                self._maybe_resubscribe()
                 continue
             if ftype != P.DELTA_PUSH:
                 if got_id and got_id <= self._last_id:
@@ -497,6 +622,7 @@ class NetworkClient:
         sweeps."""
         if self.runtime is not None:
             raise ClientError("pipeline_predict is delegate-mode only")
+        pairs = list(pairs)
         ids = []
         for src, dst in pairs:
             request_id = self._take_id()
@@ -504,7 +630,28 @@ class NetworkClient:
                 P.PREDICT, request_id, P.encode_predict_request(src, dst, config)
             )
             ids.append(request_id)
-        return [
-            P.decode_predict_reply(self._collect(request_id, P.PREDICT_OK))
-            for request_id in ids
-        ]
+        # Drain every original id first, marking shed slots; re-sending
+        # mid-drain would mint ids above the still-pending tail and the
+        # monotonic stale-discard would throw those replies away.
+        out: list = [None] * len(pairs)
+        shed: list[tuple[int, float]] = []
+        for i, request_id in enumerate(ids):
+            try:
+                out[i] = P.decode_predict_reply(
+                    self._collect(request_id, P.PREDICT_OK)
+                )
+            except _Retry as retry:
+                shed.append((i, retry.retry_after_s))
+        for attempt, (i, hint_s) in enumerate(shed, start=1):
+            # sequential re-requests; _request layers its own backoff on
+            # any further sheds
+            self._backoff(min(attempt, 4), hint_s)
+            src, dst = pairs[i]
+            out[i] = P.decode_predict_reply(
+                self._request(
+                    P.PREDICT,
+                    P.encode_predict_request(src, dst, config),
+                    P.PREDICT_OK,
+                )
+            )
+        return out

@@ -23,6 +23,16 @@ in-process (``repro.runtime``) or over ``multiprocessing`` pipes
   client that pipelines faster than the backend answers fills the
   kernel's TCP window instead of gateway memory. Frame sizes are capped
   by ``max_frame`` and a decoder violation closes the connection;
+* **admission control** (:mod:`repro.net.admission`): per-client
+  token-bucket rate limits and node-wide queue-depth shedding refuse
+  *query* frames with a typed ``RETRY`` (retry-after hint, same
+  request id) instead of hanging or silently dropping them, and a
+  connection cap refuses new sockets with a typed ``E_OVERLOADED``.
+  Bootstrap and subscription frames are never shed. For the open
+  internet, ``ssl_context=`` wraps both listeners in TLS and
+  ``auth_token=`` demands a shared secret in every HELLO
+  (``FLAG_AUTH``) — a bad token gets a typed ``E_UNAUTHORIZED`` and
+  the connection closes;
 * **delta broadcast**: :meth:`push_delta` applies one day's
   :class:`~repro.atlas.delta.AtlasDelta` to the backend, encodes the
   ``INDB`` payload **once**, and hands the single shared ``DELTA_PUSH``
@@ -79,6 +89,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.net import protocol as P
+from repro.net.admission import AdmissionControl
 
 __all__ = ["NetworkGateway"]
 
@@ -143,6 +154,18 @@ class _ServiceBackend:
         frames from a service backend carry wall time only (the worker
         ``stats`` op exposes the per-shard kernel counters offline)."""
         return None
+
+    def load_sample(self) -> dict:
+        """The service's front-end load telemetry (no worker round
+        trips) for the STATS frame: queue depth, in-flight messages,
+        request round-trip percentiles. Runs on the bridge thread."""
+        sample = self.service.load_stats()
+        return {
+            "queue_depth": sample["queue_depth"],
+            "inflight": sample["inflight"],
+            "req_p50_us": sample["req_p50_us"],
+            "req_p99_us": sample["req_p99_us"],
+        }
 
 
 class _ServerBackend:
@@ -327,10 +350,21 @@ class NetworkGateway:
         reply_buffer: int = 4 * 1024 * 1024,
         compact_days: int | None = 7,
         log_max_bytes: int | None = 64 * 1024 * 1024,
+        admission: AdmissionControl | None = None,
+        ssl_context=None,
+        auth_token: str | None = None,
     ) -> None:
         if tcp is None and uds is None:
             raise ValueError("gateway needs a TCP address and/or a UDS path")
         self.backend = _resolve_backend(backend)
+        #: admission policy (rate limits / queue shed / connection cap);
+        #: the default object admits everything
+        self.admission = admission if admission is not None else AdmissionControl()
+        #: optional ``ssl.SSLContext`` applied to both listeners
+        self.ssl_context = ssl_context
+        #: optional shared secret every HELLO must carry (FLAG_AUTH);
+        #: a missing or wrong token gets a typed E_UNAUTHORIZED + close
+        self.auth_token = auth_token
         self._tcp_request = tcp
         self._uds_request = uds
         self.max_frame = int(max_frame)
@@ -395,7 +429,14 @@ class NetworkGateway:
             "delta_log_days": 0,
             "compactions": 0,
             "anchor_day": -1,
+            "retries_sent": 0,
+            "auth_failures": 0,
+            "connections_rejected": 0,
         }
+        #: query frames currently queued on (or running through) the
+        #: single-thread bridge — the node's backlog signal for
+        #: queue-depth shedding
+        self._inflight_queries = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -448,12 +489,14 @@ class NetworkGateway:
     async def _bind(self) -> None:
         if self._tcp_request is not None:
             host, port = self._tcp_request
-            server = await asyncio.start_server(self._serve_conn, host, port)
+            server = await asyncio.start_server(
+                self._serve_conn, host, port, ssl=self.ssl_context
+            )
             self.tcp_address = server.sockets[0].getsockname()[:2]
             self._servers.append(server)
         if self._uds_request is not None:
             server = await asyncio.start_unix_server(
-                self._serve_conn, path=self._uds_request
+                self._serve_conn, path=self._uds_request, ssl=self.ssl_context
             )
             self.uds_path = self._uds_request
             self._servers.append(server)
@@ -641,6 +684,24 @@ class NetworkGateway:
 
     async def _serve_conn(self, reader, writer) -> None:
         peername = writer.get_extra_info("peername")
+        if not self.admission.admit_connection(self.stats["connections_open"]):
+            # refuse with a typed notice, never a silent RST: the peer
+            # learns it hit the cap, not a mystery network failure
+            self.stats["connections_rejected"] += 1
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.write(
+                    P.encode_frame(
+                        P.ERROR,
+                        0,
+                        P.encode_error(
+                            P.E_OVERLOADED, "gateway connection limit reached"
+                        ),
+                    )
+                )
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            return
         conn = _Conn(writer, peer=repr(peername))
         conn.task = asyncio.get_running_loop().create_task(
             self._conn_writer(conn)
@@ -801,6 +862,7 @@ class NetworkGateway:
         if not conn.stats:
             return await self._call(fn, *args), None
         sample = getattr(self.backend, "kernel_sample", None)
+        load_sample = getattr(self.backend, "load_sample", None)
         # last-broadcast timings, captured loop-side before the hop
         push_timings = (
             self.stats["push_encode_us"],
@@ -828,6 +890,11 @@ class NetworkGateway:
                 stats["push_enqueue_us"],
                 stats["push_drain_us"],
             ) = push_timings
+            if load_sample is not None:
+                # backend load telemetry (queue depth / inflight /
+                # request percentiles) rides the same frame — what the
+                # heat layer and an autoscaler read remotely
+                stats.update(load_sample())
             return result, stats
 
         return await asyncio.get_running_loop().run_in_executor(
@@ -852,9 +919,20 @@ class NetworkGateway:
                 raise ProtocolError(
                     f"first frame must be HELLO, got {P.frame_name(ftype)}"
                 )
-            version, flags = P.decode_hello(payload)
+            version, flags, token = P.decode_hello(payload)
             if version != P.PROTOCOL_VERSION:
                 raise ProtocolError(f"client speaks protocol {version}")
+            if self.auth_token is not None and token != self.auth_token:
+                # typed refusal, then close: _serve_conn's teardown
+                # flushes the queued ERROR before the socket drops
+                self.stats["auth_failures"] += 1
+                await self._send_error(
+                    conn,
+                    request_id,
+                    P.E_UNAUTHORIZED,
+                    "bad or missing auth token in HELLO",
+                )
+                raise ConnectionError("unauthorized HELLO")
             conn.hello_done = True
             conn.subscribed = bool(flags & P.FLAG_SUBSCRIBE)
             conn.stats = bool(flags & P.FLAG_STATS)
@@ -881,6 +959,60 @@ class NetworkGateway:
             await self._send_error(conn, request_id, P.E_BACKEND, repr(exc))
 
     async def _dispatch(
+        self, conn: _Conn, ftype: int, request_id: int, payload: bytes
+    ) -> None:
+        if ftype in (P.PREDICT, P.PREDICT_BATCH, P.QUERY_INFO):
+            # Admission guards *query* frames only: refusing bootstrap
+            # or subscription traffic would strand a client with no
+            # atlas at all. A refusal is a typed RETRY with the same
+            # request id — never a silent drop or a hung socket.
+            refusal = self.admission.admit_request(
+                conn.peer,
+                asyncio.get_running_loop().time(),
+                self._inflight_queries,
+            )
+            if refusal is not None:
+                retry_after, reason = refusal
+                self.stats["retries_sent"] += 1
+                await self._send(
+                    conn,
+                    P.encode_frame(
+                        P.RETRY,
+                        request_id,
+                        P.encode_retry(retry_after, reason),
+                    ),
+                )
+                return
+            self._inflight_queries += 1
+            try:
+                await self._dispatch_query(conn, ftype, request_id, payload)
+            finally:
+                self._inflight_queries -= 1
+            return
+        if ftype == P.ATLAS_FETCH:
+            await self._dispatch_fetch(conn, request_id, payload)
+        elif ftype == P.SUBSCRIBE:
+            conn.subscribed = P.decode_subscribe(payload)
+            day = await self._call(lambda: self.backend.day)
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.SUBSCRIBE_OK,
+                    request_id,
+                    P.encode_subscribe_ok(day, conn.subscribed),
+                ),
+            )
+        elif ftype == P.HELLO:
+            raise ProtocolError("duplicate HELLO")
+        else:
+            await self._send_error(
+                conn,
+                request_id,
+                P.E_UNSUPPORTED,
+                f"unsupported frame {P.frame_name(ftype)}",
+            )
+
+    async def _dispatch_query(
         self, conn: _Conn, ftype: int, request_id: int, payload: bytes
     ) -> None:
         if ftype == P.PREDICT:
@@ -919,56 +1051,41 @@ class NetworkGateway:
                 ),
             )
             await self._send_stats(conn, request_id, stats)
-        elif ftype == P.ATLAS_FETCH:
-            day = P.decode_atlas_fetch(payload)
-            if day is None or day == self.stats["anchor_day"]:
-                served_day, blob = await self._ensure_anchor()
-            else:
-                if self._log_floor is not None and day < self._log_floor:
-                    raise AtlasError(
-                        f"day {day} was compacted away (anchor floor "
-                        f"{self._log_floor}); bootstrap the current day"
-                    )
-                served_day, blob = await self._call(
-                    self.backend.atlas_bytes, day
-                )
-            self.stats["atlas_bytes_served"] += len(blob)
-            # catch-up replay: deltas pushed after the served anchor
-            # follow the reply immediately, so the bootstrap lands on
-            # the backend's current day bit for bit (the anchor codec
-            # may quantize; the delta codec does not). Anchor and
-            # suffix enqueue with no suspension point in between, so a
-            # concurrent push cannot interleave mid-replay — it lands
-            # after the suffix, strictly newer, and applies on top.
-            frames = [P.encode_frame(P.ATLAS, request_id, blob)]
-            for new_day, delta_payload in self._delta_log:
-                if new_day > served_day:
-                    frames.append(
-                        P.encode_frame(P.DELTA_PUSH, 0, delta_payload)
-                    )
-            for frame in frames:
-                if not conn.enqueue(frame):
-                    raise ConnectionError(
-                        f"connection {conn.peer} is closing"
-                    )
-            await self._wait_space(conn)
-        elif ftype == P.SUBSCRIBE:
-            conn.subscribed = P.decode_subscribe(payload)
-            day = await self._call(lambda: self.backend.day)
-            await self._send(
-                conn,
-                P.encode_frame(
-                    P.SUBSCRIBE_OK,
-                    request_id,
-                    P.encode_subscribe_ok(day, conn.subscribed),
-                ),
-            )
-        elif ftype == P.HELLO:
-            raise ProtocolError("duplicate HELLO")
+        else:  # unreachable: _dispatch routes only the three query types
+            raise ProtocolError(f"not a query frame: {P.frame_name(ftype)}")
+
+    async def _dispatch_fetch(
+        self, conn: _Conn, request_id: int, payload: bytes
+    ) -> None:
+        day = P.decode_atlas_fetch(payload)
+        if day is None or day == self.stats["anchor_day"]:
+            served_day, blob = await self._ensure_anchor()
         else:
-            await self._send_error(
-                conn,
-                request_id,
-                P.E_UNSUPPORTED,
-                f"unsupported frame {P.frame_name(ftype)}",
+            if self._log_floor is not None and day < self._log_floor:
+                raise AtlasError(
+                    f"day {day} was compacted away (anchor floor "
+                    f"{self._log_floor}); bootstrap the current day"
+                )
+            served_day, blob = await self._call(
+                self.backend.atlas_bytes, day
             )
+        self.stats["atlas_bytes_served"] += len(blob)
+        # catch-up replay: deltas pushed after the served anchor
+        # follow the reply immediately, so the bootstrap lands on
+        # the backend's current day bit for bit (the anchor codec
+        # may quantize; the delta codec does not). Anchor and
+        # suffix enqueue with no suspension point in between, so a
+        # concurrent push cannot interleave mid-replay — it lands
+        # after the suffix, strictly newer, and applies on top.
+        frames = [P.encode_frame(P.ATLAS, request_id, blob)]
+        for new_day, delta_payload in self._delta_log:
+            if new_day > served_day:
+                frames.append(
+                    P.encode_frame(P.DELTA_PUSH, 0, delta_payload)
+                )
+        for frame in frames:
+            if not conn.enqueue(frame):
+                raise ConnectionError(
+                    f"connection {conn.peer} is closing"
+                )
+        await self._wait_space(conn)

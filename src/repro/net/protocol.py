@@ -53,9 +53,19 @@ and the blocking client build on it):
   microseconds), and the repair-class counts of the backend's last
   applied delta (reused / repaired / replayed / dirty) — the first
   metrics hook an autoscaler needs, behind the capability bit.
+* ``RETRY`` — a typed shed reply (same ``request_id`` as the refused
+  query) from the gateway's admission layer: the client exceeded its
+  token-bucket rate or the node's queue depth crossed the shed
+  threshold. Carries a float64 retry-after hint (seconds) plus a
+  reason string, so an over-rate client backs off instead of hanging
+  on a silently dropped query. :class:`~repro.net.client.NetworkClient`
+  honors it with capped exponential backoff.
 * ``ERROR`` — a typed failure reply (code + message); decode failures
   of untrusted bytes (:class:`~repro.errors.CodecError`) and backend
-  errors travel as these instead of killing the connection.
+  errors travel as these instead of killing the connection. A gateway
+  configured with a shared-secret auth token answers a HELLO with a
+  missing/wrong token (``FLAG_AUTH`` + token string in the HELLO
+  payload) with ``E_UNAUTHORIZED`` and closes.
 """
 
 from __future__ import annotations
@@ -102,6 +112,7 @@ SUBSCRIBE_OK = 12
 DELTA_PUSH = 13
 STATS = 14
 SUB_DROPPED = 15
+RETRY = 16
 ERROR = 127
 
 _FRAME_NAMES = {
@@ -120,12 +131,14 @@ _FRAME_NAMES = {
     DELTA_PUSH: "DELTA_PUSH",
     STATS: "STATS",
     SUB_DROPPED: "SUB_DROPPED",
+    RETRY: "RETRY",
     ERROR: "ERROR",
 }
 
 #: HELLO capability flags
 FLAG_SUBSCRIBE = 1
 FLAG_STATS = 2
+FLAG_AUTH = 4
 
 # -- wire error codes ------------------------------------------------------
 
@@ -134,6 +147,8 @@ E_UNSUPPORTED = 2    # frame type or feature the backend cannot serve
 E_BACKEND = 3        # the prediction backend raised
 E_UNAVAILABLE = 4    # requested data not servable (e.g. unknown atlas day)
 E_TOO_LARGE = 5      # frame exceeded the negotiated max_frame
+E_UNAUTHORIZED = 6   # HELLO auth token missing or wrong (gateway closes)
+E_OVERLOADED = 7     # admission refused and no RETRY could be computed
 
 
 def frame_name(ftype: int) -> str:
@@ -388,15 +403,22 @@ def _read_path_info(r: _Reader):
 # -- HELLO / WELCOME -------------------------------------------------------
 
 
-def encode_hello(flags: int = 0) -> bytes:
+def encode_hello(flags: int = 0, token: str | None = None) -> bytes:
+    """Version + capability flags, plus an optional shared-secret auth
+    token. Passing a token sets ``FLAG_AUTH`` and appends the string
+    field; without one the payload is the classic fixed 3 bytes."""
+    if token is not None:
+        flags |= FLAG_AUTH
+        return struct.pack("<HB", PROTOCOL_VERSION, flags) + _pack_str(token)
     return struct.pack("<HB", PROTOCOL_VERSION, flags)
 
 
-def decode_hello(payload: bytes) -> tuple[int, int]:
+def decode_hello(payload: bytes) -> tuple[int, int, str | None]:
     r = _Reader(payload)
     version, flags = r.take(struct.Struct("<HB"))
+    token = _read_str(r) if flags & FLAG_AUTH else None
     r.finish()
-    return version, flags
+    return version, flags, token
 
 
 def encode_welcome(day: int, subscribed: bool, backend: str) -> bytes:
@@ -544,15 +566,36 @@ def decode_sub_dropped(payload: bytes) -> tuple[int, str]:
     return day, reason
 
 
+# -- RETRY -----------------------------------------------------------------
+
+
+def encode_retry(retry_after_s: float, reason: str) -> bytes:
+    """An admission shed notice: try again after ``retry_after_s``
+    seconds. Same ``request_id`` as the refused query frame."""
+    return _F64.pack(float(retry_after_s)) + _pack_str(reason[:2000])
+
+
+def decode_retry(payload: bytes) -> tuple[float, str]:
+    r = _Reader(payload)
+    (retry_after_s,) = r.take(_F64)
+    reason = _read_str(r) or ""
+    r.finish()
+    return retry_after_s, reason
+
+
 # -- STATS -----------------------------------------------------------------
 
 #: elapsed_us, searches, cache_hits, search_us, reused, repaired,
-#: replayed, dirty, push_encode_us, push_enqueue_us, push_drain_us —
-#: fixed layout so the frame stays cheap to emit on every request. The
-#: three ``push_*`` floats mirror the gateway's last delta broadcast
-#: (encode once / enqueue fan-out / slowest subscriber drain), zero
-#: until the gateway has pushed a delta.
-_STATS = struct.Struct("<dqqdqqqqddd")
+#: replayed, dirty, push_encode_us, push_enqueue_us, push_drain_us,
+#: queue_depth, inflight, req_p50_us, req_p99_us — fixed layout so the
+#: frame stays cheap to emit on every request. The three ``push_*``
+#: floats mirror the gateway's last delta broadcast (encode once /
+#: enqueue fan-out / slowest subscriber drain), zero until the gateway
+#: has pushed a delta. The final four are the load telemetry an
+#: autoscaler reads: queued + in-flight work at the backend and the
+#: rolling request-latency percentiles (zero for backends that don't
+#: track them).
+_STATS = struct.Struct("<dqqdqqqqdddqqdd")
 
 #: key order of the STATS payload (shared by encode and decode)
 STATS_FIELDS = (
@@ -567,6 +610,10 @@ STATS_FIELDS = (
     "push_encode_us",
     "push_enqueue_us",
     "push_drain_us",
+    "queue_depth",
+    "inflight",
+    "req_p50_us",
+    "req_p99_us",
 )
 
 
@@ -586,6 +633,10 @@ def encode_stats(stats: dict) -> bytes:
         float(stats.get("push_encode_us", 0.0)),
         float(stats.get("push_enqueue_us", 0.0)),
         float(stats.get("push_drain_us", 0.0)),
+        int(stats.get("queue_depth", 0)),
+        int(stats.get("inflight", 0)),
+        float(stats.get("req_p50_us", 0.0)),
+        float(stats.get("req_p99_us", 0.0)),
     )
 
 

@@ -18,19 +18,27 @@ bit-for-bit guarantees:
 * :mod:`repro.serve.service` — the :class:`PredictionService`
   front-end: destination-hashed fan-out, request coalescing windows,
   per-shard backpressure, delta broadcast with convergence handshakes,
-  and FROM_SRC measuring-client registration.
+  and FROM_SRC measuring-client registration;
+* :mod:`repro.serve.heat` — sliding-window per-destination heat
+  tracking (:class:`HeatTracker`): hot destinations promote onto a
+  replica set of ring successors and queries fan to the least-loaded
+  replica, demoting again on decay — pure routing policy, bit-for-bit
+  answers either way.
 
 ``AtlasServer.serve(n_shards=...)`` is the one-call entry point: it
 exports the server's latest published atlas into a running service.
 """
 
 from repro.serve.hashring import HashRing
+from repro.serve.heat import HeatTracker, Tracker
 from repro.serve.service import PendingPrediction, PredictionService
 from repro.serve.shard import ShardManager
 from repro.serve.worker import graph_fingerprint, shard_worker_main
 
 __all__ = [
     "HashRing",
+    "HeatTracker",
+    "Tracker",
     "PendingPrediction",
     "PredictionService",
     "ShardManager",

@@ -53,6 +53,7 @@ class HashRing:
         self._points: list[int] = []
         self._owners: list[int] = []
         self._shards: set[int] = set()
+        self._lookup_cache: dict[int, int] = {}
         for shard in shards:
             self.add_shard(shard)
         if not self._shards:
@@ -74,6 +75,7 @@ class HashRing:
         if shard in self._shards:
             raise ValueError(f"shard {shard} already on the ring")
         self._shards.add(shard)
+        self._lookup_cache.clear()
         for p in self._vnode_points(shard):
             # Tie-break exact point collisions by shard id so insertion
             # order can never influence ownership.
@@ -90,17 +92,56 @@ class HashRing:
         if len(self._shards) == 1:
             raise ValueError("cannot remove the last shard")
         self._shards.remove(shard)
+        self._lookup_cache.clear()
         keep = [i for i, owner in enumerate(self._owners) if owner != shard]
         self._points = [self._points[i] for i in keep]
         self._owners = [self._owners[i] for i in keep]
 
     def shard_for(self, key: int) -> int:
-        """The shard owning ``key`` (first ring point clockwise)."""
-        p = _point(b"%s|key:%d" % (self.salt, int(key)))
+        """The shard owning ``key`` (first ring point clockwise).
+
+        Lookups are memoized per key — the hot routing path hashes each
+        destination once per ring topology, not once per query.  The
+        cache is invalidated by ``add_shard``/``remove_shard``.
+        """
+        key = int(key)
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
+        p = _point(b"%s|key:%d" % (self.salt, key))
         i = bisect.bisect_right(self._points, p)
         if i == len(self._points):
             i = 0
-        return self._owners[i]
+        owner = self._owners[i]
+        self._lookup_cache[key] = owner
+        return owner
+
+    def successors(self, key: int, k: int) -> list[int]:
+        """The first ``k`` *distinct* shards clockwise from ``key``.
+
+        ``successors(key, k)[0] == shard_for(key)`` always — the pinned
+        owner leads, then the next distinct owners around the ring.
+        This is the replica set for a hot destination: deterministic
+        (same digests as ``shard_for``), and stable under ring changes
+        in the same minimal-disruption sense as primary ownership.
+        ``k`` is clamped to the number of shards on the ring.
+        """
+        k = min(int(k), len(self._shards))
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        p = _point(b"%s|key:%d" % (self.salt, int(key)))
+        start = bisect.bisect_right(self._points, p)
+        n = len(self._points)
+        out: list[int] = []
+        seen: set[int] = set()
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) == k:
+                    break
+        return out
 
     def assignment(self, keys) -> dict[int, int]:
         """Batch ``shard_for`` (key -> shard), for tests and rebalance

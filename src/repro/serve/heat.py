@@ -1,0 +1,247 @@
+"""Sliding-window heat tracking for hot-destination detection.
+
+Consistent hashing pins every destination cluster to exactly one shard
+(:mod:`repro.serve.hashring`), which is perfect for cache locality and
+terrible for skew: one viral destination saturates its shard while the
+rest of the fleet idles.  This module is the *detector* half of the
+MIDAS-style fix — it watches the per-destination query stream through
+sliding windows, smooths the per-window counts with an EMA, and
+promotes destinations whose heat crosses a threshold into a *hot set*.
+:class:`~repro.serve.service.PredictionService` then routes hot
+destinations across a replica set of successor shards instead of the
+single pinned owner, and demotes them back when the heat decays so the
+pinned shard regains exclusive cache locality.
+
+Two design rules keep this layer honest:
+
+* **Determinism.**  Windows advance on a *logical op clock* (one tick
+  per recorded query), never wall-clock time.  The same query sequence
+  always produces the same promotions and demotions, in tests, CI and
+  production alike — a prerequisite for the repo-wide bit-for-bit
+  equivalence contract.
+* **Hysteresis.**  Promotion and demotion use separate thresholds
+  (demote well below promote), so a destination oscillating around the
+  boundary doesn't flap between pinned and replicated routing, which
+  would churn every replica's search cache for nothing.
+
+The bookkeeping uses the counter/timer ``Tracker`` idiom so callers
+(service stats, the PR-roadmap autoscaler) read one uniform snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+__all__ = ["Counter", "Timer", "Tracker", "HeatTracker"]
+
+
+class Counter:
+    """A named monotonically-increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increase(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def get(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Timer:
+    """A named accumulator of elapsed seconds."""
+
+    __slots__ = ("name", "seconds", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self._started: float | None = None
+
+    def add(self, seconds: float) -> None:
+        self.seconds += float(seconds)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is not None:
+            self.seconds += time.perf_counter() - self._started
+            self._started = None
+
+    def get(self) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timer({self.name}={self.seconds:.6f}s)"
+
+
+class Tracker:
+    """Registry of named counters and timers with one-shot snapshots.
+
+    ``get_counter``/``get_timer`` return the same object for the same
+    name, so independent components can share tallies without passing
+    them around explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def get_counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def get_timer(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer(name)
+        return timer
+
+    def snapshot(self) -> dict[str, float]:
+        """All counters and timers as one flat ``name -> value`` dict."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.get()
+        for name, timer in self._timers.items():
+            out[name] = timer.get()
+        return out
+
+
+#: queries per sliding window (logical ops, not wall time)
+DEFAULT_WINDOW = 256
+#: EMA smoothing; 0.5 = half the heat comes from the latest window
+DEFAULT_ALPHA = 0.5
+#: promote when the smoothed per-window count exceeds this fraction of
+#: the window — i.e. one destination absorbing >=20% of recent traffic
+DEFAULT_PROMOTE_FRACTION = 0.20
+#: demote/promote hysteresis ratio (demote threshold = promote * this)
+DEFAULT_DEMOTE_RATIO = 0.25
+
+
+class HeatTracker:
+    """Per-destination heat with EMA decay and promote/demote hysteresis.
+
+    Every call to :meth:`record` advances a logical clock; after
+    ``window`` ticks the window closes and each destination's heat is
+    re-smoothed::
+
+        heat = alpha * window_count + (1 - alpha) * heat
+
+    Destinations absent from the closed window decay by the same rule
+    (``window_count = 0``), so cooled-off hot spots demote within a few
+    windows instead of lingering forever.
+
+    Membership queries (:meth:`is_hot`, :attr:`hot`) are O(1) set
+    lookups — the service consults them on every routed query.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = DEFAULT_WINDOW,
+        alpha: float = DEFAULT_ALPHA,
+        promote_threshold: float | None = None,
+        demote_threshold: float | None = None,
+        replicas: int = 2,
+        tracker: Tracker | None = None,
+    ) -> None:
+        self.window = int(window)
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self.alpha = float(alpha)
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if promote_threshold is None:
+            promote_threshold = DEFAULT_PROMOTE_FRACTION * self.window
+        self.promote_threshold = float(promote_threshold)
+        if demote_threshold is None:
+            demote_threshold = self.promote_threshold * DEFAULT_DEMOTE_RATIO
+        self.demote_threshold = float(demote_threshold)
+        if self.demote_threshold >= self.promote_threshold:
+            raise ValueError("demote threshold must sit below promote")
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+        self.tracker = tracker if tracker is not None else Tracker()
+        self._records = self.tracker.get_counter("heat.records")
+        self._windows = self.tracker.get_counter("heat.windows_closed")
+        self._promotions = self.tracker.get_counter("heat.promotions")
+        self._demotions = self.tracker.get_counter("heat.demotions")
+
+        self._ticks = 0  # ops in the currently open window
+        self._window_counts: dict[int, int] = defaultdict(int)
+        self._heat: dict[int, float] = {}
+        self._hot: set[int] = set()
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, dst: int, n: int = 1) -> None:
+        """Count ``n`` queries toward destination cluster ``dst``."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        dst = int(dst)
+        self._records.increase(n)
+        # Split across window boundaries so a large batch can't smear
+        # one window's traffic into the next and skew the EMA.
+        while n:
+            take = min(n, self.window - self._ticks)
+            self._window_counts[dst] += take
+            self._ticks += take
+            n -= take
+            if self._ticks == self.window:
+                self._close_window()
+
+    def _close_window(self) -> None:
+        alpha = self.alpha
+        counts = self._window_counts
+        heat = self._heat
+        for dst in counts.keys() | heat.keys():
+            h = alpha * counts.get(dst, 0) + (1.0 - alpha) * heat.get(dst, 0.0)
+            if h < 1e-9:
+                heat.pop(dst, None)
+            else:
+                heat[dst] = h
+        counts.clear()
+        self._ticks = 0
+        self._windows.increase()
+        # Hysteresis: promote above the high bar, demote below the low
+        # one, hold membership anywhere in between.
+        for dst, h in heat.items():
+            if dst not in self._hot and h >= self.promote_threshold:
+                self._hot.add(dst)
+                self._promotions.increase()
+        for dst in [d for d in self._hot if heat.get(d, 0.0) <= self.demote_threshold]:
+            self._hot.discard(dst)
+            self._demotions.increase()
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def hot(self) -> frozenset[int]:
+        """The current hot set (destination clusters under replication)."""
+        return frozenset(self._hot)
+
+    def is_hot(self, dst: int) -> bool:
+        return int(dst) in self._hot
+
+    def heat_of(self, dst: int) -> float:
+        """Smoothed per-window count for ``dst`` (0.0 if never seen)."""
+        return self._heat.get(int(dst), 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Tracker tallies plus current hot-set size, one flat dict."""
+        out = self.tracker.snapshot()
+        out["heat.hot_destinations"] = len(self._hot)
+        return out

@@ -13,6 +13,14 @@ processes (:mod:`repro.serve.shard`), each holding its own
   query stream for one destination lands on one shard and rides that
   shard's per-destination search cache — shard-count changes remap only
   ~1/N of destinations.
+* **Hotspot replication.** With a :class:`~repro.serve.heat.HeatTracker`
+  installed (``heat=``), destinations whose sliding-window heat crosses
+  the promote threshold are spread over ``k`` successor shards
+  (:meth:`HashRing.successors`) and each query picks the least-loaded
+  replica; demotion on heat decay restores single-shard cache
+  locality. Because the delta broadcast keeps *every* shard's graph
+  (and registered-client planes) current, replication is pure routing
+  policy — any replica returns the bit-identical answer.
 * **Coalescing.** :meth:`submit` queues requests per shard and
   :meth:`flush` ships each shard one batch: duplicate ``(src, dst)``
   pairs in a window collapse to one slot, and distinct sources toward
@@ -42,7 +50,8 @@ with a monthly recompile and a FROM_SRC-merged measuring client).
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.atlas.delta import AtlasDelta, apply_delta_inplace
@@ -50,6 +59,7 @@ from repro.atlas.serialization import decode_atlas, decode_delta, encode_delta
 from repro.client.query import combine_batches
 from repro.errors import ServiceError, ShardStateError
 from repro.serve.hashring import DEFAULT_VNODES, HashRing
+from repro.serve.heat import HeatTracker
 from repro.serve.shard import ShardManager
 
 __all__ = ["PredictionService", "PendingPrediction"]
@@ -129,7 +139,16 @@ class PredictionService:
         max_pending: int = 256,
         timeout: float | None = None,
         mp_context=None,
+        heat: HeatTracker | dict | bool | None = None,
     ) -> None:
+        # ``heat`` enables hot-destination replication: pass a
+        # configured HeatTracker, a kwargs dict for one, or True for
+        # the defaults. None (the default) keeps pure pinned routing.
+        if heat is True:
+            heat = HeatTracker()
+        elif isinstance(heat, dict):
+            heat = HeatTracker(**heat)
+        self._heat = heat if isinstance(heat, HeatTracker) else None
         # Validate everything cheap before spawning the fleet, so bad
         # arguments cannot leak worker processes or shared blocks.
         self._ring = HashRing(range(n_shards), vnodes=vnodes)
@@ -147,6 +166,10 @@ class PredictionService:
             atlas_bytes, n_shards, mp_context=mp_context, atlas=self._atlas
         )
         self._queues = [_ShardQueue() for _ in range(n_shards)]
+        self._inflight = [0] * n_shards
+        #: recent front-end request round-trips (send -> reply, in us);
+        #: bounded so percentile reads stay O(1)-ish and reflect *now*
+        self._req_times: deque[float] = deque(maxlen=512)
         self._epoch = 0
         self._clients: set[object] = set()
         self.stats = {
@@ -157,6 +180,11 @@ class PredictionService:
             "batches_routed": 0,
             "deltas_broadcast": 0,
             "bytes_broadcast": 0,
+            "replica_routed": 0,
+            "queue_depth": 0,
+            "inflight": 0,
+            "req_p50_us": 0.0,
+            "req_p99_us": 0.0,
         }
         self._closed = False
 
@@ -221,6 +249,46 @@ class PredictionService:
             return None
         return self._ring.shard_for(cluster)
 
+    @property
+    def heat(self) -> HeatTracker | None:
+        """The installed heat tracker (None = pinned routing only)."""
+        return self._heat
+
+    def replicas_of_destination(self, dst_prefix_index: int) -> list[int]:
+        """The shard set currently serving a destination prefix: the
+        pinned owner alone, or the full replica set while the heat
+        tracker holds its cluster hot. Empty for unmapped prefixes."""
+        cluster = self._atlas.cluster_of_prefix(dst_prefix_index)
+        if cluster is None:
+            return []
+        if self._heat is not None and self._heat.is_hot(cluster):
+            return self._ring.successors(cluster, self._heat.replicas)
+        return [self._ring.shard_for(cluster)]
+
+    def _shard_load(self, shard: int, extra=None) -> int:
+        load = self._queues[shard].requests + self._inflight[shard]
+        if extra is not None:
+            load += extra.get(shard, 0)
+        return load
+
+    def _route_cluster(self, cluster: int, extra=None) -> int:
+        """One query's shard: the pinned ring owner, unless the heat
+        tracker holds the cluster hot — then the least-loaded of its
+        ``k`` successor replicas (ties break on replica order, so
+        routing stays deterministic for a given query sequence).
+        ``extra`` adds batch-transient per-shard assignments so one
+        large batch spreads over the replicas instead of dogpiling the
+        momentarily-idlest."""
+        heat = self._heat
+        if heat is None:
+            return self._ring.shard_for(cluster)
+        heat.record(cluster)
+        if not heat.is_hot(cluster):
+            return self._ring.shard_for(cluster)
+        replicas = self._ring.successors(cluster, heat.replicas)
+        self.stats["replica_routed"] += 1
+        return min(replicas, key=lambda s: self._shard_load(s, extra))
+
     # -- one-way predictions ----------------------------------------------
 
     def submit(
@@ -235,11 +303,30 @@ class PredictionService:
         """
         self._check_open()
         self.stats["requests"] += 1
-        shard = self.shard_of_destination(dst)
-        future = PendingPrediction(src=src, dst=dst, _service=self, _shard=shard)
-        if shard is None:
+        cluster = self._atlas.cluster_of_prefix(dst)
+        if cluster is None:
+            future = PendingPrediction(src=src, dst=dst, _service=self, _shard=None)
             future._resolve(None)
             return future
+        shard = None
+        heat = self._heat
+        if heat is not None:
+            heat.record(cluster)
+            if heat.is_hot(cluster):
+                replicas = self._ring.successors(cluster, heat.replicas)
+                self.stats["replica_routed"] += 1
+                # Coalescing beats balancing: an identical pair already
+                # queued on any replica costs zero extra worker time.
+                for s in replicas:
+                    group = self._queues[s].groups.get((config, client))
+                    if group is not None and (src, dst) in group:
+                        shard = s
+                        break
+                else:
+                    shard = min(replicas, key=self._shard_load)
+        if shard is None:
+            shard = self._ring.shard_for(cluster)
+        future = PendingPrediction(src=src, dst=dst, _service=self, _shard=shard)
         if self._queues[shard].requests >= self.max_pending:
             self.stats["backpressure_flushes"] += 1
             self._flush_shard(shard)
@@ -315,7 +402,10 @@ class PredictionService:
                         if first is None:
                             first = exc
                         continue
-                    sent.append((shard, req_id, deliver, on_error))
+                    self._inflight[shard] += 1
+                    sent.append(
+                        (shard, req_id, deliver, on_error, time.perf_counter())
+                    )
                     self.stats["flushes"] += 1
                 try:
                     self._collect(sent)
@@ -325,7 +415,8 @@ class PredictionService:
                 sent = []
         except BaseException as exc:  # unexpected: strand nothing
             error = ShardStateError(f"flush aborted: {exc!r}")
-            for _, _, _, on_error in sent:
+            for shard, _, _, on_error, _ in sent:
+                self._inflight[shard] -= 1
                 on_error(error)
             for groups in taken.values():
                 self._fail_groups(groups, error)
@@ -342,7 +433,7 @@ class PredictionService:
 
     def _collect(self, sent: list[tuple]) -> None:
         """Drain one reply per sent ``(shard, req_id, deliver,
-        on_error)`` message — every drainable one, even past a dead
+        on_error, t0)`` message — every drainable one, even past a dead
         shard or a worker-side failure, so one failed request cannot
         desynchronize the surviving shards' streams — then surface the
         first error. ``on_error`` (when given) marks the group's
@@ -357,12 +448,15 @@ class PredictionService:
             if first is None:
                 first = exc
 
-        for shard, req_id, deliver, on_error in sent:
+        for shard, req_id, deliver, on_error, t0 in sent:
             try:
                 reply = self._shards.recv_raw(shard, timeout=self.timeout)
             except ShardStateError as exc:  # dead pipe: drain the rest
+                self._inflight[shard] -= 1
                 failed(exc, on_error)
                 continue
+            self._inflight[shard] -= 1
+            self._req_times.append((time.perf_counter() - t0) * 1e6)
             if reply[0] == "error":
                 try:
                     self._shards.check(shard, reply)
@@ -406,14 +500,17 @@ class PredictionService:
         self.stats["batches_routed"] += 1
         by_shard: dict[int, tuple[list[int], list[tuple[int, int]]]] = {}
         cluster_of = self._atlas.cluster_of_prefix
-        shard_for = self._ring.shard_for
+        assigned: dict[int, int] = {}  # batch-transient replica balance
         for i, (src, dst) in enumerate(pairs):
             cluster = cluster_of(dst)
             if cluster is None:
                 continue  # unmapped destination: None, like the pool path
-            idxs, sub = by_shard.setdefault(shard_for(cluster), ([], []))
+            shard = self._route_cluster(cluster, assigned)
+            idxs, sub = by_shard.setdefault(shard, ([], []))
             idxs.append(i)
             sub.append((src, dst))
+            if self._heat is not None:
+                assigned[shard] = assigned.get(shard, 0) + 1
         sent = []
         first: ShardStateError | None = None
         for shard, (idxs, sub) in by_shard.items():
@@ -431,7 +528,8 @@ class PredictionService:
                 for i, path in zip(idxs, paths):
                     out[i] = path
 
-            sent.append((shard, req_id, deliver, None))
+            self._inflight[shard] += 1
+            sent.append((shard, req_id, deliver, None, time.perf_counter()))
         try:
             self._collect(sent)
         except ShardStateError as exc:
@@ -609,3 +707,40 @@ class PredictionService:
             reply[1]
             for reply in self._shards.broadcast(("stats",), timeout=self.timeout)
         ]
+
+    def load_stats(self) -> dict:
+        """The load telemetry the heat layer and an autoscaler read:
+        per-shard queue depths, in-flight messages, and rolling request
+        round-trip percentiles. Cheap — no worker round trips — and
+        mirrored into :attr:`stats` (``queue_depth`` / ``inflight`` /
+        ``req_p50_us`` / ``req_p99_us``) so the gateway's FLAG_STATS
+        frames carry the same numbers."""
+        depths = [queue.requests for queue in self._queues]
+        p50 = _percentile(self._req_times, 0.50)
+        p99 = _percentile(self._req_times, 0.99)
+        out = {
+            "queue_depths": depths,
+            "queue_depth": sum(depths),
+            "inflight_per_shard": list(self._inflight),
+            "inflight": sum(self._inflight),
+            "req_p50_us": p50,
+            "req_p99_us": p99,
+        }
+        if self._heat is not None:
+            out["heat"] = self._heat.snapshot()
+            out["hot_destinations"] = sorted(self._heat.hot)
+        self.stats["queue_depth"] = out["queue_depth"]
+        self.stats["inflight"] = out["inflight"]
+        self.stats["req_p50_us"] = p50
+        self.stats["req_p99_us"] = p99
+        return out
+
+
+def _percentile(samples, q: float) -> float:
+    """Nearest-rank percentile over an unsorted sample window (0.0 when
+    empty — absent telemetry encodes as zero on the wire)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]

@@ -39,9 +39,15 @@ Worker-side exceptions never kill the loop: the reply is
 
 from __future__ import annotations
 
+import time
+from collections import deque
+
 from repro.atlas.serialization import decode_atlas, decode_delta
 from repro.core.compiled import CompiledGraph
 from repro.runtime import AtlasRuntime
+
+#: recent per-batch handle times kept for the stats op's percentiles
+_HANDLE_WINDOW = 512
 
 __all__ = ["shard_worker_main", "graph_fingerprint", "runtime_snapshot"]
 
@@ -131,6 +137,7 @@ def shard_worker_main(conn, init: dict) -> None:
         "pairs": 0,
         "deltas": 0,
         "registered_clients": 0,
+        "handle_us": deque(maxlen=_HANDLE_WINDOW),
     }
     conn.send(("ready", shard_index, runtime_snapshot(runtime)))
     try:
@@ -157,10 +164,13 @@ def shard_worker_main(conn, init: dict) -> None:
 def _dispatch(op, msg, runtime, clients, stats):
     if op == "batch":
         _, req_id, pairs, config, token = msg
+        t0 = time.perf_counter()
         predictor = _resolve_predictor(runtime, clients, config, token)
+        reply = ("batch", req_id, predictor.predict_batch(list(pairs)))
         stats["batches"] += 1
         stats["pairs"] += len(pairs)
-        return ("batch", req_id, predictor.predict_batch(list(pairs)))
+        stats["handle_us"].append((time.perf_counter() - t0) * 1e6)
+        return reply
     if op == "delta":
         _, epoch, payload, verify = msg
         report = runtime.apply_delta(decode_delta(payload))
@@ -194,6 +204,13 @@ def _dispatch(op, msg, runtime, clients, stats):
         # repair-class counts of its last applied delta — the per-shard
         # view of what a FLAG_STATS gateway client sees per request
         out = dict(stats)
+        handle = sorted(out.pop("handle_us"))
+        out["handle_p50_us"] = handle[int(0.50 * len(handle))] if handle else 0.0
+        out["handle_p99_us"] = (
+            handle[min(len(handle) - 1, int(0.99 * len(handle)))]
+            if handle
+            else 0.0
+        )
         out["kernel"] = runtime.pool.kernel_stats()
         out["last_repair"] = dict(runtime.pool.last_repair)
         return ("stats", out)

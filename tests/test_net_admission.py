@@ -1,0 +1,398 @@
+"""Gateway admission control: rate limits, shedding, caps, TLS + auth.
+
+The contract under test: an over-limit client always gets a *typed*
+refusal — a RETRY frame with a retry-after hint, or an ERROR with a
+specific code — never a silent drop or a hung socket, and the
+:class:`~repro.net.client.NetworkClient` recovers transparently with
+capped exponential backoff. Policy math (token buckets, queue
+thresholds, pruning) is unit-tested against an explicit clock; the
+wire behavior is tested end-to-end against a live gateway.
+"""
+
+from __future__ import annotations
+
+import ssl
+
+import pytest
+
+from helpers import prefix_of, toy_atlas
+
+from repro.client import AtlasServer
+from repro.errors import NetworkError, RemoteError
+from repro.net import AdmissionControl, NetworkClient, NetworkGateway, TokenBucket
+from repro.net import protocol as P
+from repro.net.admission import MAX_TRACKED_CLIENTS
+
+
+def make_server() -> AtlasServer:
+    server = AtlasServer()
+    server.publish(toy_atlas())
+    return server
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        assert bucket.take(0.0) is None
+        assert bucket.take(0.0) is None
+        assert bucket.take(0.0) is None
+        # empty: the hint is exactly the time for one token at 10/s
+        assert bucket.take(0.0) == pytest.approx(0.1)
+        # a refused take consumed nothing
+        assert bucket.take(0.0) == pytest.approx(0.1)
+        # 0.05s later half a token is back; need 0.05s more
+        assert bucket.take(0.05) == pytest.approx(0.05)
+        assert bucket.take(0.1) is None
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        assert bucket.take(0.0) is None
+        for _ in range(2):  # a long idle stretch refills to burst, not beyond
+            assert bucket.take(1000.0) is None
+        assert bucket.take(1000.0) == pytest.approx(0.01)
+
+    def test_time_never_runs_backward(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=100.0)
+        assert bucket.take(100.0) is None
+        # a stale timestamp must not mint tokens or move the clock back
+        assert bucket.take(50.0) == pytest.approx(1.0)
+        assert bucket.idle_for(100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionPolicy:
+    def test_defaults_admit_everything(self):
+        ac = AdmissionControl()
+        assert ac.enabled is False
+        assert ac.admit_connection(10_000) is True
+        assert ac.admit_request("c", 0.0, queue_depth=10_000) is None
+
+    def test_queue_shed_checked_before_rate(self):
+        ac = AdmissionControl(rate=100.0, max_queue_depth=4)
+        refusal = ac.admit_request("c", 0.0, queue_depth=8)
+        assert refusal is not None
+        retry_after, reason = refusal
+        assert "queue depth 8" in reason
+        assert 0.0 < retry_after <= 1.0
+        # the drowning node never touched c's bucket
+        assert ac.snapshot()["tracked_clients"] == 0
+        assert ac.stats["shed_queue"] == 1 and ac.stats["shed_rate"] == 0
+
+    def test_per_client_buckets_are_independent(self):
+        ac = AdmissionControl(rate=10.0, burst=1.0)
+        assert ac.admit_request("a", 0.0) is None
+        refusal = ac.admit_request("a", 0.0)
+        assert refusal is not None and "rate limit" in refusal[1]
+        assert ac.admit_request("b", 0.0) is None  # b has its own burst
+        assert ac.stats == {
+            "admitted": 2,
+            "shed_rate": 1,
+            "shed_queue": 0,
+            "connections_rejected": 0,
+        }
+
+    def test_connection_cap(self):
+        ac = AdmissionControl(max_connections=2)
+        assert ac.admit_connection(0) and ac.admit_connection(1)
+        assert ac.admit_connection(2) is False
+        assert ac.stats["connections_rejected"] == 1
+
+    def test_tracked_clients_bounded(self):
+        ac = AdmissionControl(rate=1000.0)
+        for i in range(MAX_TRACKED_CLIENTS + 50):
+            # later clients are the recently-active ones that survive
+            ac.admit_request(f"client-{i}", now=float(i) * 1e-3)
+        assert ac.snapshot()["tracked_clients"] <= MAX_TRACKED_CLIENTS
+        # the most recent client kept its bucket through the prune
+        last = f"client-{MAX_TRACKED_CLIENTS + 49}"
+        assert last in ac._buckets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(rate=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionControl(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionControl(max_connections=0)
+
+
+class TestRateLimitOverWire:
+    def test_over_rate_client_gets_retry_and_recovers(self):
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            admission=AdmissionControl(rate=40.0, burst=2.0),
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            pair = (prefix_of(1), prefix_of(5))
+            want = gw.backend.predict_batch([pair], None, None)[0]
+            with NetworkClient.connect_tcp(host, port) as c:
+                # HELLO is not a query — the full burst is still ours
+                for _ in range(8):
+                    assert c.predict(*pair) == want
+                # more than burst requests landed instantly: some were
+                # shed with a typed RETRY and re-sent after backoff
+                assert c.retries > 0
+            assert gw.stats["retries_sent"] > 0
+            assert gw.stats["retries_sent"] == gw.admission.stats["shed_rate"]
+            assert gw.admission.stats["admitted"] >= 8
+        finally:
+            gw.close()
+
+    def test_pipeline_retries_shed_slots(self):
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            admission=AdmissionControl(rate=50.0, burst=3.0),
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            pairs = [
+                (prefix_of(a), prefix_of(b)) for a in (1, 2, 3) for b in (4, 5)
+            ] * 2
+            oracle = gw.backend.predict_batch(pairs, None, None)
+            with NetworkClient.connect_tcp(host, port) as c:
+                # 12 pipelined predicts against a 3-token burst: the
+                # answers must still come back complete and in order
+                assert c.pipeline_predict(pairs) == oracle
+                assert c.retries > 0
+        finally:
+            gw.close()
+
+    def test_retries_exhausted_is_a_typed_failure(self):
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            admission=AdmissionControl(rate=0.001, burst=1.0),
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port, max_retries=0) as c:
+                pair = (prefix_of(1), prefix_of(5))
+                assert c.predict(*pair) is not None  # the one burst token
+                with pytest.raises(NetworkError, match="shed .* rate limit"):
+                    c.predict(*pair)
+                # the connection survived the refusal: non-query frames
+                # (bootstrap, subscribe) are never shed
+                assert c.subscribe(True) == gw.backend.day
+                assert c.bootstrap() is not None
+                assert c.mode == "local"
+        finally:
+            gw.close()
+
+    def test_queue_shed_reports_depth(self):
+        # max_queue_depth=1 with serialized inflight accounting is
+        # impossible to trip from outside deterministically, so drive
+        # the gateway's own policy object the way _dispatch does
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            admission=AdmissionControl(max_queue_depth=2),
+        ).start()
+        try:
+            refusal = gw.admission.admit_request("peer", 0.0, queue_depth=5)
+            assert refusal is not None
+            assert "queue depth 5 >= shed threshold 2" in refusal[1]
+            # and a real client under the threshold sails through
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port) as c:
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            gw.close()
+
+
+class TestConnectionCap:
+    def test_over_cap_connection_gets_typed_error(self):
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            admission=AdmissionControl(max_connections=1),
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port) as first:
+                with pytest.raises(RemoteError) as excinfo:
+                    NetworkClient.connect_tcp(host, port)
+                assert excinfo.value.code == P.E_OVERLOADED
+                assert "connection limit" in str(excinfo.value)
+                assert gw.stats["connections_rejected"] == 1
+                # the admitted client is unaffected
+                assert first.predict(prefix_of(1), prefix_of(5)) is not None
+            # the slot frees on close
+            with NetworkClient.connect_tcp(host, port) as second:
+                assert second.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            gw.close()
+
+
+class TestAuth:
+    TOKEN = "fleet-secret-42"
+
+    def _gateway(self):
+        return NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), auth_token=self.TOKEN
+        ).start()
+
+    def test_good_token_admitted(self):
+        gw = self._gateway()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port, auth_token=self.TOKEN) as c:
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+            assert gw.stats["auth_failures"] == 0
+        finally:
+            gw.close()
+
+    @pytest.mark.parametrize("bad", [None, "wrong-secret", ""])
+    def test_bad_or_missing_token_rejected_typed(self, bad):
+        gw = self._gateway()
+        try:
+            host, port = gw.tcp_address
+            with pytest.raises(RemoteError) as excinfo:
+                NetworkClient.connect_tcp(host, port, auth_token=bad)
+            assert excinfo.value.code == P.E_UNAUTHORIZED
+            assert gw.stats["auth_failures"] == 1
+            # rejection closes the connection; the gateway keeps serving
+            with NetworkClient.connect_tcp(host, port, auth_token=self.TOKEN) as c:
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            gw.close()
+
+    def test_no_gateway_token_ignores_client_token(self):
+        gw = NetworkGateway(make_server(), tcp=("127.0.0.1", 0)).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(host, port, auth_token="whatever") as c:
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            gw.close()
+
+
+def _self_signed_cert(tmp_path):
+    """A localhost cert/key pair (SAN: localhost + 127.0.0.1) written to
+    disk, returning (cert_path, key_path, cert_pem)."""
+    cryptography = pytest.importorskip("cryptography")  # noqa: F841
+    import datetime
+    import ipaddress
+
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import rsa
+    from cryptography.x509.oid import NameOID
+
+    key = rsa.generate_private_key(public_exponent=65537, key_size=2048)
+    name = x509.Name(
+        [x509.NameAttribute(NameOID.COMMON_NAME, "localhost")]
+    )
+    now = datetime.datetime(2026, 1, 1)
+    cert = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now)
+        .not_valid_after(now + datetime.timedelta(days=36500))
+        .add_extension(
+            x509.SubjectAlternativeName(
+                [
+                    x509.DNSName("localhost"),
+                    x509.IPAddress(ipaddress.IPv4Address("127.0.0.1")),
+                ]
+            ),
+            critical=False,
+        )
+        .sign(key, hashes.SHA256())
+    )
+    cert_pem = cert.public_bytes(serialization.Encoding.PEM)
+    cert_path = tmp_path / "gw.crt"
+    key_path = tmp_path / "gw.key"
+    cert_path.write_bytes(cert_pem)
+    key_path.write_bytes(
+        key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.TraditionalOpenSSL,
+            serialization.NoEncryption(),
+        )
+    )
+    return str(cert_path), str(key_path), cert_pem.decode()
+
+
+class TestTLS:
+    @pytest.fixture(scope="class")
+    def tls(self, tmp_path_factory):
+        cert, key, pem = _self_signed_cert(tmp_path_factory.mktemp("tls"))
+        server_ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        server_ctx.load_cert_chain(cert, key)
+        client_ctx = ssl.create_default_context(cadata=pem)
+        return server_ctx, client_ctx
+
+    def test_tls_round_trip_with_verified_cert(self, tls):
+        server_ctx, client_ctx = tls
+        gw = NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), ssl_context=server_ctx
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            with NetworkClient.connect_tcp(
+                host, port, ssl_context=client_ctx, server_hostname="localhost"
+            ) as c:
+                pair = (prefix_of(1), prefix_of(5))
+                assert c.predict(*pair) == gw.backend.predict_batch(
+                    [pair], None, None
+                )[0]
+                # push delivery works through the TLS transport too
+                assert c.bootstrap().day == 0
+        finally:
+            gw.close()
+
+    def test_plaintext_client_cannot_talk_to_tls_gateway(self, tls):
+        server_ctx, _ = tls
+        gw = NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), ssl_context=server_ctx
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            with pytest.raises((NetworkError, OSError)):
+                with NetworkClient.connect_tcp(host, port, timeout=2.0) as c:
+                    c.predict(prefix_of(1), prefix_of(5))
+        finally:
+            gw.close()
+
+    def test_tls_with_bad_auth_token_gets_typed_error(self, tls):
+        # the acceptance scenario: encrypted transport up, auth still
+        # refused with a typed code — not a TLS alert, not a hang
+        server_ctx, client_ctx = tls
+        gw = NetworkGateway(
+            make_server(),
+            tcp=("127.0.0.1", 0),
+            ssl_context=server_ctx,
+            auth_token="right",
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            with pytest.raises(RemoteError) as excinfo:
+                NetworkClient.connect_tcp(
+                    host,
+                    port,
+                    ssl_context=client_ctx,
+                    server_hostname="localhost",
+                    auth_token="wrong",
+                )
+            assert excinfo.value.code == P.E_UNAUTHORIZED
+            with NetworkClient.connect_tcp(
+                host,
+                port,
+                ssl_context=client_ctx,
+                server_hostname="localhost",
+                auth_token="right",
+            ) as c:
+                assert c.predict(prefix_of(1), prefix_of(5)) is not None
+        finally:
+            gw.close()

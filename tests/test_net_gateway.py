@@ -579,6 +579,102 @@ class TestPushChurn:
         finally:
             gw.close()
 
+    def test_auto_resubscribe_recovers_the_push_stream(self):
+        import threading
+
+        server = make_server()
+        gw = NetworkGateway(
+            server, tcp=("127.0.0.1", 0), subscriber_buffer=0
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            c = NetworkClient.connect_tcp(host, port, auto_resubscribe=True)
+            c.bootstrap()
+            conn = self._single_conn(gw)
+            released = threading.Event()
+            buffered = [0]
+            transport = conn.writer.transport
+            real_write = conn.writer.write
+
+            def buffering_write(data):
+                real_write(data)
+                buffered[0] += len(data)
+
+            async def stalled_drain():
+                import asyncio
+
+                while not released.is_set():
+                    await asyncio.sleep(0.005)
+                buffered[0] = 0
+
+            conn.writer.write = buffering_write
+            conn.writer.drain = stalled_drain
+            transport.get_write_buffer_size = lambda: buffered[0]
+
+            deltas = toy_chain_deltas(4)
+            assert gw.push_delta(deltas[0])["subscribers"] == 1
+            # day 2 finds day 1 unflushed: dropped from the broadcast
+            assert gw.push_delta(deltas[1])["subscribers"] == 0
+            assert gw.stats["push_drops"] == 1
+            # day 3 sails past the now-unsubscribed client entirely
+            gw.push_delta(deltas[2])
+            released.set()
+            # day 1 arrives; the drop notice behind it triggers the
+            # self-heal at the next idle drain — re-subscribe, fresh
+            # anchor, fence — which may land before this returns
+            assert c.wait_for_day(1) >= 1
+            wait_until(
+                lambda: c.poll_updates(max_wait=0.05) >= 0
+                and c.resubscribes >= 1,
+                what="auto resubscribe completed",
+            )
+            assert c.sub_dropped == 1
+            assert c.subscribed is True
+            assert c.runtime.atlas.day == 3  # re-anchored past days 2-3
+            # and the live stream is whole again for the next day
+            gw.push_delta(deltas[3])
+            assert c.wait_for_day(4) == 4
+            pair = (prefix_of(1), prefix_of(5))
+            oracle = server.runtime().pool.predictor(None).predict_batch([pair])
+            assert c.predict_batch([pair]) == oracle
+            c.close()
+        finally:
+            gw.close()
+
+    def test_no_auto_resubscribe_by_default(self):
+        gw = NetworkGateway(
+            make_server(), tcp=("127.0.0.1", 0), subscriber_buffer=0
+        ).start()
+        try:
+            host, port = gw.tcp_address
+            c = NetworkClient.connect_tcp(host, port)
+            c.bootstrap()
+            conn = self._single_conn(gw)
+            real_write = conn.writer.write
+            buffered = [0]
+
+            def buffering_write(data):
+                real_write(data)
+                buffered[0] += len(data)
+
+            conn.writer.write = buffering_write
+            conn.writer.transport.get_write_buffer_size = lambda: buffered[0]
+            deltas = toy_chain_deltas(2)
+            gw.push_delta(deltas[0])
+            gw.push_delta(deltas[1])
+            assert gw.stats["push_drops"] == 1
+            buffered[0] = 0
+            wait_until(
+                lambda: c.poll_updates(max_wait=0.05) >= 0
+                and c.sub_dropped == 1,
+                what="SUB_DROPPED received",
+            )
+            assert c.subscribed is False
+            assert c.resubscribes == 0  # opt-in only
+            c.close()
+        finally:
+            gw.close()
+
     def test_bootstrap_races_concurrent_pushes(self):
         import threading
 

@@ -98,14 +98,33 @@ class TestFraming:
 
 class TestPayloadRoundTrips:
     def test_hello_welcome(self):
-        version, flags = P.decode_hello(P.encode_hello(P.FLAG_SUBSCRIBE))
+        version, flags, token = P.decode_hello(P.encode_hello(P.FLAG_SUBSCRIBE))
         assert version == P.PROTOCOL_VERSION
         assert flags & P.FLAG_SUBSCRIBE
+        assert token is None
         assert P.decode_welcome(P.encode_welcome(27, True, "service")) == (
             27,
             True,
             "service",
         )
+
+    def test_hello_auth_token(self):
+        version, flags, token = P.decode_hello(
+            P.encode_hello(P.FLAG_STATS, "sekrit-9")
+        )
+        assert version == P.PROTOCOL_VERSION
+        assert flags & P.FLAG_STATS and flags & P.FLAG_AUTH
+        assert token == "sekrit-9"
+        # FLAG_AUTH set but token field truncated is a typed failure
+        with pytest.raises(ProtocolError):
+            P.decode_hello(P.encode_hello(0, "tok")[:4])
+
+    def test_retry(self):
+        after, reason = P.decode_retry(
+            P.encode_retry(0.25, "client rate limit 50/s exceeded")
+        )
+        assert after == 0.25
+        assert reason == "client rate limit 50/s exceeded"
 
     @pytest.mark.parametrize(
         "config",
@@ -192,6 +211,10 @@ class TestPayloadRoundTrips:
             "push_encode_us": 311.75,
             "push_enqueue_us": 4.5,
             "push_drain_us": 92.25,
+            "queue_depth": 12,
+            "inflight": 3,
+            "req_p50_us": 640.5,
+            "req_p99_us": 9001.25,
         }
         assert P.decode_stats(P.encode_stats(stats)) == stats
         # missing keys encode as zero, and the float fields stay lossless
@@ -231,11 +254,14 @@ class TestPayloadFuzz:
         P.decode_subscribe_ok,
         P.decode_sub_dropped,
         P.decode_stats,
+        P.decode_retry,
         P.decode_error,
     ]
 
     GOOD = [
         P.encode_hello(1),
+        P.encode_hello(1, "shared-secret"),
+        P.encode_retry(0.5, "shed"),
         P.encode_welcome(5, False, "server"),
         P.encode_predict_request(1, 2, PredictorConfig.inano()),
         P.encode_predict_reply(PATH),
