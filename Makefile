@@ -9,7 +9,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: verify bench-smoke bench bench-update bench-search bench-serve bench-net equivalence
+.PHONY: verify bench-smoke bench bench-update bench-search bench-serve bench-net bench-obs equivalence
 
 verify:
 	$(PYTEST) -x -q
@@ -28,6 +28,11 @@ bench-serve:
 bench-net:
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_net_performance.py -q
 	python benchmarks/check_net_floor.py
+	python benchmarks/check_obs_overhead.py
+
+bench-obs:
+	BENCH_RECORD=1 $(PYTEST) benchmarks/test_net_performance.py -q -k bench_gateway
+	python benchmarks/check_obs_overhead.py
 
 bench-smoke: bench-update bench-search bench-serve bench-net
 	BENCH_RECORD=1 $(PYTEST) benchmarks/test_query_performance.py -q \

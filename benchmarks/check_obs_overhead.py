@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI gate for the observability layer's overhead (stdlib only).
+
+``make bench-net`` records two pipelined-QPS measurements for the
+same warm workload in ``BENCH_net.json``: a classic client and a
+client that negotiated ``FLAG_TRACE`` with sampling off — the
+deployment default for always-on tracing support. This script fails
+the build if the latest run shows tracing support costing more than
+``OVERHEAD_CEILING_PCT`` of pipelined throughput.
+
+With sampling off the traced client never mints a context, no TRACE
+field rides the wire, and the gateway's per-request obs work is one
+``conn.trace`` flag check plus the registry-backed stats counters the
+classic path also pays — so the two measurements should be noise
+apart. The generous ceiling absorbs scheduler jitter on loaded
+1-core CI hosts without letting a real per-request regression
+(accidental span recording, eager context minting, payload re-scans)
+slip through.
+
+The serve-side trajectory (``BENCH_serve.json``) records the
+*full-tracing* cost per shard count (``steady_traced_s`` /
+``trace_overhead_pct``) for observation; that mode is opt-in per
+request, so it is recorded, not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_NET_JSON = Path(__file__).parent.parent / "BENCH_net.json"
+
+#: ISSUE acceptance bar: tracing support (sampling off) may cost at
+#: most this fraction of pipelined QPS.
+OVERHEAD_CEILING_PCT = 5.0
+
+
+def main() -> int:
+    if not BENCH_NET_JSON.exists():
+        print(f"FAIL: {BENCH_NET_JSON} missing — run `make bench-net`")
+        return 1
+    payload = json.loads(BENCH_NET_JSON.read_text())
+    runs = payload.get("runs") or []
+    if not runs:
+        print("FAIL: BENCH_net.json has no recorded runs")
+        return 1
+
+    entry = runs[-1].get("timings", {}).get("gateway_tcp")
+    if not isinstance(entry, dict):
+        print(
+            "FAIL: latest run recorded no gateway_tcp entry "
+            "— run the full `make bench-net`, not a filtered subset"
+        )
+        return 1
+    base = entry.get("pipelined_qps")
+    traced = entry.get("pipelined_qps_trace_off")
+    if not isinstance(base, (int, float)) or not isinstance(
+        traced, (int, float)
+    ):
+        print(
+            "FAIL: latest gateway_tcp entry predates the tracing "
+            "overhead measurement — re-run `make bench-net`"
+        )
+        return 1
+
+    overhead = max(0.0, (1.0 - traced / base) * 100)
+    if overhead > OVERHEAD_CEILING_PCT:
+        print(
+            f"FAIL: tracing support costs {overhead:.1f}% pipelined QPS "
+            f"({base:,.0f} -> {traced:,.0f}); ceiling is "
+            f"{OVERHEAD_CEILING_PCT:.0f}%"
+        )
+        return 1
+    print(
+        f"ok: pipelined QPS {base:,.0f} classic vs {traced:,.0f} with "
+        f"FLAG_TRACE + sampling off ({overhead:.1f}% overhead, ceiling "
+        f"{OVERHEAD_CEILING_PCT:.0f}%)"
+    )
+    print("OK: observability overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

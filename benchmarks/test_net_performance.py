@@ -44,6 +44,7 @@ from repro.atlas.serialization import decode_delta, encode_delta
 from repro.client import AtlasServer
 from repro.net import NetworkClient, NetworkGateway
 from repro.net import protocol as P
+from repro.util.stats import nearest_rank
 
 N_CONNECTS = 20
 PIPELINE_DEPTH = 256
@@ -71,11 +72,6 @@ def workload(scenario):
     dsts = prefixes[:8]
     srcs = prefixes[:25]
     return [(s, d) for d in dsts for s in srcs if s != d]
-
-
-def _percentile(values: list[float], q: float) -> float:
-    ordered = sorted(values)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
 
 def test_bench_gateway(server, scenario, workload, bench_record_net, report):
@@ -119,6 +115,21 @@ def test_bench_gateway(server, scenario, workload, bench_record_net, report):
         batch_s = (time.perf_counter() - start) / PIPELINE_ROUNDS
         batch_qps = len(window) / batch_s
 
+        # -- tracing overhead: FLAG_TRACE negotiated, sampling off --
+        # the deployment default for always-on tracing support; the
+        # obs gate (benchmarks/check_obs_overhead.py) holds the
+        # pipelined-QPS regression of this mode within 5%
+        traced = NetworkClient.connect_tcp(
+            host, port, trace=True, trace_sample=0.0
+        )
+        traced.predict_batch(workload)  # same cache warmth as `client`
+        start = time.perf_counter()
+        for _ in range(PIPELINE_ROUNDS):
+            traced.pipeline_predict(window)
+        traced_s = (time.perf_counter() - start) / PIPELINE_ROUNDS
+        traced_qps = len(window) / traced_s
+        traced.close()
+
         # -- delta push latency: gateway apply -> client applied in place --
         subscriber = NetworkClient.connect_tcp(host, port)
         subscriber.bootstrap()
@@ -134,10 +145,14 @@ def test_bench_gateway(server, scenario, workload, bench_record_net, report):
         gateway.close()
 
     stats = {
-        "connect_p50_ms": round(_percentile(connects, 0.50) * 1000, 3),
-        "connect_p99_ms": round(_percentile(connects, 0.99) * 1000, 3),
+        "connect_p50_ms": round(nearest_rank(connects, 0.50) * 1000, 3),
+        "connect_p99_ms": round(nearest_rank(connects, 0.99) * 1000, 3),
         "lockstep_qps": round(lockstep_qps, 1),
         "pipelined_qps": round(pipelined_qps, 1),
+        "pipelined_qps_trace_off": round(traced_qps, 1),
+        "trace_overhead_pct": round(
+            max(0.0, (1.0 - traced_qps / pipelined_qps) * 100), 2
+        ),
         "pipeline_depth": PIPELINE_DEPTH,
         "batch_qps": round(batch_qps, 1),
         "push_apply_ms": round(pushed_s * 1000, 3),
@@ -159,6 +174,10 @@ def test_bench_gateway(server, scenario, workload, bench_record_net, report):
                 (
                     f"pipelined QPS (depth {PIPELINE_DEPTH})",
                     f"{stats['pipelined_qps']:,.0f}",
+                ),
+                (
+                    "pipelined QPS (trace on, sample 0)",
+                    f"{stats['pipelined_qps_trace_off']:,.0f}",
                 ),
                 ("batch QPS", f"{stats['batch_qps']:,.0f}"),
                 ("delta push -> applied", f"{stats['push_applied_client_ms']:.1f} ms"),

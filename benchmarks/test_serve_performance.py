@@ -34,6 +34,8 @@ import pytest
 from repro.atlas.delta import compute_delta
 from repro.client import AtlasServer
 from repro.core.predictor import _SEARCH_CACHE_MAX
+from repro.obs import Tracer
+from repro.util.stats import nearest_rank
 
 SHARD_COUNTS = (1, 2, 4)
 STEADY_ROUNDS = 3
@@ -61,11 +63,6 @@ def workload(scenario):
     return [(src, dst) for dst in dsts for src in srcs], len(dsts)
 
 
-def _percentile(values: list[float], q: float) -> float:
-    ordered = sorted(values)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
-
-
 def test_bench_shard_scaling(
     server, scenario, workload, bench_record_serve, report
 ):
@@ -90,6 +87,14 @@ def test_bench_shard_scaling(
                     start = time.perf_counter()
                     service.predict(src, dst)
                     singles.append(time.perf_counter() - start)
+                # full tracing on every batch: route + worker + kernel
+                # spans recorded and shipped back over the pipe — the
+                # worst-case obs cost, recorded for the trajectory
+                tracer = Tracer()
+                start = time.perf_counter()
+                for _ in range(STEADY_ROUNDS):
+                    service.predict_batch(pairs, trace=tracer.start_trace())
+                traced_s = (time.perf_counter() - start) / STEADY_ROUNDS
                 start = time.perf_counter()
                 update = service.apply_delta(delta)
                 broadcast_s = time.perf_counter() - start
@@ -97,9 +102,13 @@ def test_bench_shard_scaling(
                 sweep[n_shards] = {
                     "cold_s": round(cold_s, 4),
                     "steady_s": round(steady_s, 4),
+                    "steady_traced_s": round(traced_s, 4),
+                    "trace_overhead_pct": round(
+                        max(0.0, (traced_s / steady_s - 1.0) * 100), 2
+                    ),
                     "throughput_pairs_s": round(len(pairs) / steady_s, 1),
-                    "p50_ms": round(_percentile(singles, 0.50) * 1000, 3),
-                    "p99_ms": round(_percentile(singles, 0.99) * 1000, 3),
+                    "p50_ms": round(nearest_rank(singles, 0.50) * 1000, 3),
+                    "p99_ms": round(nearest_rank(singles, 0.99) * 1000, 3),
                     "broadcast_s": round(broadcast_s, 4),
                     "broadcast_wire_bytes": update["wire_bytes"],
                     "converged": converged,

@@ -169,6 +169,20 @@ _JOURNAL_MAX_ROWS = 1 << 17
 PROFILE: dict | None = None
 
 
+def profile_into(registry, prefix: str = "kernel.profile"):
+    """Point the module profile sink at an obs registry: ``PROFILE``
+    becomes a live :class:`~repro.obs.registry.StatsView` over
+    ``prefix.alloc_s`` / ``prefix.search_s`` gauges, so kernel phase
+    timings land in the same snapshot as every other metric. Returns
+    the view; pass ``None`` to turn profiling back off."""
+    global PROFILE
+    if registry is None:
+        PROFILE = None
+        return None
+    PROFILE = registry.view(prefix, ["alloc_s", "search_s"])
+    return PROFILE
+
+
 class SearchStatePool:
     """Freelist of per-search state-array bundles for one graph size.
 

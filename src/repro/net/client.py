@@ -58,10 +58,21 @@ reply with a typed STATS frame (backend wall time, the search-kernel
 counter deltas the request caused, and the repair-class counts of the
 last applied day); the latest decoded frame is kept on
 ``client.last_stats``.
+
+Constructing with ``trace=True`` negotiates ``FLAG_TRACE`` instead:
+the client mints a ``(trace_id, root_span_id)`` context per sampled
+delegate-mode query (``trace_sample`` sets the rate; ``trace_seed``
+makes the sampling deterministic), appends it to the request payload,
+and records a ``client.request`` root span around the round trip.
+:meth:`fetch_trace` pulls the gateway-side spans (decode, admission,
+dispatch, routing, worker, kernel) over ``TRACE_FETCH`` and merges
+them with the local root; :meth:`span_tree` assembles the
+parent-linked tree.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 
@@ -75,6 +86,7 @@ from repro.errors import (
     RemoteError,
 )
 from repro.net import protocol as P
+from repro.obs.trace import Span, TraceCollector, Tracer, build_tree
 from repro.runtime import AtlasRuntime
 
 __all__ = ["NetworkClient"]
@@ -113,6 +125,9 @@ class NetworkClient:
         config: PredictorConfig | None = None,
         subscribe: bool = False,
         stats: bool = False,
+        trace: bool = False,
+        trace_sample: float = 1.0,
+        trace_seed: int | None = None,
         push_hook=None,
         auth_token: str | None = None,
         auto_resubscribe: bool = False,
@@ -158,6 +173,20 @@ class NetworkClient:
         self.stats_enabled = bool(stats)
         self.last_stats: dict | None = None
         self.stats_frames = 0
+        #: FLAG_TRACE negotiated: sampled delegate-mode queries carry a
+        #: trace context; ``server_caps`` echoes what the gateway
+        #: confirmed in its WELCOME caps byte
+        self.trace_enabled = bool(trace)
+        self.server_caps = 0
+        self.trace_collector = TraceCollector()
+        self.tracer = Tracer(
+            collector=self.trace_collector,
+            sample_rate=float(trace_sample),
+            rng=random.Random(trace_seed) if trace_seed is not None else None,
+        )
+        #: trace id of the most recent sampled request (None until one
+        #: is minted) — the default argument of :meth:`fetch_trace`
+        self.last_trace_id: int | None = None
         try:
             self._hello(subscribe)
         except BaseException:
@@ -204,10 +233,19 @@ class NetworkClient:
         flags = P.FLAG_SUBSCRIBE if subscribe else 0
         if self.stats_enabled:
             flags |= P.FLAG_STATS
+        if self.trace_enabled:
+            flags |= P.FLAG_TRACE
         payload = self._request(
             P.HELLO, P.encode_hello(flags, self._auth_token), P.WELCOME
         )
-        day, subscribed, backend = P.decode_welcome(payload)
+        if self.trace_enabled:
+            # caps-aware read: an old gateway answers the classic
+            # 3-field WELCOME (caps 0) and this client simply keeps
+            # its requests untraced
+            day, subscribed, backend, caps = P.decode_welcome_caps(payload)
+            self.server_caps = caps
+        else:
+            day, subscribed, backend = P.decode_welcome(payload)
         self.server_day = day
         self.subscribed = subscribed
         self.backend_name = backend
@@ -362,6 +400,60 @@ class NetworkClient:
         )
         self.retries += 1
         time.sleep(delay)
+
+    # -- tracing -----------------------------------------------------------
+
+    def _start_trace(self) -> tuple[int, int] | None:
+        """A fresh ``(trace_id, root_span_id)`` for this request, or
+        None when tracing is off, the gateway didn't confirm the
+        capability, or the sampler skipped this request. A RETRY
+        re-send reuses the same payload, so the context survives
+        admission sheds."""
+        if not (self.trace_enabled and self.server_caps & P.FLAG_TRACE):
+            return None
+        ctx = self.tracer.start_trace()
+        if ctx is not None:
+            self.last_trace_id = ctx[0]
+        return ctx
+
+    def _record_root(
+        self, ctx: tuple[int, int], name: str, start_us: float, t0: float, **tags
+    ) -> None:
+        self.tracer.record(
+            (ctx[0], 0),
+            name,
+            start_us,
+            (time.perf_counter() - t0) * 1e6,
+            span_id=ctx[1],
+            **tags,
+        )
+
+    def fetch_trace(self, trace_id: int | None = None) -> list[Span]:
+        """Every span of one trace: the gateway's (and its backend's)
+        spans pulled over ``TRACE_FETCH``/``TRACE_DUMP``, merged with
+        the spans this client recorded locally. Defaults to the most
+        recent sampled request."""
+        if trace_id is None:
+            trace_id = self.last_trace_id
+        if trace_id is None:
+            raise ClientError("no traced request yet")
+        if not (self.trace_enabled and self.server_caps & P.FLAG_TRACE):
+            raise ClientError("tracing was not negotiated with the gateway")
+        payload = self._request(
+            P.TRACE_FETCH, P.encode_trace_fetch(trace_id), P.TRACE_DUMP
+        )
+        spans = {
+            s.span_id: s
+            for s in self.trace_collector.spans_of(trace_id)
+        }
+        for fields in P.decode_trace_dump(payload):
+            spans.setdefault(fields["span_id"], Span(**fields))
+        return sorted(spans.values(), key=lambda s: s.start_us)
+
+    def span_tree(self, trace_id: int | None = None) -> list[dict]:
+        """:meth:`fetch_trace` assembled into a parent-linked forest
+        (see :func:`repro.obs.trace.build_tree`)."""
+        return build_tree(self.fetch_trace(trace_id))
 
     # -- bootstrap + updates -----------------------------------------------
 
@@ -544,9 +636,17 @@ class NetworkClient:
         round trip in delegate mode)."""
         if self.runtime is not None:
             return self._predictor(config).predict_batch([(src, dst)])[0]
+        ctx = self._start_trace()
+        start_us, t0 = Tracer.now_us(), time.perf_counter()
         payload = self._request(
-            P.PREDICT, P.encode_predict_request(src, dst, config), P.PREDICT_OK
+            P.PREDICT,
+            P.encode_predict_request(src, dst, config, trace=ctx),
+            P.PREDICT_OK,
         )
+        if ctx is not None:
+            self._record_root(
+                ctx, "client.request", start_us, t0, frame="PREDICT"
+            )
         return P.decode_predict_reply(payload)
 
     def predict_batch(
@@ -562,11 +662,22 @@ class NetworkClient:
                     "client-scoped queries are delegate-mode only"
                 )
             return self._predictor(config).predict_batch(pairs)
+        ctx = self._start_trace()
+        start_us, t0 = Tracer.now_us(), time.perf_counter()
         payload = self._request(
             P.PREDICT_BATCH,
-            P.encode_batch_request(pairs, config, client),
+            P.encode_batch_request(pairs, config, client, trace=ctx),
             P.PREDICT_BATCH_OK,
         )
+        if ctx is not None:
+            self._record_root(
+                ctx,
+                "client.request",
+                start_us,
+                t0,
+                frame="PREDICT_BATCH",
+                pairs=len(pairs),
+            )
         paths = P.decode_batch_reply(payload)
         if len(paths) != len(pairs):
             raise ProtocolError(
@@ -594,11 +705,22 @@ class NetworkClient:
                 self._predictor(config).predict_batch,
                 self.runtime.atlas.day,
             )
+        ctx = self._start_trace()
+        start_us, t0 = Tracer.now_us(), time.perf_counter()
         payload = self._request(
             P.QUERY_INFO,
-            P.encode_query_request(pairs, config, client),
+            P.encode_query_request(pairs, config, client, trace=ctx),
             P.QUERY_INFO_OK,
         )
+        if ctx is not None:
+            self._record_root(
+                ctx,
+                "client.request",
+                start_us,
+                t0,
+                frame="QUERY_INFO",
+                pairs=len(pairs),
+            )
         infos = P.decode_query_reply(payload)
         if len(infos) != len(pairs):
             raise ProtocolError(
@@ -624,12 +746,21 @@ class NetworkClient:
             raise ClientError("pipeline_predict is delegate-mode only")
         pairs = list(pairs)
         ids = []
+        ctxs = []
+        sent_at = []
         for src, dst in pairs:
+            ctx = self._start_trace()
             request_id = self._take_id()
             self._send_frame(
-                P.PREDICT, request_id, P.encode_predict_request(src, dst, config)
+                P.PREDICT,
+                request_id,
+                P.encode_predict_request(src, dst, config, trace=ctx),
             )
             ids.append(request_id)
+            ctxs.append(ctx)
+            sent_at.append(
+                None if ctx is None else (Tracer.now_us(), time.perf_counter())
+            )
         # Drain every original id first, marking shed slots; re-sending
         # mid-drain would mint ids above the still-pending tail and the
         # monotonic stale-discard would throw those replies away.
@@ -640,17 +771,27 @@ class NetworkClient:
                 out[i] = P.decode_predict_reply(
                     self._collect(request_id, P.PREDICT_OK)
                 )
+                if ctxs[i] is not None:
+                    start_us, t0 = sent_at[i]
+                    self._record_root(
+                        ctxs[i],
+                        "client.request",
+                        start_us,
+                        t0,
+                        frame="PREDICT",
+                        pipelined=True,
+                    )
             except _Retry as retry:
                 shed.append((i, retry.retry_after_s))
         for attempt, (i, hint_s) in enumerate(shed, start=1):
             # sequential re-requests; _request layers its own backoff on
-            # any further sheds
+            # any further sheds (the trace context, if any, rides along)
             self._backoff(min(attempt, 4), hint_s)
             src, dst = pairs[i]
             out[i] = P.decode_predict_reply(
                 self._request(
                     P.PREDICT,
-                    P.encode_predict_request(src, dst, config),
+                    P.encode_predict_request(src, dst, config, trace=ctxs[i]),
                     P.PREDICT_OK,
                 )
             )

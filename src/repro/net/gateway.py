@@ -90,6 +90,8 @@ from repro.errors import (
 )
 from repro.net import protocol as P
 from repro.net.admission import AdmissionControl
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceCollector, Tracer
 
 __all__ = ["NetworkGateway"]
 
@@ -103,6 +105,11 @@ class _ServiceBackend:
     """Bridge to a sharded :class:`~repro.serve.service.PredictionService`."""
 
     name = "service"
+    #: accepts a trace context as a fourth call argument; the service
+    #: records routing/worker/kernel spans in its own collector, which
+    #: :meth:`trace_spans` exposes to the gateway's TRACE_FETCH path
+    supports_trace = True
+    tracer = None  # set by the gateway; unused here
 
     def __init__(self, service) -> None:
         self.service = service
@@ -117,11 +124,14 @@ class _ServiceBackend:
     def day(self) -> int:
         return self.service.day
 
-    def predict_batch(self, pairs, config, client):
-        return self.service.predict_batch(pairs, config, client)
+    def predict_batch(self, pairs, config, client, trace=None):
+        return self.service.predict_batch(pairs, config, client, trace=trace)
 
-    def query_batch(self, pairs, config, client):
-        return self.service.query_batch(pairs, config, client)
+    def query_batch(self, pairs, config, client, trace=None):
+        return self.service.query_batch(pairs, config, client, trace=trace)
+
+    def trace_spans(self, trace_id: int) -> list:
+        return self.service.trace_spans(trace_id)
 
     def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
         """The bootstrap anchor ``(day, payload)``; the gateway caches
@@ -177,6 +187,12 @@ class _ServerBackend:
     bit-for-bit trivial to audit)."""
 
     name = "server"
+    #: accepts a trace context as a fourth call argument and records a
+    #: ``kernel.search`` span (kernel-counter deltas, cache-hit vs
+    #: cold split, repair class) through the gateway-assigned tracer —
+    #: the kernel lives in this very process, so the span is exact
+    supports_trace = True
+    tracer = None  # set by the gateway
 
     def __init__(self, server) -> None:
         self.server = server
@@ -189,24 +205,60 @@ class _ServerBackend:
     def day(self) -> int:
         return self._runtime.atlas.day
 
-    def predict_batch(self, pairs, config, client):
+    def _traced_run(self, fn, trace):
+        """Run ``fn`` under a ``kernel.search`` span attributing the
+        shared pool's counter deltas to this request. Bridge-thread
+        only, like every backend call, so the before/after sampling
+        sees exactly one caller."""
+        pool = self._runtime.pool
+        k0 = pool.kernel_stats()
+        start_us = Tracer.now_us()
+        result = fn()
+        k1 = pool.kernel_stats()
+        searches = k1["searches"] - k0["searches"]
+        repair = max(
+            (k for k in ("reused", "repaired", "replayed", "dirty")),
+            key=lambda k: pool.last_repair.get(k, 0),
+            default="none",
+        )
+        self.tracer.record(
+            trace,
+            "kernel.search",
+            start_us,
+            k1["search_us"] - k0["search_us"],
+            searches=searches,
+            hits=k1["hits"] - k0["hits"],
+            cache="cold" if searches else "hit",
+            repair=repair if pool.last_repair.get(repair, 0) else "none",
+        )
+        return result
+
+    def predict_batch(self, pairs, config, client, trace=None):
         if client is not None:
             raise ProtocolError(
                 "client-scoped queries need a sharded service backend"
             )
-        return self._runtime.pool.predictor(config).predict_batch(list(pairs))
+        run = lambda: self._runtime.pool.predictor(config).predict_batch(
+            list(pairs)
+        )
+        if trace is None or self.tracer is None:
+            return run()
+        return self._traced_run(run, trace)
 
-    def query_batch(self, pairs, config, client):
+    def query_batch(self, pairs, config, client, trace=None):
         if client is not None:
             raise ProtocolError(
                 "client-scoped queries need a sharded service backend"
             )
         runtime = self._runtime
-        return combine_batches(
+        run = lambda: combine_batches(
             pairs,
             runtime.pool.predictor(config).predict_batch,
             runtime.atlas.day,
         )
+        if trace is None or self.tracer is None:
+            return run()
+        return self._traced_run(run, trace)
 
     def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
         """The published payload as the bootstrap anchor; when pushes
@@ -289,6 +341,7 @@ class _Conn:
         "peer",
         "subscribed",
         "stats",
+        "trace",
         "hello_done",
         "queue",
         "queued_bytes",
@@ -306,6 +359,9 @@ class _Conn:
         #: FLAG_STATS negotiated: every successful query reply is
         #: followed by a STATS frame with the same request id
         self.stats = False
+        #: FLAG_TRACE negotiated: query payloads may carry a trailing
+        #: trace context and TRACE_FETCH is answered
+        self.trace = False
         self.hello_done = False
         #: pending ``(frame, tracker)`` writes; tracker is non-None
         #: only for broadcast push frames. ``frame is None`` is a drain
@@ -407,32 +463,48 @@ class NetworkGateway:
         #: log prefix (None until the first compaction)
         self._log_floor: int | None = None
         self._closed = False
-        self.stats = {
-            "connections_total": 0,
-            "connections_open": 0,
-            "frames_in": 0,
-            "frames_out": 0,
-            "requests": 0,
-            "errors_sent": 0,
-            "bytes_in": 0,
-            "bytes_out": 0,
-            "deltas_pushed": 0,
-            "push_frames": 0,
-            "push_errors": 0,
-            "push_drops": 0,
-            "push_encode_us": 0.0,
-            "push_enqueue_us": 0.0,
-            "push_drain_slowest_us": 0.0,
-            "stats_frames": 0,
-            "atlas_bytes_served": 0,
-            "delta_log_bytes": 0,
-            "delta_log_days": 0,
-            "compactions": 0,
-            "anchor_day": -1,
-            "retries_sent": 0,
-            "auth_failures": 0,
-            "connections_rejected": 0,
-        }
+        #: the gateway's metrics registry; :attr:`stats` is a
+        #: dict-shaped view over it (``net.gateway.*`` gauges), so the
+        #: registry holds the only copy of every counter below
+        self.obs = MetricsRegistry()
+        self.stats = self.obs.view(
+            "net.gateway",
+            (
+                "connections_total",
+                "connections_open",
+                "frames_in",
+                "frames_out",
+                "requests",
+                "errors_sent",
+                "bytes_in",
+                "bytes_out",
+                "deltas_pushed",
+                "push_frames",
+                "push_errors",
+                "push_drops",
+                "push_encode_us",
+                "push_enqueue_us",
+                "push_drain_slowest_us",
+                "stats_frames",
+                "atlas_bytes_served",
+                "delta_log_bytes",
+                "delta_log_days",
+                "compactions",
+                "anchor_day",
+                "retries_sent",
+                "auth_failures",
+                "connections_rejected",
+            ),
+        )
+        self.stats["anchor_day"] = -1
+        #: spans the gateway records loop-side (decode / admission /
+        #: dispatch) for FLAG_TRACE clients; TRACE_FETCH reads it
+        self.trace = TraceCollector()
+        self.tracer = Tracer(collector=self.trace)
+        # server/relay backends record kernel.search spans themselves
+        # (on the bridge thread) through the same tracer
+        if getattr(self.backend, "supports_trace", False):
+            self.backend.tracer = self.tracer
         #: query frames currently queued on (or running through) the
         #: single-thread bridge — the node's backlog signal for
         #: queue-depth shedding
@@ -936,13 +1008,22 @@ class NetworkGateway:
             conn.hello_done = True
             conn.subscribed = bool(flags & P.FLAG_SUBSCRIBE)
             conn.stats = bool(flags & P.FLAG_STATS)
+            conn.trace = bool(flags & P.FLAG_TRACE)
             day = await self._call(lambda: self.backend.day)
+            # the caps byte confirms tracing back to the client; it is
+            # appended only for FLAG_TRACE peers, so pre-trace clients
+            # see the byte-identical classic WELCOME
             await self._send(
                 conn,
                 P.encode_frame(
                     P.WELCOME,
                     request_id,
-                    P.encode_welcome(day, conn.subscribed, self.backend.name),
+                    P.encode_welcome(
+                        day,
+                        conn.subscribed,
+                        self.backend.name,
+                        caps=P.FLAG_TRACE if conn.trace else 0,
+                    ),
                 ),
             )
             return
@@ -966,11 +1047,25 @@ class NetworkGateway:
             # or subscription traffic would strand a client with no
             # atlas at all. A refusal is a typed RETRY with the same
             # request id — never a silent drop or a hung socket.
+            adm0 = time.perf_counter()
             refusal = self.admission.admit_request(
                 conn.peer,
                 asyncio.get_running_loop().time(),
                 self._inflight_queries,
             )
+            adm_us = (time.perf_counter() - adm0) * 1e6
+            # admission runs before payload decode, so the trace
+            # context (if any) is sniffed off the payload tail
+            trace = P.peek_trace(payload) if conn.trace else None
+            if trace is not None:
+                self.tracer.record(
+                    trace,
+                    "gw.admission",
+                    Tracer.now_us() - adm_us,
+                    adm_us,
+                    verdict="refused" if refusal is not None else "admitted",
+                    **({"reason": refusal[1]} if refusal is not None else {}),
+                )
             if refusal is not None:
                 retry_after, reason = refusal
                 self.stats["retries_sent"] += 1
@@ -1002,6 +1097,26 @@ class NetworkGateway:
                     P.encode_subscribe_ok(day, conn.subscribed),
                 ),
             )
+        elif ftype == P.TRACE_FETCH:
+            if not conn.trace:
+                await self._send_error(
+                    conn,
+                    request_id,
+                    P.E_UNSUPPORTED,
+                    "TRACE_FETCH requires FLAG_TRACE in HELLO",
+                )
+                return
+            trace_id = P.decode_trace_fetch(payload)
+            spans = list(self.trace.spans_of(trace_id))
+            backend_spans = getattr(self.backend, "trace_spans", None)
+            if backend_spans is not None:
+                spans.extend(await self._call(backend_spans, trace_id))
+            await self._send(
+                conn,
+                P.encode_frame(
+                    P.TRACE_DUMP, request_id, P.encode_trace_dump(spans)
+                ),
+            )
         elif ftype == P.HELLO:
             raise ProtocolError("duplicate HELLO")
         else:
@@ -1015,44 +1130,83 @@ class NetworkGateway:
     async def _dispatch_query(
         self, conn: _Conn, ftype: int, request_id: int, payload: bytes
     ) -> None:
+        # Decode. FLAG_TRACE connections use the traced readers (which
+        # accept — and strip — the optional trailing trace context);
+        # classic connections keep the strict classic decoders, so a
+        # trace field from a peer that never negotiated it still
+        # closes the connection with a typed error.
+        dec0 = time.perf_counter()
+        trace = None
         if ftype == P.PREDICT:
-            src, dst, config = P.decode_predict_request(payload)
-            paths, stats = await self._timed_call(
-                conn, self.backend.predict_batch, [(src, dst)], config, None
-            )
-            await self._send(
-                conn,
-                P.encode_frame(
-                    P.PREDICT_OK, request_id, P.encode_predict_reply(paths[0])
-                ),
-            )
-            await self._send_stats(conn, request_id, stats)
+            if conn.trace:
+                src, dst, config, trace = P.decode_predict_request_traced(
+                    payload
+                )
+            else:
+                src, dst, config = P.decode_predict_request(payload)
+            pairs, client = [(src, dst)], None
+            call = self.backend.predict_batch
+            ok_type = P.PREDICT_OK
+
+            def encode_reply(paths):
+                return P.encode_predict_reply(paths[0])
+
         elif ftype == P.PREDICT_BATCH:
-            pairs, config, client = P.decode_batch_request(payload)
-            paths, stats = await self._timed_call(
-                conn, self.backend.predict_batch, pairs, config, client
-            )
-            await self._send(
-                conn,
-                P.encode_frame(
-                    P.PREDICT_BATCH_OK, request_id, P.encode_batch_reply(paths)
-                ),
-            )
-            await self._send_stats(conn, request_id, stats)
+            if conn.trace:
+                pairs, config, client, trace = P.decode_batch_request_traced(
+                    payload
+                )
+            else:
+                pairs, config, client = P.decode_batch_request(payload)
+            call = self.backend.predict_batch
+            ok_type, encode_reply = P.PREDICT_BATCH_OK, P.encode_batch_reply
         elif ftype == P.QUERY_INFO:
-            pairs, config, client = P.decode_query_request(payload)
-            infos, stats = await self._timed_call(
-                conn, self.backend.query_batch, pairs, config, client
-            )
-            await self._send(
-                conn,
-                P.encode_frame(
-                    P.QUERY_INFO_OK, request_id, P.encode_query_reply(infos)
-                ),
-            )
-            await self._send_stats(conn, request_id, stats)
+            if conn.trace:
+                pairs, config, client, trace = P.decode_query_request_traced(
+                    payload
+                )
+            else:
+                pairs, config, client = P.decode_query_request(payload)
+            call = self.backend.query_batch
+            ok_type, encode_reply = P.QUERY_INFO_OK, P.encode_query_reply
         else:  # unreachable: _dispatch routes only the three query types
             raise ProtocolError(f"not a query frame: {P.frame_name(ftype)}")
+        dec_us = (time.perf_counter() - dec0) * 1e6
+        args = (pairs, config, client)
+        dispatch_span = None
+        if trace is not None:
+            self.tracer.record(
+                trace,
+                "gw.decode",
+                Tracer.now_us() - dec_us,
+                dec_us,
+                frame=P.frame_name(ftype),
+                pairs=len(pairs),
+            )
+            if getattr(self.backend, "supports_trace", False):
+                # mint the dispatch span id up front so the backend's
+                # spans (serve.route / shard.batch / kernel.search)
+                # parent on it; the span itself is recorded after the
+                # call, duration known
+                dispatch_span = self.tracer.mint_id()
+                args = args + ((trace[0], dispatch_span),)
+        disp0 = time.perf_counter()
+        start_us = Tracer.now_us() if trace is not None else 0.0
+        result, stats = await self._timed_call(conn, call, *args)
+        if trace is not None:
+            self.tracer.record(
+                trace,
+                "gw.dispatch",
+                start_us,
+                (time.perf_counter() - disp0) * 1e6,
+                span_id=dispatch_span,
+                backend=self.backend.name,
+            )
+        await self._send(
+            conn,
+            P.encode_frame(ok_type, request_id, encode_reply(result)),
+        )
+        await self._send_stats(conn, request_id, stats)
 
     async def _dispatch_fetch(
         self, conn: _Conn, request_id: int, payload: bytes

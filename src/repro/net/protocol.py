@@ -113,6 +113,8 @@ DELTA_PUSH = 13
 STATS = 14
 SUB_DROPPED = 15
 RETRY = 16
+TRACE_FETCH = 17
+TRACE_DUMP = 18
 ERROR = 127
 
 _FRAME_NAMES = {
@@ -132,6 +134,8 @@ _FRAME_NAMES = {
     STATS: "STATS",
     SUB_DROPPED: "SUB_DROPPED",
     RETRY: "RETRY",
+    TRACE_FETCH: "TRACE_FETCH",
+    TRACE_DUMP: "TRACE_DUMP",
     ERROR: "ERROR",
 }
 
@@ -139,6 +143,7 @@ _FRAME_NAMES = {
 FLAG_SUBSCRIBE = 1
 FLAG_STATS = 2
 FLAG_AUTH = 4
+FLAG_TRACE = 8
 
 # -- wire error codes ------------------------------------------------------
 
@@ -254,6 +259,10 @@ class _Reader:
         chunk = self.data[self.off : end]
         self.off = end
         return chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.off
 
     def finish(self) -> None:
         if self.off != len(self.data):
@@ -400,6 +409,51 @@ def _read_path_info(r: _Reader):
     )
 
 
+# -- trace context ---------------------------------------------------------
+
+#: the optional trailing TRACE field on query requests: one tag byte
+#: (so trailing garbage still raises a typed error instead of parsing
+#: as ids) plus the u64 trace id and u64 parent span id
+_TRACE_TAG = 0x54  # ASCII 'T'
+_TRACE = struct.Struct("<BQQ")
+
+
+def pack_trace(trace) -> bytes:
+    """The optional trailing TRACE field: empty for ``None`` (the
+    payload stays byte-identical to a pre-trace peer's), else the
+    tagged ``(trace_id, parent_span_id)`` pair. Only clients that
+    negotiated ``FLAG_TRACE`` may append it — an old gateway's strict
+    ``finish()`` rejects trailing bytes."""
+    if trace is None:
+        return b""
+    trace_id, span_id = trace
+    return _TRACE.pack(_TRACE_TAG, trace_id, span_id)
+
+
+def _read_trace(r: _Reader) -> tuple[int, int] | None:
+    """The trailing TRACE field, if any bytes remain past the base
+    payload; wrong size or tag raises :class:`ProtocolError`."""
+    if r.remaining == 0:
+        return None
+    tag, trace_id, span_id = r.take(_TRACE)
+    if tag != _TRACE_TAG:
+        raise ProtocolError(f"bad trace field tag 0x{tag:02x}")
+    return trace_id, span_id
+
+
+def peek_trace(payload: bytes) -> tuple[int, int] | None:
+    """Best-effort tail sniff of a trace context without decoding the
+    payload — for paths that must stay O(1) in payload size, like the
+    gateway's pre-decode admission refusal (which still wants the
+    refusal to appear in the trace). A payload whose last 17 bytes
+    happen to look like a trace field can fool this; full decodes use
+    the strict ``decode_*_traced`` readers instead."""
+    if len(payload) < _TRACE.size or payload[-_TRACE.size] != _TRACE_TAG:
+        return None
+    _, trace_id, span_id = _TRACE.unpack(payload[-_TRACE.size:])
+    return trace_id, span_id
+
+
 # -- HELLO / WELCOME -------------------------------------------------------
 
 
@@ -421,8 +475,18 @@ def decode_hello(payload: bytes) -> tuple[int, int, str | None]:
     return version, flags, token
 
 
-def encode_welcome(day: int, subscribed: bool, backend: str) -> bytes:
-    return _I64.pack(day) + _U8.pack(subscribed) + _pack_str(backend)
+def encode_welcome(
+    day: int, subscribed: bool, backend: str, caps: int = 0
+) -> bytes:
+    """``caps`` advertises the gateway's optional capabilities
+    (``FLAG_TRACE``) as a trailing byte — appended only when non-zero,
+    and the gateway sets it only for clients whose HELLO carried
+    ``FLAG_TRACE``, so a pre-trace client's WELCOME stays the classic
+    bytes its strict decoder expects."""
+    base = _I64.pack(day) + _U8.pack(subscribed) + _pack_str(backend)
+    if caps:
+        return base + _U8.pack(caps)
+    return base
 
 
 def decode_welcome(payload: bytes) -> tuple[int, bool, str]:
@@ -434,21 +498,46 @@ def decode_welcome(payload: bytes) -> tuple[int, bool, str]:
     return day, bool(subscribed), backend
 
 
+def decode_welcome_caps(payload: bytes) -> tuple[int, bool, str, int]:
+    """The trace-capable client's WELCOME decode: same fields plus the
+    optional trailing capability byte (0 when absent — an old gateway
+    that never appends one)."""
+    r = _Reader(payload)
+    (day,) = r.take(_I64)
+    (subscribed,) = r.take(_U8)
+    backend = _read_str(r) or ""
+    caps = r.take(_U8)[0] if r.remaining else 0
+    r.finish()
+    return day, bool(subscribed), backend, caps
+
+
 # -- PREDICT / PREDICT_BATCH -----------------------------------------------
 
 
 def encode_predict_request(
-    src: int, dst: int, config: PredictorConfig | None = None
+    src: int, dst: int, config: PredictorConfig | None = None, trace=None
 ) -> bytes:
-    return pack_config(config) + _PAIR.pack(src, dst)
+    return pack_config(config) + _PAIR.pack(src, dst) + pack_trace(trace)
 
 
 def decode_predict_request(payload: bytes):
+    """The classic (pre-``FLAG_TRACE``) decode: rejects a trailing
+    TRACE field like any other trailing bytes — exactly what an old
+    peer does, which is why the client only appends one after
+    negotiating the capability."""
+    src, dst, config, trace = decode_predict_request_traced(payload)
+    if trace is not None:
+        raise ProtocolError("unexpected trace field (FLAG_TRACE not negotiated)")
+    return src, dst, config
+
+
+def decode_predict_request_traced(payload: bytes):
     r = _Reader(payload)
     config = _read_config(r)
     src, dst = r.take(_PAIR)
+    trace = _read_trace(r)
     r.finish()
-    return src, dst, config
+    return src, dst, config, trace
 
 
 def encode_predict_reply(path: PredictedPath | None) -> bytes:
@@ -463,7 +552,10 @@ def decode_predict_reply(payload: bytes) -> PredictedPath | None:
 
 
 def encode_batch_request(
-    pairs, config: PredictorConfig | None = None, client: str | None = None
+    pairs,
+    config: PredictorConfig | None = None,
+    client: str | None = None,
+    trace=None,
 ) -> bytes:
     pairs = list(pairs)
     return (
@@ -471,17 +563,28 @@ def encode_batch_request(
         + _pack_str(client)
         + _U32.pack(len(pairs))
         + b"".join(_PAIR.pack(s, d) for s, d in pairs)
+        + pack_trace(trace)
     )
 
 
 def decode_batch_request(payload: bytes):
+    """Classic decode; a trailing TRACE field is a protocol error here
+    (see :func:`decode_predict_request`)."""
+    pairs, config, client, trace = decode_batch_request_traced(payload)
+    if trace is not None:
+        raise ProtocolError("unexpected trace field (FLAG_TRACE not negotiated)")
+    return pairs, config, client
+
+
+def decode_batch_request_traced(payload: bytes):
     r = _Reader(payload)
     config = _read_config(r)
     client = _read_str(r)
     (n,) = r.take(_U32)
     pairs = [r.take(_PAIR) for _ in range(n)]
+    trace = _read_trace(r)
     r.finish()
-    return pairs, config, client
+    return pairs, config, client, trace
 
 
 def encode_batch_reply(paths) -> bytes:
@@ -502,6 +605,7 @@ def decode_batch_reply(payload: bytes) -> list[PredictedPath | None]:
 # request payload shares the batch-request packing
 encode_query_request = encode_batch_request
 decode_query_request = decode_batch_request
+decode_query_request_traced = decode_batch_request_traced
 
 
 def encode_query_reply(infos) -> bytes:
@@ -581,6 +685,82 @@ def decode_retry(payload: bytes) -> tuple[float, str]:
     reason = _read_str(r) or ""
     r.finish()
     return retry_after_s, reason
+
+
+# -- TRACE_FETCH / TRACE_DUMP ----------------------------------------------
+
+_U64 = struct.Struct("<Q")
+_SPAN_IDS = struct.Struct("<QQQ")  # trace_id, span_id, parent_id
+_SPAN_TIMES = struct.Struct("<dd")  # start_us, duration_us
+
+
+def encode_trace_fetch(trace_id: int) -> bytes:
+    """Ask the gateway for every span it (and its backend) recorded
+    for one trace id — the STATS_DUMP-style retrieval behind
+    ``NetworkClient.fetch_trace``."""
+    return _U64.pack(trace_id)
+
+
+def decode_trace_fetch(payload: bytes) -> int:
+    r = _Reader(payload)
+    (trace_id,) = r.take(_U64)
+    r.finish()
+    return trace_id
+
+
+def encode_trace_dump(spans) -> bytes:
+    """A span list reply: ids + times + name + string tags per span.
+    Accepts any objects with the :class:`repro.obs.trace.Span` fields
+    (this module stays import-light: no obs dependency)."""
+    spans = list(spans)
+    parts = [_U32.pack(len(spans))]
+    for span in spans:
+        tags = span.tags
+        if len(tags) > 255:
+            raise ProtocolError("too many span tags")
+        parts.append(
+            _SPAN_IDS.pack(span.trace_id, span.span_id, span.parent_id)
+        )
+        parts.append(_pack_str(span.name))
+        parts.append(
+            _SPAN_TIMES.pack(float(span.start_us), float(span.duration_us))
+        )
+        parts.append(_U8.pack(len(tags)))
+        for key, value in tags.items():
+            parts.append(_pack_str(str(key)))
+            parts.append(_pack_str(str(value)))
+    return b"".join(parts)
+
+
+def decode_trace_dump(payload: bytes) -> list[dict]:
+    """Span dicts (``trace_id``/``span_id``/``parent_id``/``name``/
+    ``start_us``/``duration_us``/``tags``); the client rebuilds
+    :class:`repro.obs.trace.Span` objects from them."""
+    r = _Reader(payload)
+    (n,) = r.take(_U32)
+    spans = []
+    for _ in range(n):
+        trace_id, span_id, parent_id = r.take(_SPAN_IDS)
+        name = _read_str(r) or ""
+        start_us, duration_us = r.take(_SPAN_TIMES)
+        (ntags,) = r.take(_U8)
+        tags = {}
+        for _ in range(ntags):
+            key = _read_str(r) or ""
+            tags[key] = _read_str(r) or ""
+        spans.append(
+            {
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": name,
+                "start_us": start_us,
+                "duration_us": duration_us,
+                "tags": tags,
+            }
+        )
+    r.finish()
+    return spans
 
 
 # -- STATS -----------------------------------------------------------------

@@ -52,31 +52,53 @@ class _RelayBackend:
     thread."""
 
     name = "relay"
+    #: same trace contract as ``_ServerBackend``: the kernel runs in
+    #: this process, so a traced query gets an exact ``kernel.search``
+    #: span through the gateway-assigned tracer
+    supports_trace = True
+    tracer = None  # set by the gateway
 
     def __init__(self, runtime: AtlasRuntime) -> None:
         self.runtime = runtime
+
+    def _traced_run(self, fn, trace):
+        from repro.net.gateway import _ServerBackend
+
+        return _ServerBackend._traced_run(self, fn, trace)
+
+    @property
+    def _runtime(self) -> AtlasRuntime:  # _ServerBackend._traced_run reads it
+        return self.runtime
 
     @property
     def day(self) -> int:
         return self.runtime.atlas.day
 
-    def predict_batch(self, pairs, config, client):
+    def predict_batch(self, pairs, config, client, trace=None):
         if client is not None:
             raise ProtocolError(
                 "client-scoped queries need the origin's service backend"
             )
-        return self.runtime.pool.predictor(config).predict_batch(list(pairs))
+        run = lambda: self.runtime.pool.predictor(config).predict_batch(
+            list(pairs)
+        )
+        if trace is None or self.tracer is None:
+            return run()
+        return self._traced_run(run, trace)
 
-    def query_batch(self, pairs, config, client):
+    def query_batch(self, pairs, config, client, trace=None):
         if client is not None:
             raise ProtocolError(
                 "client-scoped queries need the origin's service backend"
             )
-        return combine_batches(
+        run = lambda: combine_batches(
             pairs,
             self.runtime.pool.predictor(config).predict_batch,
             self.runtime.atlas.day,
         )
+        if trace is None or self.tracer is None:
+            return run()
+        return self._traced_run(run, trace)
 
     def atlas_bytes(self, day: int | None) -> tuple[int, bytes]:
         """Only the current lineage is servable (the relay holds no

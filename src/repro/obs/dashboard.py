@@ -1,0 +1,48 @@
+"""``repro-top``: a terminal/text dashboard over a metrics snapshot.
+
+:func:`render` takes any snapshot (one registry's, or the fleet-wide
+merge the service front-end assembles) and draws a grouped, aligned
+text board — the operator's view of the same numbers the autoscaler
+and the Prometheus exposition read. No curses, no refresh loop of its
+own: callers re-render on their own cadence (the example's watch loop,
+a test's single shot).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import histogram_percentile
+
+__all__ = ["render"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}" if abs(value) >= 1 else f"{value:.3f}"
+    return f"{value:,}"
+
+
+def render(snapshot: dict, title: str = "repro-top", width: int = 72) -> str:
+    """One text frame: metrics grouped by their first dotted name
+    component, histograms summarized as count/p50/p99 (bucket-derived,
+    so a merged fleet snapshot renders the same way a local one does).
+    """
+    groups: dict[str, list[tuple[str, object]]] = {}
+    for name in sorted(snapshot):
+        head, _, rest = name.partition(".")
+        groups.setdefault(head, []).append((rest or head, snapshot[name]))
+    bar = "=" * width
+    lines = [bar, f" {title}", bar]
+    for head in sorted(groups):
+        lines.append(f"[{head}]")
+        for key, value in groups[head]:
+            if isinstance(value, dict) and "counts" in value:
+                p50 = histogram_percentile(value, 0.50)
+                p99 = histogram_percentile(value, 0.99)
+                lines.append(
+                    f"  {key:<40} n={value['count']:<8} "
+                    f"p50={p50:,.1f} p99={p99:,.1f}"
+                )
+            else:
+                lines.append(f"  {key:<40} {_fmt(value)}")
+    lines.append(bar)
+    return "\n".join(lines)

@@ -219,6 +219,21 @@ class PredictorPool:
             totals["search_us"] += counters["search_us"]
         return totals
 
+    def export_metrics(self, registry, prefix: str = "runtime.pool") -> None:
+        """Publish the pool's counters into an obs
+        :class:`~repro.obs.registry.MetricsRegistry` as ``prefix.*``
+        gauges — the shard worker calls this on every stats export so
+        the fleet snapshot carries pool/kernel/repair state without a
+        second bookkeeping path."""
+        registry.get_gauge(f"{prefix}.entries").set(len(self._entries))
+        registry.get_gauge(f"{prefix}.hits").set(self.hits)
+        registry.get_gauge(f"{prefix}.refreshes").set(self.refreshes)
+        registry.get_gauge(f"{prefix}.prewarm_max").set(self.prewarm_max)
+        for key, value in self.kernel_stats().items():
+            registry.get_gauge(f"{prefix}.kernel.{key}").set(value)
+        for key, value in self.last_repair.items():
+            registry.get_gauge(f"{prefix}.repair.{key}").set(value)
+
     def _record_warm(
         self, pool_key: tuple, predictor, name_of_version: dict
     ) -> None:

@@ -26,96 +26,26 @@ Two design rules keep this layer honest:
 
 The bookkeeping uses the counter/timer ``Tracker`` idiom so callers
 (service stats, the PR-roadmap autoscaler) read one uniform snapshot.
+``Tracker`` *is* the obs :class:`~repro.obs.registry.MetricsRegistry`
+(and ``Counter``/``Timer`` its metric types) — the heat layer was the
+registry idiom's first customer, and folding it onto ``repro.obs``
+means ``heat.snapshot()`` and ``registry.snapshot()`` read the very
+same objects and cannot drift. A :class:`HeatTracker` constructed by
+the service shares the service's registry, so promotions and
+demotions appear in the fleet-wide snapshot under their ``heat.*``
+names for free.
 """
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
+
+from repro.obs.registry import Counter, MetricsRegistry, Timer
 
 __all__ = ["Counter", "Timer", "Tracker", "HeatTracker"]
 
-
-class Counter:
-    """A named monotonically-increasing tally."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def increase(self, amount: int = 1) -> None:
-        self.value += amount
-
-    def get(self) -> int:
-        return self.value
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Counter({self.name}={self.value})"
-
-
-class Timer:
-    """A named accumulator of elapsed seconds."""
-
-    __slots__ = ("name", "seconds", "_started")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.seconds = 0.0
-        self._started: float | None = None
-
-    def add(self, seconds: float) -> None:
-        self.seconds += float(seconds)
-
-    def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        if self._started is not None:
-            self.seconds += time.perf_counter() - self._started
-            self._started = None
-
-    def get(self) -> float:
-        return self.seconds
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Timer({self.name}={self.seconds:.6f}s)"
-
-
-class Tracker:
-    """Registry of named counters and timers with one-shot snapshots.
-
-    ``get_counter``/``get_timer`` return the same object for the same
-    name, so independent components can share tallies without passing
-    them around explicitly.
-    """
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._timers: dict[str, Timer] = {}
-
-    def get_counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
-
-    def get_timer(self, name: str) -> Timer:
-        timer = self._timers.get(name)
-        if timer is None:
-            timer = self._timers[name] = Timer(name)
-        return timer
-
-    def snapshot(self) -> dict[str, float]:
-        """All counters and timers as one flat ``name -> value`` dict."""
-        out: dict[str, float] = {}
-        for name, counter in self._counters.items():
-            out[name] = counter.get()
-        for name, timer in self._timers.items():
-            out[name] = timer.get()
-        return out
+#: the heat layer's registry idiom, now literally the obs registry
+Tracker = MetricsRegistry
 
 
 #: queries per sliding window (logical ops, not wall time)
@@ -241,7 +171,18 @@ class HeatTracker:
         return self._heat.get(int(dst), 0.0)
 
     def snapshot(self) -> dict[str, float]:
-        """Tracker tallies plus current hot-set size, one flat dict."""
-        out = self.tracker.snapshot()
+        """This tracker's own ``heat.*`` tallies plus the current
+        hot-set size, one flat dict. Reads only the counters this
+        instance registered — a shared (service-wide) registry's other
+        metrics stay out of the heat view."""
+        out = {
+            counter.name: counter.get()
+            for counter in (
+                self._records,
+                self._windows,
+                self._promotions,
+                self._demotions,
+            )
+        }
         out["heat.hot_destinations"] = len(self._hot)
         return out

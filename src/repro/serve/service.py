@@ -51,13 +51,15 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.atlas.delta import AtlasDelta, apply_delta_inplace
 from repro.atlas.serialization import decode_atlas, decode_delta, encode_delta
 from repro.client.query import combine_batches
 from repro.errors import ServiceError, ShardStateError
+from repro.obs.registry import MetricsRegistry, prefix_snapshot
+from repro.obs.trace import TraceCollector, Tracer
 from repro.serve.hashring import DEFAULT_VNODES, HashRing
 from repro.serve.heat import HeatTracker
 from repro.serve.shard import ShardManager
@@ -141,13 +143,19 @@ class PredictionService:
         mp_context=None,
         heat: HeatTracker | dict | bool | None = None,
     ) -> None:
+        #: the front-end's metrics registry — every service counter,
+        #: gauge and histogram below is a view over it, and
+        #: :meth:`fleet_snapshot` folds the workers' registries in
+        self.obs = MetricsRegistry()
         # ``heat`` enables hot-destination replication: pass a
         # configured HeatTracker, a kwargs dict for one, or True for
         # the defaults. None (the default) keeps pure pinned routing.
+        # Trackers built here share the service registry, so heat
+        # counters land in the same snapshot as everything else.
         if heat is True:
-            heat = HeatTracker()
+            heat = HeatTracker(tracker=self.obs)
         elif isinstance(heat, dict):
-            heat = HeatTracker(**heat)
+            heat = HeatTracker(**{"tracker": self.obs, **heat})
         self._heat = heat if isinstance(heat, HeatTracker) else None
         # Validate everything cheap before spawning the fleet, so bad
         # arguments cannot leak worker processes or shared blocks.
@@ -167,25 +175,35 @@ class PredictionService:
         )
         self._queues = [_ShardQueue() for _ in range(n_shards)]
         self._inflight = [0] * n_shards
-        #: recent front-end request round-trips (send -> reply, in us);
-        #: bounded so percentile reads stay O(1)-ish and reflect *now*
-        self._req_times: deque[float] = deque(maxlen=512)
+        #: recent front-end request round-trips (send -> reply, in us):
+        #: a registry histogram — bucket counts merge fleet-wide, the
+        #: bounded raw window answers exact local percentiles
+        self._req_hist = self.obs.get_histogram("serve.service.request_us")
         self._epoch = 0
         self._clients: set[object] = set()
-        self.stats = {
-            "requests": 0,
-            "coalesced": 0,
-            "backpressure_flushes": 0,
-            "flushes": 0,
-            "batches_routed": 0,
-            "deltas_broadcast": 0,
-            "bytes_broadcast": 0,
-            "replica_routed": 0,
-            "queue_depth": 0,
-            "inflight": 0,
-            "req_p50_us": 0.0,
-            "req_p99_us": 0.0,
-        }
+        #: dict-shaped stats surface, backed by registry gauges — the
+        #: registry is the only copy of these numbers
+        self.stats = self.obs.view(
+            "serve.service",
+            (
+                "requests",
+                "coalesced",
+                "backpressure_flushes",
+                "flushes",
+                "batches_routed",
+                "deltas_broadcast",
+                "bytes_broadcast",
+                "replica_routed",
+                "queue_depth",
+                "inflight",
+                "req_p50_us",
+                "req_p99_us",
+            ),
+        )
+        #: spans recorded front-end-side plus those workers return on
+        #: traced batches; the gateway's TRACE_FETCH path reads it
+        self.trace = TraceCollector()
+        self.tracer = Tracer(collector=self.trace)
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -271,23 +289,24 @@ class PredictionService:
             load += extra.get(shard, 0)
         return load
 
-    def _route_cluster(self, cluster: int, extra=None) -> int:
-        """One query's shard: the pinned ring owner, unless the heat
-        tracker holds the cluster hot — then the least-loaded of its
-        ``k`` successor replicas (ties break on replica order, so
-        routing stays deterministic for a given query sequence).
-        ``extra`` adds batch-transient per-shard assignments so one
-        large batch spreads over the replicas instead of dogpiling the
+    def _route_cluster(self, cluster: int, extra=None) -> tuple[int, bool]:
+        """One query's ``(shard, promoted)``: the pinned ring owner
+        (``promoted=False``), unless the heat tracker holds the
+        cluster hot — then the least-loaded of its ``k`` successor
+        replicas (ties break on replica order, so routing stays
+        deterministic for a given query sequence). ``extra`` adds
+        batch-transient per-shard assignments so one large batch
+        spreads over the replicas instead of dogpiling the
         momentarily-idlest."""
         heat = self._heat
         if heat is None:
-            return self._ring.shard_for(cluster)
+            return self._ring.shard_for(cluster), False
         heat.record(cluster)
         if not heat.is_hot(cluster):
-            return self._ring.shard_for(cluster)
+            return self._ring.shard_for(cluster), False
         replicas = self._ring.successors(cluster, heat.replicas)
         self.stats["replica_routed"] += 1
-        return min(replicas, key=lambda s: self._shard_load(s, extra))
+        return min(replicas, key=lambda s: self._shard_load(s, extra)), True
 
     # -- one-way predictions ----------------------------------------------
 
@@ -456,14 +475,14 @@ class PredictionService:
                 failed(exc, on_error)
                 continue
             self._inflight[shard] -= 1
-            self._req_times.append((time.perf_counter() - t0) * 1e6)
+            self._req_hist.observe((time.perf_counter() - t0) * 1e6)
             if reply[0] == "error":
                 try:
                     self._shards.check(shard, reply)
                 except ShardStateError as exc:
                     failed(exc, on_error)
                 continue
-            tag, got_id, paths = reply
+            tag, got_id = reply[0], reply[1]
             if tag != "batch" or got_id != req_id:
                 failed(
                     ShardStateError(
@@ -473,6 +492,9 @@ class PredictionService:
                     on_error,
                 )
                 continue
+            _, _, paths, spans = reply
+            if spans:
+                self.trace.extend(spans)
             deliver(paths)
         if first is not None:
             raise first
@@ -486,10 +508,16 @@ class PredictionService:
             self._flush_shard(future._shard)
         return future.value
 
-    def predict_batch(self, pairs, config=None, client=None) -> list:
+    def predict_batch(self, pairs, config=None, client=None, trace=None) -> list:
         """Batched one-way predictions, fanned out to every involved
         shard concurrently; results align with ``pairs`` and match a
-        single-process ``AtlasServer.predict_batch`` bit for bit."""
+        single-process ``AtlasServer.predict_batch`` bit for bit.
+
+        ``trace`` is an optional ``(trace_id, parent_span_id)``
+        context (minted by a FLAG_TRACE network client, threaded down
+        by the gateway): each shard group gets a ``serve.route`` span
+        tagged pinned vs promoted-replica, and workers parent their
+        ``shard.batch`` spans on it."""
         self._check_open()
         pairs = list(pairs)
         out: list = [None] * len(pairs)
@@ -498,25 +526,42 @@ class PredictionService:
         self.flush()  # never interleave with queued windows on the pipes
         self.stats["requests"] += len(pairs)
         self.stats["batches_routed"] += 1
-        by_shard: dict[int, tuple[list[int], list[tuple[int, int]]]] = {}
+        by_shard: dict[int, tuple[list[int], list[tuple[int, int]], list[bool]]] = {}
         cluster_of = self._atlas.cluster_of_prefix
         assigned: dict[int, int] = {}  # batch-transient replica balance
         for i, (src, dst) in enumerate(pairs):
             cluster = cluster_of(dst)
             if cluster is None:
                 continue  # unmapped destination: None, like the pool path
-            shard = self._route_cluster(cluster, assigned)
-            idxs, sub = by_shard.setdefault(shard, ([], []))
+            shard, promoted = self._route_cluster(cluster, assigned)
+            idxs, sub, hot = by_shard.setdefault(shard, ([], [], []))
             idxs.append(i)
             sub.append((src, dst))
+            hot.append(promoted)
             if self._heat is not None:
                 assigned[shard] = assigned.get(shard, 0) + 1
         sent = []
         first: ShardStateError | None = None
-        for shard, (idxs, sub) in by_shard.items():
+        for shard, (idxs, sub, hot) in by_shard.items():
             req_id = next(_REQ_IDS)
+            child = None
+            if trace is not None:
+                # the route span parents the worker's shard.batch span;
+                # record it now (the routing decision already happened)
+                route_span = self.tracer.record(
+                    trace,
+                    "serve.route",
+                    Tracer.now_us(),
+                    0.0,
+                    shard=shard,
+                    pairs=len(sub),
+                    replica="promoted" if any(hot) else "pinned",
+                )
+                child = (trace[0], route_span)
             try:
-                self._shards.send(shard, ("batch", req_id, sub, config, client))
+                self._shards.send(
+                    shard, ("batch", req_id, sub, config, client, child)
+                )
             except ShardStateError as exc:
                 # Dead pipe: keep fanning out to (and draining) the
                 # healthy shards so their streams stay in sync.
@@ -541,16 +586,17 @@ class PredictionService:
 
     # -- two-way query interface -------------------------------------------
 
-    def query_batch(self, pairs, config=None, client=None) -> list:
+    def query_batch(self, pairs, config=None, client=None, trace=None) -> list:
         """Both directions per pair, combined into
         :class:`~repro.client.query.PathInfo`\\ s (forward routed by the
         destination's shard, reverse by the source's). Shares
         ``INanoClient.query_batch``'s combine contract
         (:func:`~repro.client.query.combine_batches`), which the
-        equivalence suite asserts bit for bit."""
+        equivalence suite asserts bit for bit. ``trace`` threads a
+        trace context into both directions' fan-outs."""
         return combine_batches(
             pairs,
-            lambda batch: self.predict_batch(batch, config, client),
+            lambda batch: self.predict_batch(batch, config, client, trace=trace),
             self.day,
         )
 
@@ -716,8 +762,8 @@ class PredictionService:
         ``req_p50_us`` / ``req_p99_us``) so the gateway's FLAG_STATS
         frames carry the same numbers."""
         depths = [queue.requests for queue in self._queues]
-        p50 = _percentile(self._req_times, 0.50)
-        p99 = _percentile(self._req_times, 0.99)
+        p50 = self._req_hist.percentile(0.50)
+        p99 = self._req_hist.percentile(0.99)
         out = {
             "queue_depths": depths,
             "queue_depth": sum(depths),
@@ -735,12 +781,30 @@ class PredictionService:
         self.stats["req_p99_us"] = p99
         return out
 
+    # -- observability -------------------------------------------------------
 
-def _percentile(samples, q: float) -> float:
-    """Nearest-rank percentile over an unsorted sample window (0.0 when
-    empty — absent telemetry encodes as zero on the wire)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
-    return ordered[rank]
+    def trace_spans(self, trace_id: int) -> list:
+        """Every span this front-end holds for one trace: its own
+        ``serve.route`` spans plus the ``shard.batch`` /
+        ``kernel.search`` spans workers returned with traced batches."""
+        return self.trace.spans_of(trace_id)
+
+    def fleet_snapshot(self) -> dict:
+        """One metrics view over the whole fleet: the front-end's own
+        registry, the workers' registries folded together under their
+        original names (counters add, histograms merge bucket-wise),
+        and each worker's snapshot again under a ``shard<i>.`` prefix
+        for per-shard drill-down. Feed it to
+        :func:`repro.obs.dashboard.render` or
+        :meth:`~repro.obs.registry.MetricsRegistry.expose_text`."""
+        self.load_stats()  # refresh queue/inflight/percentile gauges
+        self._shards.export_metrics(self.obs)
+        per_worker = self.shard_stats()
+        out = dict(self.obs.snapshot())
+        worker_snaps = [s.get("obs", {}) for s in per_worker]
+        out.update(MetricsRegistry.merge_snapshots(*worker_snaps))
+        for s in per_worker:
+            out.update(
+                prefix_snapshot(s.get("obs", {}), f"shard{s['shard']}")
+            )
+        return out

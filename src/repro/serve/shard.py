@@ -20,6 +20,16 @@ service:
   fanned-out batch run on all shards concurrently — send to every
   shard first, then collect.
 
+The pipe protocol is observability-aware: batch requests may carry an
+optional sixth element — a ``(trace_id, parent_span_id)`` context from
+:mod:`repro.obs.trace` — and batch replies always carry a fourth
+(``spans`` recorded by the worker, or ``None``); ``stats`` replies
+embed the worker's full metrics-registry snapshot under ``"obs"``.
+The manager itself stays payload-agnostic (it never inspects message
+bodies), but :meth:`ShardManager.export_metrics` publishes its own
+process-level view — shared bytes, live and quarantined shard counts
+— into a caller-supplied registry for the fleet dashboard.
+
 Worker replies tagged ``("error", ...)`` and dead pipes surface as
 :class:`~repro.errors.ShardStateError`; the manager never silently
 drops a shard.
@@ -239,6 +249,17 @@ class ShardManager:
         if recv_error is not None:
             raise recv_error
         return [self.check(shard, replies[shard]) for shard in sent]
+
+    # -- observability -----------------------------------------------------
+
+    def export_metrics(self, registry, prefix: str = "serve.shards") -> None:
+        """Publish the manager's process-level view as gauges: the
+        worker fleet's shape and health, independent of what the
+        workers themselves report over the stats op."""
+        registry.get_gauge(f"{prefix}.count").set(self.n_shards)
+        registry.get_gauge(f"{prefix}.alive").set(sum(self.alive()))
+        registry.get_gauge(f"{prefix}.poisoned").set(len(self._poisoned))
+        registry.get_gauge(f"{prefix}.shared_bytes").set(self.shared_bytes)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -24,7 +24,7 @@ same graph version.
 
 Wire protocol (one request message in, one reply out, in order)::
 
-    ("batch", req_id, pairs, config, client)  -> ("batch", req_id, [PredictedPath|None])
+    ("batch", req_id, pairs, config, client[, trace]) -> ("batch", req_id, [PredictedPath|None], spans|None)
     ("delta", epoch, payload, verify)         -> ("delta", epoch, snapshot, report)
     ("register", token, links, extra, prefixes, rev) -> ("register", token)
     ("release", token)                        -> ("release", token)
@@ -40,10 +40,11 @@ Worker-side exceptions never kill the loop: the reply is
 from __future__ import annotations
 
 import time
-from collections import deque
 
 from repro.atlas.serialization import decode_atlas, decode_delta
 from repro.core.compiled import CompiledGraph
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.runtime import AtlasRuntime
 
 #: recent per-batch handle times kept for the stats op's percentiles
@@ -131,14 +132,7 @@ def shard_worker_main(conn, init: dict) -> None:
         # when this worker exits; drop the attach-side registration.
         _untrack_shared(init["graphs"])
     clients: dict[object, dict] = {}
-    stats = {
-        "shard": shard_index,
-        "batches": 0,
-        "pairs": 0,
-        "deltas": 0,
-        "registered_clients": 0,
-        "handle_us": deque(maxlen=_HANDLE_WINDOW),
-    }
+    obs = _WorkerObs(shard_index)
     conn.send(("ready", shard_index, runtime_snapshot(runtime)))
     try:
         while True:
@@ -148,7 +142,7 @@ def shard_worker_main(conn, init: dict) -> None:
                 conn.send(("stopped", shard_index))
                 break
             try:
-                conn.send(_dispatch(op, msg, runtime, clients, stats))
+                conn.send(_dispatch(op, msg, runtime, clients, obs))
             except Exception as exc:  # keep the worker serving
                 conn.send(("error", op, repr(exc)))
     except (EOFError, OSError, KeyboardInterrupt):
@@ -161,16 +155,98 @@ def shard_worker_main(conn, init: dict) -> None:
         conn.close()
 
 
-def _dispatch(op, msg, runtime, clients, stats):
+class _WorkerObs:
+    """One worker's observability bundle: the metrics registry, the
+    dict-shaped stats view over it, the batch handle-time histogram,
+    and a tracer for minting span ids when a traced batch arrives."""
+
+    __slots__ = ("registry", "stats", "handle", "tracer", "shard")
+
+    def __init__(self, shard_index: int) -> None:
+        self.shard = shard_index
+        self.registry = MetricsRegistry()
+        self.stats = self.registry.view(
+            "serve.shard",
+            ("shard", "batches", "pairs", "deltas", "registered_clients"),
+        )
+        self.stats["shard"] = shard_index
+        self.handle = self.registry.get_histogram(
+            "serve.shard.handle_us", window=_HANDLE_WINDOW
+        )
+        self.tracer = Tracer()
+
+
+def _repair_class(last_repair: dict) -> str:
+    """The dominant repair class of the last applied delta — the
+    warm-start outcome a traced kernel span reports."""
+    best, best_n = "none", 0
+    for key, n in last_repair.items():
+        if key != "prewarmed" and n > best_n:
+            best, best_n = key, n
+    return best
+
+
+def _traced_batch(obs, runtime, predictor, pairs, trace):
+    """Run the batch under a ``shard.batch`` span with a
+    ``kernel.search`` child attributing the pool's kernel-counter
+    deltas (cache-hit vs cold-search, repair class) to this request."""
+    pool = runtime.pool
+    k0 = pool.kernel_stats()
+    start_us = Tracer.now_us()
+    t0 = time.perf_counter()
+    batch_span = obs.tracer.mint_id()
+    paths = predictor.predict_batch(pairs)
+    duration_us = (time.perf_counter() - t0) * 1e6
+    k1 = pool.kernel_stats()
+    searches = k1["searches"] - k0["searches"]
+    spans = [
+        Span(
+            trace_id=trace[0],
+            span_id=batch_span,
+            parent_id=trace[1],
+            name="shard.batch",
+            start_us=start_us,
+            duration_us=duration_us,
+            tags={"shard": str(obs.shard), "pairs": str(len(pairs))},
+        ),
+        Span(
+            trace_id=trace[0],
+            span_id=obs.tracer.mint_id(),
+            parent_id=batch_span,
+            name="kernel.search",
+            start_us=start_us,
+            duration_us=k1["search_us"] - k0["search_us"],
+            tags={
+                "searches": str(searches),
+                "hits": str(k1["hits"] - k0["hits"]),
+                "cache": "cold" if searches else "hit",
+                "repair": _repair_class(pool.last_repair),
+            },
+        ),
+    ]
+    return paths, spans, duration_us
+
+
+def _dispatch(op, msg, runtime, clients, obs):
+    stats = obs.stats
     if op == "batch":
-        _, req_id, pairs, config, token = msg
-        t0 = time.perf_counter()
+        _, req_id, pairs, config, token, *rest = msg
+        trace = rest[0] if rest else None
+        pairs = list(pairs)
         predictor = _resolve_predictor(runtime, clients, config, token)
-        reply = ("batch", req_id, predictor.predict_batch(list(pairs)))
+        if trace is None:
+            t0 = time.perf_counter()
+            paths = predictor.predict_batch(pairs)
+            spans = None
+            duration_us = (time.perf_counter() - t0) * 1e6
+        else:
+            paths, spans, duration_us = _traced_batch(
+                obs, runtime, predictor, pairs, trace
+            )
         stats["batches"] += 1
         stats["pairs"] += len(pairs)
-        stats["handle_us"].append((time.perf_counter() - t0) * 1e6)
-        return reply
+        obs.handle.observe(duration_us)
+        return ("batch", req_id, paths, spans)
     if op == "delta":
         _, epoch, payload, verify = msg
         report = runtime.apply_delta(decode_delta(payload))
@@ -200,19 +276,17 @@ def _dispatch(op, msg, runtime, clients, stats):
     if op == "snapshot":
         return ("snapshot", runtime_snapshot(runtime))
     if op == "stats":
-        # include the shard's pooled search-kernel counters and the
-        # repair-class counts of its last applied delta — the per-shard
-        # view of what a FLAG_STATS gateway client sees per request
+        # the shard's registry is the single source: the dict surface
+        # (batches/pairs/percentiles/kernel/last_repair) is derived
+        # from it, and the full snapshot rides along under "obs" for
+        # the front-end's fleet-wide merge
+        runtime.pool.export_metrics(obs.registry)
         out = dict(stats)
-        handle = sorted(out.pop("handle_us"))
-        out["handle_p50_us"] = handle[int(0.50 * len(handle))] if handle else 0.0
-        out["handle_p99_us"] = (
-            handle[min(len(handle) - 1, int(0.99 * len(handle)))]
-            if handle
-            else 0.0
-        )
+        out["handle_p50_us"] = obs.handle.percentile(0.50)
+        out["handle_p99_us"] = obs.handle.percentile(0.99)
         out["kernel"] = runtime.pool.kernel_stats()
         out["last_repair"] = dict(runtime.pool.last_repair)
+        out["obs"] = obs.registry.snapshot()
         return ("stats", out)
     raise ValueError(f"unknown worker op {op!r}")
 

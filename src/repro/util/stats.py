@@ -31,6 +31,24 @@ def percentile(values: Iterable[float], q: float) -> float:
     return float(np.percentile(arr, q))
 
 
+def nearest_rank(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) over an unsorted
+    sample window; 0.0 on empty input (absent telemetry encodes as
+    zero on the wire).
+
+    This is the single implementation behind every online p50/p99 the
+    serving path reports — the obs histograms, the shard workers'
+    handle times and the service front-end's request round-trips all
+    route here, so the same sample window can never yield two
+    different percentiles depending on which layer computed it.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
 def fraction_at_most(values: Iterable[float], threshold: float) -> float:
     """Fraction of ``values`` that are <= ``threshold`` (CDF evaluated at a point)."""
     arr = np.asarray(list(values), dtype=float)

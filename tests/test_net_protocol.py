@@ -323,3 +323,161 @@ class TestPayloadFuzz:
             P.decode_batch_reply(payload)
         with pytest.raises(ProtocolError):
             P.decode_query_reply(payload)
+
+
+class TestTraceField:
+    """The optional trailing TRACE context behind FLAG_TRACE: new
+    peers round-trip it, old peers reject it as a typed error, and no
+    truncated or corrupted trace byte sequence escapes untyped."""
+
+    CTX = (0x1122334455667788, 0x0000AB0000000007)
+
+    def test_predict_round_trip_with_and_without(self):
+        cfg = PredictorConfig.inano()
+        traced = P.encode_predict_request(1, 2, cfg, trace=self.CTX)
+        assert P.decode_predict_request_traced(traced) == (1, 2, cfg, self.CTX)
+        plain = P.encode_predict_request(1, 2, cfg)
+        assert P.decode_predict_request_traced(plain) == (1, 2, cfg, None)
+
+    def test_batch_round_trip_with_and_without(self):
+        pairs = [(1, 2), (3, 4)]
+        traced = P.encode_batch_request(pairs, None, "tok", trace=self.CTX)
+        assert P.decode_batch_request_traced(traced) == (
+            pairs,
+            None,
+            "tok",
+            self.CTX,
+        )
+        assert P.decode_query_request_traced(traced)[3] == self.CTX
+        plain = P.encode_batch_request(pairs, None, "tok")
+        assert P.decode_batch_request_traced(plain)[3] is None
+
+    def test_old_peer_interop_pinned(self):
+        # without a trace the encoding is byte-identical to the
+        # pre-trace wire format: an old gateway decodes it untouched
+        cfg = PredictorConfig.inano()
+        assert P.encode_predict_request(7, 8, cfg) == P.encode_predict_request(
+            7, 8, cfg, trace=None
+        )
+        assert P.decode_predict_request(
+            P.encode_predict_request(7, 8, cfg)
+        ) == (7, 8, cfg)
+        # with one, the classic decoders refuse — FLAG_TRACE is the
+        # only thing that unlocks the field
+        for decoder, payload in [
+            (
+                P.decode_predict_request,
+                P.encode_predict_request(7, 8, cfg, trace=self.CTX),
+            ),
+            (
+                P.decode_batch_request,
+                P.encode_batch_request([(1, 2)], None, None, trace=self.CTX),
+            ),
+            (
+                P.decode_query_request,
+                P.encode_query_request([(1, 2)], None, None, trace=self.CTX),
+            ),
+        ]:
+            with pytest.raises(ProtocolError, match="FLAG_TRACE"):
+                decoder(payload)
+
+    def test_truncated_trace_bytes_are_typed(self):
+        full = P.encode_predict_request(1, 2, None, trace=self.CTX)
+        base = len(P.encode_predict_request(1, 2, None))
+        # cutting the whole field back off yields the valid plain payload
+        assert P.decode_predict_request_traced(full[:base])[3] is None
+        for cut in range(base + 1, len(full)):
+            with pytest.raises(ProtocolError):
+                P.decode_predict_request_traced(full[:cut])
+
+    def test_garbage_trace_bytes_are_typed(self):
+        rng = random.Random(0x7ACE)
+        base = P.encode_batch_request([(1, 2)], None, None)
+        for _ in range(60):
+            junk = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 24))
+            )
+            try:
+                P.decode_batch_request_traced(base + junk)
+            except ProtocolError:
+                pass  # the only acceptable failure type
+        # a wrong tag on an otherwise well-sized field is named
+        bad = bytearray(P.encode_batch_request([(1, 2)], None, None, trace=self.CTX))
+        bad[-17] = 0x55
+        with pytest.raises(ProtocolError, match="trace field tag"):
+            P.decode_batch_request_traced(bytes(bad))
+
+    def test_peek_trace_tail_sniff(self):
+        traced = P.encode_batch_request([(1, 2)], None, None, trace=self.CTX)
+        assert P.peek_trace(traced) == self.CTX
+        assert P.peek_trace(P.encode_batch_request([(1, 2)], None, None)) is None
+        # never raises, even on payloads shorter than the field
+        for n in range(17):
+            assert P.peek_trace(b"\x54" * n) is None
+
+    def test_welcome_caps_round_trip(self):
+        classic = P.encode_welcome(5, True, "service")
+        assert P.decode_welcome_caps(classic) == (5, True, "service", 0)
+        capped = P.encode_welcome(5, True, "service", caps=P.FLAG_TRACE)
+        assert P.decode_welcome_caps(capped) == (5, True, "service", P.FLAG_TRACE)
+        # an old client's strict decoder never sees the caps byte
+        # because the gateway only appends it for FLAG_TRACE clients;
+        # if it did, the failure is typed
+        with pytest.raises(ProtocolError):
+            P.decode_welcome(capped)
+
+
+class TestTraceDump:
+    def _span(self, **kw):
+        from repro.obs.trace import Span
+
+        base = dict(
+            trace_id=9,
+            span_id=10,
+            parent_id=0,
+            name="gw.decode",
+            start_us=123.5,
+            duration_us=4.25,
+            tags={"frame": "PREDICT"},
+        )
+        base.update(kw)
+        return Span(**base)
+
+    def test_fetch_round_trip(self):
+        assert P.decode_trace_fetch(P.encode_trace_fetch(0xDEAD)) == 0xDEAD
+        with pytest.raises(ProtocolError):
+            P.decode_trace_fetch(b"\x01\x02")
+        with pytest.raises(ProtocolError):
+            P.decode_trace_fetch(P.encode_trace_fetch(1) + b"\x00")
+
+    def test_dump_round_trip(self):
+        spans = [
+            self._span(),
+            self._span(span_id=11, parent_id=10, name="kernel.search",
+                       tags={"cache": "hit", "searches": "0"}),
+            self._span(span_id=12, tags={}),
+        ]
+        out = P.decode_trace_dump(P.encode_trace_dump(spans))
+        assert len(out) == 3
+        for span, fields in zip(spans, out):
+            assert fields["trace_id"] == span.trace_id
+            assert fields["span_id"] == span.span_id
+            assert fields["parent_id"] == span.parent_id
+            assert fields["name"] == span.name
+            assert fields["start_us"] == span.start_us
+            assert fields["duration_us"] == span.duration_us
+            assert fields["tags"] == span.tags
+        assert P.decode_trace_dump(P.encode_trace_dump([])) == []
+
+    def test_dump_tag_budget(self):
+        crowded = self._span(tags={f"k{i}": "v" for i in range(256)})
+        with pytest.raises(ProtocolError, match="tags"):
+            P.encode_trace_dump([crowded])
+
+    def test_dump_truncation_fuzz(self):
+        payload = P.encode_trace_dump([self._span(), self._span(span_id=11)])
+        for cut in range(len(payload)):
+            try:
+                P.decode_trace_dump(payload[:cut])
+            except ProtocolError:
+                pass  # typed, as required
